@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Dpa_bdd Dpa_core Dpa_domino Dpa_logic Dpa_phase Dpa_power Dpa_seq Dpa_sim Dpa_synth Dpa_timing Dpa_util Dpa_workload Float List Printf Seq String

@@ -1,0 +1,230 @@
+(* Benchmark driver: regenerates every table and figure of the paper and
+   runs Bechamel micro-benchmarks of the kernels behind each experiment.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig5    # one experiment
+     dune exec bench/main.exe -- perf    # just the Bechamel suite *)
+
+open Bechamel
+module Netlist = Dpa_logic.Netlist
+module Phase = Dpa_synth.Phase
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel suite: one Test.make per table/figure, wrapping the kernel  *)
+(* that regenerates it (scaled where the full experiment runs seconds). *)
+(* ------------------------------------------------------------------ *)
+
+let small_profile =
+  { Dpa_workload.Generator.default with
+    Dpa_workload.Generator.seed = 7;
+    n_inputs = 24;
+    n_outputs = 6;
+    gates_per_output = 10;
+    and_bias = 0.35;
+    inverter_prob = 0.1;
+    reuse_fraction = 0.4 }
+
+let prepared_net = lazy (Dpa_synth.Opt.optimize (Dpa_workload.Generator.combinational small_profile))
+
+let prepared_mapped =
+  lazy
+    (let net = Lazy.force prepared_net in
+     Dpa_domino.Mapped.map
+       (Dpa_synth.Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net))))
+
+let bench_fig2 = Test.make ~name:"fig2.switching-model" (Staged.stage (fun () ->
+    Dpa_power.Model.fig2_points ~steps:101 ()))
+
+let bench_fig3_4 = Test.make ~name:"fig3-4.inverterless-realize" (Staged.stage (fun () ->
+    let net = Lazy.force prepared_net in
+    Dpa_synth.Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net))))
+
+let bench_fig5 = Test.make ~name:"fig5.power-estimate" (Staged.stage (fun () ->
+    let mapped = Lazy.force prepared_mapped in
+    Dpa_power.Estimate.of_mapped
+      ~input_probs:(Array.make (Array.length (Netlist.inputs (Lazy.force prepared_net))) 0.5)
+      mapped))
+
+let bench_fig6 = Test.make ~name:"fig6.greedy-search" (Staged.stage (fun () ->
+    let net = Lazy.force prepared_net in
+    let probs = Array.make (Netlist.num_inputs net) 0.5 in
+    let measure = Dpa_phase.Measure.create ~input_probs:probs net in
+    let cost = Dpa_phase.Cost.make net in
+    let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+    Dpa_phase.Greedy.run measure ~cost ~base_probs:base))
+
+let bench_fig7 = Test.make ~name:"fig7.partition-probabilities" (Staged.stage (fun () ->
+    let sn =
+      Dpa_workload.Generator.sequential
+        { small_profile with Dpa_workload.Generator.seed = 11 } ~n_ffs:8
+    in
+    Dpa_seq.Partition.probabilities ~input_probs:(Array.make 24 0.5) sn))
+
+let bench_fig8_9 = Test.make ~name:"fig8-9.mfvs-solve" (Staged.stage (fun () ->
+    let sn =
+      Dpa_workload.Generator.sequential
+        { small_profile with Dpa_workload.Generator.seed = 13 } ~n_ffs:12
+    in
+    Dpa_seq.Mfvs.solve (Dpa_seq.Sgraph.of_seq_netlist sn)))
+
+let bench_fig10 = Test.make ~name:"fig10.bdd-build-ordered" (Staged.stage (fun () ->
+    let net = Lazy.force prepared_net in
+    Dpa_bdd.Build.of_netlist ~order:(Dpa_bdd.Ordering.reverse_topological net) net))
+
+let bench_table1 = Test.make ~name:"table1.ma-vs-mp-flow" (Staged.stage (fun () ->
+    Dpa_core.Flow.compare_ma_mp (Dpa_workload.Generator.combinational small_profile)))
+
+let bench_table2 = Test.make ~name:"table2.timed-flow" (Staged.stage (fun () ->
+    let config =
+      { Dpa_core.Flow.default_config with
+        Dpa_core.Flow.timing = Some Dpa_core.Flow.default_timing }
+    in
+    Dpa_core.Flow.compare_ma_mp ~config
+      (Dpa_workload.Generator.combinational small_profile)))
+
+let bench_simulator = Test.make ~name:"powermill-substitute.1k-cycles" (Staged.stage (fun () ->
+    let mapped = Lazy.force prepared_mapped in
+    let rng = Dpa_util.Rng.create 3 in
+    Dpa_sim.Simulator.measure ~cycles:1000 rng
+      ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
+      mapped))
+
+let bench_sta = Test.make ~name:"timing.sta" (Staged.stage (fun () ->
+    Dpa_timing.Sta.analyze (Lazy.force prepared_mapped)))
+
+let prepared_seq =
+  lazy
+    (Dpa_workload.Generator.sequential
+       { small_profile with Dpa_workload.Generator.seed = 21 } ~n_ffs:6)
+
+let bench_seqtable = Test.make ~name:"seqtable.seq-flow" (Staged.stage (fun () ->
+    Dpa_core.Seq_flow.compare_ma_mp (Lazy.force prepared_seq)))
+
+let bench_validate = Test.make ~name:"validate.sim-2k-cycles" (Staged.stage (fun () ->
+    let mapped = Lazy.force prepared_mapped in
+    let rng = Dpa_util.Rng.create 5 in
+    Dpa_sim.Simulator.measure ~cycles:2000 rng
+      ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
+      mapped))
+
+let bench_equiv = Test.make ~name:"equiv.bdd-check" (Staged.stage (fun () ->
+    let net = Lazy.force prepared_net in
+    Dpa_bdd.Equiv.check net (Dpa_synth.Opt.optimize net)))
+
+let bench_isop = Test.make ~name:"resynth.isop-two-level" (Staged.stage (fun () ->
+    Dpa_synth.Resynth.two_level (Lazy.force prepared_net)))
+
+let bench_steady = Test.make ~name:"steady-state.markov" (Staged.stage (fun () ->
+    let sn =
+      Dpa_workload.Generator.sequential
+        { Dpa_workload.Generator.default with
+          Dpa_workload.Generator.seed = 4;
+          n_inputs = 5;
+          n_outputs = 2;
+          gates_per_output = 5;
+          support = 4 }
+        ~n_ffs:4
+    in
+    Dpa_seq.Steady_state.analyze ~input_probs:(Array.make 5 0.5) sn))
+
+let perf () =
+  Printf.printf "\n=== Bechamel micro-benchmarks (one per experiment) ===\n\n";
+  let tests =
+    Test.make_grouped ~name:"dpa"
+      [ bench_fig2; bench_fig3_4; bench_fig5; bench_fig6; bench_fig7; bench_fig8_9;
+        bench_fig10; bench_table1; bench_table2; bench_seqtable; bench_validate;
+        bench_equiv; bench_isop; bench_steady; bench_simulator; bench_sta ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let t =
+    Dpa_util.Table.create
+      ~columns:
+        [ ("benchmark", Dpa_util.Table.Left);
+          ("time/run", Dpa_util.Table.Right);
+          ("r²", Dpa_util.Table.Right) ]
+  in
+  let pretty_time ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, r) ->
+      let estimate =
+        match Analyze.OLS.estimates r with
+        | Some [ e ] -> pretty_time e
+        | Some _ | None -> "n/a"
+      in
+      let rsq =
+        match Analyze.OLS.r_square r with
+        | Some v -> Printf.sprintf "%.3f" v
+        | None -> "-"
+      in
+      Dpa_util.Table.add_row t [ name; estimate; rsq ])
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+  Dpa_util.Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("fig2", Experiments.fig2);
+    ("fig3", Experiments.fig3_4);
+    ("fig4", Experiments.fig3_4);
+    ("fig5", Experiments.fig5);
+    ("fig6", Experiments.fig6);
+    ("fig7", Experiments.fig7);
+    ("fig8", Experiments.fig8);
+    ("fig9", Experiments.fig9);
+    ("fig10", Experiments.fig10);
+    ("table1", Experiments.table1);
+    ("table1-probs", Experiments.table1_probs);
+    ("table2", Experiments.table2);
+    ("casestudy", Experiments.casestudy);
+    ("seqtable", Experiments.seq_table);
+    ("validate", Experiments.validate);
+    ("ablation", Experiments.ablation);
+    ("perf", perf) ]
+
+let all () =
+  (* fig3 and fig4 share a regeneration; run each distinct experiment once *)
+  Experiments.fig2 ();
+  Experiments.fig3_4 ();
+  Experiments.fig5 ();
+  Experiments.fig6 ();
+  Experiments.fig7 ();
+  Experiments.fig8 ();
+  Experiments.fig9 ();
+  Experiments.fig10 ();
+  Experiments.table1 ();
+  Experiments.table1_probs ();
+  Experiments.table2 ();
+  Experiments.casestudy ();
+  Experiments.seq_table ();
+  Experiments.validate ();
+  Experiments.ablation ();
+  perf ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> all ()
+  | _ :: names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt (String.lowercase_ascii name) experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      names
+  | [] -> all ()

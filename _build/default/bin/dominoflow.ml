@@ -1,0 +1,383 @@
+(* dominoflow — command-line front end for the low-power domino synthesis
+   flow (Patra & Narayanan, DAC'99 reproduction).
+
+     dominoflow run --profile apex7 [--timed]
+     dominoflow run --file design.dln --input-prob 0.5
+     dominoflow estimate --file design.dln --phases "+-+"
+     dominoflow generate --profile frg1 > frg1.dln
+     dominoflow table1 / table2 *)
+
+open Cmdliner
+module Flow = Dpa_core.Flow
+module Netlist = Dpa_logic.Netlist
+module Phase = Dpa_synth.Phase
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_netlist path =
+  let text = read_file path in
+  let parsed =
+    if Filename.check_suffix path ".blif" then Dpa_logic.Blif.of_string text
+    else Dpa_logic.Io.of_string text
+  in
+  match parsed with
+  | Ok net -> Ok net
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let netlist_of_source ~file ~profile =
+  match file, profile with
+  | Some path, None -> load_netlist path
+  | None, Some name -> (
+    match Dpa_workload.Profiles.find name with
+    | Some p -> Ok (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
+    | None ->
+      Error
+        (Printf.sprintf "unknown profile %S (available: %s)" name
+           (String.concat ", " Dpa_workload.Profiles.names)))
+  | Some _, Some _ -> Error "--file and --profile are mutually exclusive"
+  | None, None -> Error "one of --file or --profile is required"
+
+let pair_limit_of ~profile =
+  match profile with
+  | Some name -> (
+    match Dpa_workload.Profiles.find name with
+    | Some p -> p.Dpa_workload.Profiles.pair_limit
+    | None -> None)
+  | None -> None
+
+(* ---- common options ---- *)
+
+let file_arg =
+  let doc = "Netlist file; .blif is parsed as BLIF, anything else as the .dln text format." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc = "Named benchmark profile (industry1-3, apex7, frg1, x1, x3)." in
+  Arg.(value & opt (some string) None & info [ "profile"; "p" ] ~docv:"NAME" ~doc)
+
+let input_prob_arg =
+  let doc = "Uniform signal probability of the primary inputs." in
+  Arg.(value & opt float 0.5 & info [ "input-prob" ] ~docv:"P" ~doc)
+
+let timed_arg =
+  let doc = "Run the Table 2 flow: derive a clock constraint and resize." in
+  Arg.(value & flag & info [ "timed" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for randomized search strategies." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let sequential_arg =
+    let doc =
+      "Treat the design as sequential: parse .latch statements (BLIF files only), cut the \
+       MFVS, propagate flip-flop probabilities and compare flows on the combinational core."
+    in
+    Arg.(value & flag & info [ "sequential" ] ~doc)
+  in
+  let two_level_arg =
+    let doc = "Collapse narrow output cones to irredundant two-level form (ISOP) first." in
+    Arg.(value & flag & info [ "two-level" ] ~doc)
+  in
+  let action file profile input_prob timed seed sequential two_level =
+    if input_prob < 0.0 || input_prob > 1.0 then
+      `Error (false, "--input-prob must lie in [0,1]")
+    else begin
+      let config =
+        { Flow.default_config with
+          Flow.input_prob;
+          seed;
+          pair_limit = pair_limit_of ~profile;
+          timing = (if timed then Some Flow.default_timing else None) }
+      in
+      if sequential then begin
+        match file with
+        | Some path when Filename.check_suffix path ".blif" -> (
+          match Dpa_logic.Blif.sequential_of_string (read_file path) with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+          | Ok parsed ->
+            let sn = Dpa_seq.Seq_netlist.of_blif parsed in
+            let r = Dpa_core.Seq_flow.compare_ma_mp ~config sn in
+            Printf.printf
+              "sequential design: %d flip-flops, MFVS cut {%s}, %d symmetry group(s)\n"
+              (Dpa_seq.Seq_netlist.n_ffs sn)
+              (String.concat "," (List.map string_of_int r.Dpa_core.Seq_flow.fvs))
+              r.Dpa_core.Seq_flow.supervertices;
+            Array.iteri
+              (fun k p -> Printf.printf "  ff%d steady P(Q) = %.3f\n" k p)
+              r.Dpa_core.Seq_flow.ff_probs;
+            print_newline ();
+            print_string
+              (Dpa_core.Report.table ~title:"MA vs MP (combinational core):"
+                 [ ("", r.Dpa_core.Seq_flow.comb) ]);
+            `Ok ())
+        | Some _ -> `Error (false, "--sequential requires a .blif file")
+        | None -> `Error (false, "--sequential requires --file")
+      end
+      else
+        match netlist_of_source ~file ~profile with
+        | Error msg -> `Error (false, msg)
+        | Ok net ->
+          let net =
+            if two_level then begin
+              let flat, stats =
+                Dpa_synth.Resynth.two_level (Dpa_synth.Opt.optimize net)
+              in
+              Printf.printf "two-level resynthesis: %d/%d cones collapsed (%d cubes)\n"
+                stats.Dpa_synth.Resynth.collapsed_outputs
+                (stats.Dpa_synth.Resynth.collapsed_outputs
+                + stats.Dpa_synth.Resynth.kept_outputs)
+                stats.Dpa_synth.Resynth.cubes;
+              flat
+            end
+            else net
+          in
+          let r = Flow.compare_ma_mp ~config net in
+          print_string (Dpa_core.Report.table ~title:"MA vs MP:" [ ("", r) ]);
+          print_newline ();
+          print_endline (Dpa_core.Report.summary r);
+          `Ok ()
+    end
+  in
+  let doc = "Compare minimum-area and minimum-power phase assignment on a circuit." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const action $ file_arg $ profile_arg $ input_prob_arg $ timed_arg $ seed_arg
+        $ sequential_arg $ two_level_arg))
+
+(* ---- estimate ---- *)
+
+let estimate_cmd =
+  let phases_arg =
+    let doc = "Explicit phase string, e.g. \"+-+\" (default all positive)." in
+    Arg.(value & opt (some string) None & info [ "phases" ] ~docv:"PHASES" ~doc)
+  in
+  let cycles_arg =
+    let doc = "Also simulate this many cycles and report measured power." in
+    Arg.(value & opt (some int) None & info [ "simulate" ] ~docv:"CYCLES" ~doc)
+  in
+  let action file profile input_prob phases cycles =
+    match netlist_of_source ~file ~profile with
+    | Error msg -> `Error (false, msg)
+    | Ok raw ->
+      let net = Dpa_synth.Opt.optimize raw in
+      let n = Netlist.num_outputs net in
+      let assignment =
+        match phases with
+        | None -> Ok (Phase.all_positive n)
+        | Some s when String.length s = n ->
+          let ok = String.for_all (fun c -> c = '+' || c = '-') s in
+          if ok then
+            Ok (Array.init n (fun k -> if s.[k] = '-' then Phase.Negative else Phase.Positive))
+          else Error "phase string may contain only '+' and '-'"
+        | Some s ->
+          Error
+            (Printf.sprintf "phase string %S has %d characters for %d outputs" s
+               (String.length s) n)
+      in
+      (match assignment with
+      | Error msg -> `Error (false, msg)
+      | Ok assignment ->
+        let input_probs = Array.make (Netlist.num_inputs net) input_prob in
+        let mapped =
+          Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment)
+        in
+        let r = Dpa_power.Estimate.of_mapped ~input_probs mapped in
+        Printf.printf "phases %s: %d cells\n" (Phase.to_string assignment)
+          (Dpa_domino.Mapped.size mapped);
+        Printf.printf "  domino block power   %10.4f\n" r.Dpa_power.Estimate.domino_power;
+        Printf.printf "  input inverters      %10.4f\n"
+          r.Dpa_power.Estimate.input_inverter_power;
+        Printf.printf "  output inverters     %10.4f\n"
+          r.Dpa_power.Estimate.output_inverter_power;
+        Printf.printf "  total                %10.4f\n" r.Dpa_power.Estimate.total;
+        print_endline "  by cell type:";
+        List.iter
+          (fun (cname, count, power) ->
+            Printf.printf "    %-10s x%-4d %10.4f\n" cname count power)
+          (Dpa_power.Estimate.by_cell_type
+             ~input_toggle:(fun pos -> Dpa_power.Model.static_switching input_probs.(pos))
+             mapped ~node_probs:r.Dpa_power.Estimate.node_probs);
+        (match cycles with
+        | Some c when c > 0 ->
+          let rng = Dpa_util.Rng.create 1 in
+          let m = Dpa_sim.Simulator.measure ~cycles:c rng ~input_probs mapped in
+          Printf.printf "  simulated (%d cycles) %9.4f\n" c
+            m.Dpa_sim.Simulator.report.Dpa_power.Estimate.total
+        | Some _ | None -> ());
+        `Ok ())
+  in
+  let doc = "Estimate (and optionally simulate) domino power for a phase assignment." in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(
+      ret
+        (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg))
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let action profile =
+    match Dpa_workload.Profiles.find profile with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown profile %S (available: %s)" profile
+            (String.concat ", " Dpa_workload.Profiles.names) )
+    | Some p ->
+      print_string
+        (Dpa_logic.Io.to_string
+           (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params));
+      `Ok ()
+  in
+  let profile_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE")
+  in
+  let doc = "Emit a benchmark profile's netlist in .dln format on stdout." in
+  Cmd.v (Cmd.info "generate" ~doc) Term.(ret (const action $ profile_pos))
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let action file profile =
+    match netlist_of_source ~file ~profile with
+    | Error msg -> `Error (false, msg)
+    | Ok net ->
+      print_string (Dpa_logic.Netstats.to_string (Dpa_logic.Netstats.compute net));
+      let opt = Dpa_synth.Opt.optimize net in
+      Printf.printf "after technology-independent optimization: %d gates\n"
+        (Netlist.gate_count opt);
+      let probs = Array.make (Netlist.num_inputs opt) 0.5 in
+      Printf.printf "domino/static power ratio at p=0.5 (min-area phases): %.2fx\n"
+        (Dpa_power.Static_model.domino_to_static_ratio ~input_probs:probs opt);
+      `Ok ()
+  in
+  let doc = "Print structural statistics and the domino/static power ratio." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(ret (const action $ file_arg $ profile_arg))
+
+(* ---- equiv ---- *)
+
+let equiv_cmd =
+  let action file_a file_b =
+    match load_netlist file_a, load_netlist file_b with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok a, Ok b -> (
+      match Dpa_bdd.Equiv.check a b with
+      | Dpa_bdd.Equiv.Equivalent ->
+        print_endline "EQUIVALENT";
+        `Ok ()
+      | Dpa_bdd.Equiv.Interface_mismatch msg ->
+        Printf.printf "INTERFACE MISMATCH: %s\n" msg;
+        exit 2
+      | Dpa_bdd.Equiv.Differ { output; witness } ->
+        let po_name =
+          match Array.to_list (Dpa_logic.Netlist.outputs a) with
+          | outs when output < List.length outs -> fst (List.nth outs output)
+          | _ -> string_of_int output
+        in
+        Printf.printf "DIFFER at output %s; witness inputs:\n" po_name;
+        Array.iteri
+          (fun pos id ->
+            let name =
+              Option.value ~default:(Printf.sprintf "pi%d" pos)
+                (Dpa_logic.Netlist.node_name a id)
+            in
+            Printf.printf "  %s = %d\n" name (Bool.to_int witness.(pos)))
+          (Dpa_logic.Netlist.inputs a);
+        exit 1)
+  in
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B") in
+  let doc = "Check two netlists for combinational equivalence (BDD-based)." in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(ret (const action $ file_a $ file_b))
+
+(* ---- mfvs ---- *)
+
+let mfvs_cmd =
+  let action file =
+    if not (Filename.check_suffix file ".blif") then
+      `Error (false, "mfvs requires a sequential .blif file")
+    else
+      match Dpa_logic.Blif.sequential_of_string (read_file file) with
+      | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+      | Ok parsed ->
+        let sn = Dpa_seq.Seq_netlist.of_blif parsed in
+        let g = Dpa_seq.Sgraph.of_seq_netlist sn in
+        let n = Dpa_seq.Seq_netlist.n_ffs sn in
+        Printf.printf "s-graph: %d flip-flops\n" n;
+        List.iter
+          (fun v ->
+            Printf.printf "  ff%d -> {%s}\n" v
+              (String.concat "," (List.map string_of_int (Dpa_seq.Sgraph.succ g v))))
+          (Dpa_seq.Sgraph.alive_vertices g);
+        let heuristic = Dpa_seq.Mfvs.solve g in
+        Printf.printf "enhanced MFVS: {%s} (%d supervertices, %d greedy picks)\n"
+          (String.concat "," (List.map string_of_int heuristic.Dpa_seq.Mfvs.fvs))
+          (List.length heuristic.Dpa_seq.Mfvs.supervertices)
+          heuristic.Dpa_seq.Mfvs.greedy_picks;
+        (match Dpa_seq.Exact_mfvs.solve ~node_limit:100_000 g with
+        | Some exact ->
+          Printf.printf "exact optimum: {%s} (weight %d, %d branch nodes)\n"
+            (String.concat "," (List.map string_of_int exact.Dpa_seq.Exact_mfvs.fvs))
+            exact.Dpa_seq.Exact_mfvs.weight exact.Dpa_seq.Exact_mfvs.nodes_explored
+        | None -> print_endline "exact optimum: search budget exceeded");
+        let part = Dpa_seq.Partition.probabilities ~input_probs:(Array.make (Dpa_seq.Seq_netlist.n_real_inputs sn) 0.5) sn in
+        Array.iteri
+          (fun k p ->
+            Printf.printf "  ff%d steady P(Q) = %.4f%s\n" k p
+              (if List.mem k part.Dpa_seq.Partition.fvs then "   (cut, assumed)" else ""))
+          part.Dpa_seq.Partition.ff_probs;
+        `Ok ()
+  in
+  let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.blif") in
+  let doc = "Analyze a sequential design: s-graph, enhanced and exact MFVS, probabilities." in
+  Cmd.v (Cmd.info "mfvs" ~doc) Term.(ret (const action $ file_pos))
+
+(* ---- tables ---- *)
+
+let table_cmd name doc profiles timed =
+  let csv_arg =
+    let d = "Emit machine-readable CSV instead of the formatted table." in
+    Arg.(value & flag & info [ "csv" ] ~doc:d)
+  in
+  let action csv =
+    let rows =
+      List.map
+        (fun p ->
+          let net = Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params in
+          let config =
+            { Flow.default_config with
+              Flow.pair_limit = p.Dpa_workload.Profiles.pair_limit;
+              timing = (if timed then Some Flow.default_timing else None) }
+          in
+          (p.Dpa_workload.Profiles.description, Flow.compare_ma_mp ~config net))
+        profiles
+    in
+    if csv then print_string (Dpa_core.Report.csv rows)
+    else print_string (Dpa_core.Report.table ~title:(String.uppercase_ascii name ^ ":") rows)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ csv_arg)
+
+let table1_cmd =
+  table_cmd "table1" "Reproduce Table 1 (untimed synthesis, input probability 0.5)."
+    Dpa_workload.Profiles.table1 false
+
+let table2_cmd =
+  table_cmd "table2" "Reproduce Table 2 (timed synthesis with resizing)."
+    Dpa_workload.Profiles.table2 true
+
+(* ---- main ---- *)
+
+let () =
+  let doc = "automated phase assignment for low power domino circuits" in
+  let info = Cmd.info "dominoflow" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ run_cmd; estimate_cmd; generate_cmd; info_cmd; equiv_cmd; mfvs_cmd; table1_cmd;
+         table2_cmd ]))

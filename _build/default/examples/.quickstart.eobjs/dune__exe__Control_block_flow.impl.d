@@ -1,0 +1,1 @@
+examples/control_block_flow.ml: Array Dpa_core Dpa_logic Dpa_workload List Printf String Sys

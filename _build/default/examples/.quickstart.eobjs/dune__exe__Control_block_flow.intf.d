@@ -1,0 +1,1 @@
+examples/control_block_flow.mli:

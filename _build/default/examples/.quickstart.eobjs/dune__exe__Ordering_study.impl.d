@@ -1,0 +1,1 @@
+examples/ordering_study.ml: Array Dpa_bdd Dpa_synth Dpa_util Dpa_workload List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dpa_domino Dpa_logic Dpa_phase Dpa_power Dpa_sim Dpa_synth Dpa_util Printf String

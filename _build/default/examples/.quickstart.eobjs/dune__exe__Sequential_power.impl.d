@@ -1,0 +1,1 @@
+examples/sequential_power.ml: Array Dpa_core Dpa_logic Dpa_seq Dpa_synth Dpa_util Dpa_workload List Printf String

@@ -1,0 +1,1 @@
+examples/timing_integration.ml: Array Dpa_domino Dpa_logic Dpa_phase Dpa_power Dpa_synth Dpa_timing Dpa_util Dpa_workload Float List Printf

@@ -1,0 +1,1 @@
+examples/timing_integration.mli:

@@ -1,0 +1,52 @@
+(* The paper's headline experiment, end to end, on one circuit:
+
+     dune exec examples/control_block_flow.exe -- [profile] [--timed]
+
+   Generates the named benchmark profile (default apex7; see
+   Dpa_workload.Profiles for the Table 1 set), runs both the minimum-area
+   and the minimum-power flows, and prints a paper-style comparison row
+   plus the timing story when --timed is given. *)
+
+module Flow = Dpa_core.Flow
+module Profiles = Dpa_workload.Profiles
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let timed = List.mem "--timed" args in
+  let name =
+    match List.filter (fun a -> a <> "--timed") args with
+    | [] -> "apex7"
+    | n :: _ -> n
+  in
+  match Profiles.find name with
+  | None ->
+    Printf.eprintf "unknown profile %S; available: %s\n" name
+      (String.concat ", " Profiles.names);
+    exit 1
+  | Some profile ->
+    let net = Dpa_workload.Generator.combinational profile.Profiles.params in
+    Printf.printf "profile %s (%s): %d PIs, %d POs, %d gates generated\n%!" name
+      profile.Profiles.description
+      (Dpa_logic.Netlist.num_inputs net)
+      (Dpa_logic.Netlist.num_outputs net)
+      (Dpa_logic.Netlist.gate_count net);
+    let config =
+      { Flow.default_config with
+        Flow.pair_limit = profile.Profiles.pair_limit;
+        timing = (if timed then Some Flow.default_timing else None) }
+    in
+    let r = Flow.compare_ma_mp ~config net in
+    print_newline ();
+    print_string (Dpa_core.Report.table ~title:"MA vs MP:" [ (profile.Profiles.description, r) ]);
+    print_newline ();
+    print_endline (Dpa_core.Report.summary r);
+    if timed then
+      match r.Flow.clock with
+      | Some clock ->
+        Printf.printf
+          "\nclock constraint %.2f delay units: MA closes at %.2f (%s), MP at %.2f (%s)\n"
+          clock r.Flow.ma.Flow.critical_delay
+          (if r.Flow.ma.Flow.met then "met" else "VIOLATED")
+          r.Flow.mp.Flow.critical_delay
+          (if r.Flow.mp.Flow.met then "met" else "VIOLATED")
+      | None -> ()

@@ -1,0 +1,1 @@
+lib/bdd/build.ml: Array Dpa_logic Hashtbl List Ordering Robdd

@@ -1,0 +1,1 @@
+lib/bdd/build.mli: Dpa_logic Robdd

@@ -1,0 +1,1 @@
+lib/bdd/equiv.ml: Array Build Dpa_logic Fun Printf Robdd String

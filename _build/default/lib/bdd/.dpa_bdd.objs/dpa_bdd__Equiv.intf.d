@@ -1,0 +1,1 @@
+lib/bdd/equiv.mli: Dpa_logic

@@ -1,0 +1,1 @@
+lib/bdd/isop.ml: Hashtbl List Robdd

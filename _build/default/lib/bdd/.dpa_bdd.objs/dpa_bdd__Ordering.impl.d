@@ -1,0 +1,1 @@
+lib/bdd/ordering.ml: Array Dpa_logic Dpa_util Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/bdd/ordering.mli: Dpa_logic Dpa_util

@@ -1,0 +1,1 @@
+lib/bdd/reorder.ml: Array Build

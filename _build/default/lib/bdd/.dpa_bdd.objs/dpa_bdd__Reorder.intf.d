@@ -1,0 +1,1 @@
+lib/bdd/reorder.mli: Dpa_logic

@@ -1,0 +1,1 @@
+lib/bdd/robdd.ml: Array Buffer Dpa_util Hashtbl List Printf

@@ -1,0 +1,82 @@
+type literal = {
+  level : int;
+  positive : bool;
+}
+
+type cube = literal list
+
+let cube_to_bdd m cube =
+  List.fold_left
+    (fun acc { level; positive } ->
+      let v = Robdd.var m level in
+      Robdd.apply_and m acc (if positive then v else Robdd.neg m v))
+    Robdd.bdd_true cube
+
+let cover_to_bdd m cubes =
+  List.fold_left (fun acc c -> Robdd.apply_or m acc (cube_to_bdd m c)) Robdd.bdd_false cubes
+
+let literal_count cubes = List.fold_left (fun acc c -> acc + List.length c) 0 cubes
+
+(* Cofactors of [n] with respect to [level] (which is ≤ the node's own
+   level for every node visited by the recursion). *)
+let cofactors m level n =
+  if Robdd.is_terminal n || Robdd.level m n > level then (n, n)
+  else (Robdd.low m n, Robdd.high m n)
+
+let top_level m a b =
+  let lv n = if Robdd.is_terminal n then max_int else Robdd.level m n in
+  min (lv a) (lv b)
+
+(* Minato-Morreale: returns the cube list and the BDD of its function. *)
+let rec isop m memo lower upper =
+  if lower = Robdd.bdd_false then ([], Robdd.bdd_false)
+  else if upper = Robdd.bdd_true then ([ [] ], Robdd.bdd_true)
+  else begin
+    let key = (lower, upper) in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let v = top_level m lower upper in
+      let l0, l1 = cofactors m v lower in
+      let u0, u1 = cofactors m v upper in
+      (* cubes that need the negative literal: minterms of l0 not
+         coverable by a cube valid in both halves *)
+      let cubes0, g0 = isop m memo (Robdd.apply_and m l0 (Robdd.neg m u1)) u0 in
+      let cubes1, g1 = isop m memo (Robdd.apply_and m l1 (Robdd.neg m u0)) u1 in
+      (* what remains uncovered must be covered by v-free cubes *)
+      let rest0 = Robdd.apply_and m l0 (Robdd.neg m g0) in
+      let rest1 = Robdd.apply_and m l1 (Robdd.neg m g1) in
+      let lower' = Robdd.apply_or m rest0 rest1 in
+      let upper' = Robdd.apply_and m u0 u1 in
+      let cubes2, g2 = isop m memo lower' upper' in
+      let neg_lit = { level = v; positive = false } in
+      let pos_lit = { level = v; positive = true } in
+      let cubes =
+        List.map (fun c -> neg_lit :: c) cubes0
+        @ List.map (fun c -> pos_lit :: c) cubes1
+        @ cubes2
+      in
+      let var = Robdd.var m v in
+      let func =
+        Robdd.apply_or m
+          (Robdd.apply_or m
+             (Robdd.apply_and m (Robdd.neg m var) g0)
+             (Robdd.apply_and m var g1))
+          g2
+      in
+      let r = (cubes, func) in
+      Hashtbl.replace memo key r;
+      r
+  end
+
+let of_interval m ~lower ~upper =
+  if Robdd.apply_and m lower (Robdd.neg m upper) <> Robdd.bdd_false then
+    invalid_arg "Isop.of_interval: lower is not contained in upper";
+  let memo = Hashtbl.create 64 in
+  let cubes, func = isop m memo lower upper in
+  (* internal consistency: lower ≤ func ≤ upper *)
+  assert (Robdd.apply_and m lower (Robdd.neg m func) = Robdd.bdd_false);
+  assert (Robdd.apply_and m func (Robdd.neg m upper) = Robdd.bdd_false);
+  cubes
+
+let of_node m f = of_interval m ~lower:f ~upper:f

@@ -1,0 +1,30 @@
+(** Irredundant sum-of-products extraction from BDDs (Minato–Morreale).
+
+    Computes a cube cover [C] with [L ≤ C ≤ U] in which no cube and no
+    literal is redundant — the classical BDD-based two-level minimization
+    underlying the "technology independent minimization" step of synthesis
+    flows. With [L = U = f] the cover is exactly [f]. *)
+
+type literal = {
+  level : int;  (** BDD level of the variable *)
+  positive : bool;
+}
+
+type cube = literal list
+(** Conjunction of literals, levels strictly increasing; [[]] is the
+    tautology cube. *)
+
+val of_interval :
+  Robdd.manager -> lower:Robdd.node -> upper:Robdd.node -> cube list
+(** Raises [Invalid_argument] if [lower ∧ ¬upper] is satisfiable (the
+    interval is empty). Memoized per call; linear-ish in the result. *)
+
+val of_node : Robdd.manager -> Robdd.node -> cube list
+(** [of_interval ~lower:f ~upper:f]. *)
+
+val cube_to_bdd : Robdd.manager -> cube -> Robdd.node
+
+val cover_to_bdd : Robdd.manager -> cube list -> Robdd.node
+
+val literal_count : cube list -> int
+(** Total literals — the classical two-level cost metric. *)

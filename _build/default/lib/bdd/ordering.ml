@@ -1,0 +1,53 @@
+module Netlist = Dpa_logic.Netlist
+module Topo = Dpa_logic.Topo
+
+(* Input positions in the order they are first used by the paper's gate
+   traversal; unused inputs appended in declaration order. *)
+let first_visit t =
+  let ins = Netlist.inputs t in
+  let position = Hashtbl.create (Array.length ins) in
+  Array.iteri (fun k id -> Hashtbl.replace position id k) ins;
+  let seen = Array.make (Array.length ins) false in
+  let acc = ref [] in
+  let use id =
+    match Hashtbl.find_opt position id with
+    | None -> ()
+    | Some k ->
+      if not seen.(k) then begin
+        seen.(k) <- true;
+        acc := k :: !acc
+      end
+  in
+  Array.iter (fun g -> Array.iter use (Netlist.fanins t g)) (Topo.gate_traversal t);
+  Array.iteri (fun k _ -> if not seen.(k) then acc := k :: !acc) ins;
+  Array.of_list (List.rev !acc)
+
+let reverse_topological t =
+  let fv = first_visit t in
+  let n = Array.length fv in
+  Array.init n (fun l -> fv.(n - 1 - l))
+
+let topological = first_visit
+
+let declaration t = Array.init (Netlist.num_inputs t) Fun.id
+
+let disturbed t =
+  let ord = reverse_topological t in
+  let n = Array.length ord in
+  if n < 3 then ord
+  else begin
+    (* hoist the bottom variable to position 1, "unnaturally sandwiching"
+       it between the top variable and the rest *)
+    let bottom = ord.(n - 1) in
+    let out = Array.make n ord.(0) in
+    out.(1) <- bottom;
+    for l = 1 to n - 2 do
+      out.(l + 1) <- ord.(l)
+    done;
+    out
+  end
+
+let shuffled rng t =
+  let ord = declaration t in
+  Dpa_util.Rng.shuffle rng ord;
+  ord

@@ -1,0 +1,30 @@
+(** BDD variable-ordering heuristics (paper §4.2.2, Fig. 10).
+
+    An ordering is a permutation [ord] of input {e positions} (indices into
+    [Netlist.inputs]): [ord.(level)] is the input placed at BDD level
+    [level] (level 0 on top, tested first).
+
+    The paper's heuristic: traverse gates topologically, visiting same-level
+    gates in decreasing fanout-cone cardinality, record the order in which
+    primary inputs are {e first} used, and place variables in the {e
+    reverse} of that order — inputs used early (near the PIs, large fanout
+    cones) end up at the bottom of the BDD. *)
+
+val reverse_topological : Dpa_logic.Netlist.t -> int array
+(** The paper's ordering. Inputs never referenced by any gate are appended
+    at the bottom. *)
+
+val topological : Dpa_logic.Netlist.t -> int array
+(** First-visit order itself (no reversal) — the middle row of Fig. 10,
+    used as a comparison point. *)
+
+val declaration : Dpa_logic.Netlist.t -> int array
+(** Inputs in declaration order — the naive baseline. *)
+
+val disturbed : Dpa_logic.Netlist.t -> int array
+(** The paper's "disturbed signal grouping": the reverse-topological order
+    with the bottom variable hoisted to second position, breaking the
+    natural grouping (Fig. 10 bottom row). *)
+
+val shuffled : Dpa_util.Rng.t -> Dpa_logic.Netlist.t -> int array
+(** Uniform random order, for ablation studies. *)

@@ -1,0 +1,177 @@
+module Vec = Dpa_util.Vec
+
+type node = int
+
+type manager = {
+  nv : int;
+  lvl : int Vec.t; (* per node: decision level; terminals use terminal_level *)
+  lo : int Vec.t;
+  hi : int Vec.t;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let bdd_false = 0
+let bdd_true = 1
+let terminal_level = max_int
+
+let create ~nvars =
+  let m =
+    {
+      nv = nvars;
+      lvl = Vec.create ~dummy:0 ();
+      lo = Vec.create ~dummy:0 ();
+      hi = Vec.create ~dummy:0 ();
+      unique = Hashtbl.create 1024;
+      ite_cache = Hashtbl.create 1024;
+    }
+  in
+  (* terminals occupy ids 0 and 1 *)
+  ignore (Vec.push m.lvl terminal_level);
+  ignore (Vec.push m.lvl terminal_level);
+  ignore (Vec.push m.lo 0);
+  ignore (Vec.push m.lo 1);
+  ignore (Vec.push m.hi 0);
+  ignore (Vec.push m.hi 1);
+  m
+
+let nvars m = m.nv
+
+let is_terminal n = n = bdd_false || n = bdd_true
+
+let level m n =
+  if is_terminal n then invalid_arg "Robdd.level: terminal node"
+  else Vec.get m.lvl n
+
+let low m n = Vec.get m.lo n
+
+let high m n = Vec.get m.hi n
+
+let node_level m n = Vec.get m.lvl n
+
+let mk m l lo hi =
+  if lo = hi then lo
+  else
+    let key = (l, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      let id = Vec.push m.lvl l in
+      let id' = Vec.push m.lo lo in
+      let id'' = Vec.push m.hi hi in
+      assert (id = id' && id = id'');
+      Hashtbl.replace m.unique key id;
+      id
+
+let var m l =
+  if l < 0 || l >= m.nv then invalid_arg (Printf.sprintf "Robdd.var: level %d out of range" l);
+  mk m l bdd_false bdd_true
+
+(* Shannon cofactors of [n] with respect to level [l] (l <= level of n). *)
+let cofactors m l n =
+  if is_terminal n || node_level m n > l then n, n else low m n, high m n
+
+let rec ite m f g h =
+  if f = bdd_true then g
+  else if f = bdd_false then h
+  else if g = h then g
+  else if g = bdd_true && h = bdd_false then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some id -> id
+    | None ->
+      let l =
+        min (node_level m f) (min (node_level m g) (node_level m h))
+      in
+      let f0, f1 = cofactors m l f in
+      let g0, g1 = cofactors m l g in
+      let h0, h1 = cofactors m l h in
+      let r0 = ite m f0 g0 h0 in
+      let r1 = ite m f1 g1 h1 in
+      let id = mk m l r0 r1 in
+      Hashtbl.replace m.ite_cache key id;
+      id
+  end
+
+let apply_and m a b = ite m a b bdd_false
+
+let apply_or m a b = ite m a bdd_true b
+
+let neg m a = ite m a bdd_false bdd_true
+
+let apply_xor m a b = ite m a (neg m b) b
+
+let rec eval m f assignment =
+  if f = bdd_true then true
+  else if f = bdd_false then false
+  else if assignment.(level m f) then eval m (high m f) assignment
+  else eval m (low m f) assignment
+
+let visit_reachable m roots f =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      f n;
+      go (low m n);
+      go (high m n)
+    end
+  in
+  List.iter go roots
+
+let shared_size m roots =
+  let count = ref 0 in
+  visit_reachable m roots (fun _ -> incr count);
+  !count
+
+let size m root = shared_size m [ root ]
+
+let total_nodes m = Vec.length m.lvl
+
+let support m root =
+  let levels = Hashtbl.create 16 in
+  visit_reachable m [ root ] (fun n -> Hashtbl.replace levels (level m n) ());
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) levels [])
+
+let to_dot m ?(var_name = Printf.sprintf "x%d") roots =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph robdd {\n  rankdir=TB;\n";
+  Buffer.add_string buf "  t0 [shape=box,label=\"0\"];\n  t1 [shape=box,label=\"1\"];\n";
+  visit_reachable m (List.map snd roots) (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=circle,label=\"%s\"];\n" n (var_name (level m n)));
+      let edge child style =
+        if is_terminal child then
+          Buffer.add_string buf (Printf.sprintf "  n%d -> t%d [style=%s];\n" n child style)
+        else Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [style=%s];\n" n child style)
+      in
+      edge (low m n) "dashed";
+      edge (high m n) "solid");
+  List.iter
+    (fun (name, root) ->
+      Buffer.add_string buf (Printf.sprintf "  r_%s [shape=plaintext,label=\"%s\"];\n" name name);
+      if is_terminal root then
+        Buffer.add_string buf (Printf.sprintf "  r_%s -> t%d;\n" name root)
+      else Buffer.add_string buf (Printf.sprintf "  r_%s -> n%d;\n" name root))
+    roots;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let probability m probs root =
+  if Array.length probs <> m.nv then
+    invalid_arg "Robdd.probability: probability vector length mismatch";
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if n = bdd_true then 1.0
+    else if n = bdd_false then 0.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some p -> p
+      | None ->
+        let pv = probs.(level m n) in
+        let p = (pv *. go (high m n)) +. ((1.0 -. pv) *. go (low m n)) in
+        Hashtbl.replace memo n p;
+        p
+  in
+  go root

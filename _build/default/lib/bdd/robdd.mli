@@ -1,0 +1,71 @@
+(** Reduced ordered binary decision diagrams (Bryant 1986).
+
+    A manager owns a fixed variable order over levels [0 … nvars-1]
+    (level 0 is tested first / topmost). Nodes are interned in a unique
+    table, so structural equality of functions is id equality. The manager
+    also memoizes [ite], the single combinator all Boolean operations are
+    built from. *)
+
+type manager
+
+type node = int
+(** Node handle, valid for the creating manager only. *)
+
+val create : nvars:int -> manager
+(** Fresh manager with [nvars] variable levels. *)
+
+val nvars : manager -> int
+
+val bdd_false : node
+
+val bdd_true : node
+
+val var : manager -> int -> node
+(** [var m level] is the single-variable function for [level]. Raises
+    [Invalid_argument] outside [0 … nvars-1]. *)
+
+val ite : manager -> node -> node -> node -> node
+(** If-then-else: [ite m f g h = (f ∧ g) ∨ (¬f ∧ h)]. *)
+
+val apply_and : manager -> node -> node -> node
+
+val apply_or : manager -> node -> node -> node
+
+val apply_xor : manager -> node -> node -> node
+
+val neg : manager -> node -> node
+
+val level : manager -> node -> int
+(** Decision level of an internal node; raises on terminals. *)
+
+val low : manager -> node -> node
+
+val high : manager -> node -> node
+
+val is_terminal : node -> bool
+
+val eval : manager -> node -> bool array -> bool
+(** [eval m f assignment] with [assignment] indexed by level. *)
+
+val size : manager -> node -> int
+(** Internal (non-terminal) node count of one function. *)
+
+val shared_size : manager -> node list -> int
+(** Internal node count of the union of the given functions' graphs — the
+    quantity the paper's Fig. 10 compares across variable orders. *)
+
+val total_nodes : manager -> int
+(** Nodes ever created in the manager (memory-pressure metric). *)
+
+val support : manager -> node -> int list
+(** Levels the function actually depends on, ascending. *)
+
+val to_dot : manager -> ?var_name:(int -> string) -> (string * node) list -> string
+(** Graphviz rendering of the shared graph of the given labelled roots
+    (dashed = low edge, solid = high edge). [var_name] labels decision
+    levels, default ["x<level>"]. *)
+
+val probability : manager -> float array -> node -> float
+(** [probability m p f] is the exact probability that [f] evaluates true
+    when level [l] is independently true with probability [p.(l)] — linear
+    in the node count (memoized descent). *)

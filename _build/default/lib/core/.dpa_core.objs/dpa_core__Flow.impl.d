@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Dpa_domino Dpa_logic Dpa_phase Dpa_power Dpa_synth Dpa_timing Dpa_util Float

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Dpa_domino Dpa_logic Dpa_synth Dpa_timing

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Dpa_synth Dpa_util Flow List Printf

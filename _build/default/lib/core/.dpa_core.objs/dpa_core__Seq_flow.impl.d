@@ -1,0 +1,1 @@
+lib/core/seq_flow.ml: Array Dpa_logic Dpa_seq Flow List Printf

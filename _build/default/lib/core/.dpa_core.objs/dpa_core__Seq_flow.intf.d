@@ -1,0 +1,1 @@
+lib/core/seq_flow.mli: Dpa_seq Flow

@@ -1,0 +1,155 @@
+module Netlist = Dpa_logic.Netlist
+module Phase = Dpa_synth.Phase
+module Mapped = Dpa_domino.Mapped
+
+type timing_config = {
+  model : Dpa_timing.Delay.model;
+  clock_factor : float;
+}
+
+let default_timing = { model = Dpa_timing.Delay.default; clock_factor = 0.85 }
+
+type realization = {
+  assignment : Phase.assignment;
+  size : int;
+  power : float;
+  critical_delay : float;
+  met : bool;
+  measurements : int;
+  strategy : string;
+}
+
+type result = {
+  circuit : string;
+  n_pi : int;
+  n_po : int;
+  ma : realization;
+  mp : realization;
+  clock : float option;
+  area_penalty_pct : float;
+  power_saving_pct : float;
+}
+
+type config = {
+  library : Dpa_domino.Library.t;
+  input_prob : float;
+  exhaustive_limit : int;
+  pair_limit : int option;
+  timing : timing_config option;
+  seed : int;
+}
+
+let default_config =
+  {
+    library = Dpa_domino.Library.default;
+    input_prob = 0.5;
+    exhaustive_limit = 10;
+    pair_limit = None;
+    timing = None;
+    seed = 1;
+  }
+
+(* Map an assignment, optionally resize to the clock, and price it. *)
+let realize_and_price config net ~input_probs ~clock ~measurements ~strategy assignment =
+  let mapped =
+    Mapped.map ~library:config.library (Dpa_synth.Inverterless.realize net assignment)
+  in
+  let met, delay =
+    match config.timing, clock with
+    | Some tc, Some clk ->
+      let r = Dpa_timing.Resize.meet ~model:tc.model ~clock:clk mapped in
+      (r.Dpa_timing.Resize.met, r.Dpa_timing.Resize.final_delay)
+    | Some tc, None ->
+      (true, (Dpa_timing.Sta.analyze ~model:tc.model mapped).Dpa_timing.Sta.critical_delay)
+    | None, _ ->
+      (true, (Dpa_timing.Sta.analyze mapped).Dpa_timing.Sta.critical_delay)
+  in
+  let report = Dpa_power.Estimate.of_mapped ~input_probs mapped in
+  (* Under the timed flow, resizing replaces cells by larger drive
+     variants: area is the drive-weighted cell count (a 2× cell occupies
+     roughly twice the silicon), matching how the paper's Table 2 sizes
+     move after transistor resizing. *)
+  let size =
+    match config.timing, clock with
+    | Some _, Some _ ->
+      let drive_sum = ref 0.0 in
+      Dpa_logic.Netlist.iter_nodes
+        (fun i _ ->
+          match Mapped.cell_of_node mapped i with
+          | Some _ -> drive_sum := !drive_sum +. Mapped.drive mapped i
+          | None -> ())
+        (Mapped.net mapped);
+      int_of_float
+        (Float.round
+           (!drive_sum
+           +. float_of_int (Mapped.input_inverters mapped + Mapped.output_inverters mapped)))
+    | Some _, None | None, (Some _ | None) -> Mapped.size mapped
+  in
+  {
+    assignment;
+    size;
+    power = report.Dpa_power.Estimate.total;
+    critical_delay = delay;
+    met;
+    measurements;
+    strategy;
+  }
+
+let compare_ma_mp_probs ?(config = default_config) ~input_probs raw =
+  let net = Dpa_synth.Opt.optimize raw in
+  let n_pi = Netlist.num_inputs net and n_po = Netlist.num_outputs net in
+  if Array.length input_probs <> n_pi then
+    invalid_arg "Flow.compare_ma_mp_probs: input_probs length mismatch";
+  (* --- minimum-area baseline ------------------------------------- *)
+  let ma_assignment = Dpa_synth.Min_area.best ~exhaustive_limit:config.exhaustive_limit net in
+  let ma_strategy =
+    if n_po <= config.exhaustive_limit then "exhaustive-area" else "local-search-area"
+  in
+  (* the clock constraint derives from MA's unsized critical delay *)
+  let clock =
+    match config.timing with
+    | None -> None
+    | Some tc ->
+      let ma_mapped =
+        Mapped.map ~library:config.library (Dpa_synth.Inverterless.realize net ma_assignment)
+      in
+      let delay = (Dpa_timing.Sta.analyze ~model:tc.model ma_mapped).Dpa_timing.Sta.critical_delay in
+      Some (tc.clock_factor *. delay)
+  in
+  let ma =
+    realize_and_price config net ~input_probs ~clock ~measurements:0 ~strategy:ma_strategy
+      ma_assignment
+  in
+  (* --- minimum-power flow ---------------------------------------- *)
+  let opt_config =
+    {
+      Dpa_phase.Optimizer.library = config.library;
+      input_probs;
+      strategy = Dpa_phase.Optimizer.Auto;
+      exhaustive_limit = config.exhaustive_limit;
+      pair_limit = config.pair_limit;
+      seed = config.seed;
+    }
+  in
+  let opt = Dpa_phase.Optimizer.minimize_power opt_config net in
+  let mp =
+    realize_and_price config net ~input_probs ~clock
+      ~measurements:opt.Dpa_phase.Optimizer.measurements
+      ~strategy:opt.Dpa_phase.Optimizer.strategy_used opt.Dpa_phase.Optimizer.assignment
+  in
+  {
+    circuit = Netlist.name raw;
+    n_pi;
+    n_po;
+    ma;
+    mp;
+    clock;
+    area_penalty_pct =
+      (if ma.size = 0 then 0.0
+       else float_of_int (mp.size - ma.size) /. float_of_int ma.size *. 100.0);
+    power_saving_pct = Dpa_util.Stats.percent_change ~from:ma.power ~to_:mp.power;
+  }
+
+let compare_ma_mp ?(config = default_config) raw =
+  let n_pi = Netlist.num_inputs raw in
+  compare_ma_mp_probs ~config ~input_probs:(Array.make n_pi config.input_prob) raw

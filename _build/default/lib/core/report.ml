@@ -1,0 +1,81 @@
+module Table = Dpa_util.Table
+
+let averages results =
+  let pens = List.map (fun r -> r.Flow.area_penalty_pct) results in
+  let savs = List.map (fun r -> r.Flow.power_saving_pct) results in
+  (Dpa_util.Stats.mean pens, Dpa_util.Stats.mean savs)
+
+let table ~title rows =
+  let t =
+    Table.create
+      ~columns:
+        [ ("Ckt", Table.Left);
+          ("Desc.", Table.Left);
+          ("#PIs", Table.Right);
+          ("#POs", Table.Right);
+          ("MA Size", Table.Right);
+          ("MA Pwr", Table.Right);
+          ("MP Size", Table.Right);
+          ("MP Pwr", Table.Right);
+          ("% Area Pen.", Table.Right);
+          ("% Pwr Sav.", Table.Right) ]
+  in
+  List.iter
+    (fun (desc, r) ->
+      Table.add_row t
+        [ r.Flow.circuit;
+          desc;
+          Table.cell_int r.Flow.n_pi;
+          Table.cell_int r.Flow.n_po;
+          Table.cell_int r.Flow.ma.Flow.size;
+          Table.cell_float r.Flow.ma.Flow.power;
+          Table.cell_int r.Flow.mp.Flow.size;
+          Table.cell_float r.Flow.mp.Flow.power;
+          Table.cell_float ~decimals:1 r.Flow.area_penalty_pct;
+          Table.cell_float ~decimals:1 r.Flow.power_saving_pct ])
+    rows;
+  Table.add_separator t;
+  let pen, sav = averages (List.map snd rows) in
+  Table.add_row t
+    [ "Average"; ""; ""; ""; ""; ""; ""; "";
+      Table.cell_float ~decimals:1 pen;
+      Table.cell_float ~decimals:1 sav ];
+  Printf.sprintf "%s\n%s" title (Table.render t)
+
+let summary r =
+  let timing =
+    match r.Flow.clock with
+    | None -> ""
+    | Some clk ->
+      Printf.sprintf " under a %.2f-unit clock (MA %s, MP %s)" clk
+        (if r.Flow.ma.Flow.met then "met" else "VIOLATED")
+        (if r.Flow.mp.Flow.met then "met" else "VIOLATED")
+  in
+  Printf.sprintf
+    "%s (%d PIs, %d POs): minimum-area phases %s give %d cells at power %.3f; \
+     minimum-power phases %s (%s, %d measurements) give %d cells at power %.3f — \
+     %.1f%% power saving for %.1f%% area penalty%s."
+    r.Flow.circuit r.Flow.n_pi r.Flow.n_po
+    (Dpa_synth.Phase.to_string r.Flow.ma.Flow.assignment)
+    r.Flow.ma.Flow.size r.Flow.ma.Flow.power
+    (Dpa_synth.Phase.to_string r.Flow.mp.Flow.assignment)
+    r.Flow.mp.Flow.strategy r.Flow.mp.Flow.measurements r.Flow.mp.Flow.size
+    r.Flow.mp.Flow.power r.Flow.power_saving_pct r.Flow.area_penalty_pct timing
+
+let csv rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "circuit,description,pis,pos,ma_size,ma_power,mp_size,mp_power,area_penalty_pct,\
+     power_saving_pct,ma_delay,mp_delay,clock,mp_strategy,mp_measurements\n";
+  List.iter
+    (fun (desc, r) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%d,%.6f,%d,%.6f,%.3f,%.3f,%.4f,%.4f,%s,%s,%d\n"
+           r.Flow.circuit desc r.Flow.n_pi r.Flow.n_po r.Flow.ma.Flow.size
+           r.Flow.ma.Flow.power r.Flow.mp.Flow.size r.Flow.mp.Flow.power
+           r.Flow.area_penalty_pct r.Flow.power_saving_pct
+           r.Flow.ma.Flow.critical_delay r.Flow.mp.Flow.critical_delay
+           (match r.Flow.clock with Some c -> Printf.sprintf "%.4f" c | None -> "")
+           r.Flow.mp.Flow.strategy r.Flow.mp.Flow.measurements))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Rendering flow results in the paper's table layout. *)
+
+val table : title:string -> (string * Flow.result) list -> string
+(** [(description, result)] rows in order; columns match the paper's
+    Tables 1–2 (circuit, description, #PIs, #POs, MA size/power, MP
+    size/power, % area penalty, % power saving) plus an average row. *)
+
+val summary : Flow.result -> string
+(** One-paragraph human-readable comparison for a single circuit. *)
+
+val averages : Flow.result list -> float * float
+(** (mean area penalty %, mean power saving %). *)
+
+val csv : (string * Flow.result) list -> string
+(** Machine-readable export (one header row; RFC-4180-ish, no quoting
+    needed as all fields are names and numbers). *)

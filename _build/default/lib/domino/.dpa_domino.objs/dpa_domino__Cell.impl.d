@@ -1,0 +1,1 @@
+lib/domino/cell.ml: Format List Printf String

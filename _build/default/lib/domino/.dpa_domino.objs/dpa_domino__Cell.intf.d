@@ -1,0 +1,1 @@
+lib/domino/cell.mli: Format

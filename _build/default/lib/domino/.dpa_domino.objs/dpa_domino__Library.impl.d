@@ -1,0 +1,1 @@
+lib/domino/library.ml: Array Cell Dpa_logic Printf

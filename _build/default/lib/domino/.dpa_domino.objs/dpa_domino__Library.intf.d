@@ -1,0 +1,1 @@
+lib/domino/library.mli: Cell Dpa_logic

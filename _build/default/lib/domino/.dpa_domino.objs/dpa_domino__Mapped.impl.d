@@ -1,0 +1,1 @@
+lib/domino/mapped.ml: Array Cell Dpa_logic Dpa_synth Hashtbl Library List

@@ -1,0 +1,1 @@
+lib/domino/mapped.mli: Cell Dpa_logic Dpa_synth Library

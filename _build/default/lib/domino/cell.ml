@@ -1,0 +1,34 @@
+type kind = And | Or
+
+type t = Dynamic of kind * int | Compound of int list | Static_inverter
+
+let dynamic kind width =
+  if width < 2 then invalid_arg (Printf.sprintf "Cell.dynamic: width %d < 2" width);
+  Dynamic (kind, width)
+
+let compound legs =
+  if List.length legs < 2 then invalid_arg "Cell.compound: need at least 2 legs";
+  if List.exists (fun w -> w < 1) legs then invalid_arg "Cell.compound: leg width < 1";
+  Compound (List.sort (fun a b -> compare b a) legs)
+
+let width = function
+  | Dynamic (_, w) -> w
+  | Compound legs -> List.fold_left ( + ) 0 legs
+  | Static_inverter -> 1
+
+let series_transistors = function
+  | Dynamic (And, w) -> w
+  | Dynamic (Or, _) -> 1
+  | Compound legs -> List.fold_left max 1 legs
+  | Static_inverter -> 1
+
+let name = function
+  | Dynamic (And, w) -> Printf.sprintf "DAND%d" w
+  | Dynamic (Or, w) -> Printf.sprintf "DOR%d" w
+  | Compound legs ->
+    "DAO" ^ String.concat "" (List.map string_of_int legs)
+  | Static_inverter -> "INV"
+
+let equal a b = a = b
+
+let pp ppf t = Format.pp_print_string ppf (name t)

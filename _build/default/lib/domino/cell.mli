@@ -1,0 +1,42 @@
+(** Domino standard cells.
+
+    A domino cell (Fig. 1 of the paper) is an N-logic pulldown network with
+    precharge/evaluate transistors and a static inverting output buffer.
+    AND cells stack their inputs in series (slow, limited width); OR cells
+    connect them in parallel (fast, wider allowed). Static inverters appear
+    only at block boundaries. *)
+
+type kind = And | Or
+
+type t =
+  | Dynamic of kind * int  (** width ≥ 2 *)
+  | Compound of int list
+      (** OR-of-ANDs in one dynamic stage: each entry is the series width
+          of one pulldown leg (1 = a bare literal leg), ≥ 2 legs, sorted
+          descending. Real domino libraries are full of these — a complex
+          pulldown network costs one precharge node, so absorbing the AND
+          terms removes their switching entirely. *)
+  | Static_inverter
+
+val dynamic : kind -> int -> t
+(** Raises [Invalid_argument] for width < 2. *)
+
+val compound : int list -> t
+(** Raises [Invalid_argument] for fewer than 2 legs or a leg < 1. *)
+
+val width : t -> int
+(** Number of logic inputs (1 for the inverter). *)
+
+val series_transistors : t -> int
+(** Transistors in the longest pulldown stack, the quantity the paper's
+    per-gate-type penalty [P_i] and the delay model key off: [width] for
+    AND cells (plus the evaluate device, accounted in the delay model),
+    1 for OR cells and the inverter, the deepest leg for compound
+    cells. *)
+
+val name : t -> string
+(** E.g. ["DAND3"], ["DOR4"], ["DAO221"], ["INV"]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

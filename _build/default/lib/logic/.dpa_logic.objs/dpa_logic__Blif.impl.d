@@ -1,0 +1,1 @@
+lib/logic/blif.ml: Array Bool Buffer Builder Gate Hashtbl List Netlist Printf String

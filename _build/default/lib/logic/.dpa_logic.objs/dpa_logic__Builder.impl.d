@@ -1,0 +1,1 @@
+lib/logic/builder.ml: Array Gate Hashtbl List Netlist

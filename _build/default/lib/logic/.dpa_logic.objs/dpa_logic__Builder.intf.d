@@ -1,0 +1,1 @@
+lib/logic/builder.mli: Netlist

@@ -1,0 +1,1 @@
+lib/logic/cone.ml: Array Dpa_util List Netlist

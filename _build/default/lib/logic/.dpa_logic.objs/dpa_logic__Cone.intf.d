@@ -1,0 +1,1 @@
+lib/logic/cone.mli: Dpa_util Netlist

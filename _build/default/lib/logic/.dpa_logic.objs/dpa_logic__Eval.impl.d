@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Array Gate Netlist Printf

@@ -1,0 +1,1 @@
+lib/logic/gate.ml: Array Bool Format String

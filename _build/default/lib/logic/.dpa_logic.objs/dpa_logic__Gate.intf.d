@@ -1,0 +1,1 @@
+lib/logic/gate.mli: Format

@@ -1,0 +1,1 @@
+lib/logic/io.ml: Array Bool Buffer Gate Hashtbl List Netlist Printf String

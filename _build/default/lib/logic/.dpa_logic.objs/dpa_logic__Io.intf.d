@@ -1,0 +1,1 @@
+lib/logic/io.mli: Netlist

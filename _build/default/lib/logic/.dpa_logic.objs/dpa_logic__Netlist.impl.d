@@ -1,0 +1,1 @@
+lib/logic/netlist.ml: Array Dpa_util Gate Hashtbl List Printf

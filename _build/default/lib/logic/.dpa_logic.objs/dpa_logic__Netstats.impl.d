@@ -1,0 +1,1 @@
+lib/logic/netstats.ml: Array Buffer Cone Dpa_util Gate Hashtbl List Netlist Option Printf Topo

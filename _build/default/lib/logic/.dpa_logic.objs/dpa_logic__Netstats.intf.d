@@ -1,0 +1,1 @@
+lib/logic/netstats.mli: Netlist

@@ -1,0 +1,1 @@
+lib/logic/topo.ml: Array Dpa_util Fun Gate List Netlist

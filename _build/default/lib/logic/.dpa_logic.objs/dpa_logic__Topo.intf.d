@@ -1,0 +1,1 @@
+lib/logic/topo.mli: Netlist

@@ -1,0 +1,49 @@
+(** Berkeley Logic Interchange Format (BLIF) import/export.
+
+    The MCNC benchmarks the paper evaluates ([apex7], [frg1], [x1], [x3])
+    are distributed as BLIF; this module lets users run the flow on the
+    real circuits. The supported subset is the combinational and
+    edge-triggered sequential core of the format:
+
+    - [.model], [.inputs], [.outputs], [.end] (multi-line [\\]
+      continuations allowed),
+    - [.names] with a single-output cover: each row is input literals in
+      [{0,1,-}] plus the output value [1] (on-set rows, OR of product
+      terms) or [0] (off-set rows, complement of the OR),
+    - [.latch input output \[type control\] \[init\]] for D flip-flops,
+    - comments ([#]) and blank lines.
+
+    Unsupported: [.subckt]/[.search] hierarchies, [.exdc], multiple
+    models per file. *)
+
+type latch = {
+  data : int;  (** netlist node driving the D pin *)
+  init : bool;  (** reset value; BLIF init 2/3 ("don't care"/unknown) maps to false *)
+}
+
+(** A parsed sequential model: the combinational core's inputs are the
+    real primary inputs followed by one pseudo-input per latch (latch
+    order), ready for [Dpa_seq.Seq_netlist.create]. *)
+type sequential = {
+  comb : Netlist.t;
+  n_real_inputs : int;
+  latches : latch array;
+}
+
+val of_string : string -> (Netlist.t, string) result
+(** Parses a combinational model ([.latch] present is an error — use
+    {!sequential_of_string}). Covers are built through the structurally
+    hashed {!Builder}, so they become shared AND/OR/NOT logic. Errors
+    carry a line number. *)
+
+val sequential_of_string : string -> (sequential, string) result
+(** Parses a model that may contain [.latch] statements. *)
+
+val to_string : Netlist.t -> string
+(** Exports as single-output [.names] covers (one per gate). Parsing the
+    result yields a functionally equivalent netlist. *)
+
+val sequential_to_string : sequential -> string
+(** Exports a sequential model with [.latch] statements (type [re],
+    control [clk], explicit init). [sequential_of_string] of the result
+    yields an equivalent model. *)

@@ -1,0 +1,116 @@
+type key =
+  | Knot of int
+  | Kand of int list
+  | Kor of int list
+  | Kxor of int * int
+
+type t = {
+  net : Netlist.t;
+  interned : (key, int) Hashtbl.t;
+  mutable const_true : int option;
+  mutable const_false : int option;
+}
+
+let create ?name () = { net = Netlist.create ?name (); interned = Hashtbl.create 64; const_true = None; const_false = None }
+
+let input ?name t = Netlist.add_input ?name t.net
+
+let const t b =
+  let cached = if b then t.const_true else t.const_false in
+  match cached with
+  | Some id -> id
+  | None ->
+    let id = Netlist.add_gate t.net (Gate.Const b) in
+    if b then t.const_true <- Some id else t.const_false <- Some id;
+    id
+
+let is_const t i =
+  match Netlist.gate t.net i with
+  | Gate.Const b -> Some b
+  | Gate.Input | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ -> None
+
+(* If node [i] is an inverter, the id it complements. *)
+let inverted_of t i =
+  match Netlist.gate t.net i with
+  | Gate.Not x -> Some x
+  | Gate.Input | Gate.Const _ | Gate.Buf _ | Gate.And _ | Gate.Or _ | Gate.Xor _ -> None
+
+let intern t key mk =
+  match Hashtbl.find_opt t.interned key with
+  | Some id -> id
+  | None ->
+    let id = mk () in
+    Hashtbl.replace t.interned key id;
+    id
+
+let not_ t x =
+  match is_const t x with
+  | Some b -> const t (not b)
+  | None -> (
+    match inverted_of t x with
+    | Some y -> y
+    | None -> intern t (Knot x) (fun () -> Netlist.add_gate t.net (Gate.Not x)))
+
+(* Canonicalize an AND/OR fanin list: fold constants, sort, dedup, and
+   detect complementary pairs. [absorbing] is the constant that forces the
+   result (false for AND, true for OR). *)
+type canon = Forced of bool | Operands of int list
+
+let canonicalize t ~absorbing xs =
+  let rec fold acc = function
+    | [] -> Operands acc
+    | x :: rest -> (
+      match is_const t x with
+      | Some b when b = absorbing -> Forced absorbing
+      | Some _ -> fold acc rest (* identity element: drop *)
+      | None -> fold (x :: acc) rest)
+  in
+  match fold [] xs with
+  | Forced b -> Forced b
+  | Operands ops -> (
+    let ops = List.sort_uniq compare ops in
+    let complementary =
+      List.exists
+        (fun x ->
+          match inverted_of t x with
+          | Some y -> List.mem y ops
+          | None -> false)
+        ops
+    in
+    if complementary then Forced absorbing else Operands ops)
+
+let nary t ~absorbing ~mk_key ~mk_gate xs =
+  if xs = [] then invalid_arg "Builder: empty operand list";
+  match canonicalize t ~absorbing xs with
+  | Forced b -> const t b
+  | Operands [] -> const t (not absorbing) (* all operands were identity constants *)
+  | Operands [ x ] -> x
+  | Operands ops ->
+    intern t (mk_key ops) (fun () -> Netlist.add_gate t.net (mk_gate (Array.of_list ops)))
+
+let and_ t xs =
+  nary t ~absorbing:false ~mk_key:(fun ops -> Kand ops) ~mk_gate:(fun a -> Gate.And a) xs
+
+let or_ t xs =
+  nary t ~absorbing:true ~mk_key:(fun ops -> Kor ops) ~mk_gate:(fun a -> Gate.Or a) xs
+
+let xor_ t a b =
+  match is_const t a, is_const t b with
+  | Some x, Some y -> const t (x <> y)
+  | Some true, None -> not_ t b
+  | Some false, None -> b
+  | None, Some true -> not_ t a
+  | None, Some false -> a
+  | None, None ->
+    if a = b then const t false
+    else begin
+      let lo = min a b and hi = max a b in
+      match inverted_of t lo, inverted_of t hi with
+      | Some x, _ when x = hi -> const t true
+      | _, Some y when y = lo -> const t true
+      | _, _ -> intern t (Kxor (lo, hi)) (fun () -> Netlist.add_gate t.net (Gate.Xor (lo, hi)))
+    end
+
+let output t name driver = Netlist.add_output t.net name driver
+
+let finish t = t.net

@@ -1,0 +1,30 @@
+(** Structurally-hashed netlist construction.
+
+    The builder interns gates so that structurally identical subexpressions
+    share one node, performs constant folding, collapses double inverters,
+    and canonicalizes AND/OR fanin lists (sort + dedup + complement
+    detection). This is the "common subexpression sharing" half of the
+    technology-independent front end. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val input : ?name:string -> t -> int
+
+val const : t -> bool -> int
+
+val not_ : t -> int -> int
+
+val and_ : t -> int list -> int
+(** n-ary AND; simplification may return an existing node or a constant. *)
+
+val or_ : t -> int list -> int
+
+val xor_ : t -> int -> int -> int
+
+val output : t -> string -> int -> unit
+
+val finish : t -> Netlist.t
+(** The accumulated netlist. The builder remains usable; the result shares
+    structure with subsequent additions, so callers normally finish once. *)

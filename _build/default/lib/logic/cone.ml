@@ -1,0 +1,40 @@
+module Bitset = Dpa_util.Bitset
+
+let of_node t root =
+  let n = Netlist.size t in
+  let cone = Bitset.create n in
+  let rec visit i =
+    if not (Bitset.mem cone i) then begin
+      Bitset.add cone i;
+      Array.iter visit (Netlist.fanins t i)
+    end
+  in
+  visit root;
+  cone
+
+let of_outputs t =
+  (* Memoize per-node cones bottom-up to share work across outputs. *)
+  let n = Netlist.size t in
+  let node_cones = Array.make n None in
+  let rec cone_of i =
+    match node_cones.(i) with
+    | Some c -> c
+    | None ->
+      let c = Bitset.create n in
+      Bitset.add c i;
+      Array.iter (fun x -> Bitset.union_into c (cone_of x)) (Netlist.fanins t i);
+      node_cones.(i) <- Some c;
+      c
+  in
+  Array.map (fun (_, driver) -> Bitset.copy (cone_of driver)) (Netlist.outputs t)
+
+let support t root =
+  let cone = of_node t root in
+  let acc = ref [] in
+  Bitset.iter (fun i -> if Netlist.is_input t i then acc := i :: !acc) cone;
+  Array.of_list (List.rev !acc)
+
+let overlap a b =
+  let da = Bitset.cardinal a and db = Bitset.cardinal b in
+  if da + db = 0 then 0.0
+  else float_of_int (Bitset.inter_cardinal a b) /. float_of_int (da + db)

@@ -1,0 +1,18 @@
+(** Transitive fanin cones and cone overlap.
+
+    The paper's duplication-risk measure is
+    [O(i,j) = |Di ∩ Dj| / (|Di| + |Dj|)] where [Di] is the set of nodes in
+    the transitive fanin of primary output [i] (§4.1). *)
+
+val of_node : Netlist.t -> int -> Dpa_util.Bitset.t
+(** All nodes in the transitive fanin of a node, including the node itself
+    and any primary inputs reached. *)
+
+val of_outputs : Netlist.t -> Dpa_util.Bitset.t array
+(** Cone per primary output (declaration order), computed in one pass. *)
+
+val support : Netlist.t -> int -> int array
+(** Primary inputs in the transitive fanin of a node, ascending. *)
+
+val overlap : Dpa_util.Bitset.t -> Dpa_util.Bitset.t -> float
+(** [O(i,j) = |Di ∩ Dj| / (|Di| + |Dj|)]; 0 when both cones are empty. *)

@@ -1,0 +1,47 @@
+let all_nodes t vec =
+  let ins = Netlist.inputs t in
+  if Array.length vec <> Array.length ins then
+    invalid_arg
+      (Printf.sprintf "Eval.all_nodes: %d values for %d inputs" (Array.length vec)
+         (Array.length ins));
+  let values = Array.make (Netlist.size t) false in
+  Array.iteri (fun k id -> values.(id) <- vec.(k)) ins;
+  Netlist.iter_nodes
+    (fun i g ->
+      match g with
+      | Gate.Input -> ()
+      | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ ->
+        values.(i) <- Gate.eval g (fun x -> values.(x)))
+    t;
+  values
+
+let outputs t vec =
+  let values = all_nodes t vec in
+  Array.map (fun (_, d) -> values.(d)) (Netlist.outputs t)
+
+let check_enumerable t =
+  let n = Netlist.num_inputs t in
+  if n > 20 then invalid_arg (Printf.sprintf "Eval: %d inputs is too many to enumerate" n);
+  n
+
+let minterm_vector n m = Array.init n (fun k -> (m lsr k) land 1 = 1)
+
+let output_table t =
+  let n = check_enumerable t in
+  Array.init (1 lsl n) (fun m -> outputs t (minterm_vector n m))
+
+let exact_probabilities t input_probs =
+  let n = check_enumerable t in
+  if Array.length input_probs <> n then
+    invalid_arg "Eval.exact_probabilities: probability vector length mismatch";
+  let probs = Array.make (Netlist.size t) 0.0 in
+  for m = 0 to (1 lsl n) - 1 do
+    let vec = minterm_vector n m in
+    let weight = ref 1.0 in
+    Array.iteri
+      (fun k b -> weight := !weight *. (if b then input_probs.(k) else 1.0 -. input_probs.(k)))
+      vec;
+    let values = all_nodes t vec in
+    Array.iteri (fun i v -> if v then probs.(i) <- probs.(i) +. !weight) values
+  done;
+  probs

@@ -1,0 +1,24 @@
+(** Reference evaluation of netlists on Boolean vectors.
+
+    Used as the functional-correctness oracle throughout the test suite:
+    every transformation (optimization, inverter removal, domino mapping)
+    must preserve the values computed here. *)
+
+val all_nodes : Netlist.t -> bool array -> bool array
+(** [all_nodes t vec] evaluates every node; [vec] supplies primary-input
+    values in declaration order. Raises [Invalid_argument] on a length
+    mismatch. *)
+
+val outputs : Netlist.t -> bool array -> bool array
+(** Primary-output values in declaration order. *)
+
+val output_table : Netlist.t -> bool array array
+(** Exhaustive truth table: row per input minterm (input 0 is the least
+    significant bit), column per output. Only for small supports; raises
+    [Invalid_argument] beyond 20 inputs. *)
+
+val exact_probabilities : Netlist.t -> float array -> float array
+(** Exact signal probability of every node by exhaustive enumeration,
+    weighting each minterm by the product of input probabilities. The
+    brute-force oracle for {!Dpa_bdd.Probability}. Raises beyond 20
+    inputs. *)

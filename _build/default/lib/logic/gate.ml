@@ -1,0 +1,62 @@
+type t =
+  | Input
+  | Const of bool
+  | Buf of int
+  | Not of int
+  | And of int array
+  | Or of int array
+  | Xor of int * int
+
+let fanins = function
+  | Input | Const _ -> [||]
+  | Buf x | Not x -> [| x |]
+  | And xs | Or xs -> Array.copy xs
+  | Xor (a, b) -> [| a; b |]
+
+let map_fanins f = function
+  | Input -> Input
+  | Const b -> Const b
+  | Buf x -> Buf (f x)
+  | Not x -> Not (f x)
+  | And xs -> And (Array.map f xs)
+  | Or xs -> Or (Array.map f xs)
+  | Xor (a, b) -> Xor (f a, f b)
+
+let eval g lookup =
+  match g with
+  | Input -> false
+  | Const b -> b
+  | Buf x -> lookup x
+  | Not x -> not (lookup x)
+  | And xs -> Array.for_all lookup xs
+  | Or xs -> Array.exists lookup xs
+  | Xor (a, b) -> lookup a <> lookup b
+
+let dual = function
+  | And xs -> Or xs
+  | Or xs -> And xs
+  | (Input | Const _ | Buf _ | Not _ | Xor _) as g ->
+    ignore g;
+    invalid_arg "Gate.dual: only AND/OR gates have a DeMorgan dual"
+
+let arity g = Array.length (fanins g)
+
+let equal a b =
+  match a, b with
+  | Input, Input -> true
+  | Const x, Const y -> x = y
+  | Buf x, Buf y | Not x, Not y -> x = y
+  | And xs, And ys | Or xs, Or ys -> xs = ys
+  | Xor (a1, b1), Xor (a2, b2) -> a1 = a2 && b1 = b2
+  | (Input | Const _ | Buf _ | Not _ | And _ | Or _ | Xor _), _ -> false
+
+let pp ppf g =
+  let ids xs = String.concat "," (Array.to_list (Array.map string_of_int xs)) in
+  match g with
+  | Input -> Format.fprintf ppf "input"
+  | Const b -> Format.fprintf ppf "const%d" (Bool.to_int b)
+  | Buf x -> Format.fprintf ppf "buf(%d)" x
+  | Not x -> Format.fprintf ppf "not(%d)" x
+  | And xs -> Format.fprintf ppf "and(%s)" (ids xs)
+  | Or xs -> Format.fprintf ppf "or(%s)" (ids xs)
+  | Xor (a, b) -> Format.fprintf ppf "xor(%d,%d)" a b

@@ -1,0 +1,39 @@
+(** Gate functions of the technology-independent Boolean network.
+
+    Fanins are node ids into the owning {!Netlist.t}. The network produced
+    by the front end may contain inverters anywhere ([Not]); the domino
+    flow later removes them by phase assignment and DeMorgan dualization. *)
+
+type t =
+  | Input  (** primary input *)
+  | Const of bool
+  | Buf of int
+  | Not of int
+  | And of int array  (** at least 2 fanins *)
+  | Or of int array  (** at least 2 fanins *)
+  | Xor of int * int
+      (** kept by the front end for naturalness; decomposed into AND/OR/NOT
+          before phase assignment (domino blocks are monotonic) *)
+
+val fanins : t -> int array
+(** Fanin ids, left to right; [||] for [Input] and [Const]. *)
+
+val map_fanins : (int -> int) -> t -> t
+(** Structure-preserving fanin renaming. *)
+
+val eval : t -> (int -> bool) -> bool
+(** [eval g lookup] computes the gate output given fanin values. [Input]
+    and [Const b] evaluate to [false] and [b] respectively ([Input] values
+    must be supplied by the caller before evaluation, see {!Eval}). *)
+
+val dual : t -> t
+(** DeMorgan dual: [And ↔ Or], fanins unchanged. [Not]/[Buf]/[Xor] have no
+    dual in the monotone sense and raise [Invalid_argument]; the phase
+    engine eliminates them before dualizing. *)
+
+val arity : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** E.g. [and(3,7,9)]. *)

@@ -1,0 +1,194 @@
+(* Unique label per node: explicit names win; unnamed nodes get "n<id>",
+   suffixed with underscores if a user name already claims that token. *)
+let make_labels t =
+  let used = Hashtbl.create 16 in
+  Netlist.iter_nodes
+    (fun i _ ->
+      match Netlist.node_name t i with
+      | Some n -> Hashtbl.replace used n ()
+      | None -> ())
+    t;
+  Array.init (Netlist.size t) (fun i ->
+      match Netlist.node_name t i with
+      | Some n -> n
+      | None ->
+        let rec fresh candidate =
+          if Hashtbl.mem used candidate then fresh (candidate ^ "_") else candidate
+        in
+        let label = fresh (Printf.sprintf "n%d" i) in
+        Hashtbl.replace used label ();
+        label)
+
+let to_string t =
+  let labels = make_labels t in
+  let node_label _ i = labels.(i) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Netlist.name t));
+  let input_names = Array.to_list (Array.map (node_label t) (Netlist.inputs t)) in
+  Buffer.add_string buf (".inputs " ^ String.concat " " input_names ^ "\n");
+  Netlist.iter_nodes
+    (fun i g ->
+      let lbl = node_label t i in
+      let operands xs = String.concat " " (Array.to_list (Array.map (node_label t) xs)) in
+      match g with
+      | Gate.Input -> ()
+      | Gate.Const b -> Buffer.add_string buf (Printf.sprintf "%s = const%d\n" lbl (Bool.to_int b))
+      | Gate.Buf x -> Buffer.add_string buf (Printf.sprintf "%s = buf %s\n" lbl (node_label t x))
+      | Gate.Not x -> Buffer.add_string buf (Printf.sprintf "%s = not %s\n" lbl (node_label t x))
+      | Gate.And xs -> Buffer.add_string buf (Printf.sprintf "%s = and %s\n" lbl (operands xs))
+      | Gate.Or xs -> Buffer.add_string buf (Printf.sprintf "%s = or %s\n" lbl (operands xs))
+      | Gate.Xor (a, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s = xor %s %s\n" lbl (node_label t a) (node_label t b)))
+    t;
+  let out_names =
+    Array.to_list (Array.map (fun (po, d) -> ignore po; node_label t d) (Netlist.outputs t))
+  in
+  Buffer.add_string buf (".outputs " ^ String.concat " " out_names ^ "\n.end\n");
+  Buffer.contents buf
+
+type parse_state = {
+  net : Netlist.t;
+  ids : (string, int) Hashtbl.t;
+  mutable saw_end : bool;
+  mutable saw_outputs : bool;
+}
+
+let of_string text =
+  let st =
+    { net = Netlist.create (); ids = Hashtbl.create 64; saw_end = false; saw_outputs = false }
+  in
+  let error line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let resolve line name =
+    match Hashtbl.find_opt st.ids name with
+    | Some id -> Ok id
+    | None -> error line (Printf.sprintf "unknown signal %S" name)
+  in
+  let rec resolve_all line acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match resolve line name with
+      | Ok id -> resolve_all line (id :: acc) rest
+      | Error _ as e -> e)
+  in
+  let define line name gate =
+    if Hashtbl.mem st.ids name then error line (Printf.sprintf "redefinition of %S" name)
+    else begin
+      let id = Netlist.add_gate ~name st.net gate in
+      Hashtbl.replace st.ids name id;
+      Ok ()
+    end
+  in
+  let parse_gate line name op operands =
+    match op, operands with
+    | "const0", [] -> define line name (Gate.Const false)
+    | "const1", [] -> define line name (Gate.Const true)
+    | "not", [ x ] -> (
+      match resolve line x with Ok id -> define line name (Gate.Not id) | Error e -> Error e)
+    | "buf", [ x ] -> (
+      match resolve line x with Ok id -> define line name (Gate.Buf id) | Error e -> Error e)
+    | "xor", [ a; b ] -> (
+      match resolve_all line [] [ a; b ] with
+      | Ok [ ia; ib ] -> define line name (Gate.Xor (ia, ib))
+      | Ok _ -> assert false
+      | Error e -> Error e)
+    | "and", (_ :: _ as xs) -> (
+      match resolve_all line [] xs with
+      | Ok ids -> define line name (Gate.And (Array.of_list ids))
+      | Error e -> Error e)
+    | "or", (_ :: _ as xs) -> (
+      match resolve_all line [] xs with
+      | Ok ids -> define line name (Gate.Or (Array.of_list ids))
+      | Error e -> Error e)
+    | _, _ -> error line (Printf.sprintf "malformed gate %S with %d operand(s)" op (List.length operands))
+  in
+  let handle_line lineno raw =
+    let stripped =
+      match String.index_opt raw '#' with
+      | Some k -> String.sub raw 0 k
+      | None -> raw
+    in
+    let tokens =
+      String.split_on_char ' ' (String.trim stripped)
+      |> List.filter (fun s -> s <> "")
+    in
+    match tokens with
+    | [] -> Ok ()
+    | ".model" :: rest ->
+      Netlist.set_name st.net (String.concat "_" rest);
+      Ok ()
+    | ".inputs" :: names ->
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () ->
+            if Hashtbl.mem st.ids name then
+              error lineno (Printf.sprintf "redefinition of %S" name)
+            else begin
+              Hashtbl.replace st.ids name (Netlist.add_input ~name st.net);
+              Ok ()
+            end)
+        (Ok ()) names
+    | ".outputs" :: names ->
+      st.saw_outputs <- true;
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ as e -> e
+          | Ok () -> (
+            match resolve lineno name with
+            | Ok id -> Netlist.add_output st.net name id; Ok ()
+            | Error e -> Error e))
+        (Ok ()) names
+    | [ ".end" ] ->
+      st.saw_end <- true;
+      Ok ()
+    | name :: "=" :: op :: operands -> parse_gate lineno name op operands
+    | tok :: _ -> error lineno (Printf.sprintf "cannot parse statement starting with %S" tok)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec run lineno = function
+    | [] ->
+      if not st.saw_outputs then Error "missing .outputs declaration" else Ok st.net
+    | line :: rest -> (
+      if st.saw_end then Ok st.net
+      else
+        match handle_line lineno line with
+        | Ok () -> run (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  run 1 lines
+
+let parse_exn text =
+  match of_string text with
+  | Ok net -> net
+  | Error msg -> failwith ("Io.parse_exn: " ^ msg)
+
+let to_dot t =
+  let labels = make_labels t in
+  let node_label _ i = labels.(i) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" (Netlist.name t));
+  Netlist.iter_nodes
+    (fun i g ->
+      let shape, text =
+        match g with
+        | Gate.Input -> "circle", node_label t i
+        | Gate.Const b -> "plaintext", string_of_int (Bool.to_int b)
+        | Gate.Buf _ -> "box", "buf"
+        | Gate.Not _ -> "invtriangle", "not"
+        | Gate.And _ -> "box", "and"
+        | Gate.Or _ -> "box", "or"
+        | Gate.Xor _ -> "box", "xor"
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [shape=%s,label=%S];\n" i shape text);
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" x i)) (Gate.fanins g))
+    t;
+  Array.iter
+    (fun (po, d) ->
+      Buffer.add_string buf (Printf.sprintf "  out_%s [shape=doublecircle,label=%S];\n" po po);
+      Buffer.add_string buf (Printf.sprintf "  n%d -> out_%s;\n" d po))
+    (Netlist.outputs t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

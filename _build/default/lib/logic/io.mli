@@ -1,0 +1,26 @@
+(** Text serialization of netlists (".dln" format) and Graphviz export.
+
+    The format, one statement per line ([#] starts a comment):
+    {v
+    .model fig5
+    .inputs a b c d
+    t1 = and a b
+    t2 = not t1
+    f  = or t2 c
+    .outputs f
+    .end
+    v}
+    Operators: [and], [or], [not], [buf], [xor], [const0], [const1].
+    Every operand must name an input or an earlier gate. *)
+
+val to_string : Netlist.t -> string
+(** Serializes. Unnamed nodes receive generated [n<id>] names. *)
+
+val of_string : string -> (Netlist.t, string) result
+(** Parses; the error string carries a line number. *)
+
+val parse_exn : string -> Netlist.t
+(** [of_string] raising [Failure] — convenient for embedded literals. *)
+
+val to_dot : Netlist.t -> string
+(** Graphviz digraph for debugging / documentation. *)

@@ -1,0 +1,120 @@
+module Vec = Dpa_util.Vec
+
+type node = { gate : Gate.t; nname : string option }
+
+type t = {
+  nodes : node Vec.t;
+  mutable ins : int list; (* reversed *)
+  mutable outs : (string * int) list; (* reversed *)
+  mutable net_name : string;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let dummy_node = { gate = Gate.Input; nname = None }
+
+let create ?(name = "net") () =
+  {
+    nodes = Vec.create ~dummy:dummy_node ();
+    ins = [];
+    outs = [];
+    net_name = name;
+    by_name = Hashtbl.create 64;
+  }
+
+let name t = t.net_name
+
+let set_name t s = t.net_name <- s
+
+let register_name t id = function
+  | None -> ()
+  | Some n -> Hashtbl.replace t.by_name n id
+
+let add_input ?name t =
+  let id = Vec.push t.nodes { gate = Gate.Input; nname = name } in
+  t.ins <- id :: t.ins;
+  register_name t id name;
+  id
+
+let add_gate ?name t g =
+  let next = Vec.length t.nodes in
+  (match g with
+  | Gate.Input -> invalid_arg "Netlist.add_gate: use add_input for inputs"
+  | Gate.And xs | Gate.Or xs ->
+    if Array.length xs < 1 then invalid_arg "Netlist.add_gate: empty fanin list"
+  | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.Xor _ -> ());
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= next then
+        invalid_arg (Printf.sprintf "Netlist.add_gate: fanin %d out of range [0,%d)" x next))
+    (Gate.fanins g);
+  let id = Vec.push t.nodes { gate = g; nname = name } in
+  register_name t id name;
+  id
+
+let size t = Vec.length t.nodes
+
+let add_output t po_name driver =
+  if driver < 0 || driver >= size t then
+    invalid_arg (Printf.sprintf "Netlist.add_output: driver %d out of range" driver);
+  t.outs <- (po_name, driver) :: t.outs
+
+let gate t i = (Vec.get t.nodes i).gate
+
+let node_name t i = (Vec.get t.nodes i).nname
+
+let inputs t = Array.of_list (List.rev t.ins)
+
+let outputs t = Array.of_list (List.rev t.outs)
+
+let num_inputs t = List.length t.ins
+
+let num_outputs t = List.length t.outs
+
+let fanins t i = Gate.fanins (gate t i)
+
+let is_input t i =
+  match gate t i with
+  | Gate.Input -> true
+  | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ -> false
+
+let gate_count t =
+  Vec.fold
+    (fun acc n ->
+      match n.gate with
+      | Gate.Input | Gate.Const _ -> acc
+      | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ -> acc + 1)
+    0 t.nodes
+
+let iter_nodes f t = Vec.iteri (fun i n -> f i n.gate) t.nodes
+
+let find_by_name t n = Hashtbl.find_opt t.by_name n
+
+let copy t =
+  {
+    nodes = Vec.of_array ~dummy:dummy_node (Vec.to_array t.nodes);
+    ins = t.ins;
+    outs = t.outs;
+    net_name = t.net_name;
+    by_name = Hashtbl.copy t.by_name;
+  }
+
+let validate t =
+  let n = size t in
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  iter_nodes
+    (fun i g ->
+      Array.iter
+        (fun x -> if x < 0 || x >= i then fail "node %d has invalid fanin %d" i x)
+        (Gate.fanins g);
+      match g with
+      | Gate.And xs | Gate.Or xs ->
+        if Array.length xs < 1 then fail "node %d has empty fanins" i
+      | Gate.Input | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.Xor _ -> ())
+    t;
+  List.iter
+    (fun (po, d) -> if d < 0 || d >= n then fail "output %s has invalid driver %d" po d)
+    t.outs;
+  match !problem with
+  | None -> Ok ()
+  | Some msg -> Error msg

@@ -1,0 +1,60 @@
+(** Combinational Boolean networks.
+
+    A netlist is a DAG of {!Gate.t} nodes identified by dense integer ids
+    (creation order, so every gate's fanins have smaller ids — the netlist
+    is topologically ordered by construction). Primary outputs are named
+    references to driver nodes. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val set_name : t -> string -> unit
+
+val add_input : ?name:string -> t -> int
+(** Appends a primary input node and returns its id. *)
+
+val add_gate : ?name:string -> t -> Gate.t -> int
+(** Appends a gate. Raises [Invalid_argument] if a fanin id is not smaller
+    than the new node's id (which would create a cycle or forward edge),
+    or if an AND/OR has fewer than one fanin. *)
+
+val add_output : t -> string -> int -> unit
+(** [add_output t po_name driver] declares a named primary output. *)
+
+val size : t -> int
+(** Total number of nodes (inputs + gates). *)
+
+val gate : t -> int -> Gate.t
+
+val node_name : t -> int -> string option
+
+val inputs : t -> int array
+(** Primary input ids in declaration order. *)
+
+val outputs : t -> (string * int) array
+(** Primary outputs (name, driver id) in declaration order. *)
+
+val num_inputs : t -> int
+
+val num_outputs : t -> int
+
+val fanins : t -> int -> int array
+
+val is_input : t -> int -> bool
+
+val gate_count : t -> int
+(** Number of non-input, non-constant nodes. *)
+
+val iter_nodes : (int -> Gate.t -> unit) -> t -> unit
+(** Visits every node in id (= topological) order. *)
+
+val find_by_name : t -> string -> int option
+(** Looks up a node by its optional name (inputs and gates). *)
+
+val copy : t -> t
+
+val validate : t -> (unit, string) result
+(** Checks fanin ranges, arities, and that output drivers exist. *)

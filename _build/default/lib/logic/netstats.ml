@@ -1,0 +1,97 @@
+type t = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  gate_histogram : (string * int) list;
+  max_depth : int;
+  average_fanin : float;
+  max_fanout : int;
+  average_fanout : float;
+  unused_inputs : int;
+  dead_gates : int;
+}
+
+let gate_key = function
+  | Gate.Input -> "input"
+  | Gate.Const _ -> "const"
+  | Gate.Buf _ -> "buf"
+  | Gate.Not _ -> "not"
+  | Gate.And xs -> Printf.sprintf "and%d" (Array.length xs)
+  | Gate.Or xs -> Printf.sprintf "or%d" (Array.length xs)
+  | Gate.Xor _ -> "xor"
+
+let compute net =
+  let histogram = Hashtbl.create 16 in
+  let fanin_sum = ref 0 and gates = ref 0 in
+  Netlist.iter_nodes
+    (fun _ g ->
+      match g with
+      | Gate.Input | Gate.Const _ -> ()
+      | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ ->
+        incr gates;
+        fanin_sum := !fanin_sum + Gate.arity g;
+        let key = gate_key g in
+        Hashtbl.replace histogram key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt histogram key)))
+    net;
+  let fanouts = Topo.fanout_counts net in
+  let readers = Array.to_list fanouts |> List.filter (fun c -> c > 0) in
+  let max_fanout = Array.fold_left max 0 fanouts in
+  let average_fanout =
+    match readers with
+    | [] -> 0.0
+    | _ ->
+      float_of_int (List.fold_left ( + ) 0 readers) /. float_of_int (List.length readers)
+  in
+  let unused_inputs =
+    Array.fold_left
+      (fun acc id -> if fanouts.(id) = 0 then acc + 1 else acc)
+      0 (Netlist.inputs net)
+  in
+  let live = Dpa_util.Bitset.create (Netlist.size net) in
+  Array.iter
+    (fun cone -> Dpa_util.Bitset.union_into live cone)
+    (Cone.of_outputs net);
+  let dead_gates = ref 0 in
+  Netlist.iter_nodes
+    (fun i g ->
+      match g with
+      | Gate.Input | Gate.Const _ -> ()
+      | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ ->
+        if not (Dpa_util.Bitset.mem live i) then incr dead_gates)
+    net;
+  let gate_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
+    |> List.sort (fun (ka, va) (kb, vb) ->
+           match compare vb va with 0 -> compare ka kb | c -> c)
+  in
+  {
+    name = Netlist.name net;
+    inputs = Netlist.num_inputs net;
+    outputs = Netlist.num_outputs net;
+    gates = !gates;
+    gate_histogram;
+    max_depth = Topo.max_level net;
+    average_fanin =
+      (if !gates = 0 then 0.0 else float_of_int !fanin_sum /. float_of_int !gates);
+    max_fanout;
+    average_fanout;
+    unused_inputs;
+    dead_gates = !dead_gates;
+  }
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d inputs (%d unused), %d outputs, %d gates (%d dead)\n" t.name
+       t.inputs t.unused_inputs t.outputs t.gates t.dead_gates);
+  Buffer.add_string buf
+    (Printf.sprintf "depth %d, avg fanin %.2f, fanout avg %.2f / max %d\n" t.max_depth
+       t.average_fanin t.average_fanout t.max_fanout);
+  Buffer.add_string buf "gate mix:";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s:%d" k v))
+    t.gate_histogram;
+  Buffer.add_string buf "\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Structural statistics of a netlist, for reports and the CLI [info]
+    command. *)
+
+type t = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  gate_histogram : (string * int) list;
+      (** e.g. [("and3", 12); ("not", 7)], sorted by descending count *)
+  max_depth : int;
+  average_fanin : float;  (** over gates *)
+  max_fanout : int;
+  average_fanout : float;  (** over nodes with at least one reader *)
+  unused_inputs : int;
+  dead_gates : int;  (** gates outside every output cone *)
+}
+
+val compute : Netlist.t -> t
+
+val to_string : t -> string
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,67 @@
+let order t = Array.init (Netlist.size t) Fun.id
+
+let levels t =
+  let n = Netlist.size t in
+  let lv = Array.make n 0 in
+  Netlist.iter_nodes
+    (fun i g ->
+      let fis = Gate.fanins g in
+      if Array.length fis > 0 then
+        lv.(i) <- 1 + Array.fold_left (fun m x -> max m lv.(x)) 0 fis)
+    t;
+  lv
+
+let fanout_counts t =
+  let counts = Array.make (Netlist.size t) 0 in
+  Netlist.iter_nodes
+    (fun _ g -> Array.iter (fun x -> counts.(x) <- counts.(x) + 1) (Gate.fanins g))
+    t;
+  counts
+
+let fanouts t =
+  let n = Netlist.size t in
+  let lists = Array.make n [] in
+  (* walk ids downward so each list ends up ascending *)
+  for i = n - 1 downto 0 do
+    Array.iter (fun x -> lists.(x) <- i :: lists.(x)) (Netlist.fanins t i)
+  done;
+  Array.map Array.of_list lists
+
+let max_level t = Array.fold_left max 0 (levels t)
+
+let fanout_cone_sizes t =
+  let n = Netlist.size t in
+  let fo = fanouts t in
+  (* Transitive fanout as bitsets, computed in reverse topological order. *)
+  let cones = Array.init n (fun _ -> Dpa_util.Bitset.create n) in
+  for i = n - 1 downto 0 do
+    Array.iter
+      (fun reader ->
+        Dpa_util.Bitset.add cones.(i) reader;
+        Dpa_util.Bitset.union_into cones.(i) cones.(reader))
+      fo.(i)
+  done;
+  Array.map Dpa_util.Bitset.cardinal cones
+
+let gate_traversal t =
+  let lv = levels t in
+  let cone = fanout_cone_sizes t in
+  let gates = ref [] in
+  Netlist.iter_nodes
+    (fun i g ->
+      match g with
+      | Gate.Input -> ()
+      | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ ->
+        gates := i :: !gates)
+    t;
+  let arr = Array.of_list (List.rev !gates) in
+  let compare_gates a b =
+    match compare lv.(a) lv.(b) with
+    | 0 -> (
+      match compare cone.(b) cone.(a) (* decreasing cone size *) with
+      | 0 -> compare a b
+      | c -> c)
+    | c -> c
+  in
+  Array.sort compare_gates arr;
+  arr

@@ -1,0 +1,30 @@
+(** Topological structure of a netlist.
+
+    Ids are already topologically ordered by construction; this module adds
+    levels, fanout information and the traversal order needed by the BDD
+    variable-ordering heuristic (paper §4.2.2). *)
+
+val order : Netlist.t -> int array
+(** All node ids in topological (= id) order. *)
+
+val levels : Netlist.t -> int array
+(** [levels t].(i) is the longest-path depth of node [i]; inputs and
+    constants are level 0. *)
+
+val fanout_counts : Netlist.t -> int array
+(** Number of gate fanouts per node (output references not counted). *)
+
+val fanouts : Netlist.t -> int array array
+(** [fanouts t].(i) lists the gates reading node [i], ascending. *)
+
+val max_level : Netlist.t -> int
+
+val fanout_cone_sizes : Netlist.t -> int array
+(** [fanout_cone_sizes t].(i) is the number of nodes in the transitive
+    fanout of node [i], excluding [i] itself. *)
+
+val gate_traversal : Netlist.t -> int array
+(** Non-input nodes in ascending level order; gates at the same level are
+    visited in decreasing fanout-cone cardinality (ties by id) — the
+    traversal prescribed by the paper for deriving the BDD variable
+    order. *)

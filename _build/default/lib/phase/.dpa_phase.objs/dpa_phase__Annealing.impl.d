@@ -1,0 +1,1 @@
+lib/phase/annealing.ml: Array Dpa_synth Dpa_util Float Measure

@@ -1,0 +1,1 @@
+lib/phase/annealing.mli: Dpa_synth Dpa_util Measure

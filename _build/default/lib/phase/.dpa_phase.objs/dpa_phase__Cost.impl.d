@@ -1,0 +1,1 @@
+lib/phase/cost.ml: Array Dpa_logic Dpa_synth Dpa_util List

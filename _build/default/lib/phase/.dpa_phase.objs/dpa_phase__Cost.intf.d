@@ -1,0 +1,1 @@
+lib/phase/cost.mli: Dpa_logic Dpa_synth

@@ -1,0 +1,1 @@
+lib/phase/exhaustive.ml: Dpa_synth Measure Seq

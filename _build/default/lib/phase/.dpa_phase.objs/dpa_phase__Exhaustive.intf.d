@@ -1,0 +1,1 @@
+lib/phase/exhaustive.mli: Dpa_synth Measure

@@ -1,0 +1,1 @@
+lib/phase/greedy.ml: Array Cost Dpa_synth Dpa_util List Measure

@@ -1,0 +1,1 @@
+lib/phase/greedy.mli: Cost Dpa_synth Dpa_util Measure

@@ -1,0 +1,1 @@
+lib/phase/measure.ml: Array Dpa_domino Dpa_logic Dpa_power Dpa_synth Hashtbl

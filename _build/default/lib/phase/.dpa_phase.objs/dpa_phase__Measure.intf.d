@@ -1,0 +1,1 @@
+lib/phase/measure.mli: Dpa_domino Dpa_logic Dpa_synth

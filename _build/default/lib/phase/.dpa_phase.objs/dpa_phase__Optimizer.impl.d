@@ -1,0 +1,1 @@
+lib/phase/optimizer.ml: Annealing Cost Dpa_bdd Dpa_domino Dpa_logic Dpa_synth Dpa_util Exhaustive Greedy Measure Printf

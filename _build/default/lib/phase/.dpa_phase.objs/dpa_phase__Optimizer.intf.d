@@ -1,0 +1,1 @@
+lib/phase/optimizer.mli: Annealing Dpa_domino Dpa_logic Dpa_synth

@@ -1,0 +1,1 @@
+lib/phase/timing_aware.ml: Cost Dpa_bdd Dpa_domino Dpa_logic Dpa_power Dpa_synth Dpa_timing Exhaustive Greedy Measure

@@ -1,0 +1,1 @@
+lib/phase/timing_aware.mli: Dpa_domino Dpa_logic Dpa_synth Dpa_timing

@@ -1,0 +1,1 @@
+lib/phase/tuple_search.ml: Array Cost Dpa_synth List Measure Printf

@@ -1,0 +1,1 @@
+lib/phase/tuple_search.mli: Cost Dpa_synth Greedy Measure

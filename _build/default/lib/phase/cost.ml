@@ -1,0 +1,108 @@
+module Bitset = Dpa_util.Bitset
+
+type action = Retain | Invert
+
+type t = {
+  cones : Bitset.t array;
+  sizes : int array;
+  overlaps : float array array;
+}
+
+let make net =
+  let cones = Dpa_logic.Cone.of_outputs net in
+  let n = Array.length cones in
+  let sizes = Array.map Bitset.cardinal cones in
+  let overlaps = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let o = Dpa_logic.Cone.overlap cones.(i) cones.(j) in
+      overlaps.(i).(j) <- o;
+      overlaps.(j).(i) <- o
+    done
+  done;
+  { cones; sizes; overlaps }
+
+let num_outputs t = Array.length t.sizes
+
+let cone_size t i = t.sizes.(i)
+
+let overlap t i j = t.overlaps.(i).(j)
+
+let averages t ~base_probs assignment =
+  if Array.length assignment <> num_outputs t then
+    invalid_arg "Cost.averages: assignment length mismatch";
+  Array.mapi
+    (fun i cone ->
+      if t.sizes.(i) = 0 then 0.0
+      else begin
+        let sum = ref 0.0 in
+        Bitset.iter (fun node -> sum := !sum +. base_probs.(node)) cone;
+        let mean = !sum /. float_of_int t.sizes.(i) in
+        match assignment.(i) with
+        | Dpa_synth.Phase.Positive -> mean
+        | Dpa_synth.Phase.Negative -> 1.0 -. mean
+      end)
+    t.cones
+
+let effective a = function
+  | Retain -> a
+  | Invert -> 1.0 -. a
+
+let k t ~averages i ai j aj =
+  let a_i = effective averages.(i) ai and a_j = effective averages.(j) aj in
+  (float_of_int t.sizes.(i) *. a_i)
+  +. (float_of_int t.sizes.(j) *. a_j)
+  +. (0.5 *. t.overlaps.(i).(j) *. (a_i +. a_j))
+
+let k_tuple t ~averages assignments =
+  let size_terms =
+    List.fold_left
+      (fun acc (i, ai) -> acc +. (float_of_int t.sizes.(i) *. effective averages.(i) ai))
+      0.0 assignments
+  in
+  let rec overlap_terms acc = function
+    | [] -> acc
+    | (i, ai) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (j, aj) ->
+            acc
+            +. 0.5 *. t.overlaps.(i).(j)
+               *. (effective averages.(i) ai +. effective averages.(j) aj))
+          acc rest
+      in
+      overlap_terms acc rest
+  in
+  overlap_terms size_terms assignments
+
+let enumerate_action_tuples t ~averages tuple =
+  let n = List.length tuple in
+  if n = 0 then invalid_arg "Cost.best_action_tuple: empty tuple";
+  if n > 20 then invalid_arg "Cost.best_action_tuple: tuple too long to enumerate";
+  List.init (1 lsl n) (fun code ->
+      let actions =
+        List.mapi (fun k i -> (i, if (code lsr k) land 1 = 1 then Invert else Retain)) tuple
+      in
+      (List.map snd actions, k_tuple t ~averages actions))
+
+let best_action_tuple t ~averages tuple =
+  match enumerate_action_tuples t ~averages tuple with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left (fun (ba, bk) (a, k) -> if k < bk then (a, k) else (ba, bk)) first rest
+
+let ranked_action_tuples t ~averages tuple =
+  List.stable_sort
+    (fun (_, a) (_, b) -> compare a b)
+    (enumerate_action_tuples t ~averages tuple)
+
+let best_action_pair t ~averages i j =
+  let candidates =
+    [ (Retain, Retain); (Invert, Invert); (Retain, Invert); (Invert, Retain) ]
+  in
+  List.fold_left
+    (fun (bai, baj, bk) (ai, aj) ->
+      let cost = k t ~averages i ai j aj in
+      if cost < bk then (ai, aj, cost) else (bai, baj, bk))
+    (Retain, Retain, k t ~averages i Retain j Retain)
+    (List.tl candidates)

@@ -1,0 +1,121 @@
+module Phase = Dpa_synth.Phase
+
+type initial =
+  [ `All_positive | `Random of Dpa_util.Rng.t | `Given of Phase.assignment ]
+
+type step = {
+  pair : int * int;
+  actions : Cost.action * Cost.action;
+  predicted_cost : float;
+  measured_power : float option;
+  committed : bool;
+}
+
+type result = {
+  assignment : Phase.assignment;
+  power : float;
+  size : int;
+  initial_power : float;
+  commits : int;
+  steps : step list;
+}
+
+let apply_actions assignment (i, ai) (j, aj) =
+  let a = Array.copy assignment in
+  (match ai with Cost.Invert -> a.(i) <- Phase.flip a.(i) | Cost.Retain -> ());
+  (match aj with Cost.Invert -> a.(j) <- Phase.flip a.(j) | Cost.Retain -> ());
+  a
+
+let all_pairs n =
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+(* Predicted gain of a pair: how much K improves over retaining both. *)
+let gain cost ~averages (i, j) =
+  let _, _, best = Cost.best_action_pair cost ~averages i j in
+  Cost.k cost ~averages i Cost.Retain j Cost.Retain -. best
+
+let run ?(initial = `All_positive) ?pair_limit measure ~cost ~base_probs =
+  let n = Cost.num_outputs cost in
+  let current =
+    ref
+      (match initial with
+      | `All_positive -> Phase.all_positive n
+      | `Random rng -> Phase.random rng ~num_outputs:n
+      | `Given a ->
+        if Array.length a <> n then invalid_arg "Greedy.run: initial assignment length";
+        Array.copy a)
+  in
+  let current_sample = ref (Measure.eval measure !current) in
+  let initial_power = !current_sample.Measure.power in
+  let averages = ref (Cost.averages cost ~base_probs !current) in
+  let candidates =
+    let pairs = all_pairs n in
+    match pair_limit with
+    | None -> ref pairs
+    | Some limit ->
+      let scored = List.map (fun p -> (gain cost ~averages:!averages p, p)) pairs in
+      let sorted = List.sort (fun (a, _) (b, _) -> compare b a) scored in
+      ref (List.filteri (fun k _ -> k < limit) (List.map snd sorted))
+  in
+  let commits = ref 0 in
+  let steps = ref [] in
+  let finished = ref (!candidates = []) in
+  while not !finished do
+    (* global minimum-cost pair/combination over the remaining candidates *)
+    let choose (best, all_retain) ((i, j) as p) =
+      let ai, aj, k = Cost.best_action_pair cost ~averages:!averages i j in
+      let retains = ai = Cost.Retain && aj = Cost.Retain in
+      let best' =
+        match best with
+        | Some (_, _, bk) when bk <= k -> best
+        | Some _ | None -> Some (p, (ai, aj), k)
+      in
+      (best', all_retain && retains)
+    in
+    let best, all_retain = List.fold_left choose (None, true) !candidates in
+    match best with
+    | None -> finished := true
+    | Some _ when all_retain ->
+      (* no remaining pair proposes a change: nothing can ever commit *)
+      finished := true
+    | Some (((i, j) as pair), ((ai, aj) as actions), k) ->
+      let proposed = apply_actions !current (i, ai) (j, aj) in
+      let step =
+        if Phase.equal proposed !current then
+          { pair; actions; predicted_cost = k; measured_power = None; committed = false }
+        else begin
+          let sample = Measure.eval measure proposed in
+          let better = sample.Measure.power < !current_sample.Measure.power in
+          if better then begin
+            current := proposed;
+            current_sample := sample;
+            averages := Cost.averages cost ~base_probs !current;
+            incr commits
+          end;
+          {
+            pair;
+            actions;
+            predicted_cost = k;
+            measured_power = Some sample.Measure.power;
+            committed = better;
+          }
+        end
+      in
+      steps := step :: !steps;
+      candidates := List.filter (fun p -> p <> pair) !candidates;
+      if !candidates = [] then finished := true
+  done;
+  {
+    assignment = !current;
+    power = !current_sample.Measure.power;
+    size = !current_sample.Measure.size;
+    initial_power;
+    commits = !commits;
+    steps = List.rev !steps;
+  }

@@ -1,0 +1,51 @@
+module Phase = Dpa_synth.Phase
+
+type sample = {
+  power : float;
+  size : int;
+  domino_switching : float;
+}
+
+type t = {
+  net : Dpa_logic.Netlist.t;
+  library : Dpa_domino.Library.t;
+  input_probs : float array;
+  pricer : t -> Dpa_domino.Mapped.t -> sample;
+  cache : (string, sample) Hashtbl.t;
+  mutable misses : int;
+}
+
+let default_price t mapped =
+  let report = Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped in
+  {
+    power = report.Dpa_power.Estimate.total;
+    size = Dpa_domino.Mapped.size mapped;
+    domino_switching = report.Dpa_power.Estimate.domino_switching;
+  }
+
+let create ?(library = Dpa_domino.Library.default) ?pricer ~input_probs net =
+  if not (Dpa_synth.Opt.is_domino_ready net) then
+    invalid_arg "Measure.create: netlist contains XOR; run Opt.optimize first";
+  if Array.length input_probs <> Dpa_logic.Netlist.num_inputs net then
+    invalid_arg "Measure.create: input_probs length mismatch";
+  let pricer =
+    match pricer with
+    | Some f -> fun _ mapped -> f mapped
+    | None -> default_price
+  in
+  { net; library; input_probs; pricer; cache = Hashtbl.create 64; misses = 0 }
+
+let realize_mapped t assignment =
+  Dpa_domino.Mapped.map ~library:t.library (Dpa_synth.Inverterless.realize t.net assignment)
+
+let eval t assignment =
+  let key = Phase.to_string assignment in
+  match Hashtbl.find_opt t.cache key with
+  | Some s -> s
+  | None ->
+    t.misses <- t.misses + 1;
+    let s = t.pricer t (realize_mapped t assignment) in
+    Hashtbl.replace t.cache key s;
+    s
+
+let evaluations t = t.misses

@@ -1,0 +1,31 @@
+(** Ground-truth power measurement of a candidate phase assignment:
+    realize the inverter-free block, map it onto the domino library, and
+    run the BDD power estimator. Results are memoized per assignment, so a
+    search never pays twice for the same candidate. *)
+
+type sample = {
+  power : float;  (** Estimate total: domino + boundary inverters *)
+  size : int;  (** standard-cell count of the mapped block *)
+  domino_switching : float;
+}
+
+type t
+
+val create :
+  ?library:Dpa_domino.Library.t ->
+  ?pricer:(Dpa_domino.Mapped.t -> sample) ->
+  input_probs:float array ->
+  Dpa_logic.Netlist.t ->
+  t
+(** The netlist must be domino-ready (no XOR). [pricer] overrides how a
+    mapped block is turned into a sample — the default is the BDD power
+    estimate and the plain cell count; the timing-integrated optimizer
+    substitutes a price-after-resizing pricer. *)
+
+val eval : t -> Dpa_synth.Phase.assignment -> sample
+
+val evaluations : t -> int
+(** Number of {e distinct} assignments measured so far (cache misses). *)
+
+val realize_mapped : t -> Dpa_synth.Phase.assignment -> Dpa_domino.Mapped.t
+(** The mapped block for an assignment (not cached). *)

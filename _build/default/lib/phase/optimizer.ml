@@ -1,0 +1,88 @@
+module Netlist = Dpa_logic.Netlist
+
+type strategy =
+  | Auto
+  | Exhaustive
+  | Greedy
+  | Multi_start of int
+  | Annealing of Annealing.params
+
+type config = {
+  library : Dpa_domino.Library.t;
+  input_probs : float array;
+  strategy : strategy;
+  exhaustive_limit : int;
+  pair_limit : int option;
+  seed : int;
+}
+
+let default_config ~input_probs =
+  {
+    library = Dpa_domino.Library.default;
+    input_probs;
+    strategy = Auto;
+    exhaustive_limit = 10;
+    pair_limit = None;
+    seed = 1;
+  }
+
+type result = {
+  assignment : Dpa_synth.Phase.assignment;
+  power : float;
+  size : int;
+  measurements : int;
+  strategy_used : string;
+}
+
+let minimize_power config net =
+  let n = Netlist.num_outputs net in
+  if n = 0 then invalid_arg "Optimizer.minimize_power: network has no outputs";
+  let measure = Measure.create ~library:config.library ~input_probs:config.input_probs net in
+  let cost_and_base () =
+    let cost = Cost.make net in
+    let base_probs = Dpa_bdd.Build.probabilities ~input_probs:config.input_probs net in
+    (cost, base_probs)
+  in
+  let run_greedy () =
+    let cost, base_probs = cost_and_base () in
+    let r = Greedy.run ?pair_limit:config.pair_limit measure ~cost ~base_probs in
+    (r.Greedy.assignment, r.Greedy.power, r.Greedy.size, "greedy")
+  in
+  let run_multi_start restarts =
+    if restarts < 1 then invalid_arg "Optimizer: Multi_start needs at least one run";
+    let cost, base_probs = cost_and_base () in
+    let rng = Dpa_util.Rng.create config.seed in
+    let run initial = Greedy.run ~initial ?pair_limit:config.pair_limit measure ~cost ~base_probs in
+    let first = run `All_positive in
+    let best = ref first in
+    for _ = 2 to restarts do
+      let r = run (`Random rng) in
+      if
+        r.Greedy.power < !best.Greedy.power
+        || (r.Greedy.power = !best.Greedy.power && r.Greedy.size < !best.Greedy.size)
+      then best := r
+    done;
+    ( !best.Greedy.assignment,
+      !best.Greedy.power,
+      !best.Greedy.size,
+      Printf.sprintf "multi-start(%d)" restarts )
+  in
+  let assignment, power, size, strategy_used =
+    match config.strategy with
+    | Exhaustive ->
+      let r = Exhaustive.run measure ~num_outputs:n in
+      (r.Exhaustive.assignment, r.Exhaustive.power, r.Exhaustive.size, "exhaustive")
+    | Greedy -> run_greedy ()
+    | Multi_start restarts -> run_multi_start restarts
+    | Annealing params ->
+      let rng = Dpa_util.Rng.create config.seed in
+      let r = Annealing.run ~params rng measure ~num_outputs:n in
+      (r.Annealing.assignment, r.Annealing.power, r.Annealing.size, "annealing")
+    | Auto ->
+      if n <= config.exhaustive_limit then begin
+        let r = Exhaustive.run measure ~num_outputs:n in
+        (r.Exhaustive.assignment, r.Exhaustive.power, r.Exhaustive.size, "exhaustive")
+      end
+      else run_greedy ()
+  in
+  { assignment; power; size; measurements = Measure.evaluations measure; strategy_used }

@@ -1,0 +1,38 @@
+(** Top-level minimum-power phase assignment (the "MP" flow of the
+    paper's Fig. 6): compute base signal probabilities with the enhanced
+    BDD estimator, then search — exhaustively when the output count
+    permits, otherwise with the greedy pairwise heuristic (optionally
+    refined by annealing). *)
+
+type strategy =
+  | Auto  (** exhaustive up to [exhaustive_limit] outputs, else greedy *)
+  | Exhaustive
+  | Greedy
+  | Multi_start of int
+      (** best of N greedy runs — one from all-positive, the rest from
+          seeded random initial assignments; the measurement cache is
+          shared so repeated candidates cost nothing *)
+  | Annealing of Annealing.params
+
+type config = {
+  library : Dpa_domino.Library.t;
+  input_probs : float array;  (** per primary input of the network *)
+  strategy : strategy;
+  exhaustive_limit : int;  (** [Auto] threshold, default 10 *)
+  pair_limit : int option;  (** greedy candidate cap, default none *)
+  seed : int;  (** randomized strategies *)
+}
+
+val default_config : input_probs:float array -> config
+
+type result = {
+  assignment : Dpa_synth.Phase.assignment;
+  power : float;
+  size : int;
+  measurements : int;  (** distinct assignments synthesized and priced *)
+  strategy_used : string;
+}
+
+val minimize_power : config -> Dpa_logic.Netlist.t -> result
+(** The netlist must be domino-ready (run {!Dpa_synth.Opt.optimize}
+    first). *)

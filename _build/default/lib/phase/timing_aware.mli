@@ -1,0 +1,35 @@
+(** Timing-integrated phase assignment — the future direction the paper
+    closes with ("integrating the choice of phase assignment with timing
+    optimization. We believe that such a combination will lead to even
+    greater power savings").
+
+    The sequential flow of Table 2 picks phases for unsized power and only
+    then resizes for timing; this optimizer instead prices every candidate
+    assignment {e after} timing closure: realize → map → resize to the
+    clock → estimate power with the final drives. Assignments whose
+    critical path cannot close pay an infinite price, so the search
+    optimizes true post-closure power and never trades into a timing
+    violation. *)
+
+type config = {
+  library : Dpa_domino.Library.t;
+  input_probs : float array;
+  clock : float;
+  model : Dpa_timing.Delay.model;
+  exhaustive_limit : int;
+  pair_limit : int option;
+}
+
+val default_config : input_probs:float array -> clock:float -> config
+(** Default library and delay model, exhaustive up to 10 outputs. *)
+
+type result = {
+  assignment : Dpa_synth.Phase.assignment;
+  power : float;  (** post-resize power; [infinity] if nothing closes *)
+  met : bool;
+  delay : float;  (** post-resize critical delay of the winner *)
+  measurements : int;
+}
+
+val minimize : config -> Dpa_logic.Netlist.t -> result
+(** The netlist must be domino-ready. *)

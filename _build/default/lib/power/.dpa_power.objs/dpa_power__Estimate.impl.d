@@ -1,0 +1,1 @@
+lib/power/estimate.ml: Array Dpa_bdd Dpa_domino Dpa_logic Dpa_synth Hashtbl List Model Option

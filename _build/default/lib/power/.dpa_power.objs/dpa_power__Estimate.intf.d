@@ -1,0 +1,1 @@
+lib/power/estimate.mli: Dpa_domino

@@ -1,0 +1,1 @@
+lib/power/static_model.ml: Array Dpa_bdd Dpa_domino Dpa_logic Dpa_synth Estimate Model

@@ -1,0 +1,1 @@
+lib/power/static_model.mli: Dpa_logic

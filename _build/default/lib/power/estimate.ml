@@ -1,0 +1,164 @@
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+module Robdd = Dpa_bdd.Robdd
+module Mapped = Dpa_domino.Mapped
+module Inverterless = Dpa_synth.Inverterless
+
+type report = {
+  node_probs : float array;
+  domino_switching : float;
+  domino_power : float;
+  input_inverter_power : float;
+  output_inverter_power : float;
+  total : float;
+  bdd_nodes : int;
+}
+
+(* Signal probability of every block node, with both literals of one
+   original PI sharing a single BDD variable. Returns the probabilities and
+   the manager size. *)
+let block_probabilities ~input_probs mapped =
+  let net = Mapped.net mapped in
+  let lits = Mapped.literals mapped in
+  Array.iter
+    (fun (opos, _) ->
+      if opos >= Array.length input_probs then
+        invalid_arg "Estimate: input_probs does not cover every referenced PI")
+    lits;
+  (* Variable order: the paper's heuristic on the block, projected onto the
+     original PI positions (first occurrence wins; both polarities of a PI
+     collapse to one variable). *)
+  let block_order = Dpa_bdd.Ordering.reverse_topological net in
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun bpos ->
+      let opos, _ = lits.(bpos) in
+      if not (Hashtbl.mem seen opos) then begin
+        Hashtbl.replace seen opos ();
+        order := opos :: !order
+      end)
+    block_order;
+  let order = Array.of_list (List.rev !order) in
+  let level_of_orig = Hashtbl.create 16 in
+  Array.iteri (fun lvl opos -> Hashtbl.replace level_of_orig opos lvl) order;
+  let m = Robdd.create ~nvars:(Array.length order) in
+  let pos_of_input_id = Hashtbl.create 16 in
+  Array.iteri (fun k id -> Hashtbl.replace pos_of_input_id id k) (Netlist.inputs net);
+  let roots = Array.make (Netlist.size net) Robdd.bdd_false in
+  Netlist.iter_nodes
+    (fun i g ->
+      roots.(i) <-
+        (match g with
+        | Gate.Input ->
+          let bpos = Hashtbl.find pos_of_input_id i in
+          let opos, pol = lits.(bpos) in
+          let v = Robdd.var m (Hashtbl.find level_of_orig opos) in
+          (match pol with Inverterless.Pos -> v | Inverterless.Neg -> Robdd.neg m v)
+        | Gate.Const b -> if b then Robdd.bdd_true else Robdd.bdd_false
+        | Gate.And xs ->
+          Array.fold_left (fun acc x -> Robdd.apply_and m acc roots.(x)) Robdd.bdd_true xs
+        | Gate.Or xs ->
+          Array.fold_left (fun acc x -> Robdd.apply_or m acc roots.(x)) Robdd.bdd_false xs
+        | Gate.Buf _ | Gate.Not _ | Gate.Xor _ ->
+          invalid_arg "Estimate: mapped block must be a pure AND/OR network"))
+    net;
+  let level_probs = Array.map (fun opos -> input_probs.(opos)) order in
+  let probs = Array.map (fun root -> Robdd.probability m level_probs root) roots in
+  probs, Robdd.total_nodes m
+
+let probabilities_of_block ~input_probs mapped =
+  fst (block_probabilities ~input_probs mapped)
+
+let price mapped ~node_probs ~input_toggle =
+  let net = Mapped.net mapped in
+  let lib = Mapped.library mapped in
+  let domino_switching = ref 0.0 and domino_power = ref 0.0 in
+  Netlist.iter_nodes
+    (fun i _ ->
+      match Mapped.cell_of_node mapped i with
+      | None -> ()
+      | Some cell ->
+        let s = node_probs.(i) in
+        domino_switching := !domino_switching +. s;
+        domino_power :=
+          !domino_power
+          +. s *. lib.Dpa_domino.Library.capacitance cell *. Mapped.drive mapped i
+             *. (1.0 +. lib.Dpa_domino.Library.penalty cell))
+    net;
+  (* One static inverter per complemented PI literal in use. *)
+  let complemented = Hashtbl.create 16 in
+  Array.iter
+    (fun (opos, pol) ->
+      match pol with
+      | Inverterless.Neg -> Hashtbl.replace complemented opos ()
+      | Inverterless.Pos -> ())
+    (Mapped.literals mapped);
+  let input_inverter_power =
+    Hashtbl.fold (fun opos () acc -> acc +. input_toggle opos) complemented 0.0
+  in
+  let assignment = Mapped.assignment mapped in
+  let outs = Netlist.outputs net in
+  let output_inverter_power = ref 0.0 in
+  Array.iteri
+    (fun k (_, driver) ->
+      match assignment.(k) with
+      | Dpa_synth.Phase.Negative ->
+        output_inverter_power :=
+          !output_inverter_power +. Model.inverter_after_domino node_probs.(driver)
+      | Dpa_synth.Phase.Positive -> ())
+    outs;
+  let total = !domino_power +. input_inverter_power +. !output_inverter_power in
+  {
+    node_probs;
+    domino_switching = !domino_switching;
+    domino_power = !domino_power;
+    input_inverter_power;
+    output_inverter_power = !output_inverter_power;
+    total;
+    bdd_nodes = 0;
+  }
+
+let of_mapped ~input_probs mapped =
+  let node_probs, bdd_nodes = block_probabilities ~input_probs mapped in
+  let report =
+    price mapped ~node_probs ~input_toggle:(fun opos ->
+        Model.static_switching input_probs.(opos))
+  in
+  { report with bdd_nodes }
+
+let by_cell_type ?(input_toggle = fun _ -> 0.0) mapped ~node_probs =
+  let lib = Mapped.library mapped in
+  let table = Hashtbl.create 16 in
+  let add name power =
+    let count, total = Option.value ~default:(0, 0.0) (Hashtbl.find_opt table name) in
+    Hashtbl.replace table name (count + 1, total +. power)
+  in
+  Netlist.iter_nodes
+    (fun i _ ->
+      match Mapped.cell_of_node mapped i with
+      | None -> ()
+      | Some cell ->
+        add (Dpa_domino.Cell.name cell)
+          (node_probs.(i)
+          *. lib.Dpa_domino.Library.capacitance cell
+          *. Mapped.drive mapped i
+          *. (1.0 +. lib.Dpa_domino.Library.penalty cell)))
+    (Mapped.net mapped);
+  let assignment = Mapped.assignment mapped in
+  Array.iteri
+    (fun k (_, driver) ->
+      match assignment.(k) with
+      | Dpa_synth.Phase.Negative -> add "INV(out)" (Model.inverter_after_domino node_probs.(driver))
+      | Dpa_synth.Phase.Positive -> ())
+    (Netlist.outputs (Mapped.net mapped));
+  let complemented = Hashtbl.create 16 in
+  Array.iter
+    (fun (opos, pol) ->
+      match pol with
+      | Inverterless.Neg -> Hashtbl.replace complemented opos ()
+      | Inverterless.Pos -> ())
+    (Mapped.literals mapped);
+  Hashtbl.iter (fun opos () -> add "INV(in)" (input_toggle opos)) complemented;
+  Hashtbl.fold (fun name (count, power) acc -> (name, count, power) :: acc) table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)

@@ -1,0 +1,53 @@
+(** BDD-based power estimation of a mapped domino block (paper §4.2).
+
+    Signal probabilities are exact: BDDs are built over the {e original}
+    primary-input variables, so the positive and negative literals of one
+    input share a variable and reconvergence through complemented logic is
+    handled correctly. The variable order follows the paper's heuristic
+    applied to the block.
+
+    Power accounting, per the paper's Fig. 5:
+    - dynamic cell [i]: [S_i · C_i · drive_i · (1 + P_i)]
+    - static input inverter on PI [x]: [2 p_x (1 - p_x)]
+    - static output inverter on a negative-phase PO: [S_driver]. *)
+
+type report = {
+  node_probs : float array;  (** signal probability per block-net node *)
+  domino_switching : float;  (** Σ S_i over dynamic cells (unit weights) *)
+  domino_power : float;  (** Σ S_i·C_i·drive_i·(1+P_i) *)
+  input_inverter_power : float;
+  output_inverter_power : float;
+  total : float;  (** domino + both inverter terms *)
+  bdd_nodes : int;  (** manager size, complexity metric *)
+}
+
+val of_mapped : input_probs:float array -> Dpa_domino.Mapped.t -> report
+(** [input_probs] is indexed by {e original} primary-input position and
+    must cover every PI the block references. *)
+
+val price :
+  Dpa_domino.Mapped.t ->
+  node_probs:float array ->
+  input_toggle:(int -> float) ->
+  report
+(** Prices a block from externally supplied activity numbers: [node_probs]
+    per block node (signal = switching probability for domino) and
+    [input_toggle pos], the toggle probability of original PI [pos]
+    (feeding its boundary inverter, if complemented). Shared between the
+    BDD estimator (analytic activity) and the simulator (measured
+    activity); [bdd_nodes] is 0. *)
+
+val probabilities_of_block :
+  input_probs:float array -> Dpa_domino.Mapped.t -> float array
+(** Just the per-node signal probabilities (no pricing). *)
+
+val by_cell_type :
+  ?input_toggle:(int -> float) ->
+  Dpa_domino.Mapped.t ->
+  node_probs:float array ->
+  (string * int * float) list
+(** Power broken down per cell name: [(name, instance count, priced
+    power)], sorted by descending power. Boundary inverters appear as
+    ["INV(in)"] (priced by [input_toggle], default 0 — pass
+    [Model.static_switching ∘ probs] for the analytic model) and
+    ["INV(out)"] (priced from the driving node's probability). *)

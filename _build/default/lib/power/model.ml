@@ -1,0 +1,20 @@
+let check p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Power.Model: probability %g outside [0,1]" p)
+
+let domino_switching p =
+  check p;
+  p
+
+let static_switching p =
+  check p;
+  2.0 *. p *. (1.0 -. p)
+
+let inverter_after_domino p =
+  check p;
+  p
+
+let fig2_points ?(steps = 21) () =
+  List.init steps (fun k ->
+      let p = float_of_int k /. float_of_int (steps - 1) in
+      (p, domino_switching p, static_switching p))

@@ -1,0 +1,23 @@
+(** Switching-activity models (paper §2, Fig. 2).
+
+    Domino gates discharge whenever their logical output is 1 and precharge
+    back every cycle, so their switching probability {e equals} the signal
+    probability (Property 2.1) — the asymmetric line of Fig. 2. Static CMOS
+    gates switch when consecutive values differ: [2p(1-p)] under temporal
+    independence — the parabola. Domino gates never glitch (Property 2.2),
+    so zero-delay analysis is exact. *)
+
+val domino_switching : float -> float
+(** [domino_switching p = p]. Raises [Invalid_argument] outside [0,1]. *)
+
+val static_switching : float -> float
+(** [static_switching p = 2p(1-p)]. *)
+
+val inverter_after_domino : float -> float
+(** Switching of a static inverter whose input is a domino output with
+    signal probability [p]: the input makes one monotonic transition per
+    cycle exactly when the domino gate fires, so this is [p] as well. *)
+
+val fig2_points : ?steps:int -> unit -> (float * float * float) list
+(** [(p, domino, static)] samples over [0,1]; default 21 points — the data
+    behind the paper's Fig. 2. *)

@@ -1,0 +1,33 @@
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+
+type report = {
+  node_switching : float array;
+  gate_total : float;
+  gates : int;
+}
+
+let of_netlist ~input_probs net =
+  let probs = Dpa_bdd.Build.probabilities ~input_probs net in
+  let node_switching = Array.make (Netlist.size net) 0.0 in
+  let total = ref 0.0 and gates = ref 0 in
+  Netlist.iter_nodes
+    (fun i g ->
+      match g with
+      | Gate.Input | Gate.Const _ -> ()
+      | Gate.Buf _ | Gate.Not _ | Gate.And _ | Gate.Or _ | Gate.Xor _ ->
+        let s = Model.static_switching probs.(i) in
+        node_switching.(i) <- s;
+        total := !total +. s;
+        incr gates)
+    net;
+  { node_switching; gate_total = !total; gates = !gates }
+
+let domino_to_static_ratio ~input_probs net =
+  let net = Dpa_synth.Opt.optimize net in
+  let static = of_netlist ~input_probs net in
+  let assignment = Dpa_synth.Min_area.best net in
+  let mapped = Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment) in
+  let domino = Estimate.of_mapped ~input_probs mapped in
+  if static.gate_total = 0.0 then nan
+  else domino.Estimate.total /. static.gate_total

@@ -1,0 +1,26 @@
+(** Zero-delay switching power of a static CMOS implementation of the
+    same network — the comparison behind the paper's motivation that
+    "domino gates can consume up to four times the power of an equivalent
+    static gate" (§1).
+
+    Every gate output toggles between consecutive cycles with probability
+    [2p(1-p)] under temporal independence; this zero-delay figure ignores
+    glitches, so it is a {e lower} bound for real static power, making the
+    measured domino/static ratio conservative. *)
+
+type report = {
+  node_switching : float array;  (** per node; 0 for inputs and constants *)
+  gate_total : float;  (** Σ over gates *)
+  gates : int;
+}
+
+val of_netlist : input_probs:float array -> Dpa_logic.Netlist.t -> report
+(** Exact node probabilities via the BDD engine; any AND/OR/NOT/XOR/BUF
+    network is accepted (static CMOS has no inverter-freedom constraint). *)
+
+val domino_to_static_ratio :
+  input_probs:float array -> Dpa_logic.Netlist.t -> float
+(** Convenience: total domino power of the minimum-area inverter-free
+    realization divided by the static zero-delay power of the optimized
+    network — the apples-to-apples version of the paper's "up to 4×"
+    remark. Returns [nan] when the static total is zero. *)

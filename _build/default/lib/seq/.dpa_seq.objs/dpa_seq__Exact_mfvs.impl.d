@@ -1,0 +1,1 @@
+lib/seq/exact_mfvs.ml: Hashtbl List Queue Sgraph

@@ -1,0 +1,1 @@
+lib/seq/exact_mfvs.mli: Sgraph

@@ -1,0 +1,1 @@
+lib/seq/mfvs.ml: Hashtbl List Option Sgraph

@@ -1,0 +1,1 @@
+lib/seq/mfvs.mli: Sgraph

@@ -1,0 +1,1 @@
+lib/seq/partition.ml: Array Dpa_bdd Dpa_logic Hashtbl List Mfvs Queue Seq_netlist Sgraph

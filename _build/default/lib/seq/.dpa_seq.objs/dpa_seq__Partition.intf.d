@@ -1,0 +1,1 @@
+lib/seq/partition.mli: Seq_netlist

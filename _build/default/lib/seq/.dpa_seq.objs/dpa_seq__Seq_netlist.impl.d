@@ -1,0 +1,1 @@
+lib/seq/seq_netlist.ml: Array Dpa_logic List Option Printf

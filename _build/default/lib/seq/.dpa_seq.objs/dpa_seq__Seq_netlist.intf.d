@@ -1,0 +1,1 @@
+lib/seq/seq_netlist.mli: Dpa_logic

@@ -1,0 +1,1 @@
+lib/seq/sgraph.ml: Array Dpa_logic Dpa_util Hashtbl Int List Queue Seq_netlist Set

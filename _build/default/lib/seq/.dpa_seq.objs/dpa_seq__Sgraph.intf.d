@@ -1,0 +1,1 @@
+lib/seq/sgraph.mli: Seq_netlist

@@ -1,0 +1,1 @@
+lib/seq/steady_state.ml: Array Dpa_logic Float List Seq_netlist

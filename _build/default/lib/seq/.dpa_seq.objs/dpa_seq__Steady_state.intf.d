@@ -1,0 +1,1 @@
+lib/seq/steady_state.mli: Seq_netlist

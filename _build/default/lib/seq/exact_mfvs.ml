@@ -1,0 +1,136 @@
+type result = {
+  fvs : int list;
+  weight : int;
+  nodes_explored : int;
+}
+
+let weight_of g vertices =
+  List.fold_left (fun acc v -> acc + Sgraph.weight g v) 0 vertices
+
+(* Weight-safe reductions: self-loops are forced; sources/sinks vanish; a
+   unit-in-degree vertex may be bypassed when its unique predecessor is no
+   heavier (any optimal FVS using the vertex can swap to the predecessor),
+   and symmetrically for unit out-degree. *)
+let reduce g =
+  let forced = ref [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if Sgraph.is_alive g v then
+          if Sgraph.has_edge g v v then begin
+            forced := Sgraph.members g v @ !forced;
+            Sgraph.delete g v;
+            changed := true
+          end
+          else begin
+            let preds = Sgraph.pred g v and succs = Sgraph.succ g v in
+            match preds, succs with
+            | [], _ | _, [] ->
+              Sgraph.delete g v;
+              changed := true
+            | [ u ], _ when Sgraph.weight g u <= Sgraph.weight g v ->
+              Sgraph.bypass g v;
+              changed := true
+            | _, [ u ] when Sgraph.weight g u <= Sgraph.weight g v ->
+              Sgraph.bypass g v;
+              changed := true
+            | _ :: _, _ :: _ -> ()
+          end)
+      (Sgraph.alive_vertices g)
+  done;
+  !forced
+
+(* Shortest directed cycle via BFS from every vertex; [] when acyclic. *)
+let shortest_cycle g =
+  let best = ref [] in
+  let best_len = ref max_int in
+  List.iter
+    (fun start ->
+      if List.length (Sgraph.succ g start) > 0 then begin
+        (* BFS looking for a path back to [start] *)
+        let parent = Hashtbl.create 16 in
+        let queue = Queue.create () in
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem parent s) then begin
+              Hashtbl.replace parent s start;
+              Queue.add s queue
+            end)
+          (Sgraph.succ g start);
+        let found = ref false in
+        while (not !found) && not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          if v = start then found := true
+          else
+            List.iter
+              (fun s ->
+                if not (Hashtbl.mem parent s) then begin
+                  Hashtbl.replace parent s v;
+                  Queue.add s queue
+                end)
+              (Sgraph.succ g v)
+        done;
+        if !found then begin
+          (* reconstruct start → … → start, collecting distinct vertices *)
+          let rec back v acc =
+            if v = start then acc else back (Hashtbl.find parent v) (v :: acc)
+          in
+          let cycle = start :: back (Hashtbl.find parent start) [] in
+          if List.length cycle < !best_len then begin
+            best := cycle;
+            best_len := List.length cycle
+          end
+        end
+      end)
+    (Sgraph.alive_vertices g);
+  !best
+
+let solve ?(node_limit = 200_000) g0 =
+  let explored = ref 0 in
+  let exceeded = ref false in
+  let incumbent = ref None in
+  let incumbent_weight = ref max_int in
+  let rec branch g picked picked_weight =
+    if !exceeded then ()
+    else begin
+      incr explored;
+      if !explored > node_limit then exceeded := true
+      else begin
+        let forced = reduce g in
+        let picked = forced @ picked in
+        let picked_weight =
+          picked_weight + List.length forced (* members are weight-1 units *)
+        in
+        if picked_weight >= !incumbent_weight then ()
+        else
+          match shortest_cycle g with
+          | [] ->
+            incumbent := Some picked;
+            incumbent_weight := picked_weight
+          | cycle ->
+            List.iter
+              (fun v ->
+                if picked_weight + Sgraph.weight g v < !incumbent_weight then begin
+                  let g' = Sgraph.copy g in
+                  let members = Sgraph.members g' v in
+                  Sgraph.delete g' v;
+                  branch g' (members @ picked) (picked_weight + List.length members)
+                end)
+              cycle
+      end
+    end
+  in
+  branch (Sgraph.copy g0) [] 0;
+  if !exceeded then None
+  else
+    match !incumbent with
+    | None -> None
+    | Some picked ->
+      Some
+        {
+          fvs = List.sort_uniq compare picked;
+          weight = !incumbent_weight;
+          nodes_explored = !explored;
+        }

@@ -1,0 +1,22 @@
+(** Exact minimum feedback vertex set by branch and bound.
+
+    MFVS is NP-complete, so the flow uses the heuristics of {!Mfvs}; this
+    solver exists to measure their quality on small s-graphs (it powers
+    the test-suite optimality checks and the MFVS ablation). The search
+    branches on the lowest-id vertex of some cycle — either it joins the
+    FVS or the whole cycle must be broken elsewhere — after applying the
+    FVS-preserving reductions, and prunes with the incumbent weight. *)
+
+type result = {
+  fvs : int list;  (** original member vertices, ascending *)
+  weight : int;  (** total flip-flops cut *)
+  nodes_explored : int;
+}
+
+val solve : ?node_limit:int -> Sgraph.t -> result option
+(** Optimal FVS by total member weight. Returns [None] when the search
+    exceeds [node_limit] branch nodes (default 200_000) — the caller
+    should fall back to the heuristic. The input graph is not modified. *)
+
+val weight_of : Sgraph.t -> int list -> int
+(** Total member count of the given alive vertices. *)

@@ -1,0 +1,113 @@
+type result = {
+  fvs : int list;
+  supervertices : int list list;
+  greedy_picks : int;
+}
+
+(* Alive vertices in descending weight (ties by id) — the paper's
+   processing order for supervertices: heavy vertices are considered for
+   the degree reductions first, so they get bypassed ("ignored") and stay
+   out of the FVS, leaving lighter vertices to absorb the cycles. *)
+let processing_order g =
+  let vs = Sgraph.alive_vertices g in
+  List.sort
+    (fun a b ->
+      match compare (Sgraph.weight g b) (Sgraph.weight g a) with
+      | 0 -> compare a b
+      | c -> c)
+    vs
+
+let reduce g =
+  let forced = ref [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if Sgraph.is_alive g v then
+          if Sgraph.has_edge g v v then begin
+            forced := Sgraph.members g v @ !forced;
+            Sgraph.delete g v;
+            changed := true
+          end
+          else begin
+            let np = List.length (Sgraph.pred g v) in
+            let ns = List.length (Sgraph.succ g v) in
+            if np = 0 || ns = 0 then begin
+              Sgraph.delete g v;
+              changed := true
+            end
+            else if np = 1 || ns = 1 then begin
+              Sgraph.bypass g v;
+              changed := true
+            end
+          end)
+      (processing_order g)
+  done;
+  List.sort_uniq compare !forced
+
+let symmetrize g =
+  (* Signature = (pred set, succ set); vertices sharing one merge. *)
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let key = (Sgraph.pred g v, Sgraph.succ g v) in
+      Hashtbl.replace table key (v :: Option.value ~default:[] (Hashtbl.find_opt table key)))
+    (Sgraph.alive_vertices g);
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun _ vs ->
+      match List.rev vs with
+      | [] | [ _ ] -> ()
+      | leader :: rest ->
+        List.iter (fun v -> Sgraph.merge g ~into:leader v) rest;
+        groups := Sgraph.members g leader :: !groups)
+    table;
+  List.sort compare !groups
+
+let greedy_pick g =
+  (* When reductions stall: break the most cycles per flip-flop paid —
+     largest in×out degree product, ties by lower weight, then lower id. *)
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let w = Sgraph.weight g v in
+      let d = List.length (Sgraph.pred g v) * List.length (Sgraph.succ g v) in
+      match !best with
+      | None -> best := Some (v, w, d)
+      | Some (_, bw, bd) -> if d > bd || (d = bd && w < bw) then best := Some (v, w, d))
+    (Sgraph.alive_vertices g);
+  !best
+
+let solve ?(symmetry = true) g0 =
+  let g = Sgraph.copy g0 in
+  let fvs = ref [] in
+  let supervertices = ref [] in
+  let picks = ref 0 in
+  let rec shrink () =
+    fvs := reduce g @ !fvs;
+    if symmetry then begin
+      match symmetrize g with
+      | [] -> ()
+      | groups ->
+        supervertices := !supervertices @ groups;
+        shrink ()
+    end
+  in
+  let rec loop () =
+    shrink ();
+    match greedy_pick g with
+    | None -> ()
+    | Some (v, _, _) ->
+      incr picks;
+      fvs := Sgraph.members g v @ !fvs;
+      Sgraph.delete g v;
+      loop ()
+  in
+  loop ();
+  { fvs = List.sort_uniq compare !fvs; supervertices = !supervertices; greedy_picks = !picks }
+
+let is_feedback_vertex_set g vertices =
+  let g = Sgraph.copy g in
+  List.iter (fun v -> if Sgraph.is_alive g v then Sgraph.delete g v) vertices;
+  Sgraph.is_acyclic g

@@ -1,0 +1,47 @@
+(** Minimum feedback vertex set heuristics (paper §4.2.1, Figs. 8–9).
+
+    Exact MFVS is NP-complete; the classical testing-domain reductions of
+    Fig. 8 shrink the s-graph without losing optimality:
+    - a vertex with no predecessors or no successors is never on a cycle
+      (remove it);
+    - a vertex with a self-loop must be in every FVS (take it, remove it);
+    - a vertex with exactly one predecessor or one successor can be
+      bypassed (any cycle through it goes through its unique neighbour).
+
+    The paper's {e enhancement} for domino circuits (Fig. 9): phase
+    assignment duplicates logic, so many flip-flops share identical fanins
+    and fanouts; grouping them into weighted supervertices unlocks further
+    reductions. Supervertices are processed in {e descending weight}
+    order, so heavy groups meet the degree reductions first and get
+    bypassed ("Ignore AEB" in Fig. 9) while light ones absorb the forced
+    self-loops — on the Fig. 9 graph this yields the FVS [{C,D}] of
+    weight 2 rather than [{A,B,E}] of weight 3. *)
+
+type result = {
+  fvs : int list;  (** original flip-flop indices, ascending *)
+  supervertices : int list list;
+      (** member groups formed by the symmetry transformation (groups of
+          size ≥ 2 only) *)
+  greedy_picks : int;  (** vertices chosen by greedy (not forced) *)
+}
+
+val reduce : Sgraph.t -> int list
+(** Applies the Fig. 8 reductions in place until fixpoint; returns the
+    (member) vertices forced into the FVS by self-loops. *)
+
+val symmetrize : Sgraph.t -> int list list
+(** One pass of the Fig. 9 transformation in place: groups alive vertices
+    with identical predecessor and successor sets into supervertices.
+    Returns the member groups merged (size ≥ 2). *)
+
+val solve : ?symmetry:bool -> Sgraph.t -> result
+(** Full heuristic on a copy of the graph: alternate reductions and
+    (optionally) symmetrization to fixpoint; when stalled, greedily pick
+    the vertex breaking the most cycles per flip-flop (largest in×out
+    degree product, ties by lower weight) and repeat. [symmetry] defaults
+    to [true]. *)
+
+val is_feedback_vertex_set : Sgraph.t -> int list -> bool
+(** Checks that deleting the given vertices leaves the graph acyclic
+    (operates on a copy). Vertices must name original (weight-1) members
+    of an unreduced graph. *)

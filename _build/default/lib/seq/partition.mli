@@ -1,0 +1,29 @@
+(** Partitioning sequential circuits for signal-probability computation
+    (paper §4.2.1, Figs. 6–7).
+
+    Cutting the feedback vertex set turns a sequential circuit into an
+    acyclic structure: cut flip-flops become free pseudo-inputs (assumed
+    probability, default 0.5) while every remaining flip-flop passes the
+    exact probability of its D input to its Q output in s-graph
+    topological order — the fewer flip-flops are cut, the fewer nodes get
+    the crude 0.5 assumption, which is why a small FVS ("Ideal
+    Partitioning" in Fig. 7) yields better estimates. *)
+
+type t = {
+  fvs : int list;  (** flip-flops cut into pseudo-inputs *)
+  ff_probs : float array;  (** steady Q probability per flip-flop *)
+  node_probs : float array;  (** signal probability per core node *)
+  iterations : int;  (** fixpoint refinement passes performed *)
+}
+
+val probabilities :
+  ?symmetry:bool ->
+  ?cut_prob:float ->
+  ?refine:int ->
+  input_probs:float array ->
+  Seq_netlist.t ->
+  t
+(** [input_probs] covers the real primary inputs. [cut_prob] (default 0.5)
+    seeds the cut flip-flops. [refine] (default 0) re-runs the propagation
+    feeding each cut flip-flop its computed D probability — a fixpoint
+    iteration the paper leaves as accuracy headroom. *)

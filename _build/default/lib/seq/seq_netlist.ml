@@ -1,0 +1,103 @@
+module Netlist = Dpa_logic.Netlist
+
+type ff = { data : int; init : bool }
+
+type t = { core : Netlist.t; n_real : int; flops : ff array }
+
+let create ~comb ~n_real_inputs ~ffs =
+  let expected = n_real_inputs + Array.length ffs in
+  if Netlist.num_inputs comb <> expected then
+    invalid_arg
+      (Printf.sprintf "Seq_netlist.create: core has %d inputs, expected %d"
+         (Netlist.num_inputs comb) expected);
+  Array.iter
+    (fun ff ->
+      if ff.data < 0 || ff.data >= Netlist.size comb then
+        invalid_arg "Seq_netlist.create: flip-flop data id out of range")
+    ffs;
+  { core = comb; n_real = n_real_inputs; flops = Array.copy ffs }
+
+let of_blif { Dpa_logic.Blif.comb; n_real_inputs; latches } =
+  let ffs =
+    Array.map
+      (fun { Dpa_logic.Blif.data; init } -> { data; init })
+      latches
+  in
+  create ~comb ~n_real_inputs ~ffs
+
+let comb t = t.core
+
+let n_real_inputs t = t.n_real
+
+let n_ffs t = Array.length t.flops
+
+let ffs t = Array.copy t.flops
+
+let ff_q_input t k =
+  if k < 0 || k >= Array.length t.flops then invalid_arg "Seq_netlist.ff_q_input";
+  (Netlist.inputs t.core).(t.n_real + k)
+
+let unroll ~cycles t =
+  if cycles < 1 then invalid_arg "Seq_netlist.unroll: need at least one cycle";
+  let b = Dpa_logic.Builder.create ~name:(Netlist.name t.core ^ "_unrolled") () in
+  let core_inputs = Netlist.inputs t.core in
+  let input_name pos frame =
+    let base =
+      Option.value
+        ~default:(Printf.sprintf "pi%d" pos)
+        (Netlist.node_name t.core core_inputs.(pos))
+    in
+    Printf.sprintf "%s@%d" base frame
+  in
+  (* splice one frame of the core given builder ids for its inputs *)
+  let splice_frame frame_inputs =
+    let mapping = Array.make (Netlist.size t.core) (-1) in
+    Array.iteri (fun pos id -> mapping.(id) <- frame_inputs.(pos)) core_inputs;
+    Netlist.iter_nodes
+      (fun i g ->
+        match g with
+        | Dpa_logic.Gate.Input -> ()
+        | Dpa_logic.Gate.Const c -> mapping.(i) <- Dpa_logic.Builder.const b c
+        | Dpa_logic.Gate.Buf x -> mapping.(i) <- mapping.(x)
+        | Dpa_logic.Gate.Not x -> mapping.(i) <- Dpa_logic.Builder.not_ b mapping.(x)
+        | Dpa_logic.Gate.And xs ->
+          mapping.(i) <-
+            Dpa_logic.Builder.and_ b (List.map (fun x -> mapping.(x)) (Array.to_list xs))
+        | Dpa_logic.Gate.Or xs ->
+          mapping.(i) <-
+            Dpa_logic.Builder.or_ b (List.map (fun x -> mapping.(x)) (Array.to_list xs))
+        | Dpa_logic.Gate.Xor (x, y) ->
+          mapping.(i) <- Dpa_logic.Builder.xor_ b mapping.(x) mapping.(y))
+      t.core;
+    mapping
+  in
+  let state = ref (Array.map (fun ff -> Dpa_logic.Builder.const b ff.init) t.flops) in
+  for frame = 0 to cycles - 1 do
+    (* explicit loop: Array.init's evaluation order is unspecified, and
+       input declaration order must be cycle-major and deterministic *)
+    let frame_inputs = Array.make (Array.length core_inputs) (-1) in
+    for pos = 0 to Array.length core_inputs - 1 do
+      frame_inputs.(pos) <-
+        (if pos < t.n_real then Dpa_logic.Builder.input ~name:(input_name pos frame) b
+         else !state.(pos - t.n_real))
+    done;
+    let mapping = splice_frame frame_inputs in
+    Array.iter
+      (fun (po, d) ->
+        Dpa_logic.Builder.output b (Printf.sprintf "%s@%d" po frame) mapping.(d))
+      (Netlist.outputs t.core);
+    state := Array.map (fun ff -> mapping.(ff.data)) t.flops
+  done;
+  Dpa_logic.Builder.finish b
+
+let simulate t cycles =
+  let state = Array.map (fun ff -> ff.init) t.flops in
+  Array.map
+    (fun pi_vec ->
+      if Array.length pi_vec <> t.n_real then
+        invalid_arg "Seq_netlist.simulate: wrong primary-input vector width";
+      let core_vec = Array.append pi_vec state in
+      let values = Dpa_logic.Eval.all_nodes t.core core_vec in
+      Array.iteri (fun k ff -> state.(k) <- values.(ff.data)) t.flops;
+      Array.map (fun (_, d) -> values.(d)) (Netlist.outputs t.core))
+    cycles

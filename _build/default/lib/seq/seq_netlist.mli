@@ -1,0 +1,49 @@
+(** Sequential circuits: a combinational core plus edge-triggered D
+    flip-flops.
+
+    The core's primary inputs are the real primary inputs followed by one
+    pseudo-input per flip-flop (the flip-flop's Q output). Each flip-flop's
+    D pin is driven by a core node. This "unrolled" view is exactly what
+    the paper's partitioning step manipulates: cutting a flip-flop turns
+    its Q pseudo-input into a free primary input. *)
+
+type ff = {
+  data : int;  (** core node driving D *)
+  init : bool;  (** reset value of Q *)
+}
+
+type t
+
+val create : comb:Dpa_logic.Netlist.t -> n_real_inputs:int -> ffs:ff array -> t
+(** The core must have exactly [n_real_inputs + Array.length ffs] primary
+    inputs: the real ones first, then one Q pseudo-input per flip-flop (in
+    flip-flop order). Raises [Invalid_argument] otherwise, or if an [ff]
+    data id is out of range. *)
+
+val of_blif : Dpa_logic.Blif.sequential -> t
+(** Adopts a parsed sequential BLIF model (latch order preserved). *)
+
+val comb : t -> Dpa_logic.Netlist.t
+
+val n_real_inputs : t -> int
+
+val n_ffs : t -> int
+
+val ffs : t -> ff array
+
+val ff_q_input : t -> int -> int
+(** Core node id of flip-flop [k]'s Q pseudo-input. *)
+
+val unroll : cycles:int -> t -> Dpa_logic.Netlist.t
+(** Time-frame expansion: a combinational netlist computing [cycles]
+    consecutive cycles from the reset state. Inputs are the real primary
+    inputs of each frame in cycle-major order (named ["name@t"]); outputs
+    are each frame's primary outputs (named ["po@t"]). Frame 0 sees the
+    flip-flops' [init] values as constants. The classical bridge from
+    sequential to combinational reasoning — {!simulate} and evaluating the
+    unrolled netlist agree cycle for cycle. *)
+
+val simulate : t -> bool array array -> bool array array
+(** Cycle-accurate simulation: one real-primary-input vector per cycle in,
+    one primary-output vector per cycle out. Flip-flops start at their
+    [init] values and update on every cycle boundary. *)

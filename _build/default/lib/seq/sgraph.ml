@@ -1,0 +1,142 @@
+module IntSet = Set.Make (Int)
+
+type t = {
+  mutable succs : IntSet.t array;
+  mutable preds : IntSet.t array;
+  alive : bool array;
+  weights : int array;
+  member_lists : int list array;
+}
+
+let create n =
+  {
+    succs = Array.make n IntSet.empty;
+    preds = Array.make n IntSet.empty;
+    alive = Array.make n true;
+    weights = Array.make n 1;
+    member_lists = Array.init n (fun v -> [ v ]);
+  }
+
+let num_vertices t = Array.length t.alive
+
+let check t v =
+  if v < 0 || v >= num_vertices t then invalid_arg "Sgraph: vertex out of range"
+
+let is_alive t v =
+  check t v;
+  t.alive.(v)
+
+let require_alive t v = if not (is_alive t v) then invalid_arg "Sgraph: dead vertex"
+
+let alive_vertices t =
+  let acc = ref [] in
+  for v = num_vertices t - 1 downto 0 do
+    if t.alive.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let add_edge t u v =
+  require_alive t u;
+  require_alive t v;
+  t.succs.(u) <- IntSet.add v t.succs.(u);
+  t.preds.(v) <- IntSet.add u t.preds.(v)
+
+let succ t v =
+  require_alive t v;
+  IntSet.elements t.succs.(v)
+
+let pred t v =
+  require_alive t v;
+  IntSet.elements t.preds.(v)
+
+let has_edge t u v =
+  require_alive t u;
+  require_alive t v;
+  IntSet.mem v t.succs.(u)
+
+let weight t v =
+  require_alive t v;
+  t.weights.(v)
+
+let members t v =
+  require_alive t v;
+  t.member_lists.(v)
+
+let detach t v =
+  IntSet.iter (fun s -> t.preds.(s) <- IntSet.remove v t.preds.(s)) t.succs.(v);
+  IntSet.iter (fun p -> t.succs.(p) <- IntSet.remove v t.succs.(p)) t.preds.(v);
+  t.succs.(v) <- IntSet.empty;
+  t.preds.(v) <- IntSet.empty
+
+let delete t v =
+  require_alive t v;
+  detach t v;
+  t.alive.(v) <- false
+
+let bypass t v =
+  require_alive t v;
+  let ps = IntSet.remove v t.preds.(v) and ss = IntSet.remove v t.succs.(v) in
+  delete t v;
+  IntSet.iter (fun p -> IntSet.iter (fun s -> add_edge t p s) ss) ps
+
+let merge t ~into v =
+  require_alive t into;
+  require_alive t v;
+  if into = v then invalid_arg "Sgraph.merge: cannot merge a vertex into itself";
+  let ps = IntSet.remove v t.preds.(v) and ss = IntSet.remove v t.succs.(v) in
+  t.weights.(into) <- t.weights.(into) + t.weights.(v);
+  t.member_lists.(into) <- t.member_lists.(into) @ t.member_lists.(v);
+  delete t v;
+  IntSet.iter (fun p -> if p <> into then add_edge t p into) ps;
+  IntSet.iter (fun s -> if s <> into then add_edge t into s) ss
+
+let copy t =
+  {
+    succs = Array.copy t.succs;
+    preds = Array.copy t.preds;
+    alive = Array.copy t.alive;
+    weights = Array.copy t.weights;
+    member_lists = Array.copy t.member_lists;
+  }
+
+let is_acyclic t =
+  (* Kahn's algorithm over alive vertices; a self-loop keeps its vertex's
+     in-degree positive forever. *)
+  let n = num_vertices t in
+  let indeg = Array.make n 0 in
+  let alive = alive_vertices t in
+  List.iter (fun v -> indeg.(v) <- IntSet.cardinal t.preds.(v)) alive;
+  let queue = Queue.create () in
+  List.iter (fun v -> if indeg.(v) = 0 then Queue.add v queue) alive;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr removed;
+    IntSet.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      t.succs.(v)
+  done;
+  !removed = List.length alive
+
+let of_seq_netlist sn =
+  let core = Seq_netlist.comb sn in
+  let n = Seq_netlist.n_ffs sn in
+  let g = create n in
+  (* Q input node id → flip-flop index *)
+  let q_index = Hashtbl.create n in
+  for k = 0 to n - 1 do
+    Hashtbl.replace q_index (Seq_netlist.ff_q_input sn k) k
+  done;
+  Array.iteri
+    (fun v ff ->
+      let cone = Dpa_logic.Cone.of_node core ff.Seq_netlist.data in
+      Dpa_util.Bitset.iter
+        (fun node ->
+          match Hashtbl.find_opt q_index node with
+          | Some u -> add_edge g u v
+          | None -> ())
+        cone)
+    (Seq_netlist.ffs sn);
+  g

@@ -1,0 +1,54 @@
+(** S-graphs: structural dependency graphs among flip-flops (paper §4.2.1,
+    after Chakradhar, Balakrishnan & Agrawal, DAC'94).
+
+    Vertex [v] stands for one or more flip-flops (a {e supervertex} after
+    the symmetry transformation); an edge [u → v] means some flip-flop in
+    [u] combinationally feeds the D pin of some flip-flop in [v]. The MFVS
+    reductions delete and merge vertices in place. *)
+
+type t
+
+val create : int -> t
+(** [create n] has vertices [0 … n-1], each alive with weight 1 and
+    member set [{v}], and no edges. *)
+
+val of_seq_netlist : Seq_netlist.t -> t
+(** Structural s-graph: edge [u → v] iff FF [u]'s Q is in the transitive
+    fanin of FF [v]'s D. *)
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; self-edges allowed. *)
+
+val num_vertices : t -> int
+
+val is_alive : t -> int -> bool
+
+val alive_vertices : t -> int list
+
+val succ : t -> int -> int list
+(** Alive successors, ascending. *)
+
+val pred : t -> int -> int list
+
+val has_edge : t -> int -> int -> bool
+
+val weight : t -> int -> int
+
+val members : t -> int -> int list
+(** Original flip-flop indices represented by the (super)vertex. *)
+
+val delete : t -> int -> unit
+(** Removes the vertex and all incident edges. *)
+
+val bypass : t -> int -> unit
+(** Removes the vertex, connecting every predecessor to every successor
+    (the "Ignore X" reduction of Fig. 8); may create self-loops. *)
+
+val merge : t -> into:int -> int -> unit
+(** Folds a vertex into another: weights add, member lists concatenate,
+    edge sets union. Used by the symmetry transformation (Fig. 9). *)
+
+val copy : t -> t
+
+val is_acyclic : t -> bool
+(** Considering alive vertices only; self-loops count as cycles. *)

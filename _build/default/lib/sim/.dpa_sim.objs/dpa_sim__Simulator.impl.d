@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Dpa_domino Dpa_logic Dpa_power Dpa_synth Dpa_util Queue

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Dpa_domino Dpa_power Dpa_util

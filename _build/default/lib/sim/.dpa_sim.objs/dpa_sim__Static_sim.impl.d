@@ -1,0 +1,1 @@
+lib/sim/static_sim.ml: Array Dpa_logic Dpa_util

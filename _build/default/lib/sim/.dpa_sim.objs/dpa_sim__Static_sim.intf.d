@@ -1,0 +1,1 @@
+lib/sim/static_sim.mli: Dpa_logic Dpa_util

@@ -1,0 +1,1 @@
+lib/sim/vectors.ml: Array Dpa_util

@@ -1,0 +1,1 @@
+lib/sim/vectors.mli: Dpa_util

@@ -1,0 +1,105 @@
+module Netlist = Dpa_logic.Netlist
+module Mapped = Dpa_domino.Mapped
+module Inverterless = Dpa_synth.Inverterless
+
+type measurement = {
+  report : Dpa_power.Estimate.report;
+  cycles : int;
+  fire_counts : int array;
+}
+
+let literal_vector lits pi_vec =
+  Array.map
+    (fun (opos, pol) ->
+      match pol with
+      | Inverterless.Pos -> pi_vec.(opos)
+      | Inverterless.Neg -> not pi_vec.(opos))
+    lits
+
+let measure ?(cycles = 10_000) rng ~input_probs mapped =
+  if cycles <= 0 then invalid_arg "Simulator.measure: cycles must be positive";
+  let net = Mapped.net mapped in
+  let lits = Mapped.literals mapped in
+  let n = Netlist.size net in
+  let fire_counts = Array.make n 0 in
+  let pi_toggles = Array.make (Array.length input_probs) 0 in
+  let prev_pi = ref None in
+  for _ = 1 to cycles do
+    let pi_vec = Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) input_probs in
+    (match !prev_pi with
+    | Some prev ->
+      Array.iteri (fun k b -> if b <> prev.(k) then pi_toggles.(k) <- pi_toggles.(k) + 1) pi_vec
+    | None -> ());
+    prev_pi := Some pi_vec;
+    let values = Dpa_logic.Eval.all_nodes net (literal_vector lits pi_vec) in
+    Array.iteri (fun i v -> if v then fire_counts.(i) <- fire_counts.(i) + 1) values
+  done;
+  let fc = float_of_int cycles in
+  let node_probs = Array.map (fun c -> float_of_int c /. fc) fire_counts in
+  let input_toggle opos = float_of_int pi_toggles.(opos) /. fc in
+  let report = Dpa_power.Estimate.price mapped ~node_probs ~input_toggle in
+  { report; cycles; fire_counts }
+
+type evaluate_trace = {
+  rises : int array;
+  final : bool array;
+}
+
+let event_evaluate rng mapped pi_vec =
+  let net = Mapped.net mapped in
+  let lits = Mapped.literals mapped in
+  let n = Netlist.size net in
+  let fanouts = Dpa_logic.Topo.fanouts net in
+  (* Precharged state: every signal reads 0 at the buffered outputs. *)
+  let value = Array.make n false in
+  let rises = Array.make n 0 in
+  (* Constants that are true "arrive" immediately. *)
+  let queue = Queue.create () in
+  let raise_node i =
+    if not value.(i) then begin
+      value.(i) <- true;
+      rises.(i) <- rises.(i) + 1;
+      Queue.add i queue
+    end
+  in
+  Netlist.iter_nodes
+    (fun i g ->
+      match g with
+      | Dpa_logic.Gate.Const true -> raise_node i
+      | Dpa_logic.Gate.Const false | Dpa_logic.Gate.Input | Dpa_logic.Gate.Buf _
+      | Dpa_logic.Gate.Not _ | Dpa_logic.Gate.And _ | Dpa_logic.Gate.Or _
+      | Dpa_logic.Gate.Xor _ -> ())
+    net;
+  let literal_values = literal_vector lits pi_vec in
+  (* True literals arrive in a random order; false literals never rise. *)
+  let arriving = ref [] in
+  Array.iteri
+    (fun pos id -> if literal_values.(pos) then arriving := id :: !arriving)
+    (Netlist.inputs net);
+  let order = Array.of_list !arriving in
+  Dpa_util.Rng.shuffle rng order;
+  let propagate () =
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      Array.iter
+        (fun reader ->
+          if not value.(reader) then begin
+            let fires =
+              match Netlist.gate net reader with
+              | Dpa_logic.Gate.And xs -> Array.for_all (fun x -> value.(x)) xs
+              | Dpa_logic.Gate.Or xs -> Array.exists (fun x -> value.(x)) xs
+              | Dpa_logic.Gate.Input | Dpa_logic.Gate.Const _ | Dpa_logic.Gate.Buf _
+              | Dpa_logic.Gate.Not _ | Dpa_logic.Gate.Xor _ -> false
+            in
+            if fires then raise_node reader
+          end)
+        fanouts.(i)
+    done
+  in
+  propagate ();
+  Array.iter
+    (fun id ->
+      raise_node id;
+      propagate ())
+    order;
+  { rises; final = Array.copy value }

@@ -1,0 +1,13 @@
+let generate rng ~probs ~cycles =
+  Array.init cycles (fun _ -> Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) probs)
+
+let empirical_probs vectors =
+  match Array.length vectors with
+  | 0 -> [||]
+  | n ->
+    let width = Array.length vectors.(0) in
+    let counts = Array.make width 0 in
+    Array.iter
+      (fun vec -> Array.iteri (fun k b -> if b then counts.(k) <- counts.(k) + 1) vec)
+      vectors;
+    Array.map (fun c -> float_of_int c /. float_of_int n) counts

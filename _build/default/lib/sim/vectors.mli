@@ -1,0 +1,13 @@
+(** Statistically generated input vectors.
+
+    The paper measures power "with statistically generated input vectors
+    with the appropriate signal probabilities" — each primary input is an
+    independent Bernoulli stream. *)
+
+val generate :
+  Dpa_util.Rng.t -> probs:float array -> cycles:int -> bool array array
+(** [cycles] vectors of [Array.length probs] bits each. *)
+
+val empirical_probs : bool array array -> float array
+(** Per-column fraction of ones; the sanity check that generated vectors
+    realize the requested probabilities. *)

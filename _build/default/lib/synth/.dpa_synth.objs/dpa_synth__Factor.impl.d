@@ -1,0 +1,1 @@
+lib/synth/factor.ml: Array Dpa_bdd Dpa_logic Hashtbl List Option

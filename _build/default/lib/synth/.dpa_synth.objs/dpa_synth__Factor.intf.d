@@ -1,0 +1,1 @@
+lib/synth/factor.mli: Dpa_bdd Dpa_logic

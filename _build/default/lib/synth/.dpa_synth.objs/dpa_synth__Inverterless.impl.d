@@ -1,0 +1,1 @@
+lib/synth/inverterless.ml: Array Dpa_logic Hashtbl List Option Phase Printf

@@ -1,0 +1,1 @@
+lib/synth/inverterless.mli: Dpa_logic Phase

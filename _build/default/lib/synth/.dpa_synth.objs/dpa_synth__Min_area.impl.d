@@ -1,0 +1,1 @@
+lib/synth/min_area.ml: Array Dpa_logic Inverterless Phase Seq

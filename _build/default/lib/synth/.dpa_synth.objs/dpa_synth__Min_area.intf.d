@@ -1,0 +1,1 @@
+lib/synth/min_area.mli: Dpa_logic Phase

@@ -1,0 +1,1 @@
+lib/synth/opt.ml: Array Dpa_logic List

@@ -1,0 +1,1 @@
+lib/synth/opt.mli: Dpa_logic

@@ -1,0 +1,1 @@
+lib/synth/phase.ml: Array Dpa_util Format List Seq String

@@ -1,0 +1,1 @@
+lib/synth/phase.mli: Dpa_util Format Seq

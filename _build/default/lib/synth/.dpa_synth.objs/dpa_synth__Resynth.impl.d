@@ -1,0 +1,1 @@
+lib/synth/resynth.ml: Array Dpa_bdd Dpa_logic Factor Fun List

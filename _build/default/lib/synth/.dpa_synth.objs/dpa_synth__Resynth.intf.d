@@ -1,0 +1,1 @@
+lib/synth/resynth.mli: Dpa_logic

@@ -1,0 +1,127 @@
+type literal = {
+  input : int;
+  positive : bool;
+}
+
+type cube = literal list
+
+type form =
+  | Const of bool
+  | Lit of literal
+  | And of form list
+  | Or of form list
+
+let compare_literal a b =
+  match compare a.input b.input with
+  | 0 -> compare a.positive b.positive
+  | c -> c
+
+let of_isop ~order cubes =
+  List.map
+    (fun cube ->
+      List.sort compare_literal
+        (List.map
+           (fun { Dpa_bdd.Isop.level; positive } -> { input = order.(level); positive })
+           cube))
+    cubes
+
+let sop_literal_count cubes = List.fold_left (fun acc c -> acc + List.length c) 0 cubes
+
+let rec literal_count = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + literal_count f) 0 fs
+
+(* smart constructors keep the form canonicalized (no unary nodes) *)
+let mk_and = function
+  | [] -> Const true
+  | [ f ] -> f
+  | fs -> And fs
+
+let mk_or = function
+  | [] -> Const false
+  | [ f ] -> f
+  | fs -> Or fs
+
+let form_of_cube = function
+  | [] -> Const true
+  | [ l ] -> Lit l
+  | lits -> And (List.map (fun l -> Lit l) lits)
+
+(* most frequent literal across the cover; None if every literal is
+   unique (no sharing to extract) *)
+let best_literal cubes =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun cube ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        cube)
+    cubes;
+  Hashtbl.fold
+    (fun l c best ->
+      match best with
+      | Some (_, bc) when bc >= c -> best
+      | Some _ | None -> if c >= 2 then Some (l, c) else best)
+    counts None
+
+let cube_contains cube l = List.exists (fun x -> compare_literal x l = 0) cube
+
+let cube_remove cube c = List.filter (fun x -> not (cube_contains c x)) cube
+
+(* largest cube common to every cube of the cover *)
+let common_cube = function
+  | [] -> []
+  | first :: rest ->
+    List.fold_left (fun acc cube -> List.filter (cube_contains cube) acc) first rest
+
+let rec factor cubes =
+  (* a tautology cube absorbs the cover *)
+  if List.exists (fun c -> c = []) cubes then Const true
+  else
+    match cubes with
+    | [] -> Const false
+    | [ cube ] -> form_of_cube cube
+    | _ :: _ -> (
+      match best_literal cubes with
+      | None ->
+        (* no literal is shared: the cover is already its best form *)
+        mk_or (List.map form_of_cube cubes)
+      | Some (l, _) ->
+        let with_l = List.filter (fun c -> cube_contains c l) cubes in
+        let without_l = List.filter (fun c -> not (cube_contains c l)) cubes in
+        (* divisor = l extended to the largest cube common to all cubes
+           containing l (SIS quick_factor) *)
+        let divisor = common_cube with_l in
+        assert (cube_contains divisor l);
+        let quotient = List.map (fun c -> cube_remove c divisor) with_l in
+        let factored_with = mk_and (form_of_cube divisor :: [ factor quotient ]) in
+        let factored_with =
+          (* flatten And(And …) produced when the quotient is a cube *)
+          match factored_with with
+          | And fs ->
+            let flat =
+              List.concat_map (function And gs -> gs | other -> [ other ]) fs
+            in
+            mk_and flat
+          | Const _ | Lit _ | Or _ -> factored_with
+        in
+        if without_l = [] then factored_with
+        else mk_or [ factored_with; factor without_l ])
+
+let rec eval form lookup =
+  match form with
+  | Const b -> b
+  | Lit { input; positive } -> if positive then lookup input else not (lookup input)
+  | And fs -> List.for_all (fun f -> eval f lookup) fs
+  | Or fs -> List.exists (fun f -> eval f lookup) fs
+
+let rec build b ~input_of_position form =
+  match form with
+  | Const v -> Dpa_logic.Builder.const b v
+  | Lit { input; positive } ->
+    let id = input_of_position input in
+    if positive then id else Dpa_logic.Builder.not_ b id
+  | And fs -> Dpa_logic.Builder.and_ b (List.map (build b ~input_of_position) fs)
+  | Or fs -> Dpa_logic.Builder.or_ b (List.map (build b ~input_of_position) fs)

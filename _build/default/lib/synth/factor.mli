@@ -1,0 +1,44 @@
+(** Algebraic factoring of sum-of-products covers (SIS-style quick
+    factoring).
+
+    Two-level covers from {!Dpa_bdd.Isop} can be large; factoring re-shares
+    common sub-expressions into a multi-level form — the classical
+    counterpart of the flattening the domino style prefers, and the other
+    half of a real technology-independent front end. The divisor at each
+    step is the most frequent literal extended to the largest common cube
+    of its quotient (SIS's [quick_factor]); factoring never increases the
+    literal count. *)
+
+type literal = {
+  input : int;  (** primary-input position *)
+  positive : bool;
+}
+
+type cube = literal list
+(** Conjunction, sorted by input position; [[]] is the tautology cube. *)
+
+(** Factored form over input literals. *)
+type form =
+  | Const of bool
+  | Lit of literal
+  | And of form list  (** ≥ 2 subforms *)
+  | Or of form list  (** ≥ 2 subforms *)
+
+val of_isop : order:int array -> Dpa_bdd.Isop.cube list -> cube list
+(** Converts ISOP cubes (whose literals carry BDD {e levels}) into input-
+    position cubes using the build order ([order.(level)] = position). *)
+
+val factor : cube list -> form
+(** Raises nothing; the empty cover is [Const false] and a cover
+    containing the tautology cube is [Const true]. *)
+
+val literal_count : form -> int
+(** Literal occurrences in the form (the factoring cost metric). *)
+
+val sop_literal_count : cube list -> int
+
+val eval : form -> (int -> bool) -> bool
+(** Evaluates under an assignment of input positions. *)
+
+val build : Dpa_logic.Builder.t -> input_of_position:(int -> int) -> form -> int
+(** Materializes the form through the structurally hashed builder. *)

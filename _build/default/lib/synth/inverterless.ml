@@ -1,0 +1,153 @@
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+
+type polarity = Pos | Neg
+
+let flip_pol = function
+  | Pos -> Neg
+  | Neg -> Pos
+
+type t = {
+  blk : Netlist.t;
+  assignment : Phase.assignment;
+  (* original PI position, polarity → block input id *)
+  literal_ids : (int * polarity, int) Hashtbl.t;
+  (* block node id → original node id, polarity *)
+  origin : (int, int * polarity) Hashtbl.t;
+  (* per block-input position: original PI position, polarity *)
+  literal_info : (int * polarity) array;
+  duplicated : int;
+}
+
+let realize original assignment =
+  let outs = Netlist.outputs original in
+  if Array.length assignment <> Array.length outs then
+    invalid_arg "Inverterless.realize: assignment length mismatch";
+  let blk = Netlist.create ~name:(Netlist.name original ^ "_domino") () in
+  let literal_ids = Hashtbl.create 32 in
+  let origin = Hashtbl.create 64 in
+  let literal_info = ref [] in
+  let pi_position = Hashtbl.create 32 in
+  Array.iteri (fun pos id -> Hashtbl.replace pi_position id pos) (Netlist.inputs original);
+  let memo : (int * polarity, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Demand original node [i] in polarity [pol]; returns the block node that
+     realizes it. Inverters flip the demanded polarity and vanish; AND/OR in
+     negative polarity materialize as their DeMorgan dual over negative
+     fanins. *)
+  let rec build i pol =
+    match Hashtbl.find_opt memo (i, pol) with
+    | Some id -> id
+    | None ->
+      let id =
+        match Netlist.gate original i with
+        | Gate.Input ->
+          let pos = Hashtbl.find pi_position i in
+          let key = (pos, pol) in
+          (match Hashtbl.find_opt literal_ids key with
+          | Some id -> id
+          | None ->
+            let base =
+              match Netlist.node_name original i with
+              | Some n -> n
+              | None -> Printf.sprintf "x%d" pos
+            in
+            let name = match pol with Pos -> base | Neg -> "~" ^ base in
+            let id = Netlist.add_input ~name blk in
+            Hashtbl.replace literal_ids key id;
+            literal_info := key :: !literal_info;
+            id)
+        | Gate.Const b ->
+          let v = match pol with Pos -> b | Neg -> not b in
+          Netlist.add_gate blk (Gate.Const v)
+        | Gate.Buf x -> build x pol
+        | Gate.Not x -> build x (flip_pol pol)
+        | Gate.And xs ->
+          let fis = Array.map (fun x -> build x pol) xs in
+          let g = match pol with Pos -> Gate.And fis | Neg -> Gate.Or fis in
+          Netlist.add_gate blk g
+        | Gate.Or xs ->
+          let fis = Array.map (fun x -> build x pol) xs in
+          let g = match pol with Pos -> Gate.Or fis | Neg -> Gate.And fis in
+          Netlist.add_gate blk g
+        | Gate.Xor _ ->
+          invalid_arg "Inverterless.realize: XOR present; run Opt.optimize first"
+      in
+      Hashtbl.replace memo (i, pol) id;
+      (match Netlist.gate original i with
+      | Gate.And _ | Gate.Or _ | Gate.Const _ -> Hashtbl.replace origin id (i, pol)
+      | Gate.Input | Gate.Buf _ | Gate.Not _ | Gate.Xor _ -> ());
+      id
+  in
+  Array.iteri
+    (fun k (po, driver) ->
+      let pol = match assignment.(k) with Phase.Positive -> Pos | Phase.Negative -> Neg in
+      Netlist.add_output blk po (build driver pol))
+    outs;
+  (* A duplicated node is an original AND/OR realized in both polarities. *)
+  let duplicated =
+    let seen = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (i, _) _ ->
+        match Netlist.gate original i with
+        | Gate.And _ | Gate.Or _ ->
+          Hashtbl.replace seen i (1 + Option.value ~default:0 (Hashtbl.find_opt seen i))
+        | Gate.Input | Gate.Const _ | Gate.Buf _ | Gate.Not _ | Gate.Xor _ -> ())
+      memo;
+    Hashtbl.fold (fun _ count acc -> if count > 1 then acc + 1 else acc) seen 0
+  in
+  {
+    blk;
+    assignment = Array.copy assignment;
+    literal_ids;
+    origin;
+    literal_info = Array.of_list (List.rev !literal_info);
+    duplicated;
+  }
+
+let block t = t.blk
+
+let phases t = Array.copy t.assignment
+
+let block_literal t ~pi_position pol = Hashtbl.find_opt t.literal_ids (pi_position, pol)
+
+let original_of_block_node t id = Hashtbl.find_opt t.origin id
+
+let literals t = Array.copy t.literal_info
+
+type stats = {
+  domino_gates : int;
+  input_inverters : int;
+  output_inverters : int;
+  duplicated_nodes : int;
+  area : int;
+}
+
+let stats t =
+  let domino_gates = Netlist.gate_count t.blk in
+  let input_inverters =
+    Array.fold_left
+      (fun acc (_, pol) -> match pol with Neg -> acc + 1 | Pos -> acc)
+      0 t.literal_info
+  in
+  let output_inverters = Phase.count_negative t.assignment in
+  {
+    domino_gates;
+    input_inverters;
+    output_inverters;
+    duplicated_nodes = t.duplicated;
+    area = domino_gates + input_inverters + output_inverters;
+  }
+
+let eval_original_outputs t vec =
+  let literal_vec =
+    Array.map
+      (fun (pos, pol) ->
+        match pol with
+        | Pos -> vec.(pos)
+        | Neg -> not vec.(pos))
+      t.literal_info
+  in
+  let blk_outs = Dpa_logic.Eval.outputs t.blk literal_vec in
+  Array.mapi
+    (fun k v -> match t.assignment.(k) with Phase.Positive -> v | Phase.Negative -> not v)
+    blk_outs

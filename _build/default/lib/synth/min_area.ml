@@ -1,0 +1,43 @@
+module Netlist = Dpa_logic.Netlist
+
+let area_of t assignment = (Inverterless.stats (Inverterless.realize t assignment)).area
+
+let exhaustive t =
+  let n = Netlist.num_outputs t in
+  let best = ref (Phase.all_positive n) in
+  let best_area = ref (area_of t !best) in
+  Seq.iter
+    (fun a ->
+      let area = area_of t a in
+      if area < !best_area then begin
+        best := a;
+        best_area := area
+      end)
+    (Phase.enumerate ~num_outputs:n);
+  !best
+
+let local_search ?start t =
+  let n = Netlist.num_outputs t in
+  let current = ref (match start with Some a -> Array.copy a | None -> Phase.all_positive n) in
+  let current_area = ref (area_of t !current) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_k = ref (-1) and best_area = ref !current_area in
+    for k = 0 to n - 1 do
+      let area = area_of t (Phase.flip_at !current k) in
+      if area < !best_area then begin
+        best_area := area;
+        best_k := k
+      end
+    done;
+    if !best_k >= 0 then begin
+      current := Phase.flip_at !current !best_k;
+      current_area := !best_area;
+      improved := true
+    end
+  done;
+  !current
+
+let best ?(exhaustive_limit = 12) t =
+  if Netlist.num_outputs t <= exhaustive_limit then exhaustive t else local_search t

@@ -1,0 +1,21 @@
+(** Minimum-area phase assignment — the paper's "MA" baseline, i.e. the
+    output-phase algorithm of Puri, Bjorksten & Rosser (ICCAD'96) that
+    minimizes logic duplication with no regard to switching activity.
+
+    Cost of an assignment = {!Inverterless.stats}.area of its realization
+    (domino gates + boundary inverters). *)
+
+val area_of : Dpa_logic.Netlist.t -> Phase.assignment -> int
+
+val exhaustive : Dpa_logic.Netlist.t -> Phase.assignment
+(** Optimal over all [2^n] assignments (first minimum in enumeration
+    order). Raises [Invalid_argument] beyond 24 outputs. *)
+
+val local_search : ?start:Phase.assignment -> Dpa_logic.Netlist.t -> Phase.assignment
+(** Steepest-descent single-output flips from [start] (default all
+    positive) until no flip reduces area. *)
+
+val best : ?exhaustive_limit:int -> Dpa_logic.Netlist.t -> Phase.assignment
+(** [exhaustive] when the output count is at most [exhaustive_limit]
+    (default 12), otherwise [local_search] — mirroring the paper, which ran
+    the optimal algorithm on its (small-PO-count) public circuits. *)

@@ -1,0 +1,28 @@
+(** Two-level resynthesis of output cones via BDD-based ISOP extraction.
+
+    Collapses each primary-output cone with a small enough support to its
+    irredundant sum-of-products and rebuilds it as a two-level (AND-OR)
+    network with structural sharing — the "highly flattened" shape the
+    paper observes in control domino blocks (§4.2.2: "the circuits are
+    highly flattened and a node's average fanout is high"). Cones whose
+    support exceeds the limit keep their multi-level structure. *)
+
+type stats = {
+  collapsed_outputs : int;
+  kept_outputs : int;  (** support too wide, structure preserved *)
+  cubes : int;  (** total ISOP cubes emitted *)
+  literals : int;  (** total ISOP literals *)
+}
+
+val two_level :
+  ?max_support:int -> Dpa_logic.Netlist.t -> Dpa_logic.Netlist.t * stats
+(** Functionally equivalent reconstruction; [max_support] defaults to 12.
+    The result preserves the input interface and output names/order and is
+    domino-ready (AND/OR/NOT only). *)
+
+val factored :
+  ?max_support:int -> Dpa_logic.Netlist.t -> Dpa_logic.Netlist.t * stats
+(** Like {!two_level} but each collapsed cover is algebraically factored
+    ({!Factor}) before rebuilding: the multi-level form never carries more
+    literals than the flat cover, recovering sharing the two-level form
+    spells out. [stats.literals] reports the factored literal count. *)

@@ -1,0 +1,1 @@
+lib/timing/resize.ml: Delay Dpa_domino Dpa_logic Float List Sta

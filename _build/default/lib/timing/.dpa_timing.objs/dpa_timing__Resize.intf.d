@@ -1,0 +1,1 @@
+lib/timing/resize.mli: Delay Dpa_domino

@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Delay Dpa_domino Dpa_logic Dpa_synth Float Hashtbl

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Delay Dpa_domino

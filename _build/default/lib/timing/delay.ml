@@ -1,0 +1,16 @@
+type model = {
+  stage_delay : float;
+  base_delay : float;
+  load_factor : float;
+  inverter_delay : float;
+}
+
+let default =
+  { stage_delay = 0.30; base_delay = 0.50; load_factor = 0.05; inverter_delay = 0.40 }
+
+let cell_intrinsic model cell =
+  match cell with
+  | Dpa_domino.Cell.Dynamic _ | Dpa_domino.Cell.Compound _ ->
+    model.base_delay
+    +. (model.stage_delay *. float_of_int (Dpa_domino.Cell.series_transistors cell))
+  | Dpa_domino.Cell.Static_inverter -> model.inverter_delay

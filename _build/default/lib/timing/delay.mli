@@ -1,0 +1,27 @@
+(** Gate delay model for domino blocks.
+
+    Dynamic-cell delay grows with the pulldown stack depth (AND cells are
+    slower than OR cells — the very asymmetry the paper's penalty [P_i]
+    exists to police) and with the fanout load, and shrinks as a cell is
+    upsized:
+
+    [delay = (intrinsic(cell) + load_factor × fanout_load) / drive]
+
+    where [fanout_load] sums the input capacitance (≈ drive) of reading
+    cells plus the boundary inverter if any. Static inverters have a fixed
+    delay scaled the same way. Units are arbitrary ("gate delays"). *)
+
+type model = {
+  stage_delay : float;  (** per series transistor in the pulldown stack *)
+  base_delay : float;  (** precharge-device and buffer overhead *)
+  load_factor : float;  (** delay per unit of fanout load *)
+  inverter_delay : float;  (** boundary static inverters *)
+}
+
+val default : model
+(** [stage_delay = 0.30], [base_delay = 0.50], [load_factor = 0.05],
+    [inverter_delay = 0.40]. *)
+
+val cell_intrinsic : model -> Dpa_domino.Cell.t -> float
+(** [base + stage × series_transistors] for dynamic cells;
+    [inverter_delay] for the static inverter. *)

@@ -1,0 +1,91 @@
+module Netlist = Dpa_logic.Netlist
+module Mapped = Dpa_domino.Mapped
+module Inverterless = Dpa_synth.Inverterless
+
+type report = {
+  arrival : float array;
+  output_arrival : float array;
+  critical_delay : float;
+  critical_path : int list;
+}
+
+let analyze ?(model = Delay.default) mapped =
+  let net = Mapped.net mapped in
+  let n = Netlist.size net in
+  let fanouts = Dpa_logic.Topo.fanouts net in
+  let assignment = Mapped.assignment mapped in
+  let outs = Netlist.outputs net in
+  (* drives of negative-phase output inverters loading each node *)
+  let inverter_loads = Array.make n 0.0 in
+  Array.iteri
+    (fun k (_, d) ->
+      match assignment.(k) with
+      | Dpa_synth.Phase.Negative -> inverter_loads.(d) <- inverter_loads.(d) +. 1.0
+      | Dpa_synth.Phase.Positive -> ())
+    outs;
+  let fanout_load i =
+    Array.fold_left (fun acc r -> acc +. Mapped.drive mapped r) inverter_loads.(i) fanouts.(i)
+  in
+  let lits = Mapped.literals mapped in
+  let input_pos = Hashtbl.create 16 in
+  Array.iteri (fun pos id -> Hashtbl.replace input_pos id pos) (Netlist.inputs net);
+  let arrival = Array.make n 0.0 in
+  Netlist.iter_nodes
+    (fun i g ->
+      match Mapped.cell_of_node mapped i with
+      | Some cell ->
+        let worst_fanin =
+          Array.fold_left (fun acc x -> Float.max acc arrival.(x)) 0.0 (Dpa_logic.Gate.fanins g)
+        in
+        let delay =
+          (Delay.cell_intrinsic model cell +. (model.Delay.load_factor *. fanout_load i))
+          /. Mapped.drive mapped i
+        in
+        arrival.(i) <- worst_fanin +. delay
+      | None -> (
+        let fis = Dpa_logic.Gate.fanins g in
+        if Array.length fis > 0 then
+          (* an AND absorbed into a compound cell: part of the consuming
+             cell's pulldown network, no stage delay of its own *)
+          arrival.(i) <- Array.fold_left (fun acc x -> Float.max acc arrival.(x)) 0.0 fis
+        else
+          match Hashtbl.find_opt input_pos i with
+          | Some pos ->
+            let _, pol = lits.(pos) in
+            arrival.(i) <-
+              (match pol with
+              | Inverterless.Neg -> model.Delay.inverter_delay
+              | Inverterless.Pos -> 0.0)
+          | None -> arrival.(i) <- 0.0 (* constant *)))
+    net;
+  let output_arrival =
+    Array.mapi
+      (fun k (_, d) ->
+        arrival.(d)
+        +.
+        match assignment.(k) with
+        | Dpa_synth.Phase.Negative -> model.Delay.inverter_delay
+        | Dpa_synth.Phase.Positive -> 0.0)
+      outs
+  in
+  let critical_delay = Array.fold_left Float.max 0.0 output_arrival in
+  let critical_path =
+    if Array.length outs = 0 then []
+    else begin
+      let worst_po = ref 0 in
+      Array.iteri (fun k a -> if a > output_arrival.(!worst_po) then worst_po := k) output_arrival;
+      let _, start = outs.(!worst_po) in
+      let rec back node acc =
+        let acc = node :: acc in
+        let fis = Netlist.fanins net node in
+        if Array.length fis = 0 then acc
+        else begin
+          let worst = ref fis.(0) in
+          Array.iter (fun x -> if arrival.(x) > arrival.(!worst) then worst := x) fis;
+          back !worst acc
+        end
+      in
+      back start []
+    end
+  in
+  { arrival; output_arrival; critical_delay; critical_path }

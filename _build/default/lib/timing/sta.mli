@@ -1,0 +1,16 @@
+(** Static timing analysis of mapped domino blocks.
+
+    Domino blocks are glitch-free and monotone, so a single longest-path
+    arrival-time propagation is exact. Complemented primary-input literals
+    arrive one inverter later than true literals; negative-phase outputs
+    pay one inverter after the block — phase assignment therefore has a
+    real timing cost, which the Table 2 experiments exercise. *)
+
+type report = {
+  arrival : float array;  (** per block-net node *)
+  output_arrival : float array;  (** per PO, inverter included *)
+  critical_delay : float;  (** max over outputs *)
+  critical_path : int list;  (** node ids, input to output *)
+}
+
+val analyze : ?model:Delay.model -> Dpa_domino.Mapped.t -> report

@@ -1,0 +1,1 @@
+lib/util/bitset.ml: Bytes Int64 List Printf

@@ -1,0 +1,78 @@
+type t = {
+  words : Bytes.t; (* packed little-endian 64-bit words *)
+  n : int;
+}
+
+let bits_per_word = 64
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  assert (n >= 0);
+  { words = Bytes.make (8 * max (word_count n) 1) '\000'; n }
+
+let universe_size t = t.n
+
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let get_word t i = Bytes.get_int64_le t.words (8 * i)
+
+let set_word t i v = Bytes.set_int64_le t.words (8 * i) v
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset: %d outside universe [0,%d)" i t.n)
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  set_word t w (Int64.logor (get_word t w) (Int64.shift_left 1L b))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  set_word t w (Int64.logand (get_word t w) (Int64.lognot (Int64.shift_left 1L b)))
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  Int64.logand (Int64.shift_right_logical (get_word t w) b) 1L = 1L
+
+let popcount x =
+  let rec go x acc = if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+  go x 0
+
+let cardinal t =
+  let c = ref 0 in
+  for i = 0 to word_count t.n - 1 do
+    c := !c + popcount (get_word t i)
+  done;
+  !c
+
+let same_universe a b =
+  if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let union_into dst src =
+  same_universe dst src;
+  for i = 0 to word_count dst.n - 1 do
+    set_word dst i (Int64.logor (get_word dst i) (get_word src i))
+  done
+
+let inter_cardinal a b =
+  same_universe a b;
+  let c = ref 0 in
+  for i = 0 to word_count a.n - 1 do
+    c := !c + popcount (Int64.logand (get_word a i) (get_word b i))
+  done;
+  !c
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words

@@ -1,0 +1,36 @@
+(** Fixed-universe bit sets.
+
+    Transitive-fanin cones and cone overlaps ([O(i,j)] in the paper's cost
+    function) are computed over node ids of a fixed netlist, so a dense
+    bitset gives linear-time unions and intersections. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty subset of [{0, …, n-1}]. *)
+
+val universe_size : t -> int
+
+val copy : t -> t
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src]. Universes must match. *)
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [|a ∩ b|] without allocating the intersection. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Visits members in increasing order. *)
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val equal : t -> t -> bool

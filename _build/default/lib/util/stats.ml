@@ -1,0 +1,19 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percent_change ~from ~to_ =
+  if from = 0.0 then 0.0 else (from -. to_) /. from *. 100.0
+
+let relative_error ~expected ~actual =
+  let denom = Float.max (Float.abs expected) 1e-12 in
+  Float.abs (expected -. actual) /. denom
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)

@@ -1,0 +1,16 @@
+(** Small statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percent_change : from:float -> to_:float -> float
+(** [(from - to_) / from * 100]. The paper's "% Pwr Sav." and (negated)
+    "% Area Pen." columns. Returns 0 when [from = 0]. *)
+
+val relative_error : expected:float -> actual:float -> float
+(** [|expected - actual| / max |expected| eps]. *)
+
+val clamp : lo:float -> hi:float -> float -> float

@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Separator -> ws
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) ws cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 256 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iter2
+      (fun (w, a) c -> Buffer.add_string buf ("| " ^ pad a w c ^ " "))
+      (List.combine widths t.aligns)
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Cells cells -> line cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int = string_of_int

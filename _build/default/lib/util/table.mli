@@ -1,0 +1,26 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every reproduced table/figure is printed as an aligned ASCII table so
+    the bench output can be compared side by side with the paper. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** Row length must match the number of columns. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val cell_int : int -> string

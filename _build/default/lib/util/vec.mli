@@ -1,0 +1,32 @@
+(** Growable arrays.
+
+    Netlists, BDD node tables and gate lists all grow monotonically; this is
+    the shared backing structure. Indices are stable once assigned. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused capacity and
+    is never observable through the API. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked access. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the live elements. *)
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val clear : 'a t -> unit
+(** Removes all elements; capacity is retained. *)

@@ -1,0 +1,1 @@
+lib/workload/examples.ml: Array Dpa_logic Dpa_seq List Printf

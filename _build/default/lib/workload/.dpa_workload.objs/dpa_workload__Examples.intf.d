@@ -1,0 +1,1 @@
+lib/workload/examples.mli: Dpa_logic Dpa_seq

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dpa_logic Dpa_seq Dpa_util List Printf

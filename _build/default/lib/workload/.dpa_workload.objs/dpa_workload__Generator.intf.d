@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Dpa_logic Dpa_seq

@@ -1,0 +1,1 @@
+lib/workload/profiles.mli: Generator

@@ -1,0 +1,148 @@
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+
+let fig5 () =
+  let t = Netlist.create ~name:"fig5" () in
+  let a = Netlist.add_input ~name:"a" t in
+  let b = Netlist.add_input ~name:"b" t in
+  let c = Netlist.add_input ~name:"c" t in
+  let d = Netlist.add_input ~name:"d" t in
+  let ab = Netlist.add_gate ~name:"ab" t (Gate.Or [| a; b |]) in
+  let cd = Netlist.add_gate ~name:"cd" t (Gate.And [| c; d |]) in
+  let prod = Netlist.add_gate ~name:"prod" t (Gate.And [| ab; cd |]) in
+  let f = Netlist.add_gate ~name:"f" t (Gate.Not prod) in
+  let g = Netlist.add_gate ~name:"g" t (Gate.Or [| ab; cd |]) in
+  Netlist.add_output t "f" f;
+  Netlist.add_output t "g" g;
+  t
+
+let fig10 () =
+  let t = Netlist.create ~name:"fig10" () in
+  let x = Array.init 5 (fun k -> Netlist.add_input ~name:(Printf.sprintf "x%d" (k + 1)) t) in
+  let p = Netlist.add_gate ~name:"P" t (Gate.And [| x.(0); x.(1); x.(2) |]) in
+  let q = Netlist.add_gate ~name:"Q" t (Gate.And [| x.(2); x.(3) |]) in
+  let r = Netlist.add_gate ~name:"R" t (Gate.Or [| p; q; x.(4) |]) in
+  Netlist.add_output t "P" p;
+  Netlist.add_output t "Q" q;
+  Netlist.add_output t "R" r;
+  t
+
+let fig9_sgraph () =
+  let g = Dpa_seq.Sgraph.create 5 in
+  (* indices: A=0, B=1, C=2, D=3, E=4 *)
+  let abe = [ 0; 1; 4 ] and cd = [ 2; 3 ] in
+  List.iter (fun u -> List.iter (fun v -> Dpa_seq.Sgraph.add_edge g u v) cd) abe;
+  List.iter (fun u -> List.iter (fun v -> Dpa_seq.Sgraph.add_edge g u v) abe) cd;
+  g
+
+let decoder ~bits =
+  if bits < 1 || bits > 8 then invalid_arg "Examples.decoder: bits must be in [1, 8]";
+  let t = Netlist.create ~name:(Printf.sprintf "decode%d" bits) () in
+  let addr = Array.init bits (fun k -> Netlist.add_input ~name:(Printf.sprintf "a%d" k) t) in
+  let naddr = Array.map (fun a -> Netlist.add_gate t (Gate.Not a)) addr in
+  for m = 0 to (1 lsl bits) - 1 do
+    let literals =
+      Array.init bits (fun k -> if (m lsr k) land 1 = 1 then addr.(k) else naddr.(k))
+    in
+    let term =
+      if bits = 1 then literals.(0) else Netlist.add_gate t (Gate.And literals)
+    in
+    Netlist.add_output t (Printf.sprintf "y%d" m) term
+  done;
+  t
+
+let priority_arbiter ~width =
+  if width < 2 then invalid_arg "Examples.priority_arbiter: width must be at least 2";
+  let t = Netlist.create ~name:(Printf.sprintf "arb%d" width) () in
+  let req =
+    Array.init width (fun k -> Netlist.add_input ~name:(Printf.sprintf "req%d" k) t)
+  in
+  let nreq = Array.map (fun r -> Netlist.add_gate t (Gate.Not r)) req in
+  Netlist.add_output t "gnt0" req.(0);
+  for k = 1 to width - 1 do
+    let blockers = Array.init k (fun j -> nreq.(j)) in
+    let gnt = Netlist.add_gate t (Gate.And (Array.append [| req.(k) |] blockers)) in
+    Netlist.add_output t (Printf.sprintf "gnt%d" k) gnt
+  done;
+  Netlist.add_output t "busy" (Netlist.add_gate t (Gate.Or req));
+  t
+
+let carry_chain ~width =
+  if width < 1 then invalid_arg "Examples.carry_chain: width must be at least 1";
+  let t = Netlist.create ~name:(Printf.sprintf "cla%d" width) () in
+  let a = Array.init width (fun k -> Netlist.add_input ~name:(Printf.sprintf "a%d" k) t) in
+  let b = Array.init width (fun k -> Netlist.add_input ~name:(Printf.sprintf "b%d" k) t) in
+  let cin = Netlist.add_input ~name:"cin" t in
+  let carry = ref cin in
+  for k = 0 to width - 1 do
+    let g = Netlist.add_gate ~name:(Printf.sprintf "g%d" k) t (Gate.And [| a.(k); b.(k) |]) in
+    let p = Netlist.add_gate ~name:(Printf.sprintf "p%d" k) t (Gate.Xor (a.(k), b.(k))) in
+    let sum = Netlist.add_gate t (Gate.Xor (p, !carry)) in
+    Netlist.add_output t (Printf.sprintf "s%d" k) sum;
+    let pc = Netlist.add_gate t (Gate.And [| p; !carry |]) in
+    carry := Netlist.add_gate t (Gate.Or [| g; pc |])
+  done;
+  Netlist.add_output t "cout" !carry;
+  t
+
+let ring_counter ~n =
+  if n < 2 then invalid_arg "Examples.ring_counter: need at least 2 stages";
+  let t = Netlist.create ~name:(Printf.sprintf "ring%d" n) () in
+  let en = Netlist.add_input ~name:"en" t in
+  let q = Array.init n (fun k -> Netlist.add_input ~name:(Printf.sprintf "q%d" k) t) in
+  let gated = Netlist.add_gate ~name:"gated" t (Gate.And [| q.(n - 1); en |]) in
+  Netlist.add_output t "head" q.(0);
+  let ffs =
+    Array.init n (fun k ->
+        if k = 0 then { Dpa_seq.Seq_netlist.data = gated; init = true }
+        else { Dpa_seq.Seq_netlist.data = q.(k - 1); init = false })
+  in
+  Dpa_seq.Seq_netlist.create ~comb:t ~n_real_inputs:1 ~ffs
+
+let replicated_bank_ring ~banks ~width =
+  if banks < 2 || width < 1 then
+    invalid_arg "Examples.replicated_bank_ring: need banks >= 2 and width >= 1";
+  let t = Netlist.create ~name:(Printf.sprintf "bankring%dx%d" banks width) () in
+  let en = Netlist.add_input ~name:"en" t in
+  let qs =
+    Array.init banks (fun b ->
+        Array.init width (fun k ->
+            Netlist.add_input ~name:(Printf.sprintf "q%d_%d" b k) t))
+  in
+  (* one OR gate consolidates each bank; the next bank's flip-flops all
+     latch the same gated copy of it *)
+  let bank_out = Array.map (fun bank -> Netlist.add_gate t (Gate.Or bank)) qs in
+  let data =
+    Array.init banks (fun b ->
+        let prev = bank_out.((b + banks - 1) mod banks) in
+        Netlist.add_gate t (Gate.And [| prev; en |]))
+  in
+  Netlist.add_output t "ring" bank_out.(0);
+  let ffs =
+    Array.init (banks * width) (fun i ->
+        let b = i / width in
+        { Dpa_seq.Seq_netlist.data = data.(b); init = b = 0 })
+  in
+  Dpa_seq.Seq_netlist.create ~comb:t ~n_real_inputs:1 ~ffs
+
+let fig7_sequential () =
+  let t = Netlist.create ~name:"fig7" () in
+  let x = Netlist.add_input ~name:"x" t in
+  let q0 = Netlist.add_input ~name:"q0" t in
+  let q1 = Netlist.add_input ~name:"q1" t in
+  let q2 = Netlist.add_input ~name:"q2" t in
+  let nx = Netlist.add_gate ~name:"nx" t (Gate.Not x) in
+  let d0 = Netlist.add_gate ~name:"d0" t (Gate.And [| q1; x |]) in
+  let d1 = Netlist.add_gate ~name:"d1" t (Gate.Or [| q0; q2 |]) in
+  let d2 = Netlist.add_gate ~name:"d2" t (Gate.And [| q1; nx |]) in
+  let y = Netlist.add_gate ~name:"y" t (Gate.Or [| d0; d2 |]) in
+  Netlist.add_output t "y" y;
+  (* ff1 starts hot so the coupled loops oscillate instead of settling in
+     the dead all-zero state: q1 is high on alternate cycles (P = 1/2) and
+     q0/q2 follow with P = 1/4 each *)
+  let ffs =
+    [| { Dpa_seq.Seq_netlist.data = d0; init = false };
+       { Dpa_seq.Seq_netlist.data = d1; init = true };
+       { Dpa_seq.Seq_netlist.data = d2; init = false } |]
+  in
+  Dpa_seq.Seq_netlist.create ~comb:t ~n_real_inputs:1 ~ffs

@@ -1,0 +1,60 @@
+(** The paper's worked examples, reconstructed as concrete circuits.
+
+    The Fig. 3/5 functions are recovered from the printed switching
+    numbers: with input probability 0.9, realization 1's domino block
+    totals 3.6 (= .99 + .81 + .8019 + .9981) with an output inverter at
+    .8019, and realization 2 totals .40 (= .01 + .19 + .1981 + .0019) with
+    an output inverter at .0019 and four input inverters at .18 — which
+    pins the functions to [f = ¬((a+b)·(c·d))] and [g = (a+b)+(c·d)].
+
+    The Fig. 10 circuit is pinned the same way by its BDD node counts
+    (7 / 11 / 9 under the three variable orders) to [P = x1·x2·x3],
+    [Q = x3·x4], [R = P + Q + x5]. *)
+
+val fig5 : unit -> Dpa_logic.Netlist.t
+(** Inputs [a b c d]; outputs [f] then [g]. Realization 1 of Fig. 5 is
+    the phase assignment [f: Negative, g: Positive]; realization 2 is
+    [f: Positive, g: Negative]. *)
+
+val fig10 : unit -> Dpa_logic.Netlist.t
+(** Inputs [x1 … x5]; outputs [P], [Q], [R] in order. *)
+
+val fig9_sgraph : unit -> Dpa_seq.Sgraph.t
+(** The strongly connected 5-vertex s-graph of Fig. 9: vertices
+    [A B C D E] (indices 0–4) where [{A,B,E}] share fanins/fanouts
+    [{C,D}] and vice versa, so symmetrization forms supervertices
+    [ABE] (weight 3) and [CD] (weight 2). *)
+
+val decoder : bits:int -> Dpa_logic.Netlist.t
+(** A full [bits → 2^bits] address decoder — the canonical domino
+    workload: wide AND terms over both input polarities, one-hot outputs
+    with signal probability [2^-bits] each. Raises beyond 8 bits. *)
+
+val priority_arbiter : width:int -> Dpa_logic.Netlist.t
+(** Fixed-priority arbiter: [grant_i = req_i ∧ ¬req_{i-1} ∧ … ∧ ¬req_0],
+    plus a [busy] output ORing all requests. AND-chains deepen with the
+    index, giving strongly skewed per-output cone statistics. *)
+
+val carry_chain : width:int -> Dpa_logic.Netlist.t
+(** Ripple carry-lookahead slice: per-bit generate/propagate feeding a
+    carry chain [c_{i+1} = g_i ∨ (p_i ∧ c_i)], outputs the sum bits and
+    the final carry — deep reconvergent cones over shared
+    generate/propagate terms. Inputs: [a0…], [b0…], [cin]. *)
+
+val ring_counter : n:int -> Dpa_seq.Seq_netlist.t
+(** A one-hot ring of [n] flip-flops with an enable input — a minimal
+    sequential circuit whose s-graph is a single cycle (MFVS size 1). *)
+
+val replicated_bank_ring : banks:int -> width:int -> Dpa_seq.Seq_netlist.t
+(** A ring of [banks] register banks, each holding [width] flip-flops that
+    latch the {e same} duplicated next-state function and feed the {e
+    same} downstream gate — the structure domino duplication creates
+    (paper §4.2.1). Every bank's flip-flops share fanins and fanouts, so
+    the symmetry transformation collapses each bank into one weight-
+    [width] supervertex; classical vertex-at-a-time greedy tends to
+    scatter its picks across banks instead. *)
+
+val fig7_sequential : unit -> Dpa_seq.Seq_netlist.t
+(** A small multi-loop sequential circuit in the spirit of Fig. 7: one
+    flip-flop lies on every cycle, so the ideal partition cuts a single
+    point and the combinational block keeps few pseudo-inputs. *)

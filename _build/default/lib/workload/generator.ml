@@ -1,0 +1,218 @@
+module Netlist = Dpa_logic.Netlist
+module Builder = Dpa_logic.Builder
+module Rng = Dpa_util.Rng
+
+type params = {
+  name : string;
+  seed : int;
+  n_inputs : int;
+  n_outputs : int;
+  support : int;
+  gates_per_output : int;
+  max_fanin : int;
+  and_bias : float;
+  bias_spread : float;
+  inverter_prob : float;
+  reuse_fraction : float;
+}
+
+let default =
+  {
+    name = "synthetic";
+    seed = 1;
+    n_inputs = 16;
+    n_outputs = 4;
+    support = 8;
+    gates_per_output = 10;
+    max_fanin = 3;
+    and_bias = 0.5;
+    bias_spread = 0.0;
+    inverter_prob = 0.25;
+    reuse_fraction = 0.3;
+  }
+
+let validate p =
+  if p.n_inputs < 2 then invalid_arg "Generator: need at least 2 inputs";
+  if p.n_outputs < 1 then invalid_arg "Generator: need at least 1 output";
+  if p.support < 2 || p.support > p.n_inputs then
+    invalid_arg "Generator: support must be in [2, n_inputs]";
+  if p.max_fanin < 2 then invalid_arg "Generator: max_fanin must be at least 2";
+  if p.gates_per_output < 1 then invalid_arg "Generator: need at least 1 gate per output"
+
+(* Recency-biased index into a pool of [n] candidates: squaring the
+   uniform draw favours recently created nodes, which deepens cones. *)
+let biased_index rng n =
+  let u = Rng.float rng 1.0 in
+  let k = int_of_float (u *. u *. float_of_int n) in
+  min (n - 1) k
+
+(* The node [id] may have been simplified to something already in use; a
+   proper gate output is guaranteed by combining with fresh literals. *)
+let is_proper_gate net id =
+  match Netlist.gate net id with
+  | Dpa_logic.Gate.And _ | Dpa_logic.Gate.Or _ | Dpa_logic.Gate.Not _ -> true
+  | Dpa_logic.Gate.Input | Dpa_logic.Gate.Const _ | Dpa_logic.Gate.Buf _
+  | Dpa_logic.Gate.Xor _ -> false
+
+let build_into b ~inputs p =
+  let rng = Rng.create p.seed in
+  (* Shallow gates (created early in the previous cone, near the inputs)
+     are the sharing currency between neighbouring outputs: real control
+     logic shares decoded product terms, not whole deep subtrees, and deep
+     sharing would make every phase flip pay duplication across many
+     cones at once. *)
+  let prev_shallow = ref [] in
+  let window_of j =
+    let span = p.n_inputs - p.support in
+    let offset = if p.n_outputs <= 1 then 0 else j * span / (p.n_outputs - 1) in
+    Array.sub inputs offset p.support
+  in
+  let outputs = ref [] in
+  for j = 0 to p.n_outputs - 1 do
+    (* alternating the AND/OR mix across outputs gives neighbouring cones
+       opposed probability skews, so the power-optimal phases disagree and
+       shared logic gets duplicated — the frg1 signature of the paper *)
+    let bias =
+      let delta = if j mod 2 = 0 then -.p.bias_spread else p.bias_spread in
+      Dpa_util.Stats.clamp ~lo:0.05 ~hi:0.95 (p.and_bias +. delta)
+    in
+    let gate_of rng operands =
+      if Rng.bernoulli rng bias then Builder.and_ b operands else Builder.or_ b operands
+    in
+    let window = window_of j in
+    let shared = Array.of_list !prev_shallow in
+    let avail = ref (Array.to_list window) in
+    let avail_len = ref (List.length !avail) in
+    (* an operand is either a reused subfunction from the previous cone
+       (with probability reuse_fraction) or a recency-biased local pick *)
+    let pick () =
+      if Array.length shared > 0 && Rng.bernoulli rng p.reuse_fraction then
+        shared.(Rng.int rng (Array.length shared))
+      else begin
+        let idx = !avail_len - 1 - biased_index rng !avail_len in
+        List.nth !avail idx
+      end
+    in
+    (* Gates created for this output that no later gate has read yet; new
+       gates consume from here first so the whole cone stays live (real
+       netlists have no dead logic, and dead gates would vanish in the
+       technology-independent optimization anyway). *)
+    let unused = ref [] in
+    let take_operand () =
+      match !unused with
+      | head :: rest when Rng.bernoulli rng 0.8 ->
+        unused := rest;
+        head
+      | _ :: _ | [] -> pick ()
+    in
+    let maybe_invert op =
+      if Rng.bernoulli rng p.inverter_prob then Builder.not_ b op else op
+    in
+    (* The structurally hashed builder folds complementary operand pairs to
+       constants; retrying with fresh operands keeps the cone alive
+       instead of letting an absorbed constant swallow it. *)
+    let non_constant_gate () =
+      let net = Builder.finish b in
+      let rec attempt tries =
+        let width = 2 + Rng.int rng (p.max_fanin - 1) in
+        let operands = List.init width (fun _ -> maybe_invert (take_operand ())) in
+        let id = gate_of rng operands in
+        match Netlist.gate net id with
+        | Dpa_logic.Gate.Const _ when tries > 0 -> attempt (tries - 1)
+        | Dpa_logic.Gate.Const _ | Dpa_logic.Gate.Input | Dpa_logic.Gate.Buf _
+        | Dpa_logic.Gate.Not _ | Dpa_logic.Gate.And _ | Dpa_logic.Gate.Or _
+        | Dpa_logic.Gate.Xor _ -> id
+      in
+      attempt 8
+    in
+    let last = ref window.(0) in
+    let created_this = ref [] in
+    for _ = 1 to p.gates_per_output do
+      let id = non_constant_gate () in
+      if not (is_proper_gate (Builder.finish b) id) then ()
+      else begin
+        last := id;
+        unused := id :: List.filter (fun u -> u <> id) !unused;
+        avail := !avail @ [ id ];
+        incr avail_len;
+        created_this := id :: !created_this
+      end
+    done;
+    (* sweep the stragglers into the output cone *)
+    let out = ref !last in
+    let rec sweep () =
+      let stragglers = List.filter (fun u -> u <> !out) !unused in
+      match stragglers with
+      | [] -> ()
+      | _ :: _ ->
+        let rec chunks = function
+          | [] -> []
+          | rest ->
+            let width = min (List.length rest) (1 + Rng.int rng p.max_fanin) in
+            let rec split n = function
+              | xs when n = 0 -> ([], xs)
+              | [] -> ([], [])
+              | x :: xs ->
+                let taken, left = split (n - 1) xs in
+                (x :: taken, left)
+            in
+            let taken, left = split width rest in
+            taken :: chunks left
+        in
+        unused := [];
+        List.iter (fun chunk -> out := gate_of rng (!out :: chunk)) (chunks stragglers);
+        sweep ()
+    in
+    sweep ();
+    (* guarantee a proper, window-dependent gate at the output *)
+    let guard = ref 0 in
+    let net = Builder.finish b in
+    while (not (is_proper_gate net !out)) && !guard < 16 do
+      incr guard;
+      let x1 = window.(Rng.int rng (Array.length window)) in
+      let x2 = window.(Rng.int rng (Array.length window)) in
+      out := Builder.or_ b [ !out; Builder.and_ b [ x1; x2 ] ]
+    done;
+    (* only the earliest (shallowest) gates of this cone are offered for
+       reuse by the next output *)
+    let shallow_count =
+      max 1 (int_of_float (p.reuse_fraction *. float_of_int p.gates_per_output))
+    in
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    prev_shallow := take shallow_count (List.rev !created_this);
+    outputs := (Printf.sprintf "po%d" j, !out) :: !outputs
+  done;
+  List.iter (fun (name, id) -> Builder.output b name id) (List.rev !outputs)
+
+let combinational p =
+  validate p;
+  let b = Builder.create ~name:p.name () in
+  let inputs =
+    Array.init p.n_inputs (fun k -> Builder.input ~name:(Printf.sprintf "pi%d" k) b)
+  in
+  build_into b ~inputs p;
+  Builder.finish b
+
+let sequential p ~n_ffs =
+  validate p;
+  if n_ffs < 1 then invalid_arg "Generator.sequential: need at least 1 flip-flop";
+  let b = Builder.create ~name:p.name () in
+  let real = Array.init p.n_inputs (fun k -> Builder.input ~name:(Printf.sprintf "pi%d" k) b) in
+  let qs = Array.init n_ffs (fun k -> Builder.input ~name:(Printf.sprintf "q%d" k) b) in
+  let p' = { p with n_inputs = p.n_inputs + n_ffs } in
+  build_into b ~inputs:(Array.append real qs) p';
+  let net = Builder.finish b in
+  (* D pins tap random proper gates (deterministically from the seed) *)
+  let rng = Rng.create (p.seed lxor 0x5EC1) in
+  let gates = ref [] in
+  Netlist.iter_nodes (fun i _ -> if is_proper_gate net i then gates := i :: !gates) net;
+  let gate_arr = Array.of_list !gates in
+  if Array.length gate_arr = 0 then invalid_arg "Generator.sequential: no gates generated";
+  let ffs =
+    Array.init n_ffs (fun _ ->
+        { Dpa_seq.Seq_netlist.data = Rng.pick rng gate_arr; init = false })
+  in
+  Dpa_seq.Seq_netlist.create ~comb:net ~n_real_inputs:p.n_inputs ~ffs

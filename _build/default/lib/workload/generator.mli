@@ -1,0 +1,45 @@
+(** Seeded synthetic circuit generator.
+
+    The MCNC benchmarks and Intel control blocks of the paper's tables are
+    not redistributable, so experiments run on synthetic multi-level
+    networks that reproduce the structural features phase assignment is
+    sensitive to:
+
+    - each output's cone draws from a sliding {e window} of inputs, so
+      cone supports are bounded (keeping exact BDD probabilities cheap)
+      while neighbouring cones overlap — the [O(i,j)] duplication term;
+    - a pool of shared subfunctions is reused across outputs (trapped
+      inverters and duplication appear exactly as in real netlists);
+    - AND/OR bias and per-edge inverter probability skew internal signal
+      probabilities away from ½, which is what makes phase choice matter. *)
+
+type params = {
+  name : string;
+  seed : int;
+  n_inputs : int;
+  n_outputs : int;
+  support : int;  (** window width (inputs per output cone) *)
+  gates_per_output : int;
+  max_fanin : int;  (** 2 … k *)
+  and_bias : float;  (** probability a new gate is AND *)
+  bias_spread : float;
+      (** alternating per-output offset applied to [and_bias] (even
+          outputs lean OR, odd outputs lean AND), giving neighbouring
+          cones opposed probability skews *)
+  inverter_prob : float;  (** probability an operand edge is complemented *)
+  reuse_fraction : float;  (** share of operands drawn from earlier cones *)
+}
+
+val default : params
+(** 16 inputs, 4 outputs, support 8, 10 gates/output, fanin ≤ 3,
+    balanced AND/OR, no bias spread, inverter 0.25, reuse 0.3, seed 1. *)
+
+val combinational : params -> Dpa_logic.Netlist.t
+(** Deterministic in [params] (including [seed]). Outputs are named
+    [po0 … poN-1] and are always proper gates (never a bare input or
+    constant). *)
+
+val sequential : params -> n_ffs:int -> Dpa_seq.Seq_netlist.t
+(** Adds [n_ffs] flip-flops whose Q pins participate as extra inputs and
+    whose D pins tap random internal nodes, yielding s-graphs with real
+    cycle structure. *)

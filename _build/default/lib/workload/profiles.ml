@@ -1,0 +1,110 @@
+type t = {
+  params : Generator.params;
+  description : string;
+  pair_limit : int option;
+  timed : bool;
+}
+
+(* Control-logic house style: OR-leaning gate mix and sparse internal
+   inverters keep cone signal probabilities skewed away from ½ (so phase
+   choice matters), while pool reuse couples neighbouring cones (so
+   conflicting phases pay real duplication) — the two forces the paper's
+   heuristic trades off. *)
+let control ~name ~seed ~n_inputs ~n_outputs ~support ~gates_per_output ?(and_bias = 0.35)
+    ?(bias_spread = 0.0) ?(inverter_prob = 0.12) ?(reuse_fraction = 0.45) ?(max_fanin = 4) () =
+  {
+    Generator.name;
+    seed;
+    n_inputs;
+    n_outputs;
+    support;
+    gates_per_output;
+    max_fanin;
+    and_bias;
+    bias_spread;
+    inverter_prob;
+    reuse_fraction;
+  }
+
+(* PI/PO counts follow the paper's Table 1; gate budgets are calibrated so
+   the minimum-area realization lands near the published MA cell counts. *)
+let industry1 =
+  {
+    params =
+      control ~name:"industry1" ~seed:101 ~n_inputs:127 ~n_outputs:122 ~support:11
+        ~gates_per_output:11 ();
+    description = "Control Logic";
+    pair_limit = Some 1200;
+    timed = false;
+  }
+
+let industry2 =
+  {
+    params =
+      control ~name:"industry2" ~seed:102 ~n_inputs:97 ~n_outputs:86 ~support:12
+        ~gates_per_output:19 ();
+    description = "Control Logic";
+    pair_limit = Some 1200;
+    timed = false;
+  }
+
+let industry3 =
+  {
+    params =
+      control ~name:"industry3" ~seed:103 ~n_inputs:117 ~n_outputs:199 ~support:10
+        ~gates_per_output:7 ();
+    description = "Control Logic";
+    pair_limit = Some 1500;
+    timed = false;
+  }
+
+let apex7 =
+  {
+    params =
+      control ~name:"apex7" ~seed:107 ~n_inputs:79 ~n_outputs:36 ~support:11
+        ~gates_per_output:8 ();
+    description = "Public Domain";
+    pair_limit = None;
+    timed = true;
+  }
+
+let frg1 =
+  {
+    params =
+      control ~name:"frg1" ~seed:111 ~n_inputs:31 ~n_outputs:3 ~support:13
+        ~gates_per_output:33 ~and_bias:0.50 ~bias_spread:0.30 ~inverter_prob:0.0
+        ~reuse_fraction:0.70 ();
+    description = "Public Domain";
+    pair_limit = None;
+    timed = true;
+  }
+
+let x1 =
+  {
+    params =
+      control ~name:"x1" ~seed:113 ~n_inputs:87 ~n_outputs:28 ~support:11
+        ~gates_per_output:9 ();
+    description = "Public Domain";
+    pair_limit = None;
+    timed = true;
+  }
+
+let x3 =
+  {
+    params =
+      control ~name:"x3" ~seed:117 ~n_inputs:235 ~n_outputs:99 ~support:11
+        ~gates_per_output:9 ();
+    description = "Public Domain";
+    pair_limit = Some 2000;
+    timed = true;
+  }
+
+let table1 = [ industry1; industry2; industry3; apex7; frg1; x1; x3 ]
+
+let table2 = [ apex7; frg1; x1; x3 ]
+
+let names = List.map (fun t -> t.params.Generator.name) table1
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun t -> String.lowercase_ascii t.params.Generator.name = lower) table1

@@ -1,0 +1,25 @@
+(** Named benchmark profiles mirroring the paper's Tables 1–2 circuits.
+
+    Each profile fixes the published primary-input/output counts and
+    targets a similar logic volume; the circuits themselves are synthetic
+    (see {!Generator} and DESIGN.md §3 on benchmark substitution).
+    [pair_limit] caps the greedy candidate set on the very wide industry
+    blocks (an engineering knob; [None] = the paper's full pair set). *)
+
+type t = {
+  params : Generator.params;
+  description : string;  (** the paper's "Desc." column *)
+  pair_limit : int option;
+  timed : bool;  (** appears in Table 2 *)
+}
+
+val table1 : t list
+(** Industry 1–3, apex7, frg1, x1, x3 — the Table 1 row set, in order. *)
+
+val table2 : t list
+(** apex7, frg1, x1, x3 — the Table 2 row set. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by profile name. *)
+
+val names : string list

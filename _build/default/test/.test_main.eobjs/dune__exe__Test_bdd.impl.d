@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Dpa_bdd Dpa_logic Dpa_synth Dpa_util Dpa_workload Fun List QCheck2 Testkit

@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Array Dpa_core Dpa_logic Dpa_seq Dpa_util Dpa_workload Printf Testkit

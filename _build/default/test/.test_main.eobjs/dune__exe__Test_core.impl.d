@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dpa_core Dpa_logic Dpa_phase Dpa_seq Dpa_synth Dpa_util Dpa_workload List QCheck2 Seq String Testkit

@@ -1,0 +1,1 @@
+test/test_domino.ml: Alcotest Array Dpa_domino Dpa_logic Dpa_power Dpa_synth Dpa_timing Dpa_workload List Printf Seq Testkit

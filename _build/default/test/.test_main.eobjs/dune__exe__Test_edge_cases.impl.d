@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Dpa_bdd Dpa_domino Dpa_logic Dpa_phase Dpa_power Dpa_seq Dpa_synth Dpa_timing Dpa_util Dpa_workload Float Format List Printf Seq Testkit

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Dpa_logic Dpa_util List String Testkit

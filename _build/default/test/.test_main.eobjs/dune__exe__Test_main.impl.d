@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bdd Test_blif Test_core Test_domino Test_edge_cases Test_logic Test_phase Test_power Test_seq Test_sim Test_synth Test_timing Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_phase.ml: Alcotest Array Dpa_bdd Dpa_logic Dpa_phase Dpa_power Dpa_synth Dpa_timing Dpa_util Dpa_workload Float List Printf QCheck2 Testkit

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Dpa_domino Dpa_logic Dpa_power Dpa_synth Dpa_workload List QCheck2 Testkit

@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Array Dpa_logic Dpa_seq Dpa_util Dpa_workload Float List Printf QCheck2 Testkit

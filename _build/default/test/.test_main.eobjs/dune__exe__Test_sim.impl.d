@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dpa_domino Dpa_logic Dpa_power Dpa_sim Dpa_synth Dpa_util Dpa_workload Float List Printf Testkit

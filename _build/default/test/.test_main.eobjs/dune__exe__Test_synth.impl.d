@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Dpa_logic Dpa_synth Dpa_workload List Seq Testkit

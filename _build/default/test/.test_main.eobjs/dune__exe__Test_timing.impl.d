@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Dpa_domino Dpa_logic Dpa_power Dpa_synth Dpa_timing Float List Testkit

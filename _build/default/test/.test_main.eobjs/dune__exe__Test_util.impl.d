@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dpa_util Float Fun List String Testkit

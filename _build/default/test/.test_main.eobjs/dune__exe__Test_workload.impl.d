@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dpa_core Dpa_logic Dpa_seq Dpa_synth Dpa_workload List Printf QCheck2 Testkit

@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Array Dpa_logic Float Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,260 @@
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+module Cell = Dpa_domino.Cell
+module Library = Dpa_domino.Library
+module Mapped = Dpa_domino.Mapped
+module Phase = Dpa_synth.Phase
+module Inverterless = Dpa_synth.Inverterless
+
+let test_cell_basics () =
+  let a3 = Cell.dynamic Cell.And 3 in
+  Alcotest.(check int) "width" 3 (Cell.width a3);
+  Alcotest.(check int) "series" 3 (Cell.series_transistors a3);
+  Alcotest.(check string) "name" "DAND3" (Cell.name a3);
+  let o4 = Cell.dynamic Cell.Or 4 in
+  Alcotest.(check int) "or series" 1 (Cell.series_transistors o4);
+  Alcotest.(check string) "or name" "DOR4" (Cell.name o4);
+  Alcotest.(check int) "inv width" 1 (Cell.width Cell.Static_inverter);
+  Alcotest.check_raises "width 1 rejected" (Invalid_argument "Cell.dynamic: width 1 < 2")
+    (fun () -> ignore (Cell.dynamic Cell.And 1))
+
+let test_library_limits () =
+  let lib = Library.default in
+  Alcotest.(check bool) "and4 legal" true (Library.legal_width lib Cell.And 4);
+  Alcotest.(check bool) "and5 illegal" false (Library.legal_width lib Cell.And 5);
+  Alcotest.(check bool) "or8 legal" true (Library.legal_width lib Cell.Or 8);
+  Alcotest.(check bool) "or9 illegal" false (Library.legal_width lib Cell.Or 9);
+  Testkit.check_approx "unit cap" 1.0 (lib.Library.capacitance (Cell.dynamic Cell.And 2));
+  Testkit.check_approx "zero penalty" 0.0 (lib.Library.penalty (Cell.dynamic Cell.And 4))
+
+let test_series_penalty () =
+  let lib = Library.with_series_penalty ~per_stage:0.25 Library.default in
+  Testkit.check_approx "and4 penalty" 0.75 (lib.Library.penalty (Cell.dynamic Cell.And 4));
+  Testkit.check_approx "or4 penalty" 0.0 (lib.Library.penalty (Cell.dynamic Cell.Or 4));
+  Testkit.check_approx "inv penalty" 0.0 (lib.Library.penalty Cell.Static_inverter)
+
+let wide_net () =
+  let t = Netlist.create () in
+  let xs = Array.init 10 (fun k -> Netlist.add_input ~name:(Printf.sprintf "x%d" k) t) in
+  let wide_and = Netlist.add_gate t (Gate.And xs) in
+  let wide_or = Netlist.add_gate t (Gate.Or xs) in
+  Netlist.add_output t "f" wide_and;
+  Netlist.add_output t "g" wide_or;
+  t
+
+let test_mapping_width_limits () =
+  let net = wide_net () in
+  let inv = Inverterless.realize net (Phase.all_positive 2) in
+  let mapped = Mapped.map inv in
+  Netlist.iter_nodes
+    (fun i _ ->
+      match Mapped.cell_of_node mapped i with
+      | None -> ()
+      | Some (Cell.Dynamic (Cell.And, w)) ->
+        Alcotest.(check bool) "and width" true (w >= 2 && w <= 4)
+      | Some (Cell.Dynamic (Cell.Or, w)) ->
+        Alcotest.(check bool) "or width" true (w >= 2 && w <= 8)
+      | Some (Cell.Compound _) -> Alcotest.fail "compound without opting in"
+      | Some Cell.Static_inverter -> Alcotest.fail "inverter inside block")
+    (Mapped.net mapped);
+  (* 10-input AND under limit 4 → 4+4+2 then 3: 4 cells; OR → 8+2 then 2: 3 cells *)
+  Alcotest.(check int) "cells" 7 (Mapped.dynamic_cells mapped)
+
+let test_mapping_preserves_function () =
+  let net = wide_net () in
+  Seq.iter
+    (fun assignment ->
+      let inv = Inverterless.realize net assignment in
+      let mapped = Mapped.map inv in
+      let same =
+        Testkit.same_function 10
+          (fun v -> Array.to_list (Dpa_logic.Eval.outputs net v))
+          (fun v -> Array.to_list (Mapped.eval_original_outputs mapped v))
+      in
+      Alcotest.(check bool) (Phase.to_string assignment) true same)
+    (Phase.enumerate ~num_outputs:2)
+
+let test_mapped_size_accounting () =
+  let net = Dpa_synth.Opt.optimize (Dpa_workload.Examples.fig5 ()) in
+  let inv = Inverterless.realize net [| Phase.Positive; Phase.Negative |] in
+  let mapped = Mapped.map inv in
+  Alcotest.(check int) "dynamic" 4 (Mapped.dynamic_cells mapped);
+  Alcotest.(check int) "in invs" 4 (Mapped.input_inverters mapped);
+  Alcotest.(check int) "out invs" 1 (Mapped.output_inverters mapped);
+  Alcotest.(check int) "size" 9 (Mapped.size mapped)
+
+let test_drive_defaults_and_set () =
+  let net = wide_net () in
+  let mapped = Mapped.map (Inverterless.realize net (Phase.all_positive 2)) in
+  Netlist.iter_nodes (fun i _ -> Testkit.check_approx "unit drive" 1.0 (Mapped.drive mapped i))
+    (Mapped.net mapped);
+  Mapped.set_drive mapped 0 2.5;
+  Testkit.check_approx "set drive" 2.5 (Mapped.drive mapped 0);
+  Alcotest.check_raises "positive drives only"
+    (Invalid_argument "Mapped.set_drive: drive must be positive") (fun () ->
+      Mapped.set_drive mapped 0 0.0)
+
+(* property: mapping preserves the function for random netlists and random
+   assignments *)
+let prop_mapping_equivalent =
+  Testkit.qcheck_case ~count:80 ~name:"mapping preserves function"
+    (Testkit.arbitrary_netlist ())
+    (fun net ->
+      let net = Dpa_synth.Opt.optimize net in
+      Seq.for_all
+        (fun assignment ->
+          let mapped = Mapped.map (Inverterless.realize net assignment) in
+          Testkit.same_function (Netlist.num_inputs net)
+            (fun v -> Array.to_list (Dpa_logic.Eval.outputs net v))
+            (fun v -> Array.to_list (Mapped.eval_original_outputs mapped v)))
+        (Phase.enumerate ~num_outputs:(Netlist.num_outputs net)))
+
+(* property: every mapped dynamic cell respects library width limits *)
+let prop_mapping_widths_legal =
+  Testkit.qcheck_case ~count:80 ~name:"mapped widths legal"
+    (Testkit.arbitrary_netlist ())
+    (fun net ->
+      let net = Dpa_synth.Opt.optimize net in
+      let a = Phase.all_positive (Netlist.num_outputs net) in
+      let mapped = Mapped.map (Inverterless.realize net a) in
+      let ok = ref true in
+      Netlist.iter_nodes
+        (fun i _ ->
+          match Mapped.cell_of_node mapped i with
+          | Some (Cell.Dynamic (kind, w)) ->
+            if not (Library.legal_width (Mapped.library mapped) kind w) then ok := false
+          | Some (Cell.Compound _) | Some Cell.Static_inverter -> ok := false
+          | None -> ())
+        (Mapped.net mapped);
+      !ok)
+
+let test_compound_cell_model () =
+  let c = Cell.compound [ 2; 3; 1 ] in
+  Alcotest.(check string) "sorted name" "DAO321" (Cell.name c);
+  Alcotest.(check int) "total width" 6 (Cell.width c);
+  Alcotest.(check int) "deepest leg" 3 (Cell.series_transistors c);
+  Alcotest.check_raises "one leg rejected"
+    (Invalid_argument "Cell.compound: need at least 2 legs") (fun () ->
+      ignore (Cell.compound [ 3 ]))
+
+(* f = (a∧b) ∨ (c∧d∧e) ∨ g : one compound cell when enabled *)
+let aoi_net () =
+  let t = Netlist.create () in
+  let xs = Array.init 6 (fun k -> Netlist.add_input ~name:(Printf.sprintf "x%d" k) t) in
+  let t1 = Netlist.add_gate t (Gate.And [| xs.(0); xs.(1) |]) in
+  let t2 = Netlist.add_gate t (Gate.And [| xs.(2); xs.(3); xs.(4) |]) in
+  let f = Netlist.add_gate t (Gate.Or [| t1; t2; xs.(5) |]) in
+  Netlist.add_output t "f" f;
+  t
+
+let compound_library = Library.with_compound Library.default
+
+let test_compound_absorption () =
+  let net = aoi_net () in
+  let inv = Inverterless.realize net (Phase.all_positive 1) in
+  let plain = Mapped.map inv in
+  let fancy = Mapped.map ~library:compound_library inv in
+  Alcotest.(check int) "plain cells" 3 (Mapped.dynamic_cells plain);
+  Alcotest.(check int) "compound cells" 1 (Mapped.dynamic_cells fancy);
+  (* the OR became a DAO321; the ANDs are absorbed *)
+  let found = ref None in
+  Netlist.iter_nodes
+    (fun i _ ->
+      match Mapped.cell_of_node fancy i with
+      | Some (Cell.Compound legs) -> found := Some legs
+      | Some _ | None -> ())
+    (Mapped.net fancy);
+  (match !found with
+  | Some legs -> Alcotest.(check (list int)) "legs" [ 3; 2; 1 ] (List.sort (fun a b -> compare b a) legs)
+  | None -> Alcotest.fail "no compound cell formed");
+  let absorbed = ref 0 in
+  Netlist.iter_nodes
+    (fun i _ -> if Mapped.is_absorbed fancy i then incr absorbed)
+    (Mapped.net fancy);
+  Alcotest.(check int) "two absorbed" 2 !absorbed
+
+let test_compound_preserves_function () =
+  let net = aoi_net () in
+  let inv = Inverterless.realize net (Phase.all_positive 1) in
+  let fancy = Mapped.map ~library:compound_library inv in
+  let same =
+    Testkit.same_function 6
+      (fun v -> Array.to_list (Dpa_logic.Eval.outputs net v))
+      (fun v -> Array.to_list (Mapped.eval_original_outputs fancy v))
+  in
+  Alcotest.(check bool) "function preserved" true same
+
+let test_compound_reduces_power_and_delay_counts () =
+  let net = aoi_net () in
+  let inv = Inverterless.realize net (Phase.all_positive 1) in
+  let plain = Mapped.map inv in
+  let fancy = Mapped.map ~library:compound_library inv in
+  let probs = Array.make 6 0.5 in
+  let p_plain = (Dpa_power.Estimate.of_mapped ~input_probs:probs plain).Dpa_power.Estimate.total in
+  let p_fancy = (Dpa_power.Estimate.of_mapped ~input_probs:probs fancy).Dpa_power.Estimate.total in
+  Alcotest.(check bool) "less power" true (p_fancy < p_plain);
+  let d_plain = (Dpa_timing.Sta.analyze plain).Dpa_timing.Sta.critical_delay in
+  let d_fancy = (Dpa_timing.Sta.analyze fancy).Dpa_timing.Sta.critical_delay in
+  Alcotest.(check bool) "no slower" true (d_fancy <= d_plain +. 1e-9)
+
+let test_compound_respects_fanout () =
+  (* an AND with fanout 2 must not be absorbed *)
+  let t = Netlist.create () in
+  let a = Netlist.add_input t in
+  let b = Netlist.add_input t in
+  let c = Netlist.add_input t in
+  let ab = Netlist.add_gate t (Gate.And [| a; b |]) in
+  let f = Netlist.add_gate t (Gate.Or [| ab; c |]) in
+  Netlist.add_output t "f" f;
+  Netlist.add_output t "t" ab;
+  let inv = Inverterless.realize t (Phase.all_positive 2) in
+  let fancy = Mapped.map ~library:compound_library inv in
+  Netlist.iter_nodes
+    (fun i _ ->
+      Alcotest.(check bool) "nothing absorbed" false (Mapped.is_absorbed fancy i))
+    (Mapped.net fancy)
+
+(* property: compound mapping preserves functionality *)
+let prop_compound_equivalent =
+  Testkit.qcheck_case ~count:60 ~name:"compound mapping preserves function"
+    (Testkit.arbitrary_netlist ())
+    (fun net ->
+      let net = Dpa_synth.Opt.optimize net in
+      let a = Phase.all_positive (Netlist.num_outputs net) in
+      let mapped = Mapped.map ~library:compound_library (Inverterless.realize net a) in
+      Testkit.same_function (Netlist.num_inputs net)
+        (fun v -> Array.to_list (Dpa_logic.Eval.outputs net v))
+        (fun v -> Array.to_list (Mapped.eval_original_outputs mapped v)))
+
+(* property: compound mapping never increases cells or estimated power *)
+let prop_compound_never_worse =
+  Testkit.qcheck_case ~count:60 ~name:"compound mapping never costs cells or power"
+    (Testkit.arbitrary_netlist ())
+    (fun net ->
+      let net = Dpa_synth.Opt.optimize net in
+      let a = Phase.all_positive (Netlist.num_outputs net) in
+      let inv = Inverterless.realize net a in
+      let plain = Mapped.map inv in
+      let fancy = Mapped.map ~library:compound_library inv in
+      let probs = Array.make (Netlist.num_inputs net) 0.5 in
+      let p0 = (Dpa_power.Estimate.of_mapped ~input_probs:probs plain).Dpa_power.Estimate.total in
+      let p1 = (Dpa_power.Estimate.of_mapped ~input_probs:probs fancy).Dpa_power.Estimate.total in
+      Mapped.size fancy <= Mapped.size plain && p1 <= p0 +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "cell basics" `Quick test_cell_basics;
+    Alcotest.test_case "compound cell model" `Quick test_compound_cell_model;
+    Alcotest.test_case "compound absorption" `Quick test_compound_absorption;
+    Alcotest.test_case "compound function" `Quick test_compound_preserves_function;
+    Alcotest.test_case "compound power/delay" `Quick test_compound_reduces_power_and_delay_counts;
+    Alcotest.test_case "compound fanout rule" `Quick test_compound_respects_fanout;
+    prop_compound_equivalent;
+    prop_compound_never_worse;
+    Alcotest.test_case "library limits" `Quick test_library_limits;
+    Alcotest.test_case "series penalty" `Quick test_series_penalty;
+    Alcotest.test_case "mapping width limits" `Quick test_mapping_width_limits;
+    Alcotest.test_case "mapping preserves function" `Quick test_mapping_preserves_function;
+    Alcotest.test_case "size accounting" `Quick test_mapped_size_accounting;
+    Alcotest.test_case "drive set/get" `Quick test_drive_defaults_and_set;
+    prop_mapping_equivalent;
+    prop_mapping_widths_legal ]

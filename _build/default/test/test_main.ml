@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "dpa"
+    [ ("util", Test_util.suite);
+      ("logic", Test_logic.suite);
+      ("blif", Test_blif.suite);
+      ("bdd", Test_bdd.suite);
+      ("synth", Test_synth.suite);
+      ("domino", Test_domino.suite);
+      ("power", Test_power.suite);
+      ("seq", Test_seq.suite);
+      ("phase", Test_phase.suite);
+      ("timing", Test_timing.suite);
+      ("sim", Test_sim.suite);
+      ("workload", Test_workload.suite);
+      ("core", Test_core.suite);
+      ("edge-cases", Test_edge_cases.suite) ]

@@ -1,0 +1,368 @@
+module Netlist = Dpa_logic.Netlist
+module Phase = Dpa_synth.Phase
+module Cost = Dpa_phase.Cost
+module Measure = Dpa_phase.Measure
+module Greedy = Dpa_phase.Greedy
+module Exhaustive = Dpa_phase.Exhaustive
+module Annealing = Dpa_phase.Annealing
+module Optimizer = Dpa_phase.Optimizer
+
+let fig5 () = Dpa_synth.Opt.optimize (Dpa_workload.Examples.fig5 ())
+
+let test_property_4_1 () =
+  (* Property 4.1: flipping an output's phase complements the average cone
+     probability used by the cost function *)
+  let net = fig5 () in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:(Array.make 4 0.9) net in
+  let a_pos = Cost.averages cost ~base_probs:base (Phase.all_positive 2) in
+  let a_neg = Cost.averages cost ~base_probs:base [| Phase.Negative; Phase.Negative |] in
+  Testkit.check_approx "A0 complements" (1.0 -. a_pos.(0)) a_neg.(0);
+  Testkit.check_approx "A1 complements" (1.0 -. a_pos.(1)) a_neg.(1)
+
+let test_cost_formulas () =
+  (* hand-checkable instance: |D0| = 2, |D1| = 3, O = 0.2, A = (0.8, 0.4) *)
+  let t = Netlist.create () in
+  let a = Netlist.add_input t in
+  let b = Netlist.add_input t in
+  let g0 = Netlist.add_gate t (Dpa_logic.Gate.And [| a; b |]) in
+  let g1 = Netlist.add_gate t (Dpa_logic.Gate.Or [| a; g0 |]) in
+  Netlist.add_output t "f" g0;
+  Netlist.add_output t "g" g1;
+  let cost = Cost.make t in
+  Alcotest.(check int) "|D0|" 3 (Cost.cone_size cost 0);
+  Alcotest.(check int) "|D1|" 4 (Cost.cone_size cost 1);
+  (* D0 = {a,b,g0}, D1 = {a,b,g0,g1}: overlap = 3/7 *)
+  Testkit.check_approx "overlap" (3.0 /. 7.0) (Cost.overlap cost 0 1);
+  let averages = [| 0.8; 0.4 |] in
+  let d0 = 3.0 and d1 = 4.0 and o = 3.0 /. 7.0 in
+  Testkit.check_approx "K(++)"
+    ((d0 *. 0.8) +. (d1 *. 0.4) +. (0.5 *. o *. (0.8 +. 0.4)))
+    (Cost.k cost ~averages 0 Cost.Retain 1 Cost.Retain);
+  Testkit.check_approx "K(--)"
+    ((d0 *. 0.2) +. (d1 *. 0.6) +. (0.5 *. o *. (0.2 +. 0.6)))
+    (Cost.k cost ~averages 0 Cost.Invert 1 Cost.Invert);
+  Testkit.check_approx "K(+-)"
+    ((d0 *. 0.8) +. (d1 *. 0.6) +. (0.5 *. o *. (0.8 +. 0.6)))
+    (Cost.k cost ~averages 0 Cost.Retain 1 Cost.Invert);
+  Testkit.check_approx "K(-+)"
+    ((d0 *. 0.2) +. (d1 *. 0.4) +. (0.5 *. o *. (0.2 +. 0.4)))
+    (Cost.k cost ~averages 0 Cost.Invert 1 Cost.Retain)
+
+let test_best_action_pair () =
+  let net = fig5 () in
+  let cost = Cost.make net in
+  (* with A = (0.9, 0.9) inverting both is cheapest *)
+  let ai, aj, _ = Cost.best_action_pair cost ~averages:[| 0.9; 0.9 |] 0 1 in
+  Alcotest.(check bool) "invert both" true (ai = Cost.Invert && aj = Cost.Invert);
+  (* with A = (0.1, 0.1) retaining both is cheapest *)
+  let ai, aj, _ = Cost.best_action_pair cost ~averages:[| 0.1; 0.1 |] 0 1 in
+  Alcotest.(check bool) "retain both" true (ai = Cost.Retain && aj = Cost.Retain)
+
+let measure_for net probs = Measure.create ~input_probs:probs net
+
+let test_measure_caching () =
+  let net = fig5 () in
+  let m = measure_for net (Array.make 4 0.9) in
+  let a = Phase.all_positive 2 in
+  let s1 = Measure.eval m a in
+  let s2 = Measure.eval m a in
+  Alcotest.(check int) "one evaluation" 1 (Measure.evaluations m);
+  Testkit.check_approx "same power" s1.Measure.power s2.Measure.power
+
+let test_measure_rejects_xor () =
+  let t = Netlist.create () in
+  let a = Netlist.add_input t in
+  let b = Netlist.add_input t in
+  let x = Netlist.add_gate t (Dpa_logic.Gate.Xor (a, b)) in
+  Netlist.add_output t "f" x;
+  Alcotest.check_raises "xor rejected"
+    (Invalid_argument "Measure.create: netlist contains XOR; run Opt.optimize first")
+    (fun () -> ignore (Measure.create ~input_probs:[| 0.5; 0.5 |] t))
+
+let test_exhaustive_fig5 () =
+  (* at p = 0.9 the optimum is realization 2 of Fig. 5 (f+, g−) *)
+  let net = fig5 () in
+  let m = measure_for net (Array.make 4 0.9) in
+  let r = Exhaustive.run m ~num_outputs:2 in
+  Alcotest.(check string) "optimal assignment" "+-" (Phase.to_string r.Exhaustive.assignment);
+  Testkit.check_approx ~eps:1e-6 "optimal power" 1.1219 r.Exhaustive.power;
+  Alcotest.(check int) "tried all" 4 r.Exhaustive.evaluated
+
+let test_greedy_never_worse_than_initial () =
+  let net = fig5 () in
+  let m = measure_for net (Array.make 4 0.9) in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:(Array.make 4 0.9) net in
+  let r = Greedy.run m ~cost ~base_probs:base in
+  Alcotest.(check bool) "improves or equals" true (r.Greedy.power <= r.Greedy.initial_power)
+  (* note: on fig5 the paper's pairwise heuristic proposes (−,−) for the
+     single pair — both cone averages exceed ½ — measures it worse, and
+     stops at the all-positive initial point. The optimum (+,−) needs the
+     exhaustive search; this is exactly the limitation §4.1 concedes and
+     frg1's exhaustive regime exists for. *)
+
+let test_greedy_steps_recorded () =
+  let net = fig5 () in
+  let m = measure_for net (Array.make 4 0.9) in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:(Array.make 4 0.9) net in
+  let r = Greedy.run m ~cost ~base_probs:base in
+  Alcotest.(check bool) "steps exist" true (List.length r.Greedy.steps >= 1);
+  List.iter
+    (fun s ->
+      match s.Greedy.measured_power with
+      | Some _ -> ()
+      | None -> Alcotest.(check bool) "unmeasured steps never commit" false s.Greedy.committed)
+    r.Greedy.steps
+
+let test_greedy_commits_monotone () =
+  (* committed powers decrease along the trace *)
+  let p = { Dpa_workload.Generator.default with n_outputs = 4; seed = 3 } in
+  let net = Dpa_synth.Opt.optimize (Dpa_workload.Generator.combinational p) in
+  let probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let m = measure_for net probs in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+  let r = Greedy.run m ~cost ~base_probs:base in
+  let last = ref r.Greedy.initial_power in
+  List.iter
+    (fun s ->
+      if s.Greedy.committed then begin
+        match s.Greedy.measured_power with
+        | Some p ->
+          Alcotest.(check bool) "commit strictly improves" true (p < !last);
+          last := p
+        | None -> Alcotest.fail "committed step without measurement"
+      end)
+    r.Greedy.steps
+
+(* property: greedy power ≥ exhaustive power (exhaustive is optimal), and
+   both never exceed the all-positive baseline *)
+let prop_greedy_vs_exhaustive =
+  Testkit.qcheck_case ~count:30 ~name:"exhaustive ≤ greedy ≤ initial"
+    QCheck2.Gen.(pair (Testkit.arbitrary_netlist ()) (Testkit.probs_gen 5))
+    (fun (net, probs) ->
+      let net = Dpa_synth.Opt.optimize net in
+      let m = measure_for net probs in
+      let cost = Cost.make net in
+      let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+      let g = Greedy.run m ~cost ~base_probs:base in
+      let e = Exhaustive.run m ~num_outputs:(Netlist.num_outputs net) in
+      e.Exhaustive.power <= g.Greedy.power +. 1e-9
+      && g.Greedy.power <= g.Greedy.initial_power +. 1e-9)
+
+let test_annealing_improves () =
+  let net = fig5 () in
+  let m = measure_for net (Array.make 4 0.9) in
+  let rng = Dpa_util.Rng.create 1 in
+  let r = Annealing.run rng m ~num_outputs:2 in
+  (* annealing tracks the best-ever state; with 400 steps over a 4-point
+     space it must find the optimum *)
+  Testkit.check_approx ~eps:1e-6 "finds optimum" 1.1219 r.Annealing.power
+
+let test_optimizer_auto_small () =
+  let net = fig5 () in
+  let config = Optimizer.default_config ~input_probs:(Array.make 4 0.9) in
+  let r = Optimizer.minimize_power config net in
+  Alcotest.(check string) "strategy" "exhaustive" r.Optimizer.strategy_used;
+  Alcotest.(check string) "assignment" "+-" (Phase.to_string r.Optimizer.assignment)
+
+let test_optimizer_auto_wide () =
+  let p = { Dpa_workload.Generator.default with n_outputs = 6; n_inputs = 12; seed = 9 } in
+  let net = Dpa_synth.Opt.optimize (Dpa_workload.Generator.combinational p) in
+  let probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let config = { (Optimizer.default_config ~input_probs:probs) with exhaustive_limit = 4 } in
+  let r = Optimizer.minimize_power config net in
+  Alcotest.(check string) "greedy used" "greedy" r.Optimizer.strategy_used;
+  Alcotest.(check bool) "measured something" true (r.Optimizer.measurements >= 1)
+
+let test_optimizer_multi_start () =
+  let p =
+    { Dpa_workload.Generator.default with
+      Dpa_workload.Generator.seed = 77;
+      n_inputs = 20;
+      n_outputs = 5;
+      gates_per_output = 8;
+      and_bias = 0.35;
+      inverter_prob = 0.1;
+      reuse_fraction = 0.4 }
+  in
+  let net = Dpa_synth.Opt.optimize (Dpa_workload.Generator.combinational p) in
+  let probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let config =
+    { (Optimizer.default_config ~input_probs:probs) with
+      Optimizer.strategy = Optimizer.Multi_start 4 }
+  in
+  let r = Optimizer.minimize_power config net in
+  Alcotest.(check string) "strategy label" "multi-start(4)" r.Optimizer.strategy_used;
+  (* no worse than plain greedy, no better than the exhaustive optimum *)
+  let greedy =
+    Optimizer.minimize_power
+      { config with Optimizer.strategy = Optimizer.Greedy } net
+  in
+  let optimum =
+    Optimizer.minimize_power
+      { config with Optimizer.strategy = Optimizer.Exhaustive } net
+  in
+  Alcotest.(check bool) "≤ greedy" true (r.Optimizer.power <= greedy.Optimizer.power +. 1e-9);
+  Alcotest.(check bool) "≥ optimum" true (r.Optimizer.power >= optimum.Optimizer.power -. 1e-9)
+
+let test_optimizer_annealing_strategy () =
+  let net = fig5 () in
+  let config =
+    { (Optimizer.default_config ~input_probs:(Array.make 4 0.9)) with
+      strategy = Optimizer.Annealing Annealing.default_params }
+  in
+  let r = Optimizer.minimize_power config net in
+  Alcotest.(check string) "strategy" "annealing" r.Optimizer.strategy_used;
+  Testkit.check_approx ~eps:1e-6 "power" 1.1219 r.Optimizer.power
+
+let test_k_tuple_coincides_with_pair () =
+  let net = fig5 () in
+  let cost = Cost.make net in
+  let averages = [| 0.7; 0.3 |] in
+  Testkit.check_approx "tuple(+,+) = k(+,+)"
+    (Cost.k cost ~averages 0 Cost.Retain 1 Cost.Retain)
+    (Cost.k_tuple cost ~averages [ (0, Cost.Retain); (1, Cost.Retain) ]);
+  Testkit.check_approx "tuple(-,+) = k(-,+)"
+    (Cost.k cost ~averages 0 Cost.Invert 1 Cost.Retain)
+    (Cost.k_tuple cost ~averages [ (0, Cost.Invert); (1, Cost.Retain) ])
+
+let test_ranked_action_tuples_sorted () =
+  let net = fig5 () in
+  let cost = Cost.make net in
+  let ranked = Cost.ranked_action_tuples cost ~averages:[| 0.9; 0.2 |] [ 0; 1 ] in
+  Alcotest.(check int) "four vectors" 4 (List.length ranked);
+  let costs = List.map snd ranked in
+  Alcotest.(check bool) "ascending" true (List.sort compare costs = costs);
+  let best_actions, best_cost = Cost.best_action_tuple cost ~averages:[| 0.9; 0.2 |] [ 0; 1 ] in
+  (match ranked with
+  | (a, c) :: _ ->
+    Testkit.check_approx "head is argmin" best_cost c;
+    Alcotest.(check bool) "same actions" true (a = best_actions)
+  | [] -> Alcotest.fail "empty ranking")
+
+let tuple_fixture () =
+  let p =
+    { Dpa_workload.Generator.default with
+      Dpa_workload.Generator.seed = 77;
+      n_inputs = 20;
+      n_outputs = 5;
+      gates_per_output = 8;
+      and_bias = 0.35;
+      inverter_prob = 0.1;
+      reuse_fraction = 0.4 }
+  in
+  let net = Dpa_synth.Opt.optimize (Dpa_workload.Generator.combinational p) in
+  let probs = Array.make (Netlist.num_inputs net) 0.5 in
+  (net, probs)
+
+let test_tuple_search_improves () =
+  let net, probs = tuple_fixture () in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+  let exhaustive = Exhaustive.run (measure_for net probs) ~num_outputs:5 in
+  List.iter
+    (fun k ->
+      let m = measure_for net probs in
+      let r = Dpa_phase.Tuple_search.run ~k m ~cost ~base_probs:base in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d no worse than initial" k)
+        true
+        (r.Dpa_phase.Tuple_search.power <= r.Dpa_phase.Tuple_search.initial_power +. 1e-9);
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d no better than optimum" k)
+        true
+        (r.Dpa_phase.Tuple_search.power >= exhaustive.Exhaustive.power -. 1e-9))
+    [ 2; 3; 4; 5 ]
+
+let test_tuple_search_full_width_with_budget_is_exhaustive_like () =
+  (* k = n with a full vector budget must reach the global optimum: the
+     ranked enumeration covers all 2^n assignments *)
+  let net, probs = tuple_fixture () in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+  let m = measure_for net probs in
+  let r = Dpa_phase.Tuple_search.run ~k:5 ~vectors_per_tuple:32 m ~cost ~base_probs:base in
+  let e = Exhaustive.run (measure_for net probs) ~num_outputs:5 in
+  Testkit.check_approx ~eps:1e-9 "greedily ordered exhaustive finds the optimum"
+    e.Exhaustive.power r.Dpa_phase.Tuple_search.power
+
+let test_tuple_search_validation () =
+  let net, probs = tuple_fixture () in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+  Alcotest.check_raises "k too small" (Invalid_argument "Tuple_search.run: k = 1 outside [2, 5]")
+    (fun () -> ignore (Dpa_phase.Tuple_search.run ~k:1 (measure_for net probs) ~cost ~base_probs:base))
+
+let test_timing_aware_meets_clock () =
+  let net, probs = tuple_fixture () in
+  let ma = Dpa_synth.Min_area.best net in
+  let mapped = Dpa_phase.Measure.realize_mapped (measure_for net probs) ma in
+  let unsized = (Dpa_timing.Sta.analyze mapped).Dpa_timing.Sta.critical_delay in
+  let config = Dpa_phase.Timing_aware.default_config ~input_probs:probs ~clock:(0.7 *. unsized) in
+  let r = Dpa_phase.Timing_aware.minimize config net in
+  Alcotest.(check bool) "met" true r.Dpa_phase.Timing_aware.met;
+  Alcotest.(check bool) "within clock" true
+    (r.Dpa_phase.Timing_aware.delay <= config.Dpa_phase.Timing_aware.clock +. 1e-9);
+  Alcotest.(check bool) "finite power" true (Float.is_finite r.Dpa_phase.Timing_aware.power)
+
+let test_timing_aware_never_worse_than_seq_flow () =
+  (* integration prices post-closure power, so the winner's post-closure
+     power cannot exceed the phase-then-resize flow's (both searched
+     exhaustively here) *)
+  let net, probs = tuple_fixture () in
+  let ma = Dpa_synth.Min_area.best net in
+  let mapped0 = Dpa_phase.Measure.realize_mapped (measure_for net probs) ma in
+  let unsized = (Dpa_timing.Sta.analyze mapped0).Dpa_timing.Sta.critical_delay in
+  let clock = 0.5 *. unsized in
+  let seq = Optimizer.minimize_power (Optimizer.default_config ~input_probs:probs) net in
+  let seq_mapped =
+    Dpa_phase.Measure.realize_mapped (measure_for net probs) seq.Optimizer.assignment
+  in
+  ignore (Dpa_timing.Resize.meet ~clock seq_mapped);
+  let seq_power =
+    (Dpa_power.Estimate.of_mapped ~input_probs:probs seq_mapped).Dpa_power.Estimate.total
+  in
+  let ta =
+    Dpa_phase.Timing_aware.minimize
+      (Dpa_phase.Timing_aware.default_config ~input_probs:probs ~clock) net
+  in
+  Alcotest.(check bool) "integrated ≤ sequential" true
+    (ta.Dpa_phase.Timing_aware.power <= seq_power +. 1e-9)
+
+let test_timing_aware_validation () =
+  let net, probs = tuple_fixture () in
+  Alcotest.check_raises "bad clock"
+    (Invalid_argument "Timing_aware.minimize: clock must be positive") (fun () ->
+      ignore
+        (Dpa_phase.Timing_aware.minimize
+           (Dpa_phase.Timing_aware.default_config ~input_probs:probs ~clock:0.0) net))
+
+let suite =
+  [ Alcotest.test_case "property 4.1" `Quick test_property_4_1;
+    Alcotest.test_case "cost formulas" `Quick test_cost_formulas;
+    Alcotest.test_case "best action pair" `Quick test_best_action_pair;
+    Alcotest.test_case "measure caching" `Quick test_measure_caching;
+    Alcotest.test_case "measure rejects xor" `Quick test_measure_rejects_xor;
+    Alcotest.test_case "exhaustive fig5" `Quick test_exhaustive_fig5;
+    Alcotest.test_case "greedy improves" `Quick test_greedy_never_worse_than_initial;
+    Alcotest.test_case "greedy trace" `Quick test_greedy_steps_recorded;
+    Alcotest.test_case "greedy commits monotone" `Quick test_greedy_commits_monotone;
+    Alcotest.test_case "annealing improves" `Quick test_annealing_improves;
+    Alcotest.test_case "optimizer auto small" `Quick test_optimizer_auto_small;
+    Alcotest.test_case "optimizer auto wide" `Quick test_optimizer_auto_wide;
+    Alcotest.test_case "optimizer multi-start" `Quick test_optimizer_multi_start;
+    Alcotest.test_case "optimizer annealing" `Quick test_optimizer_annealing_strategy;
+    Alcotest.test_case "k-tuple coincides with pair" `Quick test_k_tuple_coincides_with_pair;
+    Alcotest.test_case "ranked action tuples" `Quick test_ranked_action_tuples_sorted;
+    Alcotest.test_case "tuple search bounds" `Quick test_tuple_search_improves;
+    Alcotest.test_case "tuple search full width" `Quick
+      test_tuple_search_full_width_with_budget_is_exhaustive_like;
+    Alcotest.test_case "tuple search validation" `Quick test_tuple_search_validation;
+    Alcotest.test_case "timing-aware meets clock" `Quick test_timing_aware_meets_clock;
+    Alcotest.test_case "timing-aware vs sequential" `Quick
+      test_timing_aware_never_worse_than_seq_flow;
+    Alcotest.test_case "timing-aware validation" `Quick test_timing_aware_validation;
+    prop_greedy_vs_exhaustive ]

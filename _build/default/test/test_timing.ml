@@ -1,0 +1,155 @@
+module Delay = Dpa_timing.Delay
+module Sta = Dpa_timing.Sta
+module Resize = Dpa_timing.Resize
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+module Phase = Dpa_synth.Phase
+module Mapped = Dpa_domino.Mapped
+module Cell = Dpa_domino.Cell
+
+let test_intrinsic_delays () =
+  let m = Delay.default in
+  (* AND cells pay per series transistor; OR cells have a single stage *)
+  let and4 = Delay.cell_intrinsic m (Cell.dynamic Cell.And 4) in
+  let or4 = Delay.cell_intrinsic m (Cell.dynamic Cell.Or 4) in
+  Alcotest.(check bool) "and slower than or" true (and4 > or4);
+  Testkit.check_approx "and4" (0.5 +. (0.3 *. 4.0)) and4;
+  Testkit.check_approx "or4" (0.5 +. 0.3) or4;
+  Testkit.check_approx "inv" 0.4 (Delay.cell_intrinsic m Cell.Static_inverter)
+
+let chain_mapped assignment =
+  (* three-level chain: f = ((a∧b)∨c)∧d *)
+  let t = Netlist.create () in
+  let a = Netlist.add_input ~name:"a" t in
+  let b = Netlist.add_input ~name:"b" t in
+  let c = Netlist.add_input ~name:"c" t in
+  let d = Netlist.add_input ~name:"d" t in
+  let g1 = Netlist.add_gate t (Gate.And [| a; b |]) in
+  let g2 = Netlist.add_gate t (Gate.Or [| g1; c |]) in
+  let g3 = Netlist.add_gate t (Gate.And [| g2; d |]) in
+  Netlist.add_output t "f" g3;
+  Mapped.map (Dpa_synth.Inverterless.realize t assignment)
+
+let test_sta_arrival_monotone () =
+  let mapped = chain_mapped [| Phase.Positive |] in
+  let r = Sta.analyze mapped in
+  (* arrivals increase along the chain *)
+  let net = Mapped.net mapped in
+  Netlist.iter_nodes
+    (fun i g ->
+      Array.iter
+        (fun x ->
+          Alcotest.(check bool) "arrival ordering" true (r.Sta.arrival.(x) < r.Sta.arrival.(i)))
+        (Gate.fanins g))
+    net;
+  Alcotest.(check bool) "positive delay" true (r.Sta.critical_delay > 0.0);
+  Testkit.check_approx "critical = output" r.Sta.critical_delay r.Sta.output_arrival.(0)
+
+let test_sta_critical_path_connected () =
+  let mapped = chain_mapped [| Phase.Positive |] in
+  let r = Sta.analyze mapped in
+  let net = Mapped.net mapped in
+  (* the path is a connected chain ending at the output driver *)
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | x :: (y :: _ as rest) ->
+      let fis = Array.to_list (Netlist.fanins net y) in
+      Alcotest.(check bool) "edge on path" true (List.mem x fis);
+      check rest
+  in
+  check r.Sta.critical_path;
+  let _, out_driver = (Netlist.outputs net).(0) in
+  Alcotest.(check int) "ends at driver" out_driver
+    (List.nth r.Sta.critical_path (List.length r.Sta.critical_path - 1))
+
+let test_negative_phase_costs_delay () =
+  let pos = Sta.analyze (chain_mapped [| Phase.Positive |]) in
+  let neg = Sta.analyze (chain_mapped [| Phase.Negative |]) in
+  (* the dual block has the same depth but pays boundary inverters *)
+  Alcotest.(check bool) "negative phase slower" true
+    (neg.Sta.critical_delay > pos.Sta.critical_delay)
+
+let test_resize_meets_clock () =
+  let mapped = chain_mapped [| Phase.Positive |] in
+  let unsized = (Sta.analyze mapped).Sta.critical_delay in
+  let clock = 0.7 *. unsized in
+  let r = Resize.meet ~clock mapped in
+  Alcotest.(check bool) "met" true r.Resize.met;
+  Alcotest.(check bool) "faster" true (r.Resize.final_delay <= clock);
+  Alcotest.(check bool) "paid in drive" true (r.Resize.upsized_cells > 0);
+  Testkit.check_approx "initial recorded" unsized r.Resize.initial_delay
+
+let test_resize_noop_when_met () =
+  let mapped = chain_mapped [| Phase.Positive |] in
+  let unsized = (Sta.analyze mapped).Sta.critical_delay in
+  let r = Resize.meet ~clock:(2.0 *. unsized) mapped in
+  Alcotest.(check bool) "met" true r.Resize.met;
+  Alcotest.(check int) "no iterations" 0 r.Resize.iterations;
+  Alcotest.(check int) "no upsizing" 0 r.Resize.upsized_cells
+
+let test_resize_gives_up_gracefully () =
+  let mapped = chain_mapped [| Phase.Positive |] in
+  let r = Resize.meet ~max_drive:1.5 ~clock:0.01 mapped in
+  Alcotest.(check bool) "not met" false r.Resize.met
+
+let test_resize_increases_power () =
+  let probs = Array.make 4 0.5 in
+  let mapped = chain_mapped [| Phase.Positive |] in
+  let before = (Dpa_power.Estimate.of_mapped ~input_probs:probs mapped).Dpa_power.Estimate.total in
+  let unsized = (Sta.analyze mapped).Sta.critical_delay in
+  ignore (Resize.meet ~clock:(0.7 *. unsized) mapped);
+  let after = (Dpa_power.Estimate.of_mapped ~input_probs:probs mapped).Dpa_power.Estimate.total in
+  Alcotest.(check bool) "timing closure costs power" true (after > before)
+
+let test_resize_rejects_bad_clock () =
+  let mapped = chain_mapped [| Phase.Positive |] in
+  Alcotest.check_raises "clock must be positive"
+    (Invalid_argument "Resize.meet: clock must be positive") (fun () ->
+      ignore (Resize.meet ~clock:0.0 mapped))
+
+(* property: STA arrival times are consistent (every gate later than its
+   fanins) on random mapped blocks *)
+let prop_sta_consistent =
+  Testkit.qcheck_case ~count:60 ~name:"sta arrivals exceed fanin arrivals"
+    (Testkit.arbitrary_netlist ())
+    (fun net ->
+      let net = Dpa_synth.Opt.optimize net in
+      let a = Phase.all_positive (Netlist.num_outputs net) in
+      let mapped = Mapped.map (Dpa_synth.Inverterless.realize net a) in
+      let r = Sta.analyze mapped in
+      let ok = ref true in
+      Netlist.iter_nodes
+        (fun i g ->
+          match Mapped.cell_of_node mapped i with
+          | Some _ ->
+            Array.iter
+              (fun x -> if r.Sta.arrival.(x) >= r.Sta.arrival.(i) then ok := false)
+              (Gate.fanins g)
+          | None -> ())
+        (Mapped.net mapped);
+      !ok)
+
+(* property: upsizing can only reduce the critical delay *)
+let prop_resize_monotone =
+  Testkit.qcheck_case ~count:40 ~name:"resize never slows the block"
+    (Testkit.arbitrary_netlist ())
+    (fun net ->
+      let net = Dpa_synth.Opt.optimize net in
+      let a = Phase.all_positive (Netlist.num_outputs net) in
+      let mapped = Mapped.map (Dpa_synth.Inverterless.realize net a) in
+      let before = (Sta.analyze mapped).Sta.critical_delay in
+      let r = Resize.meet ~clock:(0.8 *. Float.max before 1e-6) mapped in
+      r.Resize.final_delay <= before +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "intrinsic delays" `Quick test_intrinsic_delays;
+    Alcotest.test_case "sta monotone" `Quick test_sta_arrival_monotone;
+    Alcotest.test_case "sta critical path" `Quick test_sta_critical_path_connected;
+    Alcotest.test_case "negative phase delay" `Quick test_negative_phase_costs_delay;
+    Alcotest.test_case "resize meets clock" `Quick test_resize_meets_clock;
+    Alcotest.test_case "resize noop" `Quick test_resize_noop_when_met;
+    Alcotest.test_case "resize gives up" `Quick test_resize_gives_up_gracefully;
+    Alcotest.test_case "resize costs power" `Quick test_resize_increases_power;
+    Alcotest.test_case "resize clock validation" `Quick test_resize_rejects_bad_clock;
+    prop_sta_consistent;
+    prop_resize_monotone ]

@@ -1,0 +1,161 @@
+module Rng = Dpa_util.Rng
+module Bitset = Dpa_util.Bitset
+module Vec = Dpa_util.Vec
+module Stats = Dpa_util.Stats
+module Table = Dpa_util.Table
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_distinct_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_bernoulli_bias () =
+  let rng = Rng.create 9 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split stream differs" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_bitset_basic () =
+  let s = Bitset.create 200 in
+  Alcotest.(check int) "empty" 0 (Bitset.cardinal s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 199;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "elements" [ 0; 64; 199 ] (Bitset.elements s)
+
+let test_bitset_add_idempotent () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 3;
+  Alcotest.(check int) "idempotent" 1 (Bitset.cardinal s)
+
+let test_bitset_union_inter () =
+  let a = Bitset.create 130 and b = Bitset.create 130 in
+  List.iter (Bitset.add a) [ 1; 5; 100; 129 ];
+  List.iter (Bitset.add b) [ 5; 100; 7 ];
+  Alcotest.(check int) "inter" 2 (Bitset.inter_cardinal a b);
+  Bitset.union_into a b;
+  Alcotest.(check (list int)) "union" [ 1; 5; 7; 100; 129 ] (Bitset.elements a)
+
+let test_bitset_universe_mismatch () =
+  let a = Bitset.create 4 and b = Bitset.create 5 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: universe mismatch") (fun () ->
+      Bitset.union_into a b)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 4 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: 4 outside universe [0,4)") (fun () ->
+      Bitset.add s 4)
+
+let test_vec_push_get () =
+  let v = Vec.create ~dummy:0 () in
+  for k = 0 to 99 do
+    Alcotest.(check int) "index" k (Vec.push v (k * k))
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 7)
+
+let test_vec_bounds () =
+  let v = Vec.create ~dummy:0 () in
+  ignore (Vec.push v 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index 1 out of bounds [0,1)") (fun () ->
+      ignore (Vec.get v 1))
+
+let test_vec_fold_iter () =
+  let v = Vec.of_array ~dummy:0 [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold" 10 (Vec.fold ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_stats () =
+  Testkit.check_approx "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Testkit.check_approx "mean empty" 0.0 (Stats.mean []);
+  Testkit.check_approx "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Testkit.check_approx "pct" 25.0 (Stats.percent_change ~from:4.0 ~to_:3.0);
+  Testkit.check_approx "pct zero" 0.0 (Stats.percent_change ~from:0.0 ~to_:3.0);
+  Testkit.check_approx "clamp" 1.0 (Stats.clamp ~lo:0.0 ~hi:1.0 3.0)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "long-cell"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true (String.length s > 0);
+  Alcotest.(check bool) "contains cell" true (Testkit.contains_substring s "long-cell")
+
+let test_table_wrong_arity () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let suite =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng distinct seeds" `Quick test_rng_distinct_seeds;
+    Alcotest.test_case "rng int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng bernoulli bias" `Quick test_rng_bernoulli_bias;
+    Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset idempotent add" `Quick test_bitset_add_idempotent;
+    Alcotest.test_case "bitset union/inter" `Quick test_bitset_union_inter;
+    Alcotest.test_case "bitset universe mismatch" `Quick test_bitset_universe_mismatch;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "vec push/get/set" `Quick test_vec_push_get;
+    Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+    Alcotest.test_case "vec fold/iter/clear" `Quick test_vec_fold_iter;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_wrong_arity ]

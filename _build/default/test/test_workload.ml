@@ -1,0 +1,228 @@
+module Generator = Dpa_workload.Generator
+module Profiles = Dpa_workload.Profiles
+module Examples = Dpa_workload.Examples
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+
+let test_generator_determinism () =
+  let p = Generator.default in
+  let a = Generator.combinational p in
+  let b = Generator.combinational p in
+  Alcotest.(check string) "identical netlists" (Dpa_logic.Io.to_string a)
+    (Dpa_logic.Io.to_string b)
+
+let test_generator_seed_sensitivity () =
+  let a = Generator.combinational Generator.default in
+  let b = Generator.combinational { Generator.default with seed = 2 } in
+  Alcotest.(check bool) "different seeds differ" true
+    (Dpa_logic.Io.to_string a <> Dpa_logic.Io.to_string b)
+
+let test_generator_interface () =
+  let p = { Generator.default with n_inputs = 20; n_outputs = 7; seed = 3 } in
+  let net = Generator.combinational p in
+  Alcotest.(check int) "inputs" 20 (Netlist.num_inputs net);
+  Alcotest.(check int) "outputs" 7 (Netlist.num_outputs net);
+  Alcotest.(check bool) "valid" true (Netlist.validate net = Ok ());
+  (* outputs are proper gates *)
+  Array.iter
+    (fun (_, d) ->
+      match Netlist.gate net d with
+      | Gate.And _ | Gate.Or _ | Gate.Not _ -> ()
+      | Gate.Input | Gate.Const _ | Gate.Buf _ | Gate.Xor _ ->
+        Alcotest.fail "degenerate output")
+    (Netlist.outputs net)
+
+let test_generator_validation () =
+  Alcotest.check_raises "support too large"
+    (Invalid_argument "Generator: support must be in [2, n_inputs]") (fun () ->
+      ignore (Generator.combinational { Generator.default with support = 100 }))
+
+let test_generator_sequential () =
+  let sn = Generator.sequential { Generator.default with seed = 11 } ~n_ffs:6 in
+  Alcotest.(check int) "ffs" 6 (Dpa_seq.Seq_netlist.n_ffs sn);
+  Alcotest.(check int) "real inputs" Generator.default.Generator.n_inputs
+    (Dpa_seq.Seq_netlist.n_real_inputs sn);
+  (* deterministic too *)
+  let sn2 = Generator.sequential { Generator.default with seed = 11 } ~n_ffs:6 in
+  Alcotest.(check string) "deterministic"
+    (Dpa_logic.Io.to_string (Dpa_seq.Seq_netlist.comb sn))
+    (Dpa_logic.Io.to_string (Dpa_seq.Seq_netlist.comb sn2))
+
+let test_profiles_interface_counts () =
+  (* PI/PO counts must match the paper's Table 1 *)
+  let expect =
+    [ ("industry1", 127, 122); ("industry2", 97, 86); ("industry3", 117, 199);
+      ("apex7", 79, 36); ("frg1", 31, 3); ("x1", 87, 28); ("x3", 235, 99) ]
+  in
+  List.iter
+    (fun (name, pis, pos) ->
+      match Profiles.find name with
+      | None -> Alcotest.failf "missing profile %s" name
+      | Some p ->
+        Alcotest.(check int) (name ^ " PIs") pis p.Profiles.params.Generator.n_inputs;
+        Alcotest.(check int) (name ^ " POs") pos p.Profiles.params.Generator.n_outputs)
+    expect
+
+let test_profiles_table_membership () =
+  Alcotest.(check int) "table1 rows" 7 (List.length Profiles.table1);
+  Alcotest.(check int) "table2 rows" 4 (List.length Profiles.table2);
+  List.iter
+    (fun p -> Alcotest.(check bool) "table2 marked timed" true p.Profiles.timed)
+    Profiles.table2;
+  Alcotest.(check bool) "lookup case-insensitive" true (Profiles.find "FRG1" <> None);
+  Alcotest.(check bool) "unknown none" true (Profiles.find "nope" = None)
+
+let test_examples_fig5_functions () =
+  (* f = ¬((a+b)(cd)), g = (a+b)+(cd) *)
+  let net = Examples.fig5 () in
+  let check a b c d =
+    let outs = Dpa_logic.Eval.outputs net [| a; b; c; d |] in
+    let ab = a || b and cd = c && d in
+    Alcotest.(check bool) "f" (not (ab && cd)) outs.(0);
+    Alcotest.(check bool) "g" (ab || cd) outs.(1)
+  in
+  List.iter
+    (fun (a, b, c, d) -> check a b c d)
+    [ (false, false, false, false); (true, false, true, true); (false, true, false, true);
+      (true, true, true, true); (false, false, true, true) ]
+
+let test_examples_fig10_functions () =
+  let net = Examples.fig10 () in
+  let check v =
+    let outs = Dpa_logic.Eval.outputs net v in
+    let p = v.(0) && v.(1) && v.(2) in
+    let q = v.(2) && v.(3) in
+    let r = p || q || v.(4) in
+    outs.(0) = p && outs.(1) = q && outs.(2) = r
+  in
+  let all = ref true in
+  for m = 0 to 31 do
+    if not (check (Array.init 5 (fun k -> (m lsr k) land 1 = 1))) then all := false
+  done;
+  Alcotest.(check bool) "fig10 truth table" true !all
+
+let test_examples_fig9_shape () =
+  let g = Examples.fig9_sgraph () in
+  Alcotest.(check int) "5 vertices" 5 (Dpa_seq.Sgraph.num_vertices g);
+  (* A,B,E (0,1,4) and C,D (2,3) form a complete bipartite cycle structure *)
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "abe→cd" true (Dpa_seq.Sgraph.has_edge g u v);
+          Alcotest.(check bool) "cd→abe" true (Dpa_seq.Sgraph.has_edge g v u))
+        [ 2; 3 ])
+    [ 0; 1; 4 ];
+  Alcotest.(check bool) "no abe internal edges" false (Dpa_seq.Sgraph.has_edge g 0 1)
+
+let test_decoder_semantics () =
+  let net = Examples.decoder ~bits:3 in
+  Alcotest.(check int) "8 outputs" 8 (Netlist.num_outputs net);
+  (* exactly one output hot, matching the address *)
+  for m = 0 to 7 do
+    let vec = Array.init 3 (fun k -> (m lsr k) land 1 = 1) in
+    let outs = Dpa_logic.Eval.outputs net vec in
+    Array.iteri (fun y v -> Alcotest.(check bool) "one-hot" (y = m) v) outs
+  done;
+  (* the flow handles it: each output has probability 1/8 at p = 0.5, so
+     every positive phase is already optimal (all probabilities < 1/2) *)
+  let r = Dpa_core.Flow.compare_ma_mp net in
+  Alcotest.(check string) "all positive is power optimal" "++++++++"
+    (Dpa_synth.Phase.to_string r.Dpa_core.Flow.mp.Dpa_core.Flow.assignment)
+
+let test_priority_arbiter_semantics () =
+  let net = Examples.priority_arbiter ~width:4 in
+  for m = 0 to 15 do
+    let vec = Array.init 4 (fun k -> (m lsr k) land 1 = 1) in
+    let outs = Dpa_logic.Eval.outputs net vec in
+    (* outputs: gnt0..gnt3, busy *)
+    let expected_winner =
+      let rec first k = if k >= 4 then None else if vec.(k) then Some k else first (k + 1) in
+      first 0
+    in
+    Array.iteri
+      (fun k v ->
+        if k < 4 then Alcotest.(check bool) "grant" (expected_winner = Some k) v
+        else Alcotest.(check bool) "busy" (expected_winner <> None) v)
+      outs
+  done
+
+let test_carry_chain_adds () =
+  let net = Examples.carry_chain ~width:4 in
+  (* inputs: a0..a3, b0..b3, cin; outputs found by name *)
+  let outs = Netlist.outputs net in
+  let index_of name =
+    let found = ref (-1) in
+    Array.iteri (fun k (po, _) -> if po = name then found := k) outs;
+    !found
+  in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      List.iter
+        (fun cin ->
+          let vec =
+            Array.init 9 (fun k ->
+                if k < 4 then (a lsr k) land 1 = 1
+                else if k < 8 then (b lsr (k - 4)) land 1 = 1
+                else cin = 1)
+          in
+          let values = Dpa_logic.Eval.outputs net vec in
+          let sum = ref 0 in
+          for k = 0 to 3 do
+            if values.(index_of (Printf.sprintf "s%d" k)) then sum := !sum lor (1 lsl k)
+          done;
+          if values.(index_of "cout") then sum := !sum lor 16;
+          Alcotest.(check int) (Printf.sprintf "%d+%d+%d" a b cin) (a + b + cin) !sum)
+        [ 0; 1 ]
+    done
+  done
+
+let test_structured_circuits_through_flow () =
+  (* the arbiter's skewed cones give the optimizer real decisions *)
+  let r = Dpa_core.Flow.compare_ma_mp (Examples.priority_arbiter ~width:6) in
+  Alcotest.(check bool) "mp no worse" true
+    (r.Dpa_core.Flow.mp.Dpa_core.Flow.power <= r.Dpa_core.Flow.ma.Dpa_core.Flow.power +. 1e-9);
+  let r = Dpa_core.Flow.compare_ma_mp (Examples.carry_chain ~width:5) in
+  Alcotest.(check bool) "cla mp no worse" true
+    (r.Dpa_core.Flow.mp.Dpa_core.Flow.power <= r.Dpa_core.Flow.ma.Dpa_core.Flow.power +. 1e-9)
+
+let test_ring_counter_interface () =
+  let sn = Examples.ring_counter ~n:4 in
+  Alcotest.(check int) "ffs" 4 (Dpa_seq.Seq_netlist.n_ffs sn);
+  Alcotest.(check int) "one real input" 1 (Dpa_seq.Seq_netlist.n_real_inputs sn);
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Examples.ring_counter: need at least 2 stages") (fun () ->
+      ignore (Examples.ring_counter ~n:1))
+
+(* property: generated circuits always validate and keep interfaces *)
+let prop_generated_valid =
+  Testkit.qcheck_case ~count:30 ~name:"generated circuits valid"
+    QCheck2.Gen.(
+      let* seed = int_bound 10_000 in
+      let* n_outputs = int_range 1 8 in
+      let* gates = int_range 1 20 in
+      return (seed, n_outputs, gates))
+    (fun (seed, n_outputs, gates) ->
+      let p = { Generator.default with seed; n_outputs; gates_per_output = gates } in
+      let net = Generator.combinational p in
+      Netlist.validate net = Ok ()
+      && Netlist.num_inputs net = p.Generator.n_inputs
+      && Netlist.num_outputs net = n_outputs)
+
+let suite =
+  [ Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "generator seeds" `Quick test_generator_seed_sensitivity;
+    Alcotest.test_case "generator interface" `Quick test_generator_interface;
+    Alcotest.test_case "generator validation" `Quick test_generator_validation;
+    Alcotest.test_case "generator sequential" `Quick test_generator_sequential;
+    Alcotest.test_case "profile interfaces" `Quick test_profiles_interface_counts;
+    Alcotest.test_case "profile tables" `Quick test_profiles_table_membership;
+    Alcotest.test_case "fig5 functions" `Quick test_examples_fig5_functions;
+    Alcotest.test_case "fig10 functions" `Quick test_examples_fig10_functions;
+    Alcotest.test_case "fig9 shape" `Quick test_examples_fig9_shape;
+    Alcotest.test_case "decoder semantics" `Quick test_decoder_semantics;
+    Alcotest.test_case "priority arbiter" `Quick test_priority_arbiter_semantics;
+    Alcotest.test_case "carry chain adds" `Quick test_carry_chain_adds;
+    Alcotest.test_case "structured circuits flow" `Quick test_structured_circuits_through_flow;
+    Alcotest.test_case "ring counter" `Quick test_ring_counter_interface;
+    prop_generated_valid ]

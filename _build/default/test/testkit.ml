@@ -1,0 +1,76 @@
+(* Shared helpers for the test suite: random circuit generation for
+   property tests, truth-table equivalence oracles, float comparison. *)
+
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_approx ?(eps = 1e-9) msg expected actual =
+  if not (approx ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g (eps %g)" msg expected actual eps
+
+(* QCheck generator for small random netlists with inverters: [n_inputs]
+   inputs, up to [max_gates] gates over AND/OR/NOT/XOR, 1–3 outputs. Kept
+   raw (no structural hashing) so optimization passes have work to do. *)
+let gen_netlist ?(n_inputs = 5) ?(max_gates = 12) () =
+  let open QCheck2.Gen in
+  let* n_gates = int_range 1 max_gates in
+  let* n_outputs = int_range 1 3 in
+  let* seeds = list_repeat (n_gates * 6) (int_bound 1_000_000) in
+  let* out_seeds = list_repeat n_outputs (int_bound 1_000_000) in
+  return (n_gates, n_outputs, Array.of_list seeds, Array.of_list out_seeds, n_inputs)
+
+let build_netlist (n_gates, n_outputs, seeds, out_seeds, n_inputs) =
+  let t = Netlist.create ~name:"random" () in
+  let inputs = Array.init n_inputs (fun k -> Netlist.add_input ~name:(Printf.sprintf "i%d" k) t) in
+  ignore inputs;
+  let cursor = ref 0 in
+  let next () =
+    let v = seeds.(!cursor mod Array.length seeds) in
+    incr cursor;
+    v
+  in
+  for _ = 1 to n_gates do
+    let avail = Netlist.size t in
+    let pick () = next () mod avail in
+    let id =
+      match next () mod 5 with
+      | 0 -> Netlist.add_gate t (Gate.Not (pick ()))
+      | 1 -> Netlist.add_gate t (Gate.Xor (pick (), pick ()))
+      | 2 -> Netlist.add_gate t (Gate.And [| pick (); pick () |])
+      | 3 -> Netlist.add_gate t (Gate.Or [| pick (); pick (); pick () |])
+      | _ -> Netlist.add_gate t (Gate.And [| pick (); pick (); pick () |])
+    in
+    ignore id
+  done;
+  Array.iteri
+    (fun k seed -> Netlist.add_output t (Printf.sprintf "o%d" k) (seed mod Netlist.size t))
+    (Array.sub out_seeds 0 n_outputs);
+  t
+
+let arbitrary_netlist ?n_inputs ?max_gates () =
+  QCheck2.Gen.map build_netlist (gen_netlist ?n_inputs ?max_gates ())
+
+(* Truth-table equivalence of two functions from input vectors to output
+   vectors, over all minterms of [n] inputs. *)
+let same_function n f g =
+  let rec go m =
+    if m >= 1 lsl n then true
+    else begin
+      let vec = Array.init n (fun k -> (m lsr k) land 1 = 1) in
+      f vec = g vec && go (m + 1)
+    end
+  in
+  go 0
+
+let qcheck_case ?(count = 100) ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let probs_gen n =
+  QCheck2.Gen.(map Array.of_list (list_repeat n (float_bound_inclusive 1.0)))
