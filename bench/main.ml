@@ -2,17 +2,20 @@
    runs Bechamel micro-benchmarks of the kernels behind each experiment.
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig5    # one experiment
-     dune exec bench/main.exe -- perf    # just the Bechamel suite *)
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- fig5            # one experiment
+     dune exec bench/main.exe -- perf            # just the Bechamel suite
+     dune exec bench/main.exe -- perf --json     # + write BENCH_bdd_kernel.json
+     dune exec bench/main.exe -- --quick         # run each kernel once (CI smoke) *)
 
 open Bechamel
 module Netlist = Dpa_logic.Netlist
 module Phase = Dpa_synth.Phase
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel suite: one Test.make per table/figure, wrapping the kernel  *)
-(* that regenerates it (scaled where the full experiment runs seconds). *)
+(* Kernels: one closure per table/figure (scaled where the full          *)
+(* experiment runs seconds), shared between the Bechamel suite and the   *)
+(* --quick smoke mode.                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let small_profile =
@@ -33,108 +36,184 @@ let prepared_mapped =
      Dpa_domino.Mapped.map
        (Dpa_synth.Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net))))
 
-let bench_fig2 = Test.make ~name:"fig2.switching-model" (Staged.stage (fun () ->
-    Dpa_power.Model.fig2_points ~steps:101 ()))
-
-let bench_fig3_4 = Test.make ~name:"fig3-4.inverterless-realize" (Staged.stage (fun () ->
-    let net = Lazy.force prepared_net in
-    Dpa_synth.Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net))))
-
-let bench_fig5 = Test.make ~name:"fig5.power-estimate" (Staged.stage (fun () ->
-    let mapped = Lazy.force prepared_mapped in
-    Dpa_power.Estimate.of_mapped
-      ~input_probs:(Array.make (Array.length (Netlist.inputs (Lazy.force prepared_net))) 0.5)
-      mapped))
-
-let bench_fig6 = Test.make ~name:"fig6.greedy-search" (Staged.stage (fun () ->
-    let net = Lazy.force prepared_net in
-    let probs = Array.make (Netlist.num_inputs net) 0.5 in
-    let measure = Dpa_phase.Measure.create ~input_probs:probs net in
-    let cost = Dpa_phase.Cost.make net in
-    let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
-    Dpa_phase.Greedy.run measure ~cost ~base_probs:base))
-
-let bench_fig7 = Test.make ~name:"fig7.partition-probabilities" (Staged.stage (fun () ->
-    let sn =
-      Dpa_workload.Generator.sequential
-        { small_profile with Dpa_workload.Generator.seed = 11 } ~n_ffs:8
-    in
-    Dpa_seq.Partition.probabilities ~input_probs:(Array.make 24 0.5) sn))
-
-let bench_fig8_9 = Test.make ~name:"fig8-9.mfvs-solve" (Staged.stage (fun () ->
-    let sn =
-      Dpa_workload.Generator.sequential
-        { small_profile with Dpa_workload.Generator.seed = 13 } ~n_ffs:12
-    in
-    Dpa_seq.Mfvs.solve (Dpa_seq.Sgraph.of_seq_netlist sn)))
-
-let bench_fig10 = Test.make ~name:"fig10.bdd-build-ordered" (Staged.stage (fun () ->
-    let net = Lazy.force prepared_net in
-    Dpa_bdd.Build.of_netlist ~order:(Dpa_bdd.Ordering.reverse_topological net) net))
-
-let bench_table1 = Test.make ~name:"table1.ma-vs-mp-flow" (Staged.stage (fun () ->
-    Dpa_core.Flow.compare_ma_mp (Dpa_workload.Generator.combinational small_profile)))
-
-let bench_table2 = Test.make ~name:"table2.timed-flow" (Staged.stage (fun () ->
-    let config =
-      { Dpa_core.Flow.default_config with
-        Dpa_core.Flow.timing = Some Dpa_core.Flow.default_timing }
-    in
-    Dpa_core.Flow.compare_ma_mp ~config
-      (Dpa_workload.Generator.combinational small_profile)))
-
-let bench_simulator = Test.make ~name:"powermill-substitute.1k-cycles" (Staged.stage (fun () ->
-    let mapped = Lazy.force prepared_mapped in
-    let rng = Dpa_util.Rng.create 3 in
-    Dpa_sim.Simulator.measure ~cycles:1000 rng
-      ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
-      mapped))
-
-let bench_sta = Test.make ~name:"timing.sta" (Staged.stage (fun () ->
-    Dpa_timing.Sta.analyze (Lazy.force prepared_mapped)))
+let prepared_built =
+  lazy
+    (let net = Lazy.force prepared_net in
+     Dpa_bdd.Build.of_netlist ~order:(Dpa_bdd.Ordering.reverse_topological net) net)
 
 let prepared_seq =
   lazy
     (Dpa_workload.Generator.sequential
        { small_profile with Dpa_workload.Generator.seed = 21 } ~n_ffs:6)
 
-let bench_seqtable = Test.make ~name:"seqtable.seq-flow" (Staged.stage (fun () ->
-    Dpa_core.Seq_flow.compare_ma_mp (Lazy.force prepared_seq)))
+let opaque x = ignore (Sys.opaque_identity x)
 
-let bench_validate = Test.make ~name:"validate.sim-2k-cycles" (Staged.stage (fun () ->
-    let mapped = Lazy.force prepared_mapped in
-    let rng = Dpa_util.Rng.create 5 in
-    Dpa_sim.Simulator.measure ~cycles:2000 rng
-      ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
-      mapped))
+let run_greedy ~mode () =
+  let net = Lazy.force prepared_net in
+  let probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let measure = Dpa_phase.Measure.create ~mode ~input_probs:probs net in
+  let cost = Dpa_phase.Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+  Dpa_phase.Greedy.run measure ~cost ~base_probs:base
 
-let bench_equiv = Test.make ~name:"equiv.bdd-check" (Staged.stage (fun () ->
+let kernels =
+  [ ("fig2.switching-model", fun () ->
+      opaque (Dpa_power.Model.fig2_points ~steps:101 ()));
+    ("fig3-4.inverterless-realize", fun () ->
+      let net = Lazy.force prepared_net in
+      opaque (Dpa_synth.Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net))));
+    ("fig5.power-estimate", fun () ->
+      let mapped = Lazy.force prepared_mapped in
+      opaque
+        (Dpa_power.Estimate.of_mapped
+           ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
+           mapped));
+    ("fig6.greedy-search", fun () -> opaque (run_greedy ~mode:`Incremental ()));
+    ("fig6.greedy-search-rebuild", fun () -> opaque (run_greedy ~mode:`Rebuild ()));
+    ("fig7.partition-probabilities", fun () ->
+      let sn =
+        Dpa_workload.Generator.sequential
+          { small_profile with Dpa_workload.Generator.seed = 11 } ~n_ffs:8
+      in
+      opaque (Dpa_seq.Partition.probabilities ~input_probs:(Array.make 24 0.5) sn));
+    ("fig8-9.mfvs-solve", fun () ->
+      let sn =
+        Dpa_workload.Generator.sequential
+          { small_profile with Dpa_workload.Generator.seed = 13 } ~n_ffs:12
+      in
+      opaque (Dpa_seq.Mfvs.solve (Dpa_seq.Sgraph.of_seq_netlist sn)));
+    ("fig10.bdd-build-ordered", fun () ->
+      let net = Lazy.force prepared_net in
+      opaque (Dpa_bdd.Build.of_netlist ~order:(Dpa_bdd.Ordering.reverse_topological net) net));
+    ("bdd.ite", fun () ->
+      (* mk/ite/unique-table throughput: a fresh manager every call, so the
+         tables are exercised cold (interning misses) and warm (hits). *)
+      let m = Dpa_bdd.Robdd.create ~nvars:16 in
+      let x l = Dpa_bdd.Robdd.var m l in
+      let parity = ref (x 0) and majority = ref Dpa_bdd.Robdd.bdd_false in
+      for l = 1 to 15 do
+        parity := Dpa_bdd.Robdd.apply_xor m !parity (x l);
+        majority := Dpa_bdd.Robdd.ite m (x l) !parity !majority
+      done;
+      opaque (Dpa_bdd.Robdd.ite m !majority !parity (Dpa_bdd.Robdd.neg m !parity)));
+    ("bdd.probabilities", fun () ->
+      (* memoized probability descent over the prepared circuit's BDDs *)
+      let b = Lazy.force prepared_built in
+      let probs = Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5 in
+      opaque (Dpa_bdd.Build.probabilities_of_built ~input_probs:probs b));
+    ("table1.ma-vs-mp-flow", fun () ->
+      opaque (Dpa_core.Flow.compare_ma_mp (Dpa_workload.Generator.combinational small_profile)));
+    ("table2.timed-flow", fun () ->
+      let config =
+        { Dpa_core.Flow.default_config with
+          Dpa_core.Flow.timing = Some Dpa_core.Flow.default_timing }
+      in
+      opaque
+        (Dpa_core.Flow.compare_ma_mp ~config
+           (Dpa_workload.Generator.combinational small_profile)));
+    ("seqtable.seq-flow", fun () ->
+      opaque (Dpa_core.Seq_flow.compare_ma_mp (Lazy.force prepared_seq)));
+    ("validate.sim-2k-cycles", fun () ->
+      let mapped = Lazy.force prepared_mapped in
+      let rng = Dpa_util.Rng.create 5 in
+      opaque
+        (Dpa_sim.Simulator.measure ~cycles:2000 rng
+           ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
+           mapped));
+    ("equiv.bdd-check", fun () ->
+      let net = Lazy.force prepared_net in
+      opaque (Dpa_bdd.Equiv.check net (Dpa_synth.Opt.optimize net)));
+    ("resynth.isop-two-level", fun () ->
+      opaque (Dpa_synth.Resynth.two_level (Lazy.force prepared_net)));
+    ("steady-state.markov", fun () ->
+      let sn =
+        Dpa_workload.Generator.sequential
+          { Dpa_workload.Generator.default with
+            Dpa_workload.Generator.seed = 4;
+            n_inputs = 5;
+            n_outputs = 2;
+            gates_per_output = 5;
+            support = 4 }
+          ~n_ffs:4
+      in
+      opaque (Dpa_seq.Steady_state.analyze ~input_probs:(Array.make 5 0.5) sn));
+    ("powermill-substitute.1k-cycles", fun () ->
+      let mapped = Lazy.force prepared_mapped in
+      let rng = Dpa_util.Rng.create 3 in
+      opaque
+        (Dpa_sim.Simulator.measure ~cycles:1000 rng
+           ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
+           mapped));
+    ("timing.sta", fun () -> opaque (Dpa_timing.Sta.analyze (Lazy.force prepared_mapped))) ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (hand rolled — no JSON library in the dependency set)  *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let write_kernel_json ~path results =
+  (* kernel counters of one incremental greedy search (the tentpole path) *)
+  let stats =
     let net = Lazy.force prepared_net in
-    Dpa_bdd.Equiv.check net (Dpa_synth.Opt.optimize net)))
+    let probs = Array.make (Netlist.num_inputs net) 0.5 in
+    let measure = Dpa_phase.Measure.create ~mode:`Incremental ~input_probs:probs net in
+    let cost = Dpa_phase.Cost.make net in
+    let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+    ignore (Dpa_phase.Greedy.run measure ~cost ~base_probs:base);
+    Dpa_phase.Measure.bdd_stats measure
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"bench\": \"bdd_kernel\",\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
+  List.iteri
+    (fun k (name, ns, rsq) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"r_square\": %s}%s\n"
+           (json_escape name) (json_float ns)
+           (match rsq with Some v -> json_float v | None -> "null")
+           (if k = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ],\n";
+  (match stats with
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"greedy_robdd_stats\": {\"nodes\": %d, \"unique_probes\": %d, \
+          \"unique_hits\": %d, \"unique_resizes\": %d, \"ite_probes\": %d, \
+          \"ite_hits\": %d, \"ite_resizes\": %d}\n"
+         s.Dpa_bdd.Robdd.nodes s.Dpa_bdd.Robdd.unique_probes s.Dpa_bdd.Robdd.unique_hits
+         s.Dpa_bdd.Robdd.unique_resizes s.Dpa_bdd.Robdd.ite_probes s.Dpa_bdd.Robdd.ite_hits
+         s.Dpa_bdd.Robdd.ite_resizes)
+  | None -> Buffer.add_string b "  \"greedy_robdd_stats\": null\n");
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
-let bench_isop = Test.make ~name:"resynth.isop-two-level" (Staged.stage (fun () ->
-    Dpa_synth.Resynth.two_level (Lazy.force prepared_net)))
+(* ------------------------------------------------------------------ *)
+(* Bechamel suite                                                       *)
+(* ------------------------------------------------------------------ *)
 
-let bench_steady = Test.make ~name:"steady-state.markov" (Staged.stage (fun () ->
-    let sn =
-      Dpa_workload.Generator.sequential
-        { Dpa_workload.Generator.default with
-          Dpa_workload.Generator.seed = 4;
-          n_inputs = 5;
-          n_outputs = 2;
-          gates_per_output = 5;
-          support = 4 }
-        ~n_ffs:4
-    in
-    Dpa_seq.Steady_state.analyze ~input_probs:(Array.make 5 0.5) sn))
-
-let perf () =
+let perf ?(json = false) () =
   Printf.printf "\n=== Bechamel micro-benchmarks (one per experiment) ===\n\n";
   let tests =
     Test.make_grouped ~name:"dpa"
-      [ bench_fig2; bench_fig3_4; bench_fig5; bench_fig6; bench_fig7; bench_fig8_9;
-        bench_fig10; bench_table1; bench_table2; bench_seqtable; bench_validate;
-        bench_equiv; bench_isop; bench_steady; bench_simulator; bench_sta ]
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels)
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
@@ -143,6 +222,7 @@ let perf () =
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   let t =
     Dpa_util.Table.create
       ~columns:
@@ -156,44 +236,38 @@ let perf () =
     else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
     else Printf.sprintf "%.0f ns" ns
   in
+  let measured =
+    List.map
+      (fun (name, r) ->
+        let ns =
+          match Analyze.OLS.estimates r with Some [ e ] -> e | Some _ | None -> Float.nan
+        in
+        (name, ns, Analyze.OLS.r_square r))
+      rows
+  in
   List.iter
-    (fun (name, r) ->
-      let estimate =
-        match Analyze.OLS.estimates r with
-        | Some [ e ] -> pretty_time e
-        | Some _ | None -> "n/a"
-      in
-      let rsq =
-        match Analyze.OLS.r_square r with
-        | Some v -> Printf.sprintf "%.3f" v
-        | None -> "-"
-      in
-      Dpa_util.Table.add_row t [ name; estimate; rsq ])
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
-  Dpa_util.Table.print t
+    (fun (name, ns, rsq) ->
+      Dpa_util.Table.add_row t
+        [ name;
+          (if Float.is_nan ns then "n/a" else pretty_time ns);
+          (match rsq with Some v -> Printf.sprintf "%.3f" v | None -> "-") ])
+    measured;
+  Dpa_util.Table.print t;
+  if json then write_kernel_json ~path:"BENCH_bdd_kernel.json" measured
+
+let quick () =
+  Printf.printf "=== quick smoke: each bench kernel once ===\n%!";
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "  %-35s %!" name;
+      f ();
+      Printf.printf "ok\n%!")
+    kernels;
+  Printf.printf "all %d kernels ok\n" (List.length kernels)
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
-
-let experiments =
-  [ ("fig2", Experiments.fig2);
-    ("fig3", Experiments.fig3_4);
-    ("fig4", Experiments.fig3_4);
-    ("fig5", Experiments.fig5);
-    ("fig6", Experiments.fig6);
-    ("fig7", Experiments.fig7);
-    ("fig8", Experiments.fig8);
-    ("fig9", Experiments.fig9);
-    ("fig10", Experiments.fig10);
-    ("table1", Experiments.table1);
-    ("table1-probs", Experiments.table1_probs);
-    ("table2", Experiments.table2);
-    ("casestudy", Experiments.casestudy);
-    ("seqtable", Experiments.seq_table);
-    ("validate", Experiments.validate);
-    ("ablation", Experiments.ablation);
-    ("perf", perf) ]
 
 let all () =
   (* fig3 and fig4 share a regeneration; run each distinct experiment once *)
@@ -215,16 +289,44 @@ let all () =
   perf ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> all ()
-  | _ :: names ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
+  let json = List.mem "--json" flags and is_quick = List.mem "--quick" flags in
+  List.iter
+    (fun f ->
+      if f <> "--json" && f <> "--quick" then begin
+        Printf.eprintf "unknown flag %S; flags: --json, --quick\n" f;
+        exit 1
+      end)
+    flags;
+  let experiments =
+    [ ("fig2", Experiments.fig2);
+      ("fig3", Experiments.fig3_4);
+      ("fig4", Experiments.fig3_4);
+      ("fig5", Experiments.fig5);
+      ("fig6", Experiments.fig6);
+      ("fig7", Experiments.fig7);
+      ("fig8", Experiments.fig8);
+      ("fig9", Experiments.fig9);
+      ("fig10", Experiments.fig10);
+      ("table1", Experiments.table1);
+      ("table1-probs", Experiments.table1_probs);
+      ("table2", Experiments.table2);
+      ("casestudy", Experiments.casestudy);
+      ("seqtable", Experiments.seq_table);
+      ("validate", Experiments.validate);
+      ("ablation", Experiments.ablation);
+      ("perf", perf ~json) ]
+  in
+  match names with
+  | [] -> if is_quick then quick () else all ()
+  | names ->
     List.iter
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) experiments with
-        | Some f -> f ()
+        | Some f -> if is_quick && name = "perf" then quick () else f ()
         | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names
-  | [] -> all ()

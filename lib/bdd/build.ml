@@ -1,5 +1,6 @@
 module Netlist = Dpa_logic.Netlist
 module Gate = Dpa_logic.Gate
+module Int_table = Dpa_util.Int_table
 
 type t = {
   manager : Robdd.manager;
@@ -12,10 +13,10 @@ let of_netlist ?order t =
   let ins = Netlist.inputs t in
   if Array.length order <> Array.length ins then
     invalid_arg "Build.of_netlist: order length must equal the input count";
-  let m = Robdd.create ~nvars:(Array.length ins) in
+  let m = Robdd.create_sized ~nvars:(Array.length ins) ~cache_capacity:(4 * Netlist.size t) in
   (* input node id → level *)
-  let level_of_input = Hashtbl.create (Array.length ins) in
-  Array.iteri (fun lvl pos -> Hashtbl.replace level_of_input ins.(pos) lvl) order;
+  let level_of_input = Int_table.create ~capacity:(2 * Array.length ins) () in
+  Array.iteri (fun lvl pos -> Int_table.replace level_of_input ins.(pos) lvl) order;
   let roots = Array.make (Netlist.size t) Robdd.bdd_false in
   let reduce_nary apply xs neutral =
     Array.fold_left (fun acc x -> apply m acc roots.(x)) neutral xs
@@ -24,7 +25,7 @@ let of_netlist ?order t =
     (fun i g ->
       roots.(i) <-
         (match g with
-        | Gate.Input -> Robdd.var m (Hashtbl.find level_of_input i)
+        | Gate.Input -> Robdd.var m (Int_table.find level_of_input i)
         | Gate.Const b -> if b then Robdd.bdd_true else Robdd.bdd_false
         | Gate.Buf x -> roots.(x)
         | Gate.Not x -> Robdd.neg m roots.(x)
@@ -64,9 +65,13 @@ let best_order t candidates =
         if s < bs then (n, o, s) else (bn, bo, bs))
       (score first) rest
 
+let probabilities_of_built ~input_probs b =
+  let level_probs = Array.map (fun pos -> input_probs.(pos)) b.order in
+  (* one shared memo across every root: shared BDD structure is priced once *)
+  Robdd.probabilities b.manager level_probs b.roots
+
 let probabilities ?order ~input_probs t =
   if Array.length input_probs <> Netlist.num_inputs t then
     invalid_arg "Build.probabilities: input_probs length mismatch";
   let b = of_netlist ?order t in
-  let level_probs = Array.map (fun pos -> input_probs.(pos)) b.order in
-  Array.map (fun root -> Robdd.probability b.manager level_probs root) b.roots
+  probabilities_of_built ~input_probs b

@@ -39,3 +39,7 @@ val probabilities : ?order:int array -> input_probs:float array ->
     node of [t]; [input_probs] is indexed by input position. This is
     "Compute Signal Probabilities Using Enhanced BDD" in the paper's
     Fig. 6. *)
+
+val probabilities_of_built : input_probs:float array -> t -> float array
+(** Same, over an already-built {!t} — all roots are evaluated under one
+    shared memo, so BDD structure shared between outputs is priced once. *)

@@ -1,22 +1,21 @@
 module Netlist = Dpa_logic.Netlist
 module Topo = Dpa_logic.Topo
+module Int_table = Dpa_util.Int_table
 
 (* Input positions in the order they are first used by the paper's gate
    traversal; unused inputs appended in declaration order. *)
 let first_visit t =
   let ins = Netlist.inputs t in
-  let position = Hashtbl.create (Array.length ins) in
-  Array.iteri (fun k id -> Hashtbl.replace position id k) ins;
+  let position = Int_table.create ~capacity:(2 * Array.length ins) () in
+  Array.iteri (fun k id -> Int_table.replace position id k) ins;
   let seen = Array.make (Array.length ins) false in
   let acc = ref [] in
   let use id =
-    match Hashtbl.find_opt position id with
-    | None -> ()
-    | Some k ->
-      if not seen.(k) then begin
-        seen.(k) <- true;
-        acc := k :: !acc
-      end
+    let k = Int_table.find position id in
+    if k >= 0 && not seen.(k) then begin
+      seen.(k) <- true;
+      acc := k :: !acc
+    end
   in
   Array.iter (fun g -> Array.iter use (Netlist.fanins t g)) (Topo.gate_traversal t);
   Array.iteri (fun k _ -> if not seen.(k) then acc := k :: !acc) ins;

@@ -1,67 +1,87 @@
-module Vec = Dpa_util.Vec
+module Int3_table = Dpa_util.Int3_table
 
 type node = int
 
+(* Node attributes live in three parallel int arrays indexed by node id
+   (grown manually — a polymorphic Vec would reintroduce bounds checks in
+   the hot loop). The unique table and ite cache are open-addressing int
+   tables: no boxed (int*int*int) keys, no polymorphic hashing. *)
 type manager = {
   nv : int;
-  lvl : int Vec.t; (* per node: decision level; terminals use terminal_level *)
-  lo : int Vec.t;
-  hi : int Vec.t;
-  unique : (int * int * int, int) Hashtbl.t;
-  ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable lvl : int array;
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable n : int; (* nodes allocated so far; ids are 0 … n-1 *)
+  unique : Int3_table.t;
+  ite_cache : Int3_table.t;
 }
 
 let bdd_false = 0
 let bdd_true = 1
 let terminal_level = max_int
 
-let create ~nvars =
+let create_sized ~nvars ~cache_capacity =
+  let cap = 256 in
   let m =
     {
       nv = nvars;
-      lvl = Vec.create ~dummy:0 ();
-      lo = Vec.create ~dummy:0 ();
-      hi = Vec.create ~dummy:0 ();
-      unique = Hashtbl.create 1024;
-      ite_cache = Hashtbl.create 1024;
+      lvl = Array.make cap terminal_level;
+      lo = Array.make cap 0;
+      hi = Array.make cap 0;
+      n = 2;
+      unique = Int3_table.create ~capacity:cache_capacity ();
+      ite_cache = Int3_table.create ~capacity:cache_capacity ();
     }
   in
   (* terminals occupy ids 0 and 1 *)
-  ignore (Vec.push m.lvl terminal_level);
-  ignore (Vec.push m.lvl terminal_level);
-  ignore (Vec.push m.lo 0);
-  ignore (Vec.push m.lo 1);
-  ignore (Vec.push m.hi 0);
-  ignore (Vec.push m.hi 1);
+  m.lo.(0) <- 0;
+  m.hi.(0) <- 0;
+  m.lo.(1) <- 1;
+  m.hi.(1) <- 1;
   m
+
+let create ~nvars = create_sized ~nvars ~cache_capacity:1024
 
 let nvars m = m.nv
 
 let is_terminal n = n = bdd_false || n = bdd_true
 
+let total_nodes m = m.n
+
+let grow_nodes m =
+  let cap = Array.length m.lvl in
+  let cap' = 2 * cap in
+  let extend a fill =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.lvl <- extend m.lvl terminal_level;
+  m.lo <- extend m.lo 0;
+  m.hi <- extend m.hi 0
+
+let new_node m l lo hi =
+  if m.n = Array.length m.lvl then grow_nodes m;
+  let id = m.n in
+  Array.unsafe_set m.lvl id l;
+  Array.unsafe_set m.lo id lo;
+  Array.unsafe_set m.hi id hi;
+  m.n <- id + 1;
+  id
+
 let level m n =
-  if is_terminal n then invalid_arg "Robdd.level: terminal node"
-  else Vec.get m.lvl n
+  if is_terminal n then invalid_arg "Robdd.level: terminal node" else Array.unsafe_get m.lvl n
 
-let low m n = Vec.get m.lo n
+let low m n = Array.unsafe_get m.lo n
 
-let high m n = Vec.get m.hi n
+let high m n = Array.unsafe_get m.hi n
 
-let node_level m n = Vec.get m.lvl n
+let node_level m n = Array.unsafe_get m.lvl n
 
+(* Single probe per lookup-or-intern: the unique-table slot found by the
+   probe receives the freshly allocated node on a miss. *)
 let mk m l lo hi =
-  if lo = hi then lo
-  else
-    let key = (l, lo, hi) in
-    match Hashtbl.find_opt m.unique key with
-    | Some id -> id
-    | None ->
-      let id = Vec.push m.lvl l in
-      let id' = Vec.push m.lo lo in
-      let id'' = Vec.push m.hi hi in
-      assert (id = id' && id = id'');
-      Hashtbl.replace m.unique key id;
-      id
+  if lo = hi then lo else Int3_table.find_or_insert m.unique l lo hi ~default:(fun () -> new_node m l lo hi)
 
 let var m l =
   if l < 0 || l >= m.nv then invalid_arg (Printf.sprintf "Robdd.var: level %d out of range" l);
@@ -69,7 +89,7 @@ let var m l =
 
 (* Shannon cofactors of [n] with respect to level [l] (l <= level of n). *)
 let cofactors m l n =
-  if is_terminal n || node_level m n > l then n, n else low m n, high m n
+  if node_level m n > l then n, n else Array.unsafe_get m.lo n, Array.unsafe_get m.hi n
 
 let rec ite m f g h =
   if f = bdd_true then g
@@ -77,21 +97,19 @@ let rec ite m f g h =
   else if g = h then g
   else if g = bdd_true && h = bdd_false then f
   else begin
-    let key = (f, g, h) in
-    match Hashtbl.find_opt m.ite_cache key with
-    | Some id -> id
-    | None ->
-      let l =
-        min (node_level m f) (min (node_level m g) (node_level m h))
-      in
+    let cached = Int3_table.find m.ite_cache f g h in
+    if cached >= 0 then cached
+    else begin
+      let l = min (node_level m f) (min (node_level m g) (node_level m h)) in
       let f0, f1 = cofactors m l f in
       let g0, g1 = cofactors m l g in
       let h0, h1 = cofactors m l h in
       let r0 = ite m f0 g0 h0 in
       let r1 = ite m f1 g1 h1 in
       let id = mk m l r0 r1 in
-      Hashtbl.replace m.ite_cache key id;
+      Int3_table.replace m.ite_cache f g h id;
       id
+    end
   end
 
 let apply_and m a b = ite m a b bdd_false
@@ -108,14 +126,16 @@ let rec eval m f assignment =
   else if assignment.(level m f) then eval m (high m f) assignment
   else eval m (low m f) assignment
 
+(* Node ids are dense, so a byte per allocated node replaces the seen-set
+   hash table of the generic visitor. *)
 let visit_reachable m roots f =
-  let seen = Hashtbl.create 64 in
+  let seen = Bytes.make m.n '\000' in
   let rec go n =
-    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
-      Hashtbl.replace seen n ();
+    if (not (is_terminal n)) && Bytes.unsafe_get seen n = '\000' then begin
+      Bytes.unsafe_set seen n '\001';
       f n;
-      go (low m n);
-      go (high m n)
+      go (Array.unsafe_get m.lo n);
+      go (Array.unsafe_get m.hi n)
     end
   in
   List.iter go roots
@@ -127,12 +147,14 @@ let shared_size m roots =
 
 let size m root = shared_size m [ root ]
 
-let total_nodes m = Vec.length m.lvl
-
 let support m root =
-  let levels = Hashtbl.create 16 in
-  visit_reachable m [ root ] (fun n -> Hashtbl.replace levels (level m n) ());
-  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) levels [])
+  let used = Bytes.make m.nv '\000' in
+  visit_reachable m [ root ] (fun n -> Bytes.set used (level m n) '\001');
+  let acc = ref [] in
+  for l = m.nv - 1 downto 0 do
+    if Bytes.get used l = '\001' then acc := l :: !acc
+  done;
+  !acc
 
 let to_dot m ?(var_name = Printf.sprintf "x%d") roots =
   let buf = Buffer.create 256 in
@@ -158,20 +180,97 @@ let to_dot m ?(var_name = Printf.sprintf "x%d") roots =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let probability m probs root =
+(* Probability evaluation memoizes per node id in a dense float array (NaN =
+   not yet computed; terminals are seeded). One memo serves any number of
+   roots in the same manager — and, through [prob_cache], any number of
+   calls — so re-evaluating an already-visited function is a lookup. *)
+
+let fill_prob_memo memo =
+  Array.fill memo 0 (Array.length memo) Float.nan;
+  memo.(bdd_false) <- 0.0;
+  memo.(bdd_true) <- 1.0;
+  memo
+
+let rec prob_go m probs memo n =
+  let p = Array.unsafe_get memo n in
+  if Float.is_nan p then begin
+    let pv = Array.unsafe_get probs (Array.unsafe_get m.lvl n) in
+    let p =
+      (pv *. prob_go m probs memo (Array.unsafe_get m.hi n))
+      +. ((1.0 -. pv) *. prob_go m probs memo (Array.unsafe_get m.lo n))
+    in
+    Array.unsafe_set memo n p;
+    p
+  end
+  else p
+
+let check_probs m probs =
   if Array.length probs <> m.nv then
-    invalid_arg "Robdd.probability: probability vector length mismatch";
-  let memo = Hashtbl.create 64 in
-  let rec go n =
-    if n = bdd_true then 1.0
-    else if n = bdd_false then 0.0
-    else
-      match Hashtbl.find_opt memo n with
-      | Some p -> p
-      | None ->
-        let pv = probs.(level m n) in
-        let p = (pv *. go (high m n)) +. ((1.0 -. pv) *. go (low m n)) in
-        Hashtbl.replace memo n p;
-        p
-  in
-  go root
+    invalid_arg "Robdd.probability: probability vector length mismatch"
+
+let probability m probs root =
+  check_probs m probs;
+  let memo = fill_prob_memo (Array.make m.n Float.nan) in
+  prob_go m probs memo root
+
+let probabilities m probs roots =
+  check_probs m probs;
+  let memo = fill_prob_memo (Array.make m.n Float.nan) in
+  Array.map (prob_go m probs memo) roots
+
+type prob_cache = {
+  pm : manager;
+  level_probs : float array;
+  mutable memo : float array;
+}
+
+let prob_cache m probs =
+  check_probs m probs;
+  { pm = m; level_probs = Array.copy probs; memo = fill_prob_memo (Array.make (max m.n 2) Float.nan) }
+
+let cached_probability c root =
+  let m = c.pm in
+  if Array.length c.memo < m.n then begin
+    (* the manager grew since the last call; keep computed prefixes — node
+       attributes are immutable, so earlier values stay correct *)
+    let memo = Array.make (Array.length m.lvl) Float.nan in
+    Array.blit c.memo 0 memo 0 (Array.length c.memo);
+    c.memo <- memo
+  end;
+  prob_go m c.level_probs c.memo root
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  nodes : int;
+  unique_probes : int;
+  unique_hits : int;
+  unique_resizes : int;
+  ite_probes : int;
+  ite_hits : int;
+  ite_resizes : int;
+}
+
+let stats m =
+  {
+    nodes = m.n;
+    unique_probes = Int3_table.probes m.unique;
+    unique_hits = Int3_table.hits m.unique;
+    unique_resizes = Int3_table.resizes m.unique;
+    ite_probes = Int3_table.probes m.ite_cache;
+    ite_hits = Int3_table.hits m.ite_cache;
+    ite_resizes = Int3_table.resizes m.ite_cache;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "nodes=%d unique[probes=%d hits=%d (%.1f%%) resizes=%d] ite[probes=%d hits=%d (%.1f%%) resizes=%d]"
+    s.nodes s.unique_probes s.unique_hits
+    (if s.unique_probes = 0 then 0.0
+     else 100.0 *. float_of_int s.unique_hits /. float_of_int s.unique_probes)
+    s.unique_resizes s.ite_probes s.ite_hits
+    (if s.ite_probes = 0 then 0.0
+     else 100.0 *. float_of_int s.ite_hits /. float_of_int s.ite_probes)
+    s.ite_resizes

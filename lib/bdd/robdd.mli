@@ -4,7 +4,14 @@
     (level 0 is tested first / topmost). Nodes are interned in a unique
     table, so structural equality of functions is id equality. The manager
     also memoizes [ite], the single combinator all Boolean operations are
-    built from. *)
+    built from.
+
+    The kernel is allocation-free on the hot path: node attributes live in
+    dense parallel int arrays indexed by node id, and both the unique table
+    and the ite cache are {!Dpa_util.Int3_table}s — open-addressing tables
+    with the three key ints packed inline, probed once per lookup-or-intern
+    ({!mk} never hashes a key twice). {!stats} exposes the probe/hit/resize
+    counters so benchmarks can report cache behaviour. *)
 
 type manager
 
@@ -13,6 +20,12 @@ type node = int
 
 val create : nvars:int -> manager
 (** Fresh manager with [nvars] variable levels. *)
+
+val create_sized : nvars:int -> cache_capacity:int -> manager
+(** Like {!create} but presizes the unique table and ite cache
+    ([cache_capacity] slots, rounded up to a power of two; {!create} uses
+    1024) — both grow automatically at 50% load, so presizing only saves
+    the rehash churn of a workload whose final size is known. *)
 
 val nvars : manager -> int
 
@@ -69,3 +82,42 @@ val probability : manager -> float array -> node -> float
 (** [probability m p f] is the exact probability that [f] evaluates true
     when level [l] is independently true with probability [p.(l)] — linear
     in the node count (memoized descent). *)
+
+val probabilities : manager -> float array -> node array -> float array
+(** Probability of every root under one shared memo: nodes reachable from
+    several roots are evaluated once, so the cost is linear in the size of
+    the {e union} of the graphs rather than the sum. *)
+
+(** {2 Persistent probability cache} *)
+
+type prob_cache
+(** A dense per-node-id probability memo bound to one manager and one
+    level-probability vector, surviving across calls: re-evaluating a
+    function whose nodes were already visited costs one array read. The
+    incremental phase search keeps one of these per shared manager so a
+    candidate flip only pays for BDD nodes it newly creates. *)
+
+val prob_cache : manager -> float array -> prob_cache
+(** The vector is copied; it must match the manager's [nvars]. *)
+
+val cached_probability : prob_cache -> node -> float
+(** Valid for nodes created after the cache, too — the memo tracks manager
+    growth, preserving already-computed entries (node attributes are
+    immutable, so they stay correct). *)
+
+(** {2 Instrumentation} *)
+
+type stats = {
+  nodes : int;  (** nodes ever created, terminals included *)
+  unique_probes : int;
+  unique_hits : int;
+  unique_resizes : int;
+  ite_probes : int;
+  ite_hits : int;
+  ite_resizes : int;
+}
+
+val stats : manager -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering with hit rates, for bench output. *)

@@ -28,21 +28,39 @@ let cone_size t i = t.sizes.(i)
 
 let overlap t i j = t.overlaps.(i).(j)
 
-let averages t ~base_probs assignment =
-  if Array.length assignment <> num_outputs t then
-    invalid_arg "Cost.averages: assignment length mismatch";
+(* Mean base probability per cone. Assignment-independent (Property 4.1
+   only complements the mean), so a search computes this once and derives
+   the per-assignment averages in O(outputs) instead of re-walking every
+   cone after each commit. *)
+type averager = float array
+
+let averager t ~base_probs =
   Array.mapi
     (fun i cone ->
       if t.sizes.(i) = 0 then 0.0
       else begin
         let sum = ref 0.0 in
         Bitset.iter (fun node -> sum := !sum +. base_probs.(node)) cone;
-        let mean = !sum /. float_of_int t.sizes.(i) in
-        match assignment.(i) with
-        | Dpa_synth.Phase.Positive -> mean
-        | Dpa_synth.Phase.Negative -> 1.0 -. mean
+        !sum /. float_of_int t.sizes.(i)
       end)
     t.cones
+
+let averages_of t means assignment =
+  if Array.length assignment <> num_outputs t then
+    invalid_arg "Cost.averages_of: assignment length mismatch";
+  Array.mapi
+    (fun i mean ->
+      if t.sizes.(i) = 0 then 0.0
+      else
+        match assignment.(i) with
+        | Dpa_synth.Phase.Positive -> mean
+        | Dpa_synth.Phase.Negative -> 1.0 -. mean)
+    means
+
+let averages t ~base_probs assignment =
+  if Array.length assignment <> num_outputs t then
+    invalid_arg "Cost.averages: assignment length mismatch";
+  averages_of t (averager t ~base_probs) assignment
 
 let effective a = function
   | Retain -> a

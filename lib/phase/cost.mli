@@ -39,6 +39,17 @@ val averages :
     all-positive implementation), complemented when the output's current
     phase is negative — the paper's Property 4.1 approximation. *)
 
+type averager
+(** Precomputed per-cone mean of [base_probs]. The mean is assignment
+    independent — Property 4.1 only complements it — so a search builds
+    this once and rederives {!averages} in O(outputs) per committed move
+    instead of re-walking every cone. *)
+
+val averager : t -> base_probs:float array -> averager
+
+val averages_of : t -> averager -> Dpa_synth.Phase.assignment -> float array
+(** Identical to {!averages} over the precomputed means. *)
+
 val k : t -> averages:float array -> int -> action -> int -> action -> float
 (** [k t ~averages i ai j aj] evaluates the cost of applying actions
     [ai]/[aj] to outputs [i]/[j]. *)

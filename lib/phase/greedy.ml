@@ -53,7 +53,8 @@ let run ?(initial = `All_positive) ?pair_limit measure ~cost ~base_probs =
   in
   let current_sample = ref (Measure.eval measure !current) in
   let initial_power = !current_sample.Measure.power in
-  let averages = ref (Cost.averages cost ~base_probs !current) in
+  let cone_means = Cost.averager cost ~base_probs in
+  let averages = ref (Cost.averages_of cost cone_means !current) in
   let candidates =
     let pairs = all_pairs n in
     match pair_limit with
@@ -95,7 +96,7 @@ let run ?(initial = `All_positive) ?pair_limit measure ~cost ~base_probs =
           if better then begin
             current := proposed;
             current_sample := sample;
-            averages := Cost.averages cost ~base_probs !current;
+            averages := Cost.averages_of cost cone_means !current;
             incr commits
           end;
           {

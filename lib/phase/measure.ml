@@ -6,24 +6,51 @@ type sample = {
   domino_switching : float;
 }
 
+type mode = [ `Incremental | `Rebuild ]
+
 type t = {
   net : Dpa_logic.Netlist.t;
   library : Dpa_domino.Library.t;
   input_probs : float array;
+  mode : mode;
   pricer : t -> Dpa_domino.Mapped.t -> sample;
   cache : (string, sample) Hashtbl.t;
+  mutable env : Dpa_power.Estimate.env option;
   mutable misses : int;
 }
 
+let realize_mapped t assignment =
+  Dpa_domino.Mapped.map ~library:t.library (Dpa_synth.Inverterless.realize t.net assignment)
+
+(* The shared estimation env is seeded from the all-positive realization —
+   not from whichever candidate happens to be measured first — so the
+   variable order is assignment-independent and the search deterministic. *)
+let env_of t =
+  match t.env with
+  | Some e -> e
+  | None ->
+    let n_out = Array.length (Dpa_logic.Netlist.outputs t.net) in
+    let all_pos = Array.make n_out Phase.Positive in
+    let e =
+      Dpa_power.Estimate.make_env ~input_probs:t.input_probs (realize_mapped t all_pos)
+    in
+    t.env <- Some e;
+    e
+
 let default_price t mapped =
-  let report = Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped in
+  let report =
+    match t.mode with
+    | `Rebuild -> Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped
+    | `Incremental -> Dpa_power.Estimate.of_mapped_env (env_of t) mapped
+  in
   {
     power = report.Dpa_power.Estimate.total;
     size = Dpa_domino.Mapped.size mapped;
     domino_switching = report.Dpa_power.Estimate.domino_switching;
   }
 
-let create ?(library = Dpa_domino.Library.default) ?pricer ~input_probs net =
+let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?pricer
+    ~input_probs net =
   if not (Dpa_synth.Opt.is_domino_ready net) then
     invalid_arg "Measure.create: netlist contains XOR; run Opt.optimize first";
   if Array.length input_probs <> Dpa_logic.Netlist.num_inputs net then
@@ -33,10 +60,16 @@ let create ?(library = Dpa_domino.Library.default) ?pricer ~input_probs net =
     | Some f -> fun _ mapped -> f mapped
     | None -> default_price
   in
-  { net; library; input_probs; pricer; cache = Hashtbl.create 64; misses = 0 }
-
-let realize_mapped t assignment =
-  Dpa_domino.Mapped.map ~library:t.library (Dpa_synth.Inverterless.realize t.net assignment)
+  {
+    net;
+    library;
+    input_probs;
+    mode;
+    pricer;
+    cache = Hashtbl.create 64;
+    env = None;
+    misses = 0;
+  }
 
 let eval t assignment =
   let key = Phase.to_string assignment in
@@ -49,3 +82,6 @@ let eval t assignment =
     s
 
 let evaluations t = t.misses
+
+let bdd_stats t =
+  Option.map (fun e -> Dpa_bdd.Robdd.stats (Dpa_power.Estimate.env_manager e)) t.env

@@ -1,7 +1,18 @@
 (** Ground-truth power measurement of a candidate phase assignment:
     realize the inverter-free block, map it onto the domino library, and
     run the BDD power estimator. Results are memoized per assignment, so a
-    search never pays twice for the same candidate. *)
+    search never pays twice for the same candidate.
+
+    By default measurement is {e incremental}: all candidates share one
+    BDD manager (variable order fixed from the all-positive realization)
+    and one per-node probability cache, so pricing a flip only builds and
+    evaluates the BDD nodes its changed cones introduce — the paper's
+    Property 4.1 observation that a phase flip complements a cone's
+    probabilities, realized structurally through BDD sharing. [`Rebuild]
+    restores the original build-from-scratch behavior (a fresh manager and
+    a per-block variable order for every candidate). Both modes are exact;
+    they can differ in the last ulp because summation order over BDD nodes
+    differs. *)
 
 type sample = {
   power : float;  (** Estimate total: domino + boundary inverters *)
@@ -9,18 +20,22 @@ type sample = {
   domino_switching : float;
 }
 
+type mode = [ `Incremental | `Rebuild ]
+
 type t
 
 val create :
   ?library:Dpa_domino.Library.t ->
+  ?mode:mode ->
   ?pricer:(Dpa_domino.Mapped.t -> sample) ->
   input_probs:float array ->
   Dpa_logic.Netlist.t ->
   t
-(** The netlist must be domino-ready (no XOR). [pricer] overrides how a
-    mapped block is turned into a sample — the default is the BDD power
-    estimate and the plain cell count; the timing-integrated optimizer
-    substitutes a price-after-resizing pricer. *)
+(** The netlist must be domino-ready (no XOR). [mode] defaults to
+    [`Incremental] and only affects the built-in pricer. [pricer]
+    overrides how a mapped block is turned into a sample — the default is
+    the BDD power estimate and the plain cell count; the timing-integrated
+    optimizer substitutes a price-after-resizing pricer. *)
 
 val eval : t -> Dpa_synth.Phase.assignment -> sample
 
@@ -29,3 +44,8 @@ val evaluations : t -> int
 
 val realize_mapped : t -> Dpa_synth.Phase.assignment -> Dpa_domino.Mapped.t
 (** The mapped block for an assignment (not cached). *)
+
+val bdd_stats : t -> Dpa_bdd.Robdd.stats option
+(** Kernel counters of the shared incremental manager; [None] until the
+    first [`Incremental] evaluation (or always, under [`Rebuild] or a
+    custom pricer). *)

@@ -50,7 +50,8 @@ let run ?(initial = `All_positive) ?(tuple_limit = 5000) ?(vectors_per_tuple = 1
   in
   let current_sample = ref (Measure.eval measure !current) in
   let initial_power = !current_sample.Measure.power in
-  let averages = ref (Cost.averages cost ~base_probs !current) in
+  let cone_means = Cost.averager cost ~base_probs in
+  let averages = ref (Cost.averages_of cost cone_means !current) in
   let candidates =
     let all = subsets n k in
     if List.length all <= tuple_limit then ref all
@@ -102,7 +103,7 @@ let run ?(initial = `All_positive) ?(tuple_limit = 5000) ?(vectors_per_tuple = 1
               if sample.Measure.power < !current_sample.Measure.power then begin
                 current := proposed;
                 current_sample := sample;
-                averages := Cost.averages cost ~base_probs !current;
+                averages := Cost.averages_of cost cone_means !current;
                 incr commits
               end;
               try_vectors (budget - 1) rest

@@ -3,6 +3,7 @@ module Gate = Dpa_logic.Gate
 module Robdd = Dpa_bdd.Robdd
 module Mapped = Dpa_domino.Mapped
 module Inverterless = Dpa_synth.Inverterless
+module Int_table = Dpa_util.Int_table
 
 type report = {
   node_probs : float array;
@@ -14,46 +15,51 @@ type report = {
   bdd_nodes : int;
 }
 
-(* Signal probability of every block node, with both literals of one
-   original PI sharing a single BDD variable. Returns the probabilities and
-   the manager size. *)
-let block_probabilities ~input_probs mapped =
-  let net = Mapped.net mapped in
-  let lits = Mapped.literals mapped in
+let check_literals ~input_probs mapped =
   Array.iter
     (fun (opos, _) ->
       if opos >= Array.length input_probs then
         invalid_arg "Estimate: input_probs does not cover every referenced PI")
-    lits;
-  (* Variable order: the paper's heuristic on the block, projected onto the
-     original PI positions (first occurrence wins; both polarities of a PI
-     collapse to one variable). *)
+    (Mapped.literals mapped)
+
+(* Variable order for a block: the paper's heuristic on the block, projected
+   onto the original PI positions (first occurrence wins; both polarities of
+   a PI collapse to one variable). *)
+let order_of_block mapped =
+  let net = Mapped.net mapped in
+  let lits = Mapped.literals mapped in
   let block_order = Dpa_bdd.Ordering.reverse_topological net in
-  let seen = Hashtbl.create 16 in
+  let seen = Int_table.create ~capacity:(2 * Array.length lits) () in
   let order = ref [] in
   Array.iter
     (fun bpos ->
       let opos, _ = lits.(bpos) in
-      if not (Hashtbl.mem seen opos) then begin
-        Hashtbl.replace seen opos ();
+      if not (Int_table.mem seen opos) then begin
+        Int_table.replace seen opos 0;
         order := opos :: !order
       end)
     block_order;
-  let order = Array.of_list (List.rev !order) in
-  let level_of_orig = Hashtbl.create 16 in
-  Array.iteri (fun lvl opos -> Hashtbl.replace level_of_orig opos lvl) order;
-  let m = Robdd.create ~nvars:(Array.length order) in
-  let pos_of_input_id = Hashtbl.create 16 in
-  Array.iteri (fun k id -> Hashtbl.replace pos_of_input_id id k) (Netlist.inputs net);
+  Array.of_list (List.rev !order)
+
+(* Build the BDD of every block node inside [m], mapping each PI literal to
+   its original position's level via [level_of_orig] (complemented literals
+   are negations of the same variable). Shared sub-BDDs across calls on one
+   manager are interned once — that is what makes repeated candidate
+   evaluation incremental. *)
+let build_block_roots m level_of_orig mapped =
+  let net = Mapped.net mapped in
+  let lits = Mapped.literals mapped in
+  let pos_of_input_id = Int_table.create ~capacity:32 () in
+  Array.iteri (fun k id -> Int_table.replace pos_of_input_id id k) (Netlist.inputs net);
   let roots = Array.make (Netlist.size net) Robdd.bdd_false in
   Netlist.iter_nodes
     (fun i g ->
       roots.(i) <-
         (match g with
         | Gate.Input ->
-          let bpos = Hashtbl.find pos_of_input_id i in
+          let bpos = Int_table.find pos_of_input_id i in
           let opos, pol = lits.(bpos) in
-          let v = Robdd.var m (Hashtbl.find level_of_orig opos) in
+          let v = Robdd.var m (Int_table.find level_of_orig opos) in
           (match pol with Inverterless.Pos -> v | Inverterless.Neg -> Robdd.neg m v)
         | Gate.Const b -> if b then Robdd.bdd_true else Robdd.bdd_false
         | Gate.And xs ->
@@ -63,8 +69,23 @@ let block_probabilities ~input_probs mapped =
         | Gate.Buf _ | Gate.Not _ | Gate.Xor _ ->
           invalid_arg "Estimate: mapped block must be a pure AND/OR network"))
     net;
+  roots
+
+(* Signal probability of every block node, with both literals of one
+   original PI sharing a single BDD variable. Returns the probabilities and
+   the manager size. *)
+let block_probabilities ~input_probs mapped =
+  check_literals ~input_probs mapped;
+  let order = order_of_block mapped in
+  let level_of_orig = Int_table.create ~capacity:(2 * Array.length order) () in
+  Array.iteri (fun lvl opos -> Int_table.replace level_of_orig opos lvl) order;
+  let m =
+    Robdd.create_sized ~nvars:(Array.length order)
+      ~cache_capacity:(4 * Netlist.size (Mapped.net mapped))
+  in
+  let roots = build_block_roots m level_of_orig mapped in
   let level_probs = Array.map (fun opos -> input_probs.(opos)) order in
-  let probs = Array.map (fun root -> Robdd.probability m level_probs root) roots in
+  let probs = Robdd.probabilities m level_probs roots in
   probs, Robdd.total_nodes m
 
 let probabilities_of_block ~input_probs mapped =
@@ -87,15 +108,15 @@ let price mapped ~node_probs ~input_toggle =
              *. (1.0 +. lib.Dpa_domino.Library.penalty cell))
     net;
   (* One static inverter per complemented PI literal in use. *)
-  let complemented = Hashtbl.create 16 in
+  let complemented = Int_table.create ~capacity:32 () in
   Array.iter
     (fun (opos, pol) ->
       match pol with
-      | Inverterless.Neg -> Hashtbl.replace complemented opos ()
+      | Inverterless.Neg -> Int_table.replace complemented opos 0
       | Inverterless.Pos -> ())
     (Mapped.literals mapped);
   let input_inverter_power =
-    Hashtbl.fold (fun opos () acc -> acc +. input_toggle opos) complemented 0.0
+    Int_table.fold (fun opos _ acc -> acc +. input_toggle opos) complemented 0.0
   in
   let assignment = Mapped.assignment mapped in
   let outs = Netlist.outputs net in
@@ -127,6 +148,58 @@ let of_mapped ~input_probs mapped =
   in
   { report with bdd_nodes }
 
+(* ------------------------------------------------------------------ *)
+(* Incremental estimation: one shared manager across many blocks        *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  manager : Robdd.manager;
+  cache : Robdd.prob_cache;
+  level_of_orig : Int_table.t;
+  env_input_probs : float array;
+}
+
+let make_env ~input_probs mapped =
+  check_literals ~input_probs mapped;
+  (* Seed the variable order from this block (canonically the all-positive
+     realization), then append every remaining PI position: re-phased
+     variants of the same circuit reference the same PI set, but the tail
+     keeps the environment total for any block over these inputs. *)
+  let seed_order = order_of_block mapped in
+  let n_pi = Array.length input_probs in
+  let in_seed = Array.make n_pi false in
+  Array.iter (fun opos -> in_seed.(opos) <- true) seed_order;
+  let rest = ref [] in
+  for opos = n_pi - 1 downto 0 do
+    if not in_seed.(opos) then rest := opos :: !rest
+  done;
+  let order = Array.append seed_order (Array.of_list !rest) in
+  let level_of_orig = Int_table.create ~capacity:(2 * n_pi) () in
+  Array.iteri (fun lvl opos -> Int_table.replace level_of_orig opos lvl) order;
+  let manager =
+    Robdd.create_sized ~nvars:(Array.length order)
+      ~cache_capacity:(8 * Netlist.size (Mapped.net mapped))
+  in
+  let level_probs = Array.map (fun opos -> input_probs.(opos)) order in
+  {
+    manager;
+    cache = Robdd.prob_cache manager level_probs;
+    level_of_orig;
+    env_input_probs = Array.copy input_probs;
+  }
+
+let env_manager env = env.manager
+
+let of_mapped_env env mapped =
+  check_literals ~input_probs:env.env_input_probs mapped;
+  let roots = build_block_roots env.manager env.level_of_orig mapped in
+  let node_probs = Array.map (Robdd.cached_probability env.cache) roots in
+  let report =
+    price mapped ~node_probs ~input_toggle:(fun opos ->
+        Model.static_switching env.env_input_probs.(opos))
+  in
+  { report with bdd_nodes = Robdd.total_nodes env.manager }
+
 let by_cell_type ?(input_toggle = fun _ -> 0.0) mapped ~node_probs =
   let lib = Mapped.library mapped in
   let table = Hashtbl.create 16 in
@@ -152,13 +225,13 @@ let by_cell_type ?(input_toggle = fun _ -> 0.0) mapped ~node_probs =
       | Dpa_synth.Phase.Negative -> add "INV(out)" (Model.inverter_after_domino node_probs.(driver))
       | Dpa_synth.Phase.Positive -> ())
     (Netlist.outputs (Mapped.net mapped));
-  let complemented = Hashtbl.create 16 in
+  let complemented = Int_table.create ~capacity:32 () in
   Array.iter
     (fun (opos, pol) ->
       match pol with
-      | Inverterless.Neg -> Hashtbl.replace complemented opos ()
+      | Inverterless.Neg -> Int_table.replace complemented opos 0
       | Inverterless.Pos -> ())
     (Mapped.literals mapped);
-  Hashtbl.iter (fun opos () -> add "INV(in)" (input_toggle opos)) complemented;
+  Int_table.iter (fun opos _ -> add "INV(in)" (input_toggle opos)) complemented;
   Hashtbl.fold (fun name (count, power) acc -> (name, count, power) :: acc) table []
   |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)

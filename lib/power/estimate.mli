@@ -41,6 +41,34 @@ val probabilities_of_block :
   input_probs:float array -> Dpa_domino.Mapped.t -> float array
 (** Just the per-node signal probabilities (no pricing). *)
 
+(** {2 Incremental estimation}
+
+    A phase search prices hundreds of re-phased variants of one circuit.
+    Building each variant's BDD in a fresh manager re-derives every shared
+    subfunction from scratch; an {!env} instead keeps one manager with a
+    fixed variable order and a persistent probability cache, so evaluating
+    a candidate only constructs (and prices) the BDD nodes its flipped
+    cones introduce — everything else is a unique-table hit and a memo
+    read. *)
+
+type env
+(** Shared BDD manager + probability cache for repeated estimation of
+    blocks over one set of primary inputs. *)
+
+val make_env : input_probs:float array -> Dpa_domino.Mapped.t -> env
+(** [make_env ~input_probs mapped] fixes the variable order from [mapped]
+    (canonically the all-positive realization, mirroring {!of_mapped}'s
+    per-block order) extended with any PI positions the block does not
+    reference. [input_probs] is copied. *)
+
+val of_mapped_env : env -> Dpa_domino.Mapped.t -> report
+(** Like {!of_mapped} under the env's manager and cached probabilities.
+    Exact — the cache memoizes per BDD node, never approximates.
+    [bdd_nodes] reports the {e shared} manager size. *)
+
+val env_manager : env -> Dpa_bdd.Robdd.manager
+(** The underlying manager, e.g. for {!Dpa_bdd.Robdd.stats}. *)
+
 val by_cell_type :
   ?input_toggle:(int -> float) ->
   Dpa_domino.Mapped.t ->

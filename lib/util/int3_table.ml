@@ -1,0 +1,136 @@
+(* Keys are int triples, stored inline: each slot is four consecutive ints
+   [k1; k2; k3; value] in one backing array, so one probe = one cache line
+   and zero allocation (no boxed tuple, no polymorphic hash). Capacity is a
+   power of two; linear probing; no deletion, hence no tombstones. *)
+
+type t = {
+  mutable data : int array; (* stride 4; k1 = -1 marks an empty slot *)
+  mutable mask : int; (* capacity - 1, in slots *)
+  mutable size : int;
+  mutable probes : int;
+  mutable hits : int;
+  mutable resizes : int;
+}
+
+let not_found = -1
+
+let round_pow2 n =
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 16
+
+let create ?(capacity = 1024) () =
+  let cap = round_pow2 capacity in
+  {
+    data = Array.make (4 * cap) (-1);
+    mask = cap - 1;
+    size = 0;
+    probes = 0;
+    hits = 0;
+    resizes = 0;
+  }
+
+let length t = t.size
+
+(* xxhash-style avalanche over the three components (odd multipliers that
+   fit OCaml's 63-bit int). *)
+let hash a b c =
+  let h = a * 0x2545F4914F6CDD1D in
+  let h = (h lxor b) * 0x27D4EB2F165667C5 in
+  let h = (h lxor c) * 0x165667B19E3779F9 in
+  (h lxor (h lsr 29)) land max_int
+
+let insert_raw data mask a b c v =
+  let rec go i =
+    let base = 4 * i in
+    if Array.unsafe_get data base < 0 then begin
+      Array.unsafe_set data base a;
+      Array.unsafe_set data (base + 1) b;
+      Array.unsafe_set data (base + 2) c;
+      Array.unsafe_set data (base + 3) v
+    end
+    else go ((i + 1) land mask)
+  in
+  go (hash a b c land mask)
+
+let grow t =
+  let cap = (t.mask + 1) * 2 in
+  let data = Array.make (4 * cap) (-1) in
+  let mask = cap - 1 in
+  for i = 0 to t.mask do
+    let base = 4 * i in
+    let a = t.data.(base) in
+    if a >= 0 then insert_raw data mask a t.data.(base + 1) t.data.(base + 2) t.data.(base + 3)
+  done;
+  t.data <- data;
+  t.mask <- mask;
+  t.resizes <- t.resizes + 1
+
+let check_key a = if a < 0 then invalid_arg "Int3_table: keys must be non-negative"
+
+(* Probe for [(a,b,c)]; returns the slot holding it or the first empty slot. *)
+let slot_of t a b c =
+  t.probes <- t.probes + 1;
+  let data = t.data and mask = t.mask in
+  let rec go i =
+    let base = 4 * i in
+    let k1 = Array.unsafe_get data base in
+    if
+      k1 < 0
+      || (k1 = a
+          && Array.unsafe_get data (base + 1) = b
+          && Array.unsafe_get data (base + 2) = c)
+    then i
+    else go ((i + 1) land mask)
+  in
+  go (hash a b c land mask)
+
+let find t a b c =
+  check_key a;
+  let base = 4 * slot_of t a b c in
+  if Array.unsafe_get t.data base >= 0 then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_get t.data (base + 3)
+  end
+  else not_found
+
+let ensure_room t = if 2 * (t.size + 1) > t.mask + 1 then grow t
+
+let replace t a b c v =
+  check_key a;
+  ensure_room t;
+  let base = 4 * slot_of t a b c in
+  if Array.unsafe_get t.data base < 0 then t.size <- t.size + 1;
+  Array.unsafe_set t.data base a;
+  Array.unsafe_set t.data (base + 1) b;
+  Array.unsafe_set t.data (base + 2) c;
+  Array.unsafe_set t.data (base + 3) v
+
+let find_or_insert t a b c ~default =
+  check_key a;
+  ensure_room t;
+  let base = 4 * slot_of t a b c in
+  if Array.unsafe_get t.data base >= 0 then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_get t.data (base + 3)
+  end
+  else begin
+    (* [default] must not touch the table: growth already happened above,
+       so the probed slot stays valid until the store below. *)
+    let v = default () in
+    Array.unsafe_set t.data base a;
+    Array.unsafe_set t.data (base + 1) b;
+    Array.unsafe_set t.data (base + 2) c;
+    Array.unsafe_set t.data (base + 3) v;
+    t.size <- t.size + 1;
+    v
+  end
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) (-1);
+  t.size <- 0
+
+let probes t = t.probes
+
+let hits t = t.hits
+
+let resizes t = t.resizes

@@ -1,0 +1,45 @@
+(** Open-addressing hash table from triples of non-negative ints to ints.
+
+    Purpose-built for the ROBDD unique table (level, low, high → node id)
+    and ite cache (f, g, h → node id), where the generic
+    [((int * int * int), int) Hashtbl.t] pays a boxed tuple allocation and
+    a polymorphic hash on every probe. Here the three key components and
+    the value are packed inline into one int array (a probe reads a single
+    cache line), capacity is a power of two, collisions resolve by linear
+    probing, and there is no deletion. The first key component must be
+    non-negative (it doubles as the empty-slot marker); values are
+    arbitrary ints except [-1] ({!not_found}). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (slot count) is rounded up to a power of two, minimum 16. *)
+
+val length : t -> int
+
+val not_found : int
+(** [-1]; returned by {!find} when the key is absent. *)
+
+val find : t -> int -> int -> int -> int
+(** [find t a b c] is the value bound to [(a,b,c)], or {!not_found}.
+    Raises [Invalid_argument] if [a] is negative. *)
+
+val replace : t -> int -> int -> int -> int -> unit
+(** Insert or overwrite. *)
+
+val find_or_insert : t -> int -> int -> int -> default:(unit -> int) -> int
+(** Single-probe lookup-or-insert: the key is hashed and probed once; on a
+    miss [default ()] supplies the value, stored directly in the slot the
+    probe ended on. [default] must not modify the table. *)
+
+val clear : t -> unit
+(** Empties the table; capacity and stats counters are retained. *)
+
+(** {2 Instrumentation} *)
+
+val probes : t -> int
+(** Lookups performed (each counts once however long its probe chain). *)
+
+val hits : t -> int
+
+val resizes : t -> int

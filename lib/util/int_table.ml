@@ -1,0 +1,138 @@
+(* Slots are packed [key; value] pairs in one int array so a probe touches a
+   single cache line. Capacity is a power of two; linear probing; no
+   deletion, hence no tombstones. *)
+
+type t = {
+  mutable data : int array; (* stride 2: key, value; key = -1 marks empty *)
+  mutable mask : int; (* capacity - 1, in slots *)
+  mutable size : int;
+  mutable probes : int;
+  mutable hits : int;
+  mutable resizes : int;
+}
+
+let not_found = -1
+
+let round_pow2 n =
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 16
+
+let create ?(capacity = 64) () =
+  let cap = round_pow2 capacity in
+  {
+    data = Array.make (2 * cap) (-1);
+    mask = cap - 1;
+    size = 0;
+    probes = 0;
+    hits = 0;
+    resizes = 0;
+  }
+
+let length t = t.size
+
+(* Multiplicative hashing (odd 62-bit constant, splitmix64 family); the low
+   bits of the product alone cluster for sequential keys, so fold the high
+   bits back in. *)
+let hash k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let insert_raw data mask k v =
+  let rec go i =
+    let base = 2 * i in
+    if Array.unsafe_get data base < 0 then begin
+      Array.unsafe_set data base k;
+      Array.unsafe_set data (base + 1) v
+    end
+    else if Array.unsafe_get data base = k then Array.unsafe_set data (base + 1) v
+    else go ((i + 1) land mask)
+  in
+  go (hash k land mask)
+
+let grow t =
+  let cap = (t.mask + 1) * 2 in
+  let data = Array.make (2 * cap) (-1) in
+  let mask = cap - 1 in
+  for i = 0 to t.mask do
+    let base = 2 * i in
+    let k = t.data.(base) in
+    if k >= 0 then insert_raw data mask k t.data.(base + 1)
+  done;
+  t.data <- data;
+  t.mask <- mask;
+  t.resizes <- t.resizes + 1
+
+let check_key k = if k < 0 then invalid_arg "Int_table: keys must be non-negative"
+
+(* Probe for [k]; returns the slot index holding it or the first empty slot. *)
+let slot_of t k =
+  t.probes <- t.probes + 1;
+  let data = t.data and mask = t.mask in
+  let rec go i =
+    let key = Array.unsafe_get data (2 * i) in
+    if key = k || key < 0 then i else go ((i + 1) land mask)
+  in
+  go (hash k land mask)
+
+let find t k =
+  check_key k;
+  let i = slot_of t k in
+  if Array.unsafe_get t.data (2 * i) = k then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_get t.data ((2 * i) + 1)
+  end
+  else not_found
+
+let mem t k = find t k >= 0
+
+let ensure_room t = if 2 * (t.size + 1) > t.mask + 1 then grow t
+
+let replace t k v =
+  check_key k;
+  ensure_room t;
+  let i = slot_of t k in
+  let base = 2 * i in
+  if Array.unsafe_get t.data base < 0 then t.size <- t.size + 1;
+  Array.unsafe_set t.data base k;
+  Array.unsafe_set t.data (base + 1) v
+
+let find_or_insert t k ~default =
+  check_key k;
+  ensure_room t;
+  let i = slot_of t k in
+  let base = 2 * i in
+  if Array.unsafe_get t.data base = k then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_get t.data (base + 1)
+  end
+  else begin
+    (* [default] must not touch the table: the slot stays valid because
+       growth already happened above and insertion is deferred to here. *)
+    let v = default () in
+    Array.unsafe_set t.data base k;
+    Array.unsafe_set t.data (base + 1) v;
+    t.size <- t.size + 1;
+    v
+  end
+
+let iter f t =
+  for i = 0 to t.mask do
+    let base = 2 * i in
+    let k = t.data.(base) in
+    if k >= 0 then f k t.data.(base + 1)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) (-1);
+  t.size <- 0
+
+let probes t = t.probes
+
+let hits t = t.hits
+
+let resizes t = t.resizes

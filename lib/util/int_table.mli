@@ -1,0 +1,49 @@
+(** Open-addressing hash table from non-negative ints to ints.
+
+    The allocation-free replacement for [(int, int) Hashtbl.t] on the BDD
+    and netlist hot paths: keys and values live unboxed in one packed int
+    array (a probe touches a single cache line), capacity is a power of
+    two, collisions are resolved by linear probing, and there is no
+    deletion — the tables this serves (unique tables, memo tables, id
+    maps) only ever grow. Values are arbitrary ints except [-1], which is
+    reserved as the {!not_found} sentinel. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is rounded up to a power of two (minimum 16). *)
+
+val length : t -> int
+
+val not_found : int
+(** [-1]; returned by {!find} when the key is absent. *)
+
+val find : t -> int -> int
+(** [find t k] is the value bound to [k], or {!not_found}. Raises
+    [Invalid_argument] on a negative key. *)
+
+val mem : t -> int -> bool
+
+val replace : t -> int -> int -> unit
+(** Insert or overwrite. *)
+
+val find_or_insert : t -> int -> default:(unit -> int) -> int
+(** Single-probe lookup-or-insert: the key is hashed once; on a miss
+    [default ()] supplies the value, which is stored in the already-found
+    slot. [default] must not modify the table. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val clear : t -> unit
+(** Empties the table; capacity and stats counters are retained. *)
+
+(** {2 Instrumentation} *)
+
+val probes : t -> int
+(** Lookups performed (each counts once however long its probe chain). *)
+
+val hits : t -> int
+
+val resizes : t -> int

@@ -96,6 +96,75 @@ let prop_probability_exact =
         expected;
       !ok)
 
+(* property: at full width (12 inputs), the packed-table kernel still agrees
+   with exhaustive truth-table enumeration to 1e-12, through both the
+   fresh-memo and the shared-memo entry points *)
+let prop_probability_exact_wide =
+  Testkit.qcheck_case ~count:20 ~name:"bdd probabilities exact at 12 inputs"
+    QCheck2.Gen.(
+      pair (Testkit.arbitrary_netlist ~n_inputs:12 ~max_gates:20 ()) (Testkit.probs_gen 12))
+    (fun (net, probs) ->
+      let expected = Eval.exact_probabilities net probs in
+      let b = Build.of_netlist net in
+      let shared = Build.probabilities_of_built ~input_probs:probs b in
+      let fresh = Build.probabilities ~input_probs:probs net in
+      let ok = ref true in
+      Array.iteri
+        (fun i e ->
+          if
+            not
+              (Testkit.approx ~eps:1e-12 e shared.(i)
+              && Testkit.approx ~eps:1e-12 e fresh.(i))
+          then ok := false)
+        expected;
+      !ok)
+
+(* property: a persistent prob_cache returns the same numbers as the
+   fresh-memo path even as the manager keeps growing under it *)
+let prop_prob_cache_consistent =
+  Testkit.qcheck_case ~count:40 ~name:"prob_cache matches probability"
+    QCheck2.Gen.(pair (Testkit.arbitrary_netlist ()) (Testkit.probs_gen 5))
+    (fun (net, probs) ->
+      let b = Build.of_netlist net in
+      let level_probs = Array.map (fun pos -> probs.(pos)) b.Build.order in
+      let cache = Robdd.prob_cache b.Build.manager level_probs in
+      let before =
+        Array.map (Robdd.cached_probability cache) b.Build.roots
+      in
+      (* grow the manager after the cache was created *)
+      let extra =
+        Robdd.apply_xor b.Build.manager b.Build.roots.(0)
+          (Robdd.neg b.Build.manager b.Build.roots.(Array.length b.Build.roots - 1))
+      in
+      let ok = ref (Testkit.approx ~eps:1e-12
+                      (Robdd.probability b.Build.manager level_probs extra)
+                      (Robdd.cached_probability cache extra)) in
+      Array.iteri
+        (fun i root ->
+          if
+            not
+              (Testkit.approx ~eps:1e-12 before.(i)
+                 (Robdd.probability b.Build.manager level_probs root))
+          then ok := false)
+        b.Build.roots;
+      !ok)
+
+let test_stats_counters () =
+  let m = Robdd.create ~nvars:4 in
+  let s0 = Robdd.stats m in
+  Alcotest.(check int) "terminals only" 2 s0.Robdd.nodes;
+  let a = Robdd.var m 0 and b = Robdd.var m 1 in
+  let f = Robdd.apply_and m a b in
+  let _ = Robdd.apply_and m a b in
+  let s1 = Robdd.stats m in
+  Alcotest.(check bool) "nodes grew" true (s1.Robdd.nodes > s0.Robdd.nodes);
+  Alcotest.(check bool) "unique probed" true (s1.Robdd.unique_probes > 0);
+  Alcotest.(check bool) "ite cache hit on repeat" true (s1.Robdd.ite_hits > 0);
+  Alcotest.(check int) "nodes = total_nodes" (Robdd.total_nodes m) s1.Robdd.nodes;
+  (* interning: the repeated apply created no new node *)
+  Alcotest.(check int) "f interned" f (Robdd.apply_and m a b);
+  ignore (Format.asprintf "%a" Robdd.pp_stats s1)
+
 (* property: orderings are permutations of input positions *)
 let prop_orderings_are_permutations =
   Testkit.qcheck_case ~count:60 ~name:"orderings are permutations"
@@ -358,4 +427,7 @@ let suite =
     Alcotest.test_case "total nodes monotone" `Quick test_total_nodes_monotone;
     prop_bdd_equals_eval;
     prop_probability_exact;
+    prop_probability_exact_wide;
+    prop_prob_cache_consistent;
+    Alcotest.test_case "kernel stats counters" `Quick test_stats_counters;
     prop_orderings_are_permutations ]

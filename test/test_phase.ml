@@ -340,8 +340,94 @@ let test_timing_aware_validation () =
         (Dpa_phase.Timing_aware.minimize
            (Dpa_phase.Timing_aware.default_config ~input_probs:probs ~clock:0.0) net))
 
+(* ---- incremental measurement vs. from-scratch rebuild ---- *)
+
+let example_circuits () =
+  [ ("fig5", Dpa_synth.Opt.optimize (Dpa_workload.Examples.fig5 ()));
+    ("fig10", Dpa_synth.Opt.optimize (Dpa_workload.Examples.fig10 ()));
+    ("decoder3", Dpa_synth.Opt.optimize (Dpa_workload.Examples.decoder ~bits:3));
+    ("arbiter4", Dpa_synth.Opt.optimize (Dpa_workload.Examples.priority_arbiter ~width:4));
+    ("carry4", Dpa_synth.Opt.optimize (Dpa_workload.Examples.carry_chain ~width:4)) ]
+
+let example_probs net =
+  Array.init (Netlist.num_inputs net) (fun k -> 0.25 +. (0.06 *. float_of_int (k mod 10)))
+
+let test_incremental_greedy_matches_rebuild () =
+  List.iter
+    (fun (name, net) ->
+      let probs = example_probs net in
+      let cost = Cost.make net in
+      let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+      let run mode =
+        Greedy.run (Measure.create ~mode ~input_probs:probs net) ~cost ~base_probs:base
+      in
+      let inc = run `Incremental and reb = run `Rebuild in
+      Alcotest.(check string)
+        (name ^ ": same assignment")
+        (Phase.to_string reb.Greedy.assignment)
+        (Phase.to_string inc.Greedy.assignment);
+      Alcotest.(check int) (name ^ ": same commits") reb.Greedy.commits inc.Greedy.commits;
+      Testkit.check_approx ~eps:1e-9 (name ^ ": same power") reb.Greedy.power
+        inc.Greedy.power)
+    (example_circuits ())
+
+let test_incremental_probs_exact () =
+  (* every single-output flip away from all-positive — the moves a greedy
+     step measures — prices identically (1e-12) through the shared env and
+     through a from-scratch per-block build *)
+  List.iter
+    (fun (name, net) ->
+      let probs = example_probs net in
+      let n_out = Netlist.num_outputs net in
+      let m = Measure.create ~input_probs:probs net in
+      let env =
+        Dpa_power.Estimate.make_env ~input_probs:probs
+          (Measure.realize_mapped m (Phase.all_positive n_out))
+      in
+      let check_assignment a =
+        let mapped = Measure.realize_mapped m a in
+        let inc = Dpa_power.Estimate.of_mapped_env env mapped in
+        let fresh = Dpa_power.Estimate.of_mapped ~input_probs:probs mapped in
+        Array.iteri
+          (fun i e ->
+            Testkit.check_approx ~eps:1e-12
+              (Printf.sprintf "%s %s node %d" name (Phase.to_string a) i)
+              e
+              inc.Dpa_power.Estimate.node_probs.(i))
+          fresh.Dpa_power.Estimate.node_probs;
+        Testkit.check_approx ~eps:1e-12
+          (name ^ " total " ^ Phase.to_string a)
+          fresh.Dpa_power.Estimate.total inc.Dpa_power.Estimate.total
+      in
+      check_assignment (Phase.all_positive n_out);
+      for i = 0 to n_out - 1 do
+        let a = Phase.all_positive n_out in
+        a.(i) <- Phase.Negative;
+        check_assignment a
+      done)
+    (example_circuits ())
+
+let test_averager_matches_averages () =
+  let net = fig5 () in
+  let cost = Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:(Array.make 4 0.9) net in
+  let means = Cost.averager cost ~base_probs:base in
+  List.iter
+    (fun a ->
+      let expect = Cost.averages cost ~base_probs:base a in
+      let got = Cost.averages_of cost means a in
+      Array.iteri (fun i e -> Testkit.check_approx "averager" e got.(i)) expect)
+    [ Phase.all_positive 2;
+      [| Phase.Negative; Phase.Positive |];
+      [| Phase.Negative; Phase.Negative |] ]
+
 let suite =
   [ Alcotest.test_case "property 4.1" `Quick test_property_4_1;
+    Alcotest.test_case "incremental greedy = rebuild greedy" `Quick
+      test_incremental_greedy_matches_rebuild;
+    Alcotest.test_case "incremental probabilities exact" `Quick
+      test_incremental_probs_exact;
+    Alcotest.test_case "averager matches averages" `Quick test_averager_matches_averages;
     Alcotest.test_case "cost formulas" `Quick test_cost_formulas;
     Alcotest.test_case "best action pair" `Quick test_best_action_pair;
     Alcotest.test_case "measure caching" `Quick test_measure_caching;

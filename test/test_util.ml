@@ -140,6 +140,106 @@ let test_table_wrong_arity () =
   Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
     (fun () -> Table.add_row t [ "x"; "y" ])
 
+module Int_table = Dpa_util.Int_table
+module Int3_table = Dpa_util.Int3_table
+
+let test_int_table_basic () =
+  let t = Int_table.create ~capacity:4 () in
+  Alcotest.(check int) "empty" 0 (Int_table.length t);
+  Alcotest.(check int) "miss" Int_table.not_found (Int_table.find t 42);
+  Int_table.replace t 42 7;
+  Int_table.replace t 0 0;
+  Alcotest.(check int) "hit" 7 (Int_table.find t 42);
+  Alcotest.(check int) "zero key" 0 (Int_table.find t 0);
+  Alcotest.(check bool) "mem" true (Int_table.mem t 42);
+  Alcotest.(check bool) "not mem" false (Int_table.mem t 41);
+  Int_table.replace t 42 8;
+  Alcotest.(check int) "overwrite" 8 (Int_table.find t 42);
+  Alcotest.(check int) "length" 2 (Int_table.length t);
+  Int_table.clear t;
+  Alcotest.(check int) "cleared" 0 (Int_table.length t);
+  Alcotest.(check int) "cleared miss" Int_table.not_found (Int_table.find t 42)
+
+let test_int_table_growth () =
+  let t = Int_table.create ~capacity:4 () in
+  for k = 0 to 9999 do
+    Int_table.replace t (k * 17) (k + 1)
+  done;
+  Alcotest.(check int) "length" 10_000 (Int_table.length t);
+  Alcotest.(check bool) "resized" true (Int_table.resizes t > 0);
+  for k = 0 to 9999 do
+    if Int_table.find t (k * 17) <> k + 1 then Alcotest.failf "lost key %d" (k * 17)
+  done
+
+let test_int_table_find_or_insert () =
+  let t = Int_table.create () in
+  let calls = ref 0 in
+  let default () = incr calls; 99 in
+  Alcotest.(check int) "inserted" 99 (Int_table.find_or_insert t 5 ~default);
+  Alcotest.(check int) "found" 99 (Int_table.find_or_insert t 5 ~default);
+  Alcotest.(check int) "default called once" 1 !calls;
+  Alcotest.(check int) "size" 1 (Int_table.length t)
+
+let test_int_table_negative_key () =
+  let t = Int_table.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Int_table: keys must be non-negative")
+    (fun () -> Int_table.replace t (-1) 0)
+
+let test_int_table_vs_hashtbl =
+  Testkit.qcheck_case ~count:200 ~name:"Int_table agrees with Hashtbl"
+    QCheck2.Gen.(list (pair (int_bound 100) (int_bound 1000)))
+    (fun ops ->
+      let t = Int_table.create ~capacity:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Int_table.replace t k v;
+          Hashtbl.replace h k v)
+        ops;
+      Hashtbl.iter
+        (fun k v ->
+          if Int_table.find t k <> v then QCheck2.Test.fail_reportf "key %d: %d" k v)
+        h;
+      Int_table.length t = Hashtbl.length h
+      && Int_table.fold (fun k v acc -> acc && Hashtbl.find h k = v) t true)
+
+let test_int3_table_basic () =
+  let t = Int3_table.create ~capacity:4 () in
+  Alcotest.(check int) "miss" Int3_table.not_found (Int3_table.find t 1 2 3);
+  Int3_table.replace t 1 2 3 10;
+  Int3_table.replace t 1 3 2 20;
+  Int3_table.replace t 0 0 0 30;
+  Alcotest.(check int) "hit" 10 (Int3_table.find t 1 2 3);
+  Alcotest.(check int) "component order matters" 20 (Int3_table.find t 1 3 2);
+  Alcotest.(check int) "zero triple" 30 (Int3_table.find t 0 0 0);
+  Alcotest.(check int) "length" 3 (Int3_table.length t);
+  Int3_table.replace t 1 2 3 11;
+  Alcotest.(check int) "overwrite" 11 (Int3_table.find t 1 2 3);
+  Alcotest.(check int) "length unchanged" 3 (Int3_table.length t);
+  Int3_table.clear t;
+  Alcotest.(check int) "cleared" Int3_table.not_found (Int3_table.find t 1 2 3)
+
+let test_int3_table_growth () =
+  let t = Int3_table.create ~capacity:4 () in
+  for k = 0 to 4999 do
+    Int3_table.replace t k (k * 3) (k * 7 - 2 * k) (k + 1)
+  done;
+  Alcotest.(check bool) "resized" true (Int3_table.resizes t > 0);
+  for k = 0 to 4999 do
+    if Int3_table.find t k (k * 3) (k * 7 - 2 * k) <> k + 1 then
+      Alcotest.failf "lost triple %d" k
+  done
+
+let test_int3_table_find_or_insert () =
+  let t = Int3_table.create () in
+  let calls = ref 0 in
+  let default () = incr calls; 5 in
+  Alcotest.(check int) "inserted" 5 (Int3_table.find_or_insert t 9 8 7 ~default);
+  Alcotest.(check int) "found" 5 (Int3_table.find_or_insert t 9 8 7 ~default);
+  Alcotest.(check int) "default called once" 1 !calls;
+  Alcotest.(check bool) "stats count probes" true (Int3_table.probes t >= 2);
+  Alcotest.(check bool) "stats count hits" true (Int3_table.hits t >= 1)
+
 let suite =
   [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng distinct seeds" `Quick test_rng_distinct_seeds;
@@ -158,4 +258,12 @@ let suite =
     Alcotest.test_case "vec fold/iter/clear" `Quick test_vec_fold_iter;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "table render" `Quick test_table_render;
-    Alcotest.test_case "table arity" `Quick test_table_wrong_arity ]
+    Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
+    Alcotest.test_case "int_table basic" `Quick test_int_table_basic;
+    Alcotest.test_case "int_table growth" `Quick test_int_table_growth;
+    Alcotest.test_case "int_table find_or_insert" `Quick test_int_table_find_or_insert;
+    Alcotest.test_case "int_table negative key" `Quick test_int_table_negative_key;
+    test_int_table_vs_hashtbl;
+    Alcotest.test_case "int3_table basic" `Quick test_int3_table_basic;
+    Alcotest.test_case "int3_table growth" `Quick test_int3_table_growth;
+    Alcotest.test_case "int3_table find_or_insert" `Quick test_int3_table_find_or_insert ]
