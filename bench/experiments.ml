@@ -562,8 +562,9 @@ let validate () =
       let est = (Estimate.of_mapped ~input_probs:probs mapped).Estimate.total in
       let rng = Dpa_util.Rng.create 2024 in
       let sim =
-        (Dpa_sim.Simulator.measure ~cycles:20_000 rng ~input_probs:probs mapped)
-          .Dpa_sim.Simulator.report.Estimate.total
+        (Estimate.of_activity mapped
+           (Dpa_sim.Simulator.measure ~cycles:20_000 rng ~input_probs:probs mapped))
+          .Estimate.total
       in
       let negs = Phase.count_negative assignment in
       Table.add_row t
@@ -839,9 +840,12 @@ let ablation () =
     let mapped = Mapped.map (Inverterless.realize net a) in
     let est = Estimate.of_mapped ~input_probs:probs mapped in
     let rng = Dpa_util.Rng.create 5 in
-    let meas = Dpa_sim.Simulator.measure ~cycles:20_000 rng ~input_probs:probs mapped in
+    let meas =
+      Estimate.of_activity mapped
+        (Dpa_sim.Simulator.measure ~cycles:20_000 rng ~input_probs:probs mapped)
+    in
     Printf.printf "   estimated %.3f, simulated %.3f, relative error %.2f%%\n"
-      est.Estimate.total meas.Dpa_sim.Simulator.report.Estimate.total
+      est.Estimate.total meas.Estimate.total
       (Dpa_util.Stats.relative_error ~expected:est.Estimate.total
-         ~actual:meas.Dpa_sim.Simulator.report.Estimate.total
+         ~actual:meas.Estimate.total
       *. 100.0))

@@ -11,6 +11,20 @@ open Cmdliner
 module Flow = Dpa_core.Flow
 module Netlist = Dpa_logic.Netlist
 module Phase = Dpa_synth.Phase
+module Dpa_error = Dpa_util.Dpa_error
+
+(* Every action runs under [guard]: recognized failures — parse errors,
+   missing files, blown budgets with fallback disabled, internal invariant
+   violations — become one clean line on stderr and a documented
+   sysexits-style code (65 data, 66 io, 69 unsupported, 70 internal,
+   75 budget), never a raw backtrace. *)
+let die e =
+  prerr_endline ("dominoflow: " ^ Dpa_error.to_string e);
+  exit (Dpa_error.exit_code e)
+
+let guard f =
+  try f () with
+  | e -> ( match Dpa_error.of_exn e with Some err -> die err | None -> raise e)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,12 +40,13 @@ let load_netlist path =
     else Dpa_logic.Io.of_string text
   in
   match parsed with
-  | Ok net -> Ok net
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok net -> net
+  | Error msg ->
+    Dpa_error.error (Dpa_error.Parse { source = path; line = None; message = msg })
 
 let netlist_of_source ~file ~profile =
   match file, profile with
-  | Some path, None -> load_netlist path
+  | Some path, None -> Ok (load_netlist path)
   | None, Some name -> (
     match Dpa_workload.Profiles.find name with
     | Some p -> Ok (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
@@ -54,7 +69,7 @@ let pair_limit_of ~profile =
 
 let file_arg =
   let doc = "Netlist file; .blif is parsed as BLIF, anything else as the .dln text format." in
-  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
 
 let profile_arg =
   let doc = "Named benchmark profile (industry1-3, apex7, frg1, x1, x3)." in
@@ -72,6 +87,45 @@ let seed_arg =
   let doc = "Seed for randomized search strategies." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
+(* ---- resource budget options ---- *)
+
+let max_bdd_nodes_arg =
+  let doc =
+    "Cap the BDD manager at $(docv) nodes; estimation degrades per the \
+     --fallback policy instead of exhausting memory."
+  in
+  Arg.(value & opt (some int) None & info [ "max-bdd-nodes" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock deadline in seconds for each power estimate." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let fallback_arg =
+  let doc =
+    "What to do when a budget runs out: $(b,none) fails with exit code 75, \
+     $(b,reorder) retries once under a reordered variable order, $(b,sim) \
+     (default) additionally falls back to Monte-Carlo simulation."
+  in
+  let fb_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dpa_power.Engine.fallback_of_string s with
+          | Some f -> Ok f
+          | None -> Error (`Msg (Printf.sprintf "invalid fallback %S (none|reorder|sim)" s))),
+        fun fmt f -> Format.pp_print_string fmt (Dpa_power.Engine.fallback_to_string f) )
+  in
+  Arg.(value & opt fb_conv Dpa_power.Engine.Simulate & info [ "fallback" ] ~docv:"POLICY" ~doc)
+
+let budget_of ~max_bdd_nodes ~deadline ~fallback =
+  match max_bdd_nodes, deadline with
+  | None, None -> None
+  | _ ->
+    Some
+      { Dpa_power.Engine.default_budget with
+        Dpa_power.Engine.max_bdd_nodes;
+        deadline_s = deadline;
+        fallback }
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -86,16 +140,19 @@ let run_cmd =
     let doc = "Collapse narrow output cones to irredundant two-level form (ISOP) first." in
     Arg.(value & flag & info [ "two-level" ] ~doc)
   in
-  let action file profile input_prob timed seed sequential two_level =
+  let action file profile input_prob timed seed sequential two_level max_bdd_nodes
+      deadline fallback =
     if input_prob < 0.0 || input_prob > 1.0 then
       `Error (false, "--input-prob must lie in [0,1]")
     else begin
+      guard @@ fun () ->
       let config =
         { Flow.default_config with
           Flow.input_prob;
           seed;
           pair_limit = pair_limit_of ~profile;
-          timing = (if timed then Some Flow.default_timing else None) }
+          timing = (if timed then Some Flow.default_timing else None);
+          budget = budget_of ~max_bdd_nodes ~deadline ~fallback }
       in
       if sequential then begin
         match file with
@@ -151,7 +208,8 @@ let run_cmd =
     Term.(
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ timed_arg $ seed_arg
-        $ sequential_arg $ two_level_arg))
+        $ sequential_arg $ two_level_arg $ max_bdd_nodes_arg $ deadline_arg
+        $ fallback_arg))
 
 (* ---- estimate ---- *)
 
@@ -164,7 +222,8 @@ let estimate_cmd =
     let doc = "Also simulate this many cycles and report measured power." in
     Arg.(value & opt (some int) None & info [ "simulate" ] ~docv:"CYCLES" ~doc)
   in
-  let action file profile input_prob phases cycles =
+  let action file profile input_prob phases cycles max_bdd_nodes deadline fallback =
+    guard @@ fun () ->
     match netlist_of_source ~file ~profile with
     | Error msg -> `Error (false, msg)
     | Ok raw ->
@@ -190,9 +249,17 @@ let estimate_cmd =
         let mapped =
           Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment)
         in
-        let r = Dpa_power.Estimate.of_mapped ~input_probs mapped in
+        let est =
+          Dpa_power.Engine.estimate
+            ?budget:(budget_of ~max_bdd_nodes ~deadline ~fallback)
+            ~input_probs mapped
+        in
+        let r = est.Dpa_power.Engine.report in
         Printf.printf "phases %s: %d cells\n" (Phase.to_string assignment)
           (Dpa_domino.Mapped.size mapped);
+        if not (Dpa_power.Engine.all_exact est.Dpa_power.Engine.degradation) then
+          Printf.printf "  estimate degraded: %s\n"
+            (Dpa_power.Engine.degradation_to_string est.Dpa_power.Engine.degradation);
         Printf.printf "  domino block power   %10.4f\n" r.Dpa_power.Estimate.domino_power;
         Printf.printf "  input inverters      %10.4f\n"
           r.Dpa_power.Estimate.input_inverter_power;
@@ -209,9 +276,12 @@ let estimate_cmd =
         (match cycles with
         | Some c when c > 0 ->
           let rng = Dpa_util.Rng.create 1 in
-          let m = Dpa_sim.Simulator.measure ~cycles:c rng ~input_probs mapped in
+          let m =
+            Dpa_power.Estimate.of_activity mapped
+              (Dpa_sim.Simulator.measure ~cycles:c rng ~input_probs mapped)
+          in
           Printf.printf "  simulated (%d cycles) %9.4f\n" c
-            m.Dpa_sim.Simulator.report.Dpa_power.Estimate.total
+            m.Dpa_power.Estimate.total
         | Some _ | None -> ());
         `Ok ())
   in
@@ -219,7 +289,8 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       ret
-        (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg))
+        (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg
+        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg))
 
 (* ---- generate ---- *)
 
@@ -247,6 +318,7 @@ let generate_cmd =
 
 let info_cmd =
   let action file profile =
+    guard @@ fun () ->
     match netlist_of_source ~file ~profile with
     | Error msg -> `Error (false, msg)
     | Ok net ->
@@ -266,9 +338,9 @@ let info_cmd =
 
 let equiv_cmd =
   let action file_a file_b =
-    match load_netlist file_a, load_netlist file_b with
-    | Error msg, _ | _, Error msg -> `Error (false, msg)
-    | Ok a, Ok b -> (
+    guard @@ fun () ->
+    let a = load_netlist file_a and b = load_netlist file_b in
+    (
       match Dpa_bdd.Equiv.check a b with
       | Dpa_bdd.Equiv.Equivalent ->
         print_endline "EQUIVALENT";
@@ -293,8 +365,8 @@ let equiv_cmd =
           (Dpa_logic.Netlist.inputs a);
         exit 1)
   in
-  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A") in
-  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B") in
+  let file_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
+  let file_b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B") in
   let doc = "Check two netlists for combinational equivalence (BDD-based)." in
   Cmd.v (Cmd.info "equiv" ~doc) Term.(ret (const action $ file_a $ file_b))
 
@@ -302,6 +374,7 @@ let equiv_cmd =
 
 let mfvs_cmd =
   let action file =
+    guard @@ fun () ->
     if not (Filename.check_suffix file ".blif") then
       `Error (false, "mfvs requires a sequential .blif file")
     else
@@ -336,7 +409,7 @@ let mfvs_cmd =
           part.Dpa_seq.Partition.ff_probs;
         `Ok ()
   in
-  let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.blif") in
+  let file_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.blif") in
   let doc = "Analyze a sequential design: s-graph, enhanced and exact MFVS, probabilities." in
   Cmd.v (Cmd.info "mfvs" ~doc) Term.(ret (const action $ file_pos))
 

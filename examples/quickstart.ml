@@ -84,13 +84,15 @@ let () =
 
   (* 6. cross-check the estimate with the cycle-accurate simulator *)
   let rng = Dpa_util.Rng.create 2024 in
-  let meas = Dpa_sim.Simulator.measure ~cycles:20_000 rng ~input_probs mp_mapped in
+  let meas =
+    Dpa_power.Estimate.of_activity mp_mapped
+      (Dpa_sim.Simulator.measure ~cycles:20_000 rng ~input_probs mp_mapped)
+  in
   Printf.printf
     "\nsimulated power over 20k cycles: %.4f (estimator said %.4f, error %.2f%%)\n"
-    meas.Dpa_sim.Simulator.report.Dpa_power.Estimate.total
-    mp_power.Dpa_power.Estimate.total
+    meas.Dpa_power.Estimate.total mp_power.Dpa_power.Estimate.total
     (Dpa_util.Stats.relative_error ~expected:mp_power.Dpa_power.Estimate.total
-       ~actual:meas.Dpa_sim.Simulator.report.Dpa_power.Estimate.total
+       ~actual:meas.Dpa_power.Estimate.total
     *. 100.0);
 
   (* 7. functional equivalence spot-check *)

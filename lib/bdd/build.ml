@@ -8,12 +8,8 @@ type t = {
   order : int array;
 }
 
-let of_netlist ?order t =
-  let order = match order with Some o -> o | None -> Ordering.reverse_topological t in
+let build_in ~order t m =
   let ins = Netlist.inputs t in
-  if Array.length order <> Array.length ins then
-    invalid_arg "Build.of_netlist: order length must equal the input count";
-  let m = Robdd.create_sized ~nvars:(Array.length ins) ~cache_capacity:(4 * Netlist.size t) in
   (* input node id → level *)
   let level_of_input = Int_table.create ~capacity:(2 * Array.length ins) () in
   Array.iteri (fun lvl pos -> Int_table.replace level_of_input ins.(pos) lvl) order;
@@ -35,6 +31,16 @@ let of_netlist ?order t =
     t;
   { manager = m; roots; order }
 
+let fresh_manager ~order t =
+  let ins = Netlist.inputs t in
+  if Array.length order <> Array.length ins then
+    invalid_arg "Build.of_netlist: order length must equal the input count";
+  Robdd.create_sized ~nvars:(Array.length ins) ~cache_capacity:(4 * Netlist.size t)
+
+let of_netlist ?order t =
+  let order = match order with Some o -> o | None -> Ordering.reverse_topological t in
+  build_in ~order t (fresh_manager ~order t)
+
 let output_roots t b = Array.map (fun (_, d) -> b.roots.(d)) (Netlist.outputs t)
 
 let shared_output_size t b =
@@ -50,6 +56,14 @@ let shared_all_size t b =
         gate_roots := b.roots.(i) :: !gate_roots)
     t;
   Robdd.shared_size b.manager !gate_roots
+
+let bounded_size ?order ~max_nodes t =
+  let order = match order with Some o -> o | None -> Ordering.reverse_topological t in
+  let m = fresh_manager ~order t in
+  Robdd.set_budget ~max_nodes m;
+  match build_in ~order t m with
+  | b -> Some (shared_all_size t b)
+  | exception Dpa_util.Dpa_error.Budget_exceeded _ -> None
 
 let best_order t candidates =
   match candidates with

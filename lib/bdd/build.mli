@@ -12,6 +12,14 @@ val of_netlist : ?order:int array -> Dpa_logic.Netlist.t -> t
 (** Builds the BDD of every node bottom-up. [order] defaults to
     {!Ordering.reverse_topological}. *)
 
+val bounded_size : ?order:int array -> max_nodes:int -> Dpa_logic.Netlist.t -> int option
+(** All-gates shared node count of the build under [order], or [None] if
+    the build would allocate [max_nodes] manager nodes or more — computed
+    with a budgeted manager, so a hostile order costs at most [max_nodes]
+    allocations instead of hanging. This is the cost oracle reorder passes
+    use to search for a feasible order once the unbounded build has already
+    blown its budget. *)
+
 val output_roots : Dpa_logic.Netlist.t -> t -> Robdd.node array
 (** BDD roots of the primary outputs, declaration order. *)
 

@@ -76,8 +76,10 @@ let check a b =
 let check_exn a b =
   match check a b with
   | Equivalent -> ()
-  | Interface_mismatch msg -> failwith ("Equiv.check_exn: " ^ msg)
+  | Interface_mismatch msg ->
+    Dpa_util.Dpa_error.error (Dpa_util.Dpa_error.Invalid_input ("Equiv.check_exn: " ^ msg))
   | Differ { output; witness } ->
     let bits = String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") witness)) in
-    failwith
-      (Printf.sprintf "Equiv.check_exn: output %d differs on input vector %s" output bits)
+    Dpa_util.Dpa_error.error
+      (Dpa_util.Dpa_error.Internal
+         (Printf.sprintf "Equiv.check_exn: output %d differs on input vector %s" output bits))

@@ -22,4 +22,6 @@ val check : Dpa_logic.Netlist.t -> Dpa_logic.Netlist.t -> verdict
     BDD; a difference yields a satisfying witness. *)
 
 val check_exn : Dpa_logic.Netlist.t -> Dpa_logic.Netlist.t -> unit
-(** Raises [Failure] with a readable message on any non-equivalence. *)
+(** Raises {!Dpa_util.Dpa_error.Error} with a readable message on any
+    non-equivalence ([Invalid_input] for an interface mismatch,
+    [Internal] for a functional difference). *)

@@ -8,10 +8,14 @@ type result = {
 
 let cost net order = Build.shared_all_size net (Build.of_netlist ~order net)
 
-let refine ?(max_passes = 8) net order0 =
+(* Adjacent-swap hill climbing over an arbitrary cost oracle. [cost] may
+   return [max_int] to mark an order as infeasible (e.g. over a node
+   budget); such orders are never kept unless the start order itself is
+   infeasible, in which case any feasible neighbour is an improvement. *)
+let refine_cost ?(max_passes = 8) ~cost order0 =
   let order = Array.copy order0 in
   let n = Array.length order in
-  let best = ref (cost net order) in
+  let best = ref (cost order) in
   let initial_nodes = !best in
   let swaps = ref 0 in
   let passes = ref 0 in
@@ -23,7 +27,7 @@ let refine ?(max_passes = 8) net order0 =
       let tmp = order.(l) in
       order.(l) <- order.(l + 1);
       order.(l + 1) <- tmp;
-      let c = cost net order in
+      let c = cost order in
       if c < !best then begin
         best := c;
         incr swaps;
@@ -38,3 +42,14 @@ let refine ?(max_passes = 8) net order0 =
     done
   done;
   { order; nodes = !best; initial_nodes; swaps_accepted = !swaps; passes = !passes }
+
+let refine ?max_passes net order0 = refine_cost ?max_passes ~cost:(cost net) order0
+
+let refine_bounded ?max_passes ~max_nodes net order0 =
+  let cost order =
+    match Build.bounded_size ~order ~max_nodes net with
+    | Some s -> s
+    | None -> max_int
+  in
+  let r = refine_cost ?max_passes ~cost order0 in
+  if r.nodes = max_int then None else Some r

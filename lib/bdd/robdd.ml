@@ -14,7 +14,17 @@ type manager = {
   mutable n : int; (* nodes allocated so far; ids are 0 … n-1 *)
   unique : Int3_table.t;
   ite_cache : Int3_table.t;
+  (* resource budget; max_int / infinity mean unlimited. The deadline is an
+     absolute Unix.gettimeofday value, polled every [deadline_stride]
+     allocations so the hot path never pays a syscall per node. *)
+  mutable max_nodes : int;
+  mutable deadline : float;
+  mutable started : float;
+  mutable deadline_tick : int;
+  mutable budget_context : string;
 }
+
+let deadline_stride = 1024
 
 let bdd_false = 0
 let bdd_true = 1
@@ -31,6 +41,11 @@ let create_sized ~nvars ~cache_capacity =
       n = 2;
       unique = Int3_table.create ~capacity:cache_capacity ();
       ite_cache = Int3_table.create ~capacity:cache_capacity ();
+      max_nodes = max_int;
+      deadline = infinity;
+      started = 0.0;
+      deadline_tick = deadline_stride;
+      budget_context = "";
     }
   in
   (* terminals occupy ids 0 and 1 *)
@@ -60,7 +75,40 @@ let grow_nodes m =
   m.lo <- extend m.lo 0;
   m.hi <- extend m.hi 0
 
+(* ------------------------------------------------------------------ *)
+(* Resource budget                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let set_budget ?max_nodes ?deadline ?(context = "") m =
+  m.max_nodes <- (match max_nodes with Some n -> n | None -> max_int);
+  m.deadline <- (match deadline with Some d -> d | None -> infinity);
+  m.started <- (if m.deadline = infinity then 0.0 else Unix.gettimeofday ());
+  m.deadline_tick <- deadline_stride;
+  m.budget_context <- context
+
+let clear_budget m = set_budget m
+
+let set_budget_context m context = m.budget_context <- context
+
+let check_budget m =
+  if m.n >= m.max_nodes then
+    Dpa_util.Dpa_error.budget_exceeded ~context:m.budget_context
+      ~resource:Dpa_util.Dpa_error.Bdd_nodes
+      ~limit:(float_of_int m.max_nodes) ~spent:(float_of_int m.n) ();
+  if m.deadline < infinity then begin
+    m.deadline_tick <- m.deadline_tick - 1;
+    if m.deadline_tick <= 0 then begin
+      m.deadline_tick <- deadline_stride;
+      let now = Unix.gettimeofday () in
+      if now > m.deadline then
+        Dpa_util.Dpa_error.budget_exceeded ~context:m.budget_context
+          ~resource:Dpa_util.Dpa_error.Wall_clock
+          ~limit:(m.deadline -. m.started) ~spent:(now -. m.started) ()
+    end
+  end
+
 let new_node m l lo hi =
+  if m.max_nodes <> max_int || m.deadline < infinity then check_budget m;
   if m.n = Array.length m.lvl then grow_nodes m;
   let id = m.n in
   Array.unsafe_set m.lvl id l;

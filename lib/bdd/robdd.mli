@@ -29,6 +29,29 @@ val create_sized : nvars:int -> cache_capacity:int -> manager
 
 val nvars : manager -> int
 
+(** {2 Resource budget}
+
+    A manager optionally carries a node budget and a wall-clock deadline.
+    Every allocation checks them (the deadline is polled once per 1024
+    allocations, so pure cache-hit traffic costs nothing) and raises the
+    typed {!Dpa_util.Dpa_error.Budget_exceeded} — never a bare [Failure] —
+    when exhausted. The manager stays valid after exhaustion: already
+    interned nodes, probabilities and lookups keep working, so a caller
+    can salvage the part of the computation that completed, then retry
+    under a different variable order or fall back to simulation. *)
+
+val set_budget : ?max_nodes:int -> ?deadline:float -> ?context:string -> manager -> unit
+(** [set_budget ?max_nodes ?deadline m] installs (or, with no arguments,
+    clears) the budget. [max_nodes] bounds {!total_nodes}; [deadline] is an
+    absolute [Unix.gettimeofday] timestamp. [context] tags the
+    {!Dpa_util.Dpa_error.budget_report} (e.g. which cone was building). *)
+
+val clear_budget : manager -> unit
+(** Removes any installed budget. *)
+
+val set_budget_context : manager -> string -> unit
+(** Re-tags subsequent budget errors without resetting the budget. *)
+
 val bdd_false : node
 
 val bdd_true : node

@@ -17,6 +17,8 @@ type realization = {
   met : bool;
   measurements : int;
   strategy : string;
+  degradation : Dpa_power.Engine.degradation;
+  degraded_measurements : int;
 }
 
 type result = {
@@ -37,6 +39,7 @@ type config = {
   pair_limit : int option;
   timing : timing_config option;
   seed : int;
+  budget : Dpa_power.Engine.budget option;
 }
 
 let default_config =
@@ -47,10 +50,12 @@ let default_config =
     pair_limit = None;
     timing = None;
     seed = 1;
+    budget = None;
   }
 
 (* Map an assignment, optionally resize to the clock, and price it. *)
-let realize_and_price config net ~input_probs ~clock ~measurements ~strategy assignment =
+let realize_and_price config net ~input_probs ~clock ~measurements
+    ?(degraded_measurements = 0) ~strategy assignment =
   let mapped =
     Mapped.map ~library:config.library (Dpa_synth.Inverterless.realize net assignment)
   in
@@ -64,7 +69,8 @@ let realize_and_price config net ~input_probs ~clock ~measurements ~strategy ass
     | None, _ ->
       (true, (Dpa_timing.Sta.analyze mapped).Dpa_timing.Sta.critical_delay)
   in
-  let report = Dpa_power.Estimate.of_mapped ~input_probs mapped in
+  let est = Dpa_power.Engine.estimate ?budget:config.budget ~input_probs mapped in
+  let report = est.Dpa_power.Engine.report in
   (* Under the timed flow, resizing replaces cells by larger drive
      variants: area is the drive-weighted cell count (a 2× cell occupies
      roughly twice the silicon), matching how the paper's Table 2 sizes
@@ -93,6 +99,8 @@ let realize_and_price config net ~input_probs ~clock ~measurements ~strategy ass
     met;
     measurements;
     strategy;
+    degradation = est.Dpa_power.Engine.degradation;
+    degraded_measurements;
   }
 
 let compare_ma_mp_probs ?(config = default_config) ~input_probs raw =
@@ -129,12 +137,14 @@ let compare_ma_mp_probs ?(config = default_config) ~input_probs raw =
       exhaustive_limit = config.exhaustive_limit;
       pair_limit = config.pair_limit;
       seed = config.seed;
+      budget = config.budget;
     }
   in
   let opt = Dpa_phase.Optimizer.minimize_power opt_config net in
   let mp =
     realize_and_price config net ~input_probs ~clock
       ~measurements:opt.Dpa_phase.Optimizer.measurements
+      ~degraded_measurements:opt.Dpa_phase.Optimizer.degraded_measurements
       ~strategy:opt.Dpa_phase.Optimizer.strategy_used opt.Dpa_phase.Optimizer.assignment
   in
   {

@@ -29,6 +29,13 @@ type realization = {
   met : bool;  (** timing constraint met (always true untimed) *)
   measurements : int;  (** power evaluations spent finding the assignment *)
   strategy : string;
+  degradation : Dpa_power.Engine.degradation;
+      (** how this realization's final power number was obtained — fully
+          exact unless a resource budget forced the estimation ladder to
+          degrade *)
+  degraded_measurements : int;
+      (** search-time measurements that degraded below exact (0 for MA and
+          for unbudgeted runs) *)
 }
 
 type result = {
@@ -49,11 +56,14 @@ type config = {
   pair_limit : int option;  (** greedy candidate cap for wide circuits *)
   timing : timing_config option;  (** [Some _] = the Table 2 flow *)
   seed : int;
+  budget : Dpa_power.Engine.budget option;
+      (** resource budget for every power estimate in both flows (search
+          and final pricing); [None] = exact, unbounded *)
 }
 
 val default_config : config
 (** Default library, [input_prob = 0.5], [exhaustive_limit = 10], no pair
-    cap, untimed, seed 1. *)
+    cap, untimed, seed 1, no resource budget. *)
 
 val compare_ma_mp : ?config:config -> Dpa_logic.Netlist.t -> result
 (** Runs both flows on the (internally re-optimized) network with the

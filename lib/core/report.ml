@@ -42,6 +42,21 @@ let table ~title rows =
       Table.cell_float ~decimals:1 sav ];
   Printf.sprintf "%s\n%s" title (Table.render t)
 
+let degraded r =
+  not
+    (Dpa_power.Engine.all_exact r.Flow.ma.Flow.degradation
+    && Dpa_power.Engine.all_exact r.Flow.mp.Flow.degradation
+    && r.Flow.mp.Flow.degraded_measurements = 0)
+
+let degradation_summary r =
+  if not (degraded r) then None
+  else
+    Some
+      (Printf.sprintf "degraded estimates — MA: %s; MP: %s; %d of %d search measurements"
+         (Dpa_power.Engine.degradation_to_string r.Flow.ma.Flow.degradation)
+         (Dpa_power.Engine.degradation_to_string r.Flow.mp.Flow.degradation)
+         r.Flow.mp.Flow.degraded_measurements r.Flow.mp.Flow.measurements)
+
 let summary r =
   let timing =
     match r.Flow.clock with
@@ -51,31 +66,40 @@ let summary r =
         (if r.Flow.ma.Flow.met then "met" else "VIOLATED")
         (if r.Flow.mp.Flow.met then "met" else "VIOLATED")
   in
+  let degradation =
+    match degradation_summary r with
+    | None -> ""
+    | Some s -> Printf.sprintf " [%s]" s
+  in
   Printf.sprintf
     "%s (%d PIs, %d POs): minimum-area phases %s give %d cells at power %.3f; \
      minimum-power phases %s (%s, %d measurements) give %d cells at power %.3f — \
-     %.1f%% power saving for %.1f%% area penalty%s."
+     %.1f%% power saving for %.1f%% area penalty%s.%s"
     r.Flow.circuit r.Flow.n_pi r.Flow.n_po
     (Dpa_synth.Phase.to_string r.Flow.ma.Flow.assignment)
     r.Flow.ma.Flow.size r.Flow.ma.Flow.power
     (Dpa_synth.Phase.to_string r.Flow.mp.Flow.assignment)
     r.Flow.mp.Flow.strategy r.Flow.mp.Flow.measurements r.Flow.mp.Flow.size
     r.Flow.mp.Flow.power r.Flow.power_saving_pct r.Flow.area_penalty_pct timing
+    degradation
 
 let csv rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     "circuit,description,pis,pos,ma_size,ma_power,mp_size,mp_power,area_penalty_pct,\
-     power_saving_pct,ma_delay,mp_delay,clock,mp_strategy,mp_measurements\n";
+     power_saving_pct,ma_delay,mp_delay,clock,mp_strategy,mp_measurements,\
+     ma_estimate,mp_estimate\n";
   List.iter
     (fun (desc, r) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%d,%d,%d,%.6f,%d,%.6f,%.3f,%.3f,%.4f,%.4f,%s,%s,%d\n"
+        (Printf.sprintf "%s,%s,%d,%d,%d,%.6f,%d,%.6f,%.3f,%.3f,%.4f,%.4f,%s,%s,%d,%s,%s\n"
            r.Flow.circuit desc r.Flow.n_pi r.Flow.n_po r.Flow.ma.Flow.size
            r.Flow.ma.Flow.power r.Flow.mp.Flow.size r.Flow.mp.Flow.power
            r.Flow.area_penalty_pct r.Flow.power_saving_pct
            r.Flow.ma.Flow.critical_delay r.Flow.mp.Flow.critical_delay
            (match r.Flow.clock with Some c -> Printf.sprintf "%.4f" c | None -> "")
-           r.Flow.mp.Flow.strategy r.Flow.mp.Flow.measurements))
+           r.Flow.mp.Flow.strategy r.Flow.mp.Flow.measurements
+           (Dpa_power.Engine.degradation_label r.Flow.ma.Flow.degradation)
+           (Dpa_power.Engine.degradation_label r.Flow.mp.Flow.degradation)))
     rows;
   Buffer.contents buf

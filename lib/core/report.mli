@@ -6,11 +6,21 @@ val table : title:string -> (string * Flow.result) list -> string
     size/power, % area penalty, % power saving) plus an average row. *)
 
 val summary : Flow.result -> string
-(** One-paragraph human-readable comparison for a single circuit. *)
+(** One-paragraph human-readable comparison for a single circuit. When a
+    resource budget degraded any estimate, the paragraph ends with a
+    bracketed degradation note. *)
+
+val degraded : Flow.result -> bool
+(** Any estimate in either flow fell below fully exact. *)
+
+val degradation_summary : Flow.result -> string option
+(** One line describing how much of the result rests on the degradation
+    ladder; [None] when everything was exact. *)
 
 val averages : Flow.result list -> float * float
 (** (mean area penalty %, mean power saving %). *)
 
 val csv : (string * Flow.result) list -> string
 (** Machine-readable export (one header row; RFC-4180-ish, no quoting
-    needed as all fields are names and numbers). *)
+    needed as all fields are names and numbers). The [ma_estimate] and
+    [mp_estimate] columns carry {!Dpa_power.Engine.degradation_label}. *)

@@ -55,7 +55,7 @@ let tokenize text =
 type cover = {
   out_name : string;
   in_names : string list;
-  rows : (string * char) list;  (** input pattern, output value *)
+  rows : (int * string * char) list;  (** physical line, input pattern, output value *)
   decl_line : int;
 }
 
@@ -110,15 +110,16 @@ let parse_decls text =
               | [ pattern; value ] when List.length in_names > 0 ->
                 if String.length pattern <> List.length in_names then
                   Error
-                    (Printf.sprintf "line %d: pattern %S does not match %d inputs" rnum
-                       pattern (List.length in_names))
+                    (Printf.sprintf
+                       "line %d: pattern %S is %d characters wide for %d inputs" rnum
+                       pattern (String.length pattern) (List.length in_names))
                 else if value <> "0" && value <> "1" then
                   Error (Printf.sprintf "line %d: output value must be 0 or 1" rnum)
-                else take_rows ((pattern, value.[0]) :: acc) more
+                else take_rows ((rnum, pattern, value.[0]) :: acc) more
               | [ value ] when in_names = [] ->
                 if value <> "0" && value <> "1" then
                   Error (Printf.sprintf "line %d: constant cover row must be 0 or 1" rnum)
-                else take_rows (("", value.[0]) :: acc) more
+                else take_rows ((rnum, "", value.[0]) :: acc) more
               | _ -> Error (Printf.sprintf "line %d: malformed cover row" rnum))
             | remaining -> Ok (List.rev acc, remaining)
           in
@@ -156,40 +157,50 @@ let build_cover b env cover =
   match resolve_all [] cover.in_names with
   | Error e -> Error e
   | Ok input_ids -> (
+    let input_ids = Array.of_list input_ids in
     match cover.rows with
     | [] -> Ok (Builder.const b false)
-    | (_, first_value) :: _ ->
-      if List.exists (fun (_, v) -> v <> first_value) cover.rows then
+    | (_, _, first_value) :: _ -> (
+      match List.find_opt (fun (_, _, v) -> v <> first_value) cover.rows with
+      | Some (rnum, _, _) ->
         Error
-          (Printf.sprintf "line %d: cover mixes on-set and off-set rows" cover.decl_line)
-      else begin
-        let product pattern =
-          let literals = ref [] in
-          String.iteri
-            (fun k c ->
-              let id = List.nth input_ids k in
-              match c with
-              | '1' -> literals := id :: !literals
-              | '0' -> literals := Builder.not_ b id :: !literals
-              | '-' -> ()
+          (Printf.sprintf "line %d: cover mixes on-set and off-set rows (.names at line %d)"
+             rnum cover.decl_line)
+      | None ->
+        (* One AND term per row; any malformed character is an explicit
+           [Error] carrying the row's own line number — nothing here raises. *)
+        let product rnum pattern =
+          let rec literals k acc =
+            if k = String.length pattern then Ok acc
+            else
+              match pattern.[k] with
+              | '1' -> literals (k + 1) (input_ids.(k) :: acc)
+              | '0' -> literals (k + 1) (Builder.not_ b input_ids.(k) :: acc)
+              | '-' -> literals (k + 1) acc
               | c ->
-                failwith
-                  (Printf.sprintf "line %d: bad cover character %C" cover.decl_line c))
-            pattern;
-          match !literals with
-          | [] -> Builder.const b true
-          | lits -> Builder.and_ b lits
+                Error
+                  (Printf.sprintf "line %d: bad cover character %C in pattern %S" rnum c
+                     pattern)
+          in
+          match literals 0 [] with
+          | Error e -> Error e
+          | Ok [] -> Ok (Builder.const b true)
+          | Ok lits -> Ok (Builder.and_ b lits)
         in
-        match
-          List.map (fun (pattern, _) -> product pattern) cover.rows
-        with
-        | exception Failure msg -> Error msg
-        | [ single ] ->
+        let rec products acc = function
+          | [] -> Ok (List.rev acc)
+          | (rnum, pattern, _) :: rest -> (
+            match product rnum pattern with
+            | Ok p -> products (p :: acc) rest
+            | Error e -> Error e)
+        in
+        match products [] cover.rows with
+        | Error e -> Error e
+        | Ok [ single ] ->
           Ok (if first_value = '1' then single else Builder.not_ b single)
-        | products ->
-          let union = Builder.or_ b products in
-          Ok (if first_value = '1' then union else Builder.not_ b union)
-      end)
+        | Ok terms ->
+          let union = Builder.or_ b terms in
+          Ok (if first_value = '1' then union else Builder.not_ b union)))
 
 (* Order covers so that every cover's inputs are built first. *)
 let order_covers d ~external_names =

@@ -163,7 +163,9 @@ let of_string text =
 let parse_exn text =
   match of_string text with
   | Ok net -> net
-  | Error msg -> failwith ("Io.parse_exn: " ^ msg)
+  | Error msg ->
+    Dpa_util.Dpa_error.error
+      (Dpa_util.Dpa_error.Parse { source = "dln"; line = None; message = msg })
 
 let to_dot t =
   let labels = make_labels t in

@@ -20,7 +20,8 @@ val of_string : string -> (Netlist.t, string) result
 (** Parses; the error string carries a line number. *)
 
 val parse_exn : string -> Netlist.t
-(** [of_string] raising [Failure] — convenient for embedded literals. *)
+(** [of_string] raising {!Dpa_util.Dpa_error.Error} with a [Parse]
+    payload — convenient for embedded literals. *)
 
 val to_dot : Netlist.t -> string
 (** Graphviz digraph for debugging / documentation. *)

@@ -13,10 +13,13 @@ type t = {
   library : Dpa_domino.Library.t;
   input_probs : float array;
   mode : mode;
+  budget : Dpa_power.Engine.budget option;
   pricer : t -> Dpa_domino.Mapped.t -> sample;
   cache : (string, sample) Hashtbl.t;
   mutable env : Dpa_power.Estimate.env option;
   mutable misses : int;
+  mutable degraded : int;
+  mutable worst : Dpa_power.Engine.degradation option;
 }
 
 let realize_mapped t assignment =
@@ -37,11 +40,34 @@ let env_of t =
     t.env <- Some e;
     e
 
+(* Ranks degradation reports so the search can remember its worst case. *)
+let more_degraded a b =
+  let open Dpa_power.Engine in
+  (simulated_cones a, reordered_cones a) > (simulated_cones b, reordered_cones b)
+
+let record_degradation t (d : Dpa_power.Engine.degradation) =
+  if not (Dpa_power.Engine.all_exact d) then begin
+    t.degraded <- t.degraded + 1;
+    match t.worst with
+    | None -> t.worst <- Some d
+    | Some w -> if more_degraded d w then t.worst <- Some d
+  end
+
 let default_price t mapped =
   let report =
-    match t.mode with
-    | `Rebuild -> Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped
-    | `Incremental -> Dpa_power.Estimate.of_mapped_env (env_of t) mapped
+    match t.budget with
+    | Some budget when not (Dpa_power.Engine.is_unbounded budget) ->
+      (* Every candidate is priced under the same budget policy with a
+         deterministic simulator seed, so comparisons between candidates
+         stay consistent and greedy descent stays monotone even when some
+         cones fall back to simulation. *)
+      let r = Dpa_power.Engine.estimate ~budget ~input_probs:t.input_probs mapped in
+      record_degradation t r.Dpa_power.Engine.degradation;
+      r.Dpa_power.Engine.report
+    | Some _ | None -> (
+      match t.mode with
+      | `Rebuild -> Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped
+      | `Incremental -> Dpa_power.Estimate.of_mapped_env (env_of t) mapped)
   in
   {
     power = report.Dpa_power.Estimate.total;
@@ -49,7 +75,7 @@ let default_price t mapped =
     domino_switching = report.Dpa_power.Estimate.domino_switching;
   }
 
-let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?pricer
+let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budget ?pricer
     ~input_probs net =
   if not (Dpa_synth.Opt.is_domino_ready net) then
     invalid_arg "Measure.create: netlist contains XOR; run Opt.optimize first";
@@ -65,10 +91,13 @@ let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?price
     library;
     input_probs;
     mode;
+    budget;
     pricer;
     cache = Hashtbl.create 64;
     env = None;
     misses = 0;
+    degraded = 0;
+    worst = None;
   }
 
 let eval t assignment =
@@ -82,6 +111,10 @@ let eval t assignment =
     s
 
 let evaluations t = t.misses
+
+let degraded_evaluations t = t.degraded
+
+let worst_degradation t = t.worst
 
 let bdd_stats t =
   Option.map (fun e -> Dpa_bdd.Robdd.stats (Dpa_power.Estimate.env_manager e)) t.env

@@ -27,6 +27,7 @@ type t
 val create :
   ?library:Dpa_domino.Library.t ->
   ?mode:mode ->
+  ?budget:Dpa_power.Engine.budget ->
   ?pricer:(Dpa_domino.Mapped.t -> sample) ->
   input_probs:float array ->
   Dpa_logic.Netlist.t ->
@@ -35,12 +36,28 @@ val create :
     [`Incremental] and only affects the built-in pricer. [pricer]
     overrides how a mapped block is turned into a sample — the default is
     the BDD power estimate and the plain cell count; the timing-integrated
-    optimizer substitutes a price-after-resizing pricer. *)
+    optimizer substitutes a price-after-resizing pricer.
+
+    A non-unbounded [budget] switches the built-in pricer to the
+    resource-bounded {!Dpa_power.Engine}: every candidate is priced under
+    the same node/deadline limits with the same deterministic simulator
+    seed, so a greedy search ranks candidates consistently even when the
+    degradation ladder kicks in — fallback never breaks monotonicity.
+    Degradations are tallied per distinct candidate (see
+    {!degraded_evaluations}, {!worst_degradation}). *)
 
 val eval : t -> Dpa_synth.Phase.assignment -> sample
 
 val evaluations : t -> int
 (** Number of {e distinct} assignments measured so far (cache misses). *)
+
+val degraded_evaluations : t -> int
+(** Distinct assignments whose estimate degraded below fully exact (only
+    ever nonzero under a [budget]). *)
+
+val worst_degradation : t -> Dpa_power.Engine.degradation option
+(** The most degraded report seen (most simulated cones, ties broken by
+    reordered cones); [None] when every estimate was exact. *)
 
 val realize_mapped : t -> Dpa_synth.Phase.assignment -> Dpa_domino.Mapped.t
 (** The mapped block for an assignment (not cached). *)

@@ -14,6 +14,7 @@ type config = {
   exhaustive_limit : int;
   pair_limit : int option;
   seed : int;
+  budget : Dpa_power.Engine.budget option;
 }
 
 let default_config ~input_probs =
@@ -24,6 +25,7 @@ let default_config ~input_probs =
     exhaustive_limit = 10;
     pair_limit = None;
     seed = 1;
+    budget = None;
   }
 
 type result = {
@@ -32,15 +34,25 @@ type result = {
   size : int;
   measurements : int;
   strategy_used : string;
+  degraded_measurements : int;
+  degradation : Dpa_power.Engine.degradation option;
 }
 
 let minimize_power config net =
   let n = Netlist.num_outputs net in
   if n = 0 then invalid_arg "Optimizer.minimize_power: network has no outputs";
-  let measure = Measure.create ~library:config.library ~input_probs:config.input_probs net in
+  let measure =
+    Measure.create ~library:config.library ?budget:config.budget
+      ~input_probs:config.input_probs net
+  in
   let cost_and_base () =
     let cost = Cost.make net in
-    let base_probs = Dpa_bdd.Build.probabilities ~input_probs:config.input_probs net in
+    let base_probs =
+      match config.budget with
+      | Some budget when not (Dpa_power.Engine.is_unbounded budget) ->
+        fst (Dpa_power.Engine.node_probabilities ~budget ~input_probs:config.input_probs net)
+      | Some _ | None -> Dpa_bdd.Build.probabilities ~input_probs:config.input_probs net
+    in
     (cost, base_probs)
   in
   let run_greedy () =
@@ -85,4 +97,12 @@ let minimize_power config net =
       end
       else run_greedy ()
   in
-  { assignment; power; size; measurements = Measure.evaluations measure; strategy_used }
+  {
+    assignment;
+    power;
+    size;
+    measurements = Measure.evaluations measure;
+    strategy_used;
+    degraded_measurements = Measure.degraded_evaluations measure;
+    degradation = Measure.worst_degradation measure;
+  }

@@ -21,6 +21,10 @@ type config = {
   exhaustive_limit : int;  (** [Auto] threshold, default 10 *)
   pair_limit : int option;  (** greedy candidate cap, default none *)
   seed : int;  (** randomized strategies *)
+  budget : Dpa_power.Engine.budget option;
+      (** resource budget for every estimate in the search (base
+          probabilities and per-candidate pricing); [None] = exact,
+          unbounded *)
 }
 
 val default_config : input_probs:float array -> config
@@ -31,6 +35,10 @@ type result = {
   size : int;
   measurements : int;  (** distinct assignments synthesized and priced *)
   strategy_used : string;
+  degraded_measurements : int;
+      (** measurements that fell below fully exact (0 without a budget) *)
+  degradation : Dpa_power.Engine.degradation option;
+      (** worst per-candidate degradation seen, [None] when all exact *)
 }
 
 val minimize_power : config -> Dpa_logic.Netlist.t -> result

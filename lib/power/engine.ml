@@ -1,0 +1,306 @@
+module Netlist = Dpa_logic.Netlist
+module Mapped = Dpa_domino.Mapped
+module Robdd = Dpa_bdd.Robdd
+module Bitset = Dpa_util.Bitset
+module Dpa_error = Dpa_util.Dpa_error
+
+type fallback = No_fallback | Reorder_retry | Simulate
+
+type budget = {
+  max_bdd_nodes : int option;
+  deadline_s : float option;
+  fallback : fallback;
+  sim_halfwidth : float;
+  sim_confidence : float;
+  sim_seed : int;
+  reorder_passes : int;
+}
+
+let default_budget =
+  {
+    max_bdd_nodes = None;
+    deadline_s = None;
+    fallback = Simulate;
+    sim_halfwidth = 0.01;
+    sim_confidence = 0.95;
+    sim_seed = 1;
+    reorder_passes = 2;
+  }
+
+let bounded ?max_bdd_nodes ?deadline_s ?(fallback = Simulate) () =
+  { default_budget with max_bdd_nodes; deadline_s; fallback }
+
+let is_unbounded b = b.max_bdd_nodes = None && b.deadline_s = None
+
+let fallback_of_string = function
+  | "none" -> Some No_fallback
+  | "reorder" -> Some Reorder_retry
+  | "sim" -> Some Simulate
+  | _ -> None
+
+let fallback_to_string = function
+  | No_fallback -> "none"
+  | Reorder_retry -> "reorder"
+  | Simulate -> "sim"
+
+(* two-sided normal quantile for the common confidence levels; the sample
+   count only needs the right order of magnitude *)
+let z_of_confidence c =
+  if c >= 0.995 then 2.807
+  else if c >= 0.99 then 2.576
+  else if c >= 0.95 then 1.960
+  else if c >= 0.90 then 1.645
+  else 1.282
+
+let sim_cycles_of b =
+  let z = z_of_confidence b.sim_confidence in
+  let h = Float.max b.sim_halfwidth 1e-4 in
+  (* worst-case binomial: halfwidth = z·√(p(1−p)/n) ≤ z/(2√n) *)
+  let n = int_of_float (Float.ceil ((z /. (2.0 *. h)) ** 2.0)) in
+  max 1_000 (min 200_000 n)
+
+let ci_halfwidth_of b cycles =
+  z_of_confidence b.sim_confidence /. (2.0 *. sqrt (float_of_int cycles))
+
+(* ------------------------------------------------------------------ *)
+(* Degradation report                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type cone_method = Exact | Reordered | Simulated
+
+type degradation = {
+  methods : cone_method array;
+  bdd_nodes : int;
+  reorder_used : bool;
+  sim_cycles : int;
+  ci_halfwidth : float;
+}
+
+let count_method d m = Array.fold_left (fun n x -> if x = m then n + 1 else n) 0 d.methods
+
+let exact_cones d = count_method d Exact
+
+let reordered_cones d = count_method d Reordered
+
+let simulated_cones d = count_method d Simulated
+
+let all_exact d = Array.for_all (fun m -> m = Exact) d.methods
+
+let exact_degradation ~n_outputs ~bdd_nodes =
+  {
+    methods = Array.make n_outputs Exact;
+    bdd_nodes;
+    reorder_used = false;
+    sim_cycles = 0;
+    ci_halfwidth = 0.0;
+  }
+
+let degradation_to_string d =
+  if all_exact d then Printf.sprintf "exact (%d BDD nodes)" d.bdd_nodes
+  else
+    Printf.sprintf "%d exact / %d reordered / %d simulated of %d cones (%d BDD nodes%s)"
+      (exact_cones d) (reordered_cones d) (simulated_cones d) (Array.length d.methods)
+      d.bdd_nodes
+      (if d.sim_cycles = 0 then ""
+       else Printf.sprintf ", %d sim cycles, ±%.4f CI" d.sim_cycles d.ci_halfwidth)
+
+let degradation_label d =
+  if all_exact d then "exact"
+  else
+    Printf.sprintf "%dex+%dre+%dsim" (exact_cones d) (reordered_cones d) (simulated_cones d)
+
+type result = {
+  report : Estimate.report;
+  degradation : degradation;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The ladder                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One bounded build attempt: every output cone in order, each protected
+   individually, so one hostile cone cannot take down its siblings (they
+   still profit from whatever sharing was interned before exhaustion). *)
+let attempt ~budget ~deadline ~order ~cones mapped =
+  let pb = Estimate.start_build ~order mapped in
+  let m = Estimate.partial_manager pb in
+  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline m;
+  let ok =
+    Array.mapi
+      (fun k cone ->
+        Robdd.set_budget_context m (Printf.sprintf "output cone %d" k);
+        match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
+        | () -> true
+        | exception Dpa_error.Budget_exceeded _ -> false)
+      cones
+  in
+  Robdd.clear_budget m;
+  (pb, ok)
+
+let count_ok ok = Array.fold_left (fun n b -> if b then n + 1 else n) 0 ok
+
+(* Budgeted adjacent-swap reorder of the collapsed variable order. Only
+   meaningful under a node budget: the oracle needs a finite cap to price
+   infeasible orders without hanging. *)
+let reordered_order ~budget ~deadline ~order mapped =
+  match budget.max_bdd_nodes with
+  | None -> None
+  | Some max_nodes ->
+    let deadline_passed () =
+      match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+    in
+    if Array.length order < 2 || deadline_passed () then None
+    else begin
+      let cost o =
+        if deadline_passed () then max_int
+        else
+          match Estimate.bounded_block_size ~order:o ~max_nodes ~deadline mapped with
+          | Some s -> s
+          | None -> max_int
+      in
+      let r = Dpa_bdd.Reorder.refine_cost ~max_passes:budget.reorder_passes ~cost order in
+      if r.Dpa_bdd.Reorder.swaps_accepted = 0 then None else Some r.Dpa_bdd.Reorder.order
+    end
+
+let merge_methods ~ok0 ~okf ~used_reorder =
+  Array.init (Array.length okf) (fun k ->
+      if okf.(k) then if used_reorder && not ok0.(k) then Reordered else Exact
+      else Simulated)
+
+let estimate ?(budget = default_budget) ~input_probs mapped =
+  let net = Mapped.net mapped in
+  let n_out = Netlist.num_outputs net in
+  if is_unbounded budget then begin
+    let report = Estimate.of_mapped ~input_probs mapped in
+    {
+      report;
+      degradation =
+        exact_degradation ~n_outputs:n_out ~bdd_nodes:report.Estimate.bdd_nodes;
+    }
+  end
+  else begin
+    let order = Estimate.block_order ~input_probs mapped in
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget.deadline_s in
+    let cones = Dpa_logic.Cone.of_outputs net in
+    (* rung 1: exact under budget *)
+    let pb0, ok0 = attempt ~budget ~deadline ~order ~cones mapped in
+    let pb, okf, reorder_used =
+      if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (pb0, ok0, false)
+      else
+        (* rung 2: one retry under a budget-aware reordered variable order *)
+        match reordered_order ~budget ~deadline ~order mapped with
+        | None -> (pb0, ok0, false)
+        | Some order' ->
+          let pb1, ok1 = attempt ~budget ~deadline ~order:order' ~cones mapped in
+          if count_ok ok1 > count_ok ok0 then (pb1, ok1, true) else (pb0, ok0, false)
+    in
+    let methods = merge_methods ~ok0 ~okf ~used_reorder:reorder_used in
+    let bdd_nodes = Robdd.total_nodes (Estimate.partial_manager pb) in
+    let n_failed = n_out - count_ok okf in
+    if n_failed > 0 && budget.fallback <> Simulate then
+      Dpa_error.error
+        (Dpa_error.Budget
+           {
+             Dpa_error.resource = Dpa_error.Bdd_nodes;
+             limit =
+               (match budget.max_bdd_nodes with
+               | Some n -> float_of_int n
+               | None -> infinity);
+             spent = float_of_int bdd_nodes;
+             context =
+               Printf.sprintf "%d of %d output cones unbuildable (fallback %s)" n_failed
+                 n_out
+                 (fallback_to_string budget.fallback);
+           });
+    let exact_probs = Estimate.partial_probabilities pb ~input_probs in
+    let node_probs, sim_cycles, ci =
+      if n_failed = 0 then (exact_probs, 0, 0.0)
+      else begin
+        (* rung 3: Monte-Carlo fallback for whatever stayed unbuilt *)
+        let cycles = sim_cycles_of budget in
+        let rng = Dpa_util.Rng.create budget.sim_seed in
+        let act = Dpa_sim.Simulator.measure ~cycles rng ~input_probs mapped in
+        let merged =
+          Array.mapi
+            (fun i exact ->
+              if Float.is_nan exact then act.Dpa_sim.Simulator.node_probs.(i) else exact)
+            exact_probs
+        in
+        (merged, cycles, ci_halfwidth_of budget cycles)
+      end
+    in
+    let report =
+      Estimate.price mapped ~node_probs ~input_toggle:(fun opos ->
+          Model.static_switching input_probs.(opos))
+    in
+    {
+      report = { report with Estimate.bdd_nodes };
+      degradation =
+        { methods; bdd_nodes; reorder_used; sim_cycles; ci_halfwidth = ci };
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Netlist-level node probabilities under the same ladder               *)
+(* ------------------------------------------------------------------ *)
+
+let mc_netlist_probabilities ~cycles ~seed ~input_probs net =
+  let rng = Dpa_util.Rng.create seed in
+  let n = Netlist.size net in
+  let counts = Array.make n 0 in
+  for _ = 1 to cycles do
+    let vec = Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) input_probs in
+    let values = Dpa_logic.Eval.all_nodes net vec in
+    Array.iteri (fun i v -> if v then counts.(i) <- counts.(i) + 1) values
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int cycles) counts
+
+let node_probabilities ?(budget = default_budget) ~input_probs net =
+  if Array.length input_probs <> Netlist.num_inputs net then
+    invalid_arg "Engine.node_probabilities: input_probs length mismatch";
+  if is_unbounded budget then (Dpa_bdd.Build.probabilities ~input_probs net, Exact)
+  else begin
+    let order = Dpa_bdd.Ordering.reverse_topological net in
+    let max_nodes = match budget.max_bdd_nodes with Some n -> n | None -> max_int in
+    let bounded_try order =
+      match Dpa_bdd.Build.bounded_size ~order ~max_nodes net with
+      | Some _ ->
+        (* feasible: rebuild unbudgeted — the probe just proved it fits *)
+        Some (Dpa_bdd.Build.probabilities ~order ~input_probs net)
+      | None -> None
+    in
+    match bounded_try order with
+    | Some probs -> (probs, Exact)
+    | None -> (
+      let retry =
+        if budget.fallback = No_fallback then None
+        else
+          match budget.max_bdd_nodes with
+          | None -> None
+          | Some max_nodes -> (
+            match
+              Dpa_bdd.Reorder.refine_bounded ~max_passes:budget.reorder_passes ~max_nodes
+                net order
+            with
+            | Some r -> bounded_try r.Dpa_bdd.Reorder.order
+            | None -> None)
+      in
+      match retry with
+      | Some probs -> (probs, Reordered)
+      | None ->
+        if budget.fallback <> Simulate then
+          Dpa_error.error
+            (Dpa_error.Budget
+               {
+                 Dpa_error.resource = Dpa_error.Bdd_nodes;
+                 limit =
+                   (match budget.max_bdd_nodes with
+                   | Some n -> float_of_int n
+                   | None -> infinity);
+                 spent = float_of_int max_nodes;
+                 context = "netlist probability build (fallback insufficient)";
+               });
+        (mc_netlist_probabilities ~cycles:(sim_cycles_of budget) ~seed:budget.sim_seed
+           ~input_probs net,
+         Simulated))
+  end

@@ -1,0 +1,129 @@
+(** Resource-bounded estimation engine: the degradation ladder.
+
+    Exact BDD probability estimation is worst-case exponential in circuit
+    size. The engine makes every estimate terminate inside a configurable
+    resource {!budget} by degrading gracefully, one output cone at a time:
+
+    + {b exact} — build the block's BDDs under a manager node budget and
+      wall-clock deadline ({!Dpa_bdd.Robdd.set_budget});
+    + {b reorder} — if a cone blows the budget, retry once under a
+      budget-aware reordered variable order ({!Dpa_bdd.Reorder.refine_cost}
+      over {!Estimate.bounded_block_size});
+    + {b simulate} — cones still unbuilt are priced from a Monte-Carlo run
+      of the domino simulator ({!Dpa_sim.Simulator.measure}) with a sample
+      count sized from the requested confidence interval, merged with the
+      exact probabilities of everything that {e did} build.
+
+    Every answer carries a {!degradation} report saying which rung priced
+    which cone, so callers (and the CLI) can surface approximation
+    honestly. With [fallback = No_fallback] (or [Reorder_retry] when the
+    retry is insufficient) the engine raises a typed
+    {!Dpa_util.Dpa_error.Error} with a [Budget] payload instead of
+    degrading — never a bare [Failure]. *)
+
+(** What to do when the exact build exhausts its budget. Each level
+    includes the previous: [Simulate] still tries exact, then reorder,
+    then simulation. *)
+type fallback = No_fallback | Reorder_retry | Simulate
+
+type budget = {
+  max_bdd_nodes : int option;  (** manager node cap; [None] = unlimited *)
+  deadline_s : float option;
+      (** wall-clock seconds for the whole estimate; [None] = unlimited *)
+  fallback : fallback;
+  sim_halfwidth : float;
+      (** target 95%-style confidence-interval half-width on simulated
+          probabilities; sizes the Monte-Carlo sample count *)
+  sim_confidence : float;  (** confidence level for [sim_halfwidth] *)
+  sim_seed : int;
+      (** deterministic simulator seed — identical inputs give identical
+          fallback numbers, which keeps greedy phase search monotone *)
+  reorder_passes : int;  (** hill-climb passes for the reorder rung *)
+}
+
+val default_budget : budget
+(** Unlimited resources, [Simulate] fallback, 1% half-width at 95%
+    confidence, seed 1, 2 reorder passes. *)
+
+val bounded :
+  ?max_bdd_nodes:int -> ?deadline_s:float -> ?fallback:fallback -> unit -> budget
+(** [default_budget] with the given limits installed. *)
+
+val is_unbounded : budget -> bool
+(** No node cap and no deadline — the engine short-circuits to the plain
+    exact estimator. *)
+
+val fallback_of_string : string -> fallback option
+(** ["none"] | ["reorder"] | ["sim"] (the CLI spelling). *)
+
+val fallback_to_string : fallback -> string
+
+val sim_cycles_of : budget -> int
+(** Monte-Carlo sample count implied by [sim_halfwidth]/[sim_confidence]:
+    [⌈(z / 2·halfwidth)²⌉] clamped to [1_000 .. 200_000]. *)
+
+val ci_halfwidth_of : budget -> int -> float
+(** Worst-case (p = ½) confidence-interval half-width actually achieved by
+    a run of the given cycle count. *)
+
+(** {2 Degradation report} *)
+
+(** How one output cone's probabilities were obtained. *)
+type cone_method = Exact | Reordered | Simulated
+
+type degradation = {
+  methods : cone_method array;  (** per output cone, in output order *)
+  bdd_nodes : int;  (** manager size of the (possibly partial) build *)
+  reorder_used : bool;  (** the reorder rung's order was adopted *)
+  sim_cycles : int;  (** 0 when no cone needed simulation *)
+  ci_halfwidth : float;  (** 0.0 when no cone needed simulation *)
+}
+
+val exact_cones : degradation -> int
+
+val reordered_cones : degradation -> int
+
+val simulated_cones : degradation -> int
+
+val all_exact : degradation -> bool
+
+val exact_degradation : n_outputs:int -> bdd_nodes:int -> degradation
+(** The trivial report of a fully exact estimate. *)
+
+val degradation_to_string : degradation -> string
+(** One human-readable line, e.g.
+    ["2 exact / 0 reordered / 1 simulated of 3 cones (512 BDD nodes, 9604 sim cycles, ±0.0100 CI)"]. *)
+
+val degradation_label : degradation -> string
+(** Compact CSV-friendly label: ["exact"] or ["2ex+0re+1sim"]. *)
+
+(** {2 Estimation} *)
+
+type result = {
+  report : Estimate.report;
+  degradation : degradation;
+}
+
+val estimate :
+  ?budget:budget -> input_probs:float array -> Dpa_domino.Mapped.t -> result
+(** Runs the ladder on one mapped block. With an unbounded budget this is
+    exactly {!Estimate.of_mapped}. Under a budget, each output cone is
+    built separately so exhaustion is contained: sibling cones keep the
+    nodes interned before the blow-up and their probabilities stay exact.
+
+    @raise Dpa_util.Dpa_error.Error with a [Budget] payload when cones
+    remain unpriced and [budget.fallback] forbids simulation. *)
+
+val node_probabilities :
+  ?budget:budget ->
+  input_probs:float array ->
+  Dpa_logic.Netlist.t ->
+  float array * cone_method
+(** Signal probability of every node of a {e netlist} (no domino mapping)
+    under the same ladder — the budgeted replacement for
+    {!Dpa_bdd.Build.probabilities} used for phase-search base
+    probabilities. The netlist has a single shared build, so the method is
+    whole-netlist rather than per-cone; the simulation rung evaluates the
+    netlist directly under Bernoulli input vectors.
+
+    @raise Dpa_util.Dpa_error.Error as {!estimate}. *)

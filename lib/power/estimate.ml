@@ -148,6 +148,93 @@ let of_mapped ~input_probs mapped =
   in
   { report with bdd_nodes }
 
+let of_activity mapped (a : Dpa_sim.Simulator.activity) =
+  price mapped ~node_probs:a.Dpa_sim.Simulator.node_probs ~input_toggle:(fun opos ->
+      a.Dpa_sim.Simulator.input_toggles.(opos))
+
+(* ------------------------------------------------------------------ *)
+(* Partial (cone-by-cone) building, for the resource-bounded engine     *)
+(* ------------------------------------------------------------------ *)
+
+type partial_build = {
+  pb_manager : Robdd.manager;
+  pb_mapped : Mapped.t;
+  pb_order : int array;
+  pb_roots : Robdd.node array;
+  pb_built : Bytes.t; (* per block node id; '\001' = root valid *)
+  pb_level_of_orig : Int_table.t;
+  pb_pos_of_input : Int_table.t;
+}
+
+let block_order ~input_probs mapped =
+  check_literals ~input_probs mapped;
+  order_of_block mapped
+
+let start_build ~order mapped =
+  let net = Mapped.net mapped in
+  let level_of_orig = Int_table.create ~capacity:(2 * Array.length order) () in
+  Array.iteri (fun lvl opos -> Int_table.replace level_of_orig opos lvl) order;
+  let pos_of_input = Int_table.create ~capacity:32 () in
+  Array.iteri (fun k id -> Int_table.replace pos_of_input id k) (Netlist.inputs net);
+  {
+    pb_manager =
+      Robdd.create_sized ~nvars:(Array.length order) ~cache_capacity:(4 * Netlist.size net);
+    pb_mapped = mapped;
+    pb_order = Array.copy order;
+    pb_roots = Array.make (Netlist.size net) Robdd.bdd_false;
+    pb_built = Bytes.make (Netlist.size net) '\000';
+    pb_level_of_orig = level_of_orig;
+    pb_pos_of_input = pos_of_input;
+  }
+
+let partial_manager pb = pb.pb_manager
+
+let node_built pb i = Bytes.get pb.pb_built i = '\001'
+
+(* Build every not-yet-built node selected by [within], in id (= topologic)
+   order. A budget exhaustion mid-node leaves that node unbuilt but keeps
+   everything interned so far: a later retry, or another cone sharing the
+   prefix, resumes from unique-table hits. *)
+let build_nodes pb ~within =
+  let m = pb.pb_manager in
+  let lits = Mapped.literals pb.pb_mapped in
+  let roots = pb.pb_roots in
+  Netlist.iter_nodes
+    (fun i g ->
+      if within i && not (node_built pb i) then begin
+        roots.(i) <-
+          (match g with
+          | Gate.Input ->
+            let bpos = Int_table.find pb.pb_pos_of_input i in
+            let opos, pol = lits.(bpos) in
+            let v = Robdd.var m (Int_table.find pb.pb_level_of_orig opos) in
+            (match pol with Inverterless.Pos -> v | Inverterless.Neg -> Robdd.neg m v)
+          | Gate.Const b -> if b then Robdd.bdd_true else Robdd.bdd_false
+          | Gate.And xs ->
+            Array.fold_left (fun acc x -> Robdd.apply_and m acc roots.(x)) Robdd.bdd_true xs
+          | Gate.Or xs ->
+            Array.fold_left (fun acc x -> Robdd.apply_or m acc roots.(x)) Robdd.bdd_false xs
+          | Gate.Buf _ | Gate.Not _ | Gate.Xor _ ->
+            invalid_arg "Estimate: mapped block must be a pure AND/OR network");
+        Bytes.set pb.pb_built i '\001'
+      end)
+    (Mapped.net pb.pb_mapped)
+
+let partial_probabilities pb ~input_probs =
+  let level_probs = Array.map (fun opos -> input_probs.(opos)) pb.pb_order in
+  let cache = Robdd.prob_cache pb.pb_manager level_probs in
+  Array.init
+    (Array.length pb.pb_roots)
+    (fun i ->
+      if node_built pb i then Robdd.cached_probability cache pb.pb_roots.(i) else Float.nan)
+
+let bounded_block_size ~order ~max_nodes ~deadline mapped =
+  let pb = start_build ~order mapped in
+  Robdd.set_budget ~max_nodes ?deadline ~context:"reorder probe" pb.pb_manager;
+  match build_nodes pb ~within:(fun _ -> true) with
+  | () -> Some (Robdd.total_nodes pb.pb_manager)
+  | exception Dpa_util.Dpa_error.Budget_exceeded _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Incremental estimation: one shared manager across many blocks        *)
 (* ------------------------------------------------------------------ *)

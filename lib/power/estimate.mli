@@ -41,6 +41,54 @@ val probabilities_of_block :
   input_probs:float array -> Dpa_domino.Mapped.t -> float array
 (** Just the per-node signal probabilities (no pricing). *)
 
+val of_activity : Dpa_domino.Mapped.t -> Dpa_sim.Simulator.activity -> report
+(** Prices {e measured} activity from the domino simulator with the same
+    model as the BDD estimator — the two totals are directly comparable.
+    [bdd_nodes] is 0. *)
+
+(** {2 Partial building}
+
+    The resource-bounded engine ({!Engine}) builds a block's BDDs one
+    output cone at a time under a manager budget, so exhaustion can be
+    attributed to — and recovered from — per cone. These hooks expose the
+    estimator's literal-aware building (both polarities of a PI share one
+    BDD variable) at that granularity. *)
+
+type partial_build
+
+val block_order : input_probs:float array -> Dpa_domino.Mapped.t -> int array
+(** The paper's variable-order heuristic on the block, as {e original} PI
+    positions (the same order {!of_mapped} uses). Validates that
+    [input_probs] covers every referenced PI. *)
+
+val start_build : order:int array -> Dpa_domino.Mapped.t -> partial_build
+(** Fresh manager over [order] (original PI positions) with nothing built.
+    Install a budget on {!partial_manager} to bound what follows. *)
+
+val partial_manager : partial_build -> Dpa_bdd.Robdd.manager
+
+val build_nodes : partial_build -> within:(int -> bool) -> unit
+(** Builds every not-yet-built block node selected by [within] (typically
+    cone membership), in topological order; fanins of a selected node must
+    be selected too. May raise {!Dpa_util.Dpa_error.Budget_exceeded}; the
+    partial build stays valid and a retry resumes from what was interned. *)
+
+val node_built : partial_build -> int -> bool
+
+val partial_probabilities : partial_build -> input_probs:float array -> float array
+(** Exact signal probability per block node; [Float.nan] where the node is
+    not built. *)
+
+val bounded_block_size :
+  order:int array ->
+  max_nodes:int ->
+  deadline:float option ->
+  Dpa_domino.Mapped.t ->
+  int option
+(** Total manager nodes of a full block build under [order], or [None] if
+    it would exceed [max_nodes] (or the absolute [deadline]) — the cost
+    oracle for the engine's budgeted reorder rung. *)
+
 (** {2 Incremental estimation}
 
     A phase search prices hundreds of re-phased variants of one circuit.

@@ -2,8 +2,9 @@ module Netlist = Dpa_logic.Netlist
 module Mapped = Dpa_domino.Mapped
 module Inverterless = Dpa_synth.Inverterless
 
-type measurement = {
-  report : Dpa_power.Estimate.report;
+type activity = {
+  node_probs : float array;
+  input_toggles : float array;
   cycles : int;
   fire_counts : int array;
 }
@@ -36,9 +37,8 @@ let measure ?(cycles = 10_000) rng ~input_probs mapped =
   done;
   let fc = float_of_int cycles in
   let node_probs = Array.map (fun c -> float_of_int c /. fc) fire_counts in
-  let input_toggle opos = float_of_int pi_toggles.(opos) /. fc in
-  let report = Dpa_power.Estimate.price mapped ~node_probs ~input_toggle in
-  { report; cycles; fire_counts }
+  let input_toggles = Array.map (fun c -> float_of_int c /. fc) pi_toggles in
+  { node_probs; input_toggles; cycles; fire_counts }
 
 type evaluate_trace = {
   rises : int array;

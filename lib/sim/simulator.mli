@@ -7,10 +7,17 @@
     must precharge again) — Property 2.1 — and domino logic is glitch-free
     (Property 2.2), so zero-delay evaluation is exact; {!event_evaluate}
     demonstrates the glitch-freedom explicitly under adversarial input
-    arrival orders. *)
+    arrival orders.
 
-type measurement = {
-  report : Dpa_power.Estimate.report;  (** priced from measured activity *)
+    This library measures raw {e activity} only; pricing lives one layer
+    up in [Dpa_power.Estimate.price] (see [Dpa_power.Estimate.of_activity])
+    so the power library can also call the simulator as the Monte-Carlo
+    fallback rung of its resource-bounded estimation engine. *)
+
+type activity = {
+  node_probs : float array;  (** measured signal probability per block node *)
+  input_toggles : float array;
+      (** measured toggle rate per {e original} primary input position *)
   cycles : int;
   fire_counts : int array;  (** discharge events per block node *)
 }
@@ -20,11 +27,11 @@ val measure :
   Dpa_util.Rng.t ->
   input_probs:float array ->
   Dpa_domino.Mapped.t ->
-  measurement
+  activity
 (** Drives the block with Bernoulli vectors over the {e original} primary
-    inputs (default 10_000 cycles) and prices the measured activity with
-    the same model as the BDD estimator, so the two totals are directly
-    comparable. *)
+    inputs (default 10_000 cycles). The measured activity uses the same
+    per-node indexing as the BDD estimator, so the two are directly
+    comparable once priced with the same model. *)
 
 type evaluate_trace = {
   rises : int array;  (** 0→1 transitions per node during one evaluate *)

@@ -109,9 +109,9 @@ let test_report_csv () =
   Alcotest.(check int) "header + one row" 2 (List.length lines);
   (match lines with
   | [ header; row ] ->
-    Alcotest.(check int) "header columns" 15
+    Alcotest.(check int) "header columns" 17
       (List.length (String.split_on_char ',' header));
-    Alcotest.(check int) "row columns" 15 (List.length (String.split_on_char ',' row));
+    Alcotest.(check int) "row columns" 17 (List.length (String.split_on_char ',' row));
     Alcotest.(check bool) "row names circuit" true
       (Testkit.contains_substring row r.Flow.circuit)
   | _ -> Alcotest.fail "unexpected csv shape")

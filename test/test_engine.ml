@@ -1,0 +1,241 @@
+(* The resource-bounded estimation engine: typed budget exhaustion, the
+   exact → reorder → simulate degradation ladder, and the malformed-BLIF
+   corpus (every bad input must yield a structured Error, never an
+   uncaught exception). *)
+
+module Engine = Dpa_power.Engine
+module Estimate = Dpa_power.Estimate
+module Flow = Dpa_core.Flow
+module Netlist = Dpa_logic.Netlist
+module Dpa_error = Dpa_util.Dpa_error
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_blif path =
+  match Dpa_logic.Blif.of_string (read_file path) with
+  | Ok net -> net
+  | Error msg -> Alcotest.failf "%s failed to parse: %s" path msg
+
+(* A sequential design's combinational core (latch outputs become PIs). *)
+let load_blif_core path =
+  match Dpa_logic.Blif.sequential_of_string (read_file path) with
+  | Ok s -> s.Dpa_logic.Blif.comb
+  | Error msg -> Alcotest.failf "%s failed to parse: %s" path msg
+
+let fig5_mapped () =
+  let net = Dpa_synth.Opt.optimize (Dpa_workload.Examples.fig5 ()) in
+  Dpa_domino.Mapped.map
+    (Dpa_synth.Inverterless.realize net (Dpa_synth.Phase.all_positive 2))
+
+(* ---- typed budget exhaustion -------------------------------------- *)
+
+let test_budget_exceeded_is_typed () =
+  let mapped = fig5_mapped () in
+  let input_probs = Array.make 4 0.5 in
+  let order = Estimate.block_order ~input_probs mapped in
+  let pb = Estimate.start_build ~order mapped in
+  Dpa_bdd.Robdd.set_budget ~max_nodes:3 (Estimate.partial_manager pb);
+  (match Estimate.build_nodes pb ~within:(fun _ -> true) with
+  | () -> Alcotest.fail "expected Budget_exceeded"
+  | exception Dpa_error.Budget_exceeded r ->
+    Alcotest.(check bool) "nodes resource" true (r.Dpa_error.resource = Dpa_error.Bdd_nodes)
+  | exception _ -> Alcotest.fail "wrong exception type");
+  (* the manager survives exhaustion: lifting the budget lets the same
+     partial build resume and finish *)
+  Dpa_bdd.Robdd.clear_budget (Estimate.partial_manager pb);
+  Estimate.build_nodes pb ~within:(fun _ -> true);
+  let probs = Estimate.partial_probabilities pb ~input_probs in
+  Alcotest.(check bool) "all probabilities defined" true
+    (Array.for_all (fun p -> not (Float.is_nan p)) probs)
+
+let test_fallback_none_raises_budget_error () =
+  let mapped = fig5_mapped () in
+  let budget = Engine.bounded ~max_bdd_nodes:2 ~fallback:Engine.No_fallback () in
+  match Engine.estimate ~budget ~input_probs:(Array.make 4 0.5) mapped with
+  | _ -> Alcotest.fail "expected Dpa_error.Error"
+  | exception Dpa_error.Error (Dpa_error.Budget _) -> ()
+  | exception _ -> Alcotest.fail "wrong exception type"
+
+(* ---- the ladder on data/ circuits --------------------------------- *)
+
+let ladder_on_blif ?(sequential = false) path =
+  let raw = if sequential then load_blif_core path else load_blif path in
+  let net = Dpa_synth.Opt.optimize raw in
+  let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let mapped =
+    Dpa_domino.Mapped.map
+      (Dpa_synth.Inverterless.realize net
+         (Dpa_synth.Phase.all_positive (Netlist.num_outputs net)))
+  in
+  let exact = Estimate.of_mapped ~input_probs mapped in
+  (* a cap well under the exact build forces the ladder *)
+  let max_nodes = max 2 (exact.Estimate.bdd_nodes / 4) in
+  let budget = Engine.bounded ~max_bdd_nodes:max_nodes () in
+  let r = Engine.estimate ~budget ~input_probs mapped in
+  let d = r.Engine.degradation in
+  Alcotest.(check bool) "some cones degraded" true (not (Engine.all_exact d));
+  Alcotest.(check bool) "every cone accounted for" true
+    (Engine.exact_cones d + Engine.reordered_cones d + Engine.simulated_cones d
+    = Netlist.num_outputs net);
+  Alcotest.(check bool) "node budget respected" true (d.Engine.bdd_nodes <= max_nodes);
+  (* simulated probabilities carry ±ci_halfwidth each; the total is a sum
+     over the block's cells, so bound the error additively *)
+  let tolerance =
+    Float.max 0.5 (d.Engine.ci_halfwidth *. 4.0 *. float_of_int (Dpa_domino.Mapped.size mapped))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "budgeted %.4f within %.3f of exact %.4f" r.Engine.report.Estimate.total
+       tolerance exact.Estimate.total)
+    true
+    (Float.abs (r.Engine.report.Estimate.total -. exact.Estimate.total) < tolerance)
+
+let test_ladder_frg1 () = ladder_on_blif "../data/frg1_synthetic.blif"
+
+let test_ladder_seq_controller () =
+  ladder_on_blif ~sequential:true "../data/seq_controller.blif"
+
+let test_deadline_budget () =
+  let mapped = fig5_mapped () in
+  let input_probs = Array.make 4 0.5 in
+  (* an already-expired deadline degrades everything to simulation, yet
+     the estimate still completes with a report *)
+  let budget = Engine.bounded ~deadline_s:0.0 () in
+  let r = Engine.estimate ~budget ~input_probs mapped in
+  Alcotest.(check bool) "completed with a total" true (r.Engine.report.Estimate.total > 0.0)
+
+(* ---- budgeted flow: greedy stays consistent under fallback -------- *)
+
+let test_budgeted_flow_matches_unbudgeted () =
+  let net = load_blif "../data/frg1_synthetic.blif" in
+  let exact_r = Flow.compare_ma_mp net in
+  let budget =
+    Engine.bounded
+      ~max_bdd_nodes:(max 2 (exact_r.Flow.mp.Flow.degradation.Engine.bdd_nodes / 2))
+      ()
+  in
+  let config = { Flow.default_config with Flow.budget = Some budget } in
+  let r = Flow.compare_ma_mp ~config net in
+  (* the ladder completed: every realization priced, degradation recorded *)
+  Alcotest.(check bool) "flow degraded somewhere" true (Dpa_core.Report.degraded r);
+  let ci = Float.max 0.01 r.Flow.mp.Flow.degradation.Engine.ci_halfwidth in
+  let tolerance = Float.max 0.5 (ci *. 4.0 *. float_of_int r.Flow.mp.Flow.size) in
+  Alcotest.(check bool)
+    (Printf.sprintf "budgeted MP %.4f within %.3f of exact MP %.4f" r.Flow.mp.Flow.power
+       tolerance exact_r.Flow.mp.Flow.power)
+    true
+    (Float.abs (r.Flow.mp.Flow.power -. exact_r.Flow.mp.Flow.power) < tolerance)
+
+let test_node_probabilities_ladder () =
+  let net = Dpa_synth.Opt.optimize (load_blif "../data/frg1_synthetic.blif") in
+  let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let exact = Dpa_bdd.Build.probabilities ~input_probs net in
+  let budget = Engine.bounded ~max_bdd_nodes:16 () in
+  let approx, how = Engine.node_probabilities ~budget ~input_probs net in
+  Alcotest.(check bool) "degraded below exact" true (how <> Engine.Exact);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i p -> worst := Float.max !worst (Float.abs (p -. exact.(i))))
+    approx;
+  Alcotest.(check bool)
+    (Printf.sprintf "per-node error %.4f within Monte-Carlo tolerance" !worst)
+    true (!worst < 0.05)
+
+(* ---- malformed corpus --------------------------------------------- *)
+
+let corpus =
+  [ "truncated.blif"; "mixed_cover.blif"; "bad_char.blif"; "width_mismatch.blif";
+    "cycle.blif"; "dangling_latch.blif" ]
+
+let test_malformed_corpus_all_error () =
+  List.iter
+    (fun name ->
+      let text = read_file (Filename.concat "malformed" name) in
+      (* both entry points must return Error — never raise *)
+      (match Dpa_logic.Blif.sequential_of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: sequential_of_string accepted malformed input" name
+      | exception e ->
+        Alcotest.failf "%s: sequential_of_string raised %s" name (Printexc.to_string e));
+      match Dpa_logic.Blif.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: of_string accepted malformed input" name
+      | exception e -> Alcotest.failf "%s: of_string raised %s" name (Printexc.to_string e))
+    corpus
+
+let test_malformed_messages_carry_lines () =
+  let check_line name =
+    let text = read_file (Filename.concat "malformed" name) in
+    match Dpa_logic.Blif.of_string text with
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s error %S names a line" name msg)
+        true
+        (Testkit.contains_substring msg "line ")
+    | Ok _ -> Alcotest.failf "%s unexpectedly parsed" name
+  in
+  (* the row-level defects must point at the offending physical line *)
+  List.iter check_line [ "mixed_cover.blif"; "bad_char.blif"; "width_mismatch.blif" ]
+
+let test_width_mismatch_message_detail () =
+  match Dpa_logic.Blif.of_string (read_file "malformed/width_mismatch.blif") with
+  | Error msg ->
+    Alcotest.(check bool) "mentions the width" true
+      (Testkit.contains_substring msg "3 characters wide for 2 inputs")
+  | Ok _ -> Alcotest.fail "width_mismatch.blif unexpectedly parsed"
+
+(* ---- error taxonomy ----------------------------------------------- *)
+
+let test_exit_codes () =
+  let open Dpa_error in
+  Alcotest.(check int) "parse" 65
+    (exit_code (Parse { source = "x"; line = Some 3; message = "bad" }));
+  Alcotest.(check int) "invalid" 65 (exit_code (Invalid_input "x"));
+  Alcotest.(check int) "unsupported" 69 (exit_code (Unsupported "x"));
+  Alcotest.(check int) "io" 66 (exit_code (Io "x"));
+  Alcotest.(check int) "internal" 70 (exit_code (Internal "x"));
+  Alcotest.(check int) "budget" 75
+    (exit_code
+       (Budget { resource = Bdd_nodes; limit = 10.0; spent = 10.0; context = "" }))
+
+let test_of_exn_folding () =
+  let open Dpa_error in
+  (match of_exn (Sys_error "no such file") with
+  | Some (Io _) -> ()
+  | _ -> Alcotest.fail "Sys_error should fold to Io");
+  (match of_exn (Invalid_argument "nope") with
+  | Some (Invalid_input _) -> ()
+  | _ -> Alcotest.fail "Invalid_argument should fold to Invalid_input");
+  (match of_exn (Failure "bug") with
+  | Some (Internal _) -> ()
+  | _ -> Alcotest.fail "Failure should fold to Internal");
+  match of_exn Not_found with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unrelated exceptions must not be claimed"
+
+let test_parse_exn_typed () =
+  match Dpa_logic.Io.parse_exn "gibberish" with
+  | _ -> Alcotest.fail "expected Dpa_error.Error"
+  | exception Dpa_error.Error (Dpa_error.Parse _) -> ()
+  | exception _ -> Alcotest.fail "wrong exception type"
+
+let suite =
+  [ Alcotest.test_case "budget exceeded is typed" `Quick test_budget_exceeded_is_typed;
+    Alcotest.test_case "fallback none raises" `Quick test_fallback_none_raises_budget_error;
+    Alcotest.test_case "ladder on frg1" `Quick test_ladder_frg1;
+    Alcotest.test_case "ladder on seq controller" `Quick test_ladder_seq_controller;
+    Alcotest.test_case "deadline budget" `Quick test_deadline_budget;
+    Alcotest.test_case "budgeted flow matches unbudgeted" `Slow
+      test_budgeted_flow_matches_unbudgeted;
+    Alcotest.test_case "node probabilities ladder" `Quick test_node_probabilities_ladder;
+    Alcotest.test_case "malformed corpus all error" `Quick test_malformed_corpus_all_error;
+    Alcotest.test_case "malformed messages carry lines" `Quick
+      test_malformed_messages_carry_lines;
+    Alcotest.test_case "width mismatch detail" `Quick test_width_mismatch_message_detail;
+    Alcotest.test_case "exit codes" `Quick test_exit_codes;
+    Alcotest.test_case "of_exn folding" `Quick test_of_exn_folding;
+    Alcotest.test_case "parse_exn typed" `Quick test_parse_exn_typed ]

@@ -13,4 +13,5 @@ let () =
       ("sim", Test_sim.suite);
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
       ("edge-cases", Test_edge_cases.suite) ]

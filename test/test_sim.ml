@@ -34,10 +34,13 @@ let test_measured_power_matches_estimate () =
       let mapped = fig5_mapped assignment in
       let est = Estimate.of_mapped ~input_probs:probs mapped in
       let rng = Dpa_util.Rng.create 17 in
-      let meas = Simulator.measure ~cycles:40_000 rng ~input_probs:probs mapped in
+      let meas =
+        Estimate.of_activity mapped
+          (Simulator.measure ~cycles:40_000 rng ~input_probs:probs mapped)
+      in
       let rel =
         Dpa_util.Stats.relative_error ~expected:est.Estimate.total
-          ~actual:meas.Simulator.report.Estimate.total
+          ~actual:meas.Estimate.total
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s within 5%%" (Phase.to_string assignment))
@@ -105,10 +108,13 @@ let test_compound_simulation_matches_estimate () =
   let probs = Array.make 6 0.4 in
   let est = Estimate.of_mapped ~input_probs:probs mapped in
   let rng = Dpa_util.Rng.create 41 in
-  let meas = Simulator.measure ~cycles:40_000 rng ~input_probs:probs mapped in
+  let meas =
+    Estimate.of_activity mapped
+      (Simulator.measure ~cycles:40_000 rng ~input_probs:probs mapped)
+  in
   let rel =
     Dpa_util.Stats.relative_error ~expected:est.Estimate.total
-      ~actual:meas.Simulator.report.Estimate.total
+      ~actual:meas.Estimate.total
   in
   Alcotest.(check bool) "within 5%" true (rel < 0.05)
 
@@ -131,11 +137,14 @@ let prop_sim_matches_estimate =
       let probs = Array.make (Netlist.num_inputs net) 0.5 in
       let est = Estimate.of_mapped ~input_probs:probs mapped in
       let rng = Dpa_util.Rng.create 7 in
-      let meas = Simulator.measure ~cycles:30_000 rng ~input_probs:probs mapped in
+      let meas =
+        Estimate.of_activity mapped
+          (Simulator.measure ~cycles:30_000 rng ~input_probs:probs mapped)
+      in
       (* absolute tolerance scaled by block size: each node's Monte Carlo
          error is a few per mille over 30k cycles *)
       let tolerance = 0.05 *. Float.max est.Estimate.total 1.0 in
-      Float.abs (est.Estimate.total -. meas.Simulator.report.Estimate.total) < tolerance)
+      Float.abs (est.Estimate.total -. meas.Estimate.total) < tolerance)
 
 (* property: event-driven evaluation never glitches on random circuits *)
 let prop_no_glitches =
