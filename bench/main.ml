@@ -176,17 +176,30 @@ let json_float f =
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.6g" f
 
-let write_kernel_json ~path results =
-  (* kernel counters of one incremental greedy search (the tentpole path) *)
-  let stats =
-    let net = Lazy.force prepared_net in
-    let probs = Array.make (Netlist.num_inputs net) 0.5 in
-    let measure = Dpa_phase.Measure.create ~mode:`Incremental ~input_probs:probs net in
-    let cost = Dpa_phase.Cost.make net in
-    let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
-    ignore (Dpa_phase.Greedy.run measure ~cost ~base_probs:base);
-    Dpa_phase.Measure.bdd_stats measure
-  in
+(* Kernel counters of one incremental greedy search (the tentpole path),
+   read back from the Dpa_obs metrics registry — the one source of truth
+   for BDD counters. The registry is reset first so the numbers belong to
+   exactly this run. *)
+let greedy_registry_snapshot () =
+  Dpa_obs.Metrics.reset ();
+  let net = Lazy.force prepared_net in
+  let probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let measure = Dpa_phase.Measure.create ~mode:`Incremental ~input_probs:probs net in
+  let cost = Dpa_phase.Cost.make net in
+  let base = Dpa_bdd.Build.probabilities ~input_probs:probs net in
+  ignore (Dpa_phase.Greedy.run measure ~cost ~base_probs:base);
+  Dpa_phase.Measure.publish_metrics measure;
+  let c name = Dpa_obs.Metrics.counter_value (Dpa_obs.Metrics.counter name) in
+  [ ("nodes", c "bdd.nodes_allocated");
+    ("unique_probes", c "bdd.unique.probes");
+    ("unique_hits", c "bdd.unique.hits");
+    ("unique_resizes", c "bdd.unique.resizes");
+    ("ite_probes", c "bdd.ite.probes");
+    ("ite_hits", c "bdd.ite.hits");
+    ("ite_resizes", c "bdd.ite.resizes") ]
+
+let write_kernel_json ?(metrics = false) ~path results =
+  let stats = greedy_registry_snapshot () in
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"bench\": \"bdd_kernel\",\n  \"unit\": \"ns/op\",\n  \"results\": [\n";
   List.iteri
@@ -198,18 +211,21 @@ let write_kernel_json ~path results =
            (if k = List.length results - 1 then "" else ",")))
     results;
   Buffer.add_string b "  ],\n";
-  (match stats with
-  | Some s ->
-    Buffer.add_string b
-      (Printf.sprintf
-         "  \"greedy_robdd_stats\": {\"nodes\": %d, \"unique_probes\": %d, \
-          \"unique_hits\": %d, \"unique_resizes\": %d, \"ite_probes\": %d, \
-          \"ite_hits\": %d, \"ite_resizes\": %d}\n"
-         s.Dpa_bdd.Robdd.nodes s.Dpa_bdd.Robdd.unique_probes s.Dpa_bdd.Robdd.unique_hits
-         s.Dpa_bdd.Robdd.unique_resizes s.Dpa_bdd.Robdd.ite_probes s.Dpa_bdd.Robdd.ite_hits
-         s.Dpa_bdd.Robdd.ite_resizes)
-  | None -> Buffer.add_string b "  \"greedy_robdd_stats\": null\n");
-  Buffer.add_string b "}\n";
+  Buffer.add_string b "  \"greedy_robdd_stats\": {";
+  List.iteri
+    (fun k (key, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\"%s\": %d" (if k = 0 then "" else ", ") key v))
+    stats;
+  Buffer.add_string b "}";
+  if metrics then begin
+    (* the full registry of the greedy run, for dashboards that want more
+       than the seven headline counters *)
+    Buffer.add_string b ",\n  \"metrics\": ";
+    let body = String.trim (Dpa_obs.Metrics.to_json ()) in
+    Buffer.add_string b body
+  end;
+  Buffer.add_string b "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -219,7 +235,7 @@ let write_kernel_json ~path results =
 (* Bechamel suite                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let perf ?(json = false) () =
+let perf ?(json = false) ?(metrics = false) () =
   Printf.printf "\n=== Bechamel micro-benchmarks (one per experiment) ===\n\n";
   let tests =
     Test.make_grouped ~name:"dpa"
@@ -263,9 +279,13 @@ let perf ?(json = false) () =
           (match rsq with Some v -> Printf.sprintf "%.3f" v | None -> "-") ])
     measured;
   Dpa_util.Table.print t;
-  if json then write_kernel_json ~path:"BENCH_bdd_kernel.json" measured
+  if json then write_kernel_json ~metrics ~path:"BENCH_bdd_kernel.json" measured
+  else if metrics then begin
+    ignore (greedy_registry_snapshot ());
+    print_string (Dpa_obs.Metrics.dump ())
+  end
 
-let quick () =
+let quick ?(metrics = false) () =
   Printf.printf "=== quick smoke: each bench kernel once ===\n%!";
   List.iter
     (fun (name, f) ->
@@ -273,7 +293,8 @@ let quick () =
       f ();
       Printf.printf "ok\n%!")
     kernels;
-  Printf.printf "all %d kernels ok\n" (List.length kernels)
+  Printf.printf "all %d kernels ok\n" (List.length kernels);
+  if metrics then print_string (Dpa_obs.Metrics.dump ())
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -301,11 +322,13 @@ let all () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, names = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
-  let json = List.mem "--json" flags and is_quick = List.mem "--quick" flags in
+  let json = List.mem "--json" flags
+  and is_quick = List.mem "--quick" flags
+  and metrics = List.mem "--metrics" flags in
   List.iter
     (fun f ->
-      if f <> "--json" && f <> "--quick" then begin
-        Printf.eprintf "unknown flag %S; flags: --json, --quick\n" f;
+      if f <> "--json" && f <> "--quick" && f <> "--metrics" then begin
+        Printf.eprintf "unknown flag %S; flags: --json, --quick, --metrics\n" f;
         exit 1
       end)
     flags;
@@ -326,15 +349,15 @@ let () =
       ("seqtable", Experiments.seq_table);
       ("validate", Experiments.validate);
       ("ablation", Experiments.ablation);
-      ("perf", perf ~json) ]
+      ("perf", perf ~json ~metrics) ]
   in
   match names with
-  | [] -> if is_quick then quick () else all ()
+  | [] -> if is_quick then quick ~metrics () else all ()
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) experiments with
-        | Some f -> if is_quick && name = "perf" then quick () else f ()
+        | Some f -> if is_quick && name = "perf" then quick ~metrics () else f ()
         | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments));

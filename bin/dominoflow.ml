@@ -87,6 +87,37 @@ let seed_arg =
   let doc = "Seed for randomized search strategies." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
+(* ---- observability options ---- *)
+
+let trace_arg =
+  let doc =
+    "Record a structured trace of the run and write it to $(docv) in Chrome \
+     trace format (load it in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the metrics registry (counters, gauges and per-span latency \
+     histograms) to $(docv) as JSON after the command finishes."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Runs [f] with tracing/profiling switched on as requested and writes the
+   output files even when [f] raises — the exception continues on to [guard],
+   so recognized failures still produce a (partial) trace for diagnosis. *)
+let with_obs ~trace ~metrics f =
+  if trace = None && metrics = None then f ()
+  else begin
+    if trace <> None then Dpa_obs.Trace.start ();
+    if metrics <> None then Dpa_obs.Profile.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        (match trace with Some path -> Dpa_obs.Trace.save path | None -> ());
+        match metrics with Some path -> Dpa_obs.Metrics.save_json path | None -> ())
+      f
+  end
+
 (* ---- resource budget options ---- *)
 
 let max_bdd_nodes_arg =
@@ -141,11 +172,12 @@ let run_cmd =
     Arg.(value & flag & info [ "two-level" ] ~doc)
   in
   let action file profile input_prob timed seed sequential two_level max_bdd_nodes
-      deadline fallback =
+      deadline fallback trace metrics =
     if input_prob < 0.0 || input_prob > 1.0 then
       `Error (false, "--input-prob must lie in [0,1]")
     else begin
       guard @@ fun () ->
+      with_obs ~trace ~metrics @@ fun () ->
       let config =
         { Flow.default_config with
           Flow.input_prob;
@@ -209,7 +241,7 @@ let run_cmd =
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ timed_arg $ seed_arg
         $ sequential_arg $ two_level_arg $ max_bdd_nodes_arg $ deadline_arg
-        $ fallback_arg))
+        $ fallback_arg $ trace_arg $ metrics_arg))
 
 (* ---- estimate ---- *)
 
@@ -222,8 +254,10 @@ let estimate_cmd =
     let doc = "Also simulate this many cycles and report measured power." in
     Arg.(value & opt (some int) None & info [ "simulate" ] ~docv:"CYCLES" ~doc)
   in
-  let action file profile input_prob phases cycles max_bdd_nodes deadline fallback =
+  let action file profile input_prob phases cycles max_bdd_nodes deadline fallback
+      trace metrics =
     guard @@ fun () ->
+    with_obs ~trace ~metrics @@ fun () ->
     match netlist_of_source ~file ~profile with
     | Error msg -> `Error (false, msg)
     | Ok raw ->
@@ -290,7 +324,7 @@ let estimate_cmd =
     Term.(
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg
-        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg))
+        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ trace_arg $ metrics_arg))
 
 (* ---- generate ---- *)
 
@@ -317,8 +351,9 @@ let generate_cmd =
 (* ---- info ---- *)
 
 let info_cmd =
-  let action file profile =
+  let action file profile trace metrics =
     guard @@ fun () ->
+    with_obs ~trace ~metrics @@ fun () ->
     match netlist_of_source ~file ~profile with
     | Error msg -> `Error (false, msg)
     | Ok net ->
@@ -332,7 +367,8 @@ let info_cmd =
       `Ok ()
   in
   let doc = "Print structural statistics and the domino/static power ratio." in
-  Cmd.v (Cmd.info "info" ~doc) Term.(ret (const action $ file_arg $ profile_arg))
+  Cmd.v (Cmd.info "info" ~doc)
+    Term.(ret (const action $ file_arg $ profile_arg $ trace_arg $ metrics_arg))
 
 (* ---- equiv ---- *)
 
@@ -373,8 +409,9 @@ let equiv_cmd =
 (* ---- mfvs ---- *)
 
 let mfvs_cmd =
-  let action file =
+  let action file trace metrics =
     guard @@ fun () ->
+    with_obs ~trace ~metrics @@ fun () ->
     if not (Filename.check_suffix file ".blif") then
       `Error (false, "mfvs requires a sequential .blif file")
     else
@@ -411,7 +448,8 @@ let mfvs_cmd =
   in
   let file_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.blif") in
   let doc = "Analyze a sequential design: s-graph, enhanced and exact MFVS, probabilities." in
-  Cmd.v (Cmd.info "mfvs" ~doc) Term.(ret (const action $ file_pos))
+  Cmd.v (Cmd.info "mfvs" ~doc)
+    Term.(ret (const action $ file_pos $ trace_arg $ metrics_arg))
 
 (* ---- tables ---- *)
 
@@ -420,7 +458,8 @@ let table_cmd name doc profiles timed =
     let d = "Emit machine-readable CSV instead of the formatted table." in
     Arg.(value & flag & info [ "csv" ] ~doc:d)
   in
-  let action csv =
+  let action csv trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let rows =
       List.map
         (fun p ->
@@ -436,7 +475,7 @@ let table_cmd name doc profiles timed =
     if csv then print_string (Dpa_core.Report.csv rows)
     else print_string (Dpa_core.Report.table ~title:(String.uppercase_ascii name ^ ":") rows)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const action $ csv_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ csv_arg $ trace_arg $ metrics_arg)
 
 let table1_cmd =
   table_cmd "table1" "Reproduce Table 1 (untimed synthesis, input probability 0.5)."

@@ -2,6 +2,27 @@ module Int3_table = Dpa_util.Int3_table
 
 type node = int
 
+type stats = {
+  nodes : int;
+  unique_probes : int;
+  unique_hits : int;
+  unique_resizes : int;
+  ite_probes : int;
+  ite_hits : int;
+  ite_resizes : int;
+}
+
+let zero_stats =
+  {
+    nodes = 0;
+    unique_probes = 0;
+    unique_hits = 0;
+    unique_resizes = 0;
+    ite_probes = 0;
+    ite_hits = 0;
+    ite_resizes = 0;
+  }
+
 (* Node attributes live in three parallel int arrays indexed by node id
    (grown manually — a polymorphic Vec would reintroduce bounds checks in
    the hot loop). The unique table and ite cache are open-addressing int
@@ -22,6 +43,10 @@ type manager = {
   mutable started : float;
   mutable deadline_tick : int;
   mutable budget_context : string;
+  (* counters already folded into the metrics registry, so repeated
+     [publish_metrics] calls on one manager add only the growth since the
+     previous call *)
+  mutable published : stats;
 }
 
 let deadline_stride = 1024
@@ -46,6 +71,7 @@ let create_sized ~nvars ~cache_capacity =
       started = 0.0;
       deadline_tick = deadline_stride;
       budget_context = "";
+      published = zero_stats;
     }
   in
   (* terminals occupy ids 0 and 1 *)
@@ -66,6 +92,9 @@ let total_nodes m = m.n
 let grow_nodes m =
   let cap = Array.length m.lvl in
   let cap' = 2 * cap in
+  if Dpa_obs.Trace.is_enabled () then
+    Dpa_obs.Trace.instant "bdd.node_store.grow"
+      ~args:[ ("capacity", Dpa_obs.Trace.Int cap'); ("nodes", Dpa_obs.Trace.Int m.n) ];
   let extend a fill =
     let a' = Array.make cap' fill in
     Array.blit a 0 a' 0 cap;
@@ -291,16 +320,6 @@ let cached_probability c root =
 (* Instrumentation                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type stats = {
-  nodes : int;
-  unique_probes : int;
-  unique_hits : int;
-  unique_resizes : int;
-  ite_probes : int;
-  ite_hits : int;
-  ite_resizes : int;
-}
-
 let stats m =
   {
     nodes = m.n;
@@ -322,3 +341,42 @@ let pp_stats fmt s =
     (if s.ite_probes = 0 then 0.0
      else 100.0 *. float_of_int s.ite_hits /. float_of_int s.ite_probes)
     s.ite_resizes
+
+(* The registry path: cumulative counters across every manager of the
+   process, plus gauges for the last-published and peak manager sizes.
+   Cells are resolved lazily so a process that never publishes never
+   touches the registry. *)
+let mc name help = lazy (Dpa_obs.Metrics.counter ~help name)
+
+let c_nodes = mc "bdd.nodes_allocated" "BDD nodes allocated across all managers"
+
+let c_uprobes = mc "bdd.unique.probes" "unique-table probes"
+
+let c_uhits = mc "bdd.unique.hits" "unique-table hits"
+
+let c_uresizes = mc "bdd.unique.resizes" "unique-table resizes"
+
+let c_iprobes = mc "bdd.ite.probes" "ite-cache probes"
+
+let c_ihits = mc "bdd.ite.hits" "ite-cache hits"
+
+let c_iresizes = mc "bdd.ite.resizes" "ite-cache resizes"
+
+let g_manager = lazy (Dpa_obs.Metrics.gauge ~help:"nodes in the last published manager" "bdd.manager.nodes")
+
+let g_peak = lazy (Dpa_obs.Metrics.gauge ~help:"largest manager seen" "bdd.manager.peak_nodes")
+
+let publish_metrics m =
+  let s = stats m in
+  let p = m.published in
+  let d cell get = Dpa_obs.Metrics.add (Lazy.force cell) (max 0 (get s - get p)) in
+  d c_nodes (fun x -> x.nodes);
+  d c_uprobes (fun x -> x.unique_probes);
+  d c_uhits (fun x -> x.unique_hits);
+  d c_uresizes (fun x -> x.unique_resizes);
+  d c_iprobes (fun x -> x.ite_probes);
+  d c_ihits (fun x -> x.ite_hits);
+  d c_iresizes (fun x -> x.ite_resizes);
+  Dpa_obs.Metrics.set (Lazy.force g_manager) (float_of_int s.nodes);
+  Dpa_obs.Metrics.set_max (Lazy.force g_peak) (float_of_int s.nodes);
+  m.published <- s

@@ -28,6 +28,7 @@ val create_sized : nvars:int -> cache_capacity:int -> manager
     the rehash churn of a workload whose final size is known. *)
 
 val nvars : manager -> int
+(** Number of variable levels the manager was created with. *)
 
 (** {2 Resource budget}
 
@@ -53,8 +54,10 @@ val set_budget_context : manager -> string -> unit
 (** Re-tags subsequent budget errors without resetting the budget. *)
 
 val bdd_false : node
+(** The constant-false terminal (id 0, shared by every manager). *)
 
 val bdd_true : node
+(** The constant-true terminal (id 1, shared by every manager). *)
 
 val var : manager -> int -> node
 (** [var m level] is the single-variable function for [level]. Raises
@@ -64,21 +67,28 @@ val ite : manager -> node -> node -> node -> node
 (** If-then-else: [ite m f g h = (f ∧ g) ∨ (¬f ∧ h)]. *)
 
 val apply_and : manager -> node -> node -> node
+(** Conjunction, as [ite f g false]. *)
 
 val apply_or : manager -> node -> node -> node
+(** Disjunction, as [ite f true g]. *)
 
 val apply_xor : manager -> node -> node -> node
+(** Exclusive or, as [ite f (neg g) g]. *)
 
 val neg : manager -> node -> node
+(** Complement, as [ite f false true]. *)
 
 val level : manager -> node -> int
 (** Decision level of an internal node; raises on terminals. *)
 
 val low : manager -> node -> node
+(** Else-cofactor (the decision variable false); raises on terminals. *)
 
 val high : manager -> node -> node
+(** Then-cofactor (the decision variable true); raises on terminals. *)
 
 val is_terminal : node -> bool
+(** True exactly for {!bdd_false} and {!bdd_true}. *)
 
 val eval : manager -> node -> bool array -> bool
 (** [eval m f assignment] with [assignment] indexed by level. *)
@@ -141,6 +151,19 @@ type stats = {
 }
 
 val stats : manager -> stats
+(** Raw counter snapshot of one manager. This is the low-level reading;
+    tooling should prefer the process-wide registry fed by
+    {!publish_metrics}, which aggregates across managers. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line rendering with hit rates, for bench output. *)
+
+val publish_metrics : manager -> unit
+(** Folds this manager's counters into the {!Dpa_obs.Metrics} registry —
+    the one source of truth for BDD kernel counters. Publishes {e deltas}:
+    each call adds only the growth since the previous call on the same
+    manager, so calling after every estimate keeps process totals exact
+    even with many short-lived managers. Registry names:
+    [bdd.nodes_allocated], [bdd.unique.{probes,hits,resizes}],
+    [bdd.ite.{probes,hits,resizes}] (counters) and
+    [bdd.manager.nodes], [bdd.manager.peak_nodes] (gauges). *)

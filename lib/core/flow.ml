@@ -1,6 +1,7 @@
 module Netlist = Dpa_logic.Netlist
 module Phase = Dpa_synth.Phase
 module Mapped = Dpa_domino.Mapped
+module Trace = Dpa_obs.Trace
 
 type timing_config = {
   model : Dpa_timing.Delay.model;
@@ -56,6 +57,8 @@ let default_config =
 (* Map an assignment, optionally resize to the clock, and price it. *)
 let realize_and_price config net ~input_probs ~clock ~measurements
     ?(degraded_measurements = 0) ~strategy assignment =
+  Trace.with_span "flow.realize" ~args:[ ("strategy", Trace.Str strategy) ]
+  @@ fun () ->
   let mapped =
     Mapped.map ~library:config.library (Dpa_synth.Inverterless.realize net assignment)
   in
@@ -104,44 +107,54 @@ let realize_and_price config net ~input_probs ~clock ~measurements
   }
 
 let compare_ma_mp_probs ?(config = default_config) ~input_probs raw =
-  let net = Dpa_synth.Opt.optimize raw in
+  Trace.with_span "flow.compare" ~args:[ ("circuit", Trace.Str (Netlist.name raw)) ]
+  @@ fun () ->
+  let net = Trace.with_span "flow.optimize" (fun () -> Dpa_synth.Opt.optimize raw) in
   let n_pi = Netlist.num_inputs net and n_po = Netlist.num_outputs net in
   if Array.length input_probs <> n_pi then
     invalid_arg "Flow.compare_ma_mp_probs: input_probs length mismatch";
   (* --- minimum-area baseline ------------------------------------- *)
-  let ma_assignment = Dpa_synth.Min_area.best ~exhaustive_limit:config.exhaustive_limit net in
-  let ma_strategy =
-    if n_po <= config.exhaustive_limit then "exhaustive-area" else "local-search-area"
-  in
-  (* the clock constraint derives from MA's unsized critical delay *)
-  let clock =
-    match config.timing with
-    | None -> None
-    | Some tc ->
-      let ma_mapped =
-        Mapped.map ~library:config.library (Dpa_synth.Inverterless.realize net ma_assignment)
-      in
-      let delay = (Dpa_timing.Sta.analyze ~model:tc.model ma_mapped).Dpa_timing.Sta.critical_delay in
-      Some (tc.clock_factor *. delay)
-  in
-  let ma =
-    realize_and_price config net ~input_probs ~clock ~measurements:0 ~strategy:ma_strategy
-      ma_assignment
+  let ma, clock =
+    Trace.with_span "flow.min_area" @@ fun () ->
+    let ma_assignment =
+      Dpa_synth.Min_area.best ~exhaustive_limit:config.exhaustive_limit net
+    in
+    let ma_strategy =
+      if n_po <= config.exhaustive_limit then "exhaustive-area" else "local-search-area"
+    in
+    (* the clock constraint derives from MA's unsized critical delay *)
+    let clock =
+      match config.timing with
+      | None -> None
+      | Some tc ->
+        let ma_mapped =
+          Mapped.map ~library:config.library
+            (Dpa_synth.Inverterless.realize net ma_assignment)
+        in
+        let delay =
+          (Dpa_timing.Sta.analyze ~model:tc.model ma_mapped).Dpa_timing.Sta.critical_delay
+        in
+        Some (tc.clock_factor *. delay)
+    in
+    ( realize_and_price config net ~input_probs ~clock ~measurements:0
+        ~strategy:ma_strategy ma_assignment,
+      clock )
   in
   (* --- minimum-power flow ---------------------------------------- *)
-  let opt_config =
-    {
-      Dpa_phase.Optimizer.library = config.library;
-      input_probs;
-      strategy = Dpa_phase.Optimizer.Auto;
-      exhaustive_limit = config.exhaustive_limit;
-      pair_limit = config.pair_limit;
-      seed = config.seed;
-      budget = config.budget;
-    }
-  in
-  let opt = Dpa_phase.Optimizer.minimize_power opt_config net in
   let mp =
+    Trace.with_span "flow.min_power" @@ fun () ->
+    let opt_config =
+      {
+        Dpa_phase.Optimizer.library = config.library;
+        input_probs;
+        strategy = Dpa_phase.Optimizer.Auto;
+        exhaustive_limit = config.exhaustive_limit;
+        pair_limit = config.pair_limit;
+        seed = config.seed;
+        budget = config.budget;
+      }
+    in
+    let opt = Dpa_phase.Optimizer.minimize_power opt_config net in
     realize_and_price config net ~input_probs ~clock
       ~measurements:opt.Dpa_phase.Optimizer.measurements
       ~degraded_measurements:opt.Dpa_phase.Optimizer.degraded_measurements

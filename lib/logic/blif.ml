@@ -306,10 +306,31 @@ let elaborate d =
                 latches = Array.of_list latches;
               }))))
 
+(* Physical line count of the source, for the parse span (computed only
+   when tracing is live, so the common path never scans the text twice). *)
+let count_lines text =
+  let n = ref 1 in
+  String.iter (fun c -> if c = '\n' then Stdlib.incr n) text;
+  !n
+
 let sequential_of_string text =
-  match parse_decls text with
-  | Error e -> Error e
-  | Ok d -> elaborate d
+  Dpa_obs.Trace.with_span "blif.parse" @@ fun () ->
+  if Dpa_obs.Trace.is_enabled () then
+    Dpa_obs.Trace.add_args
+      [
+        ("lines", Dpa_obs.Trace.Int (count_lines text));
+        ("bytes", Dpa_obs.Trace.Int (String.length text));
+      ];
+  let result = match parse_decls text with Error e -> Error e | Ok d -> elaborate d in
+  (match result with
+  | Ok { comb; latches; _ } ->
+    Dpa_obs.Trace.add_args
+      [
+        ("gates", Dpa_obs.Trace.Int (Netlist.gate_count comb));
+        ("latches", Dpa_obs.Trace.Int (Array.length latches));
+      ]
+  | Error _ -> Dpa_obs.Trace.add_args [ ("error", Dpa_obs.Trace.Bool true) ]);
+  result
 
 let of_string text =
   match sequential_of_string text with

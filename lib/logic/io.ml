@@ -55,6 +55,12 @@ type parse_state = {
 }
 
 let of_string text =
+  Dpa_obs.Trace.with_span "dln.parse" @@ fun () ->
+  if Dpa_obs.Trace.is_enabled () then begin
+    let lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 1 text in
+    Dpa_obs.Trace.add_args
+      [ ("lines", Dpa_obs.Trace.Int lines); ("bytes", Dpa_obs.Trace.Int (String.length text)) ]
+  end;
   let st =
     { net = Netlist.create (); ids = Hashtbl.create 64; saw_end = false; saw_outputs = false }
   in

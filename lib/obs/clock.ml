@@ -1,0 +1,5 @@
+external now_ns : unit -> int = "dpa_obs_monotonic_ns" [@@noalloc]
+
+let ns_to_us ns = float_of_int ns /. 1e3
+
+let elapsed_ns ~since = now_ns () - since

@@ -1,0 +1,18 @@
+(** Monotonic time source for spans and profiling.
+
+    Wall-clock time ([Unix.gettimeofday]) can jump backwards under NTP
+    adjustment, which would produce negative span durations; every
+    timestamp in {!Trace} therefore comes from
+    [clock_gettime(CLOCK_MONOTONIC)] via a [@@noalloc] C stub. The epoch
+    is arbitrary (typically system boot) — only differences are
+    meaningful. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds. Allocation-free. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds to (fractional) microseconds — the unit of the Chrome
+    trace format's [ts]/[dur] fields. *)
+
+val elapsed_ns : since:int -> int
+(** [elapsed_ns ~since] is [now_ns () - since]. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for the observability layer.
+ *
+ * clock_gettime(CLOCK_MONOTONIC) never goes backwards under NTP steps,
+ * which is what span durations need. Nanoseconds-since-boot fits a 63-bit
+ * OCaml int for ~292 years, so the stub returns an unboxed immediate and
+ * can be [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value dpa_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

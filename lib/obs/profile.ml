@@ -1,0 +1,15 @@
+let enabled = ref false
+
+let enable ?buckets () =
+  enabled := true;
+  Trace.set_span_hook
+    (Some
+       (fun name dur_ns ->
+         let h = Metrics.histogram ?buckets ("span." ^ name ^ ".ms") in
+         Metrics.observe h (float_of_int dur_ns /. 1e6)))
+
+let disable () =
+  enabled := false;
+  Trace.set_span_hook None
+
+let is_enabled () = !enabled

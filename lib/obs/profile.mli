@@ -1,0 +1,16 @@
+(** Profiling hook: span durations accumulated into the metrics registry.
+
+    {!enable} installs a {!Trace.set_span_hook} that records every closed
+    span's duration into a per-span-name histogram
+    [span.<name>.ms] (milliseconds, {!Metrics.default_buckets} unless
+    overridden). This works with the trace buffer on {e or} off, so a
+    long run can keep cheap aggregate timings without retaining one event
+    per span — the [--metrics] CLI flag uses exactly this. *)
+
+val enable : ?buckets:float array -> unit -> unit
+(** Starts accumulating. Replaces any previously installed span hook. *)
+
+val disable : unit -> unit
+(** Removes the hook (histograms already accumulated are kept). *)
+
+val is_enabled : unit -> bool

@@ -1,0 +1,202 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event = {
+  name : string;
+  kind : [ `Span | `Instant | `Counter ];
+  ts_ns : int;
+  dur_ns : int;
+  depth : int;
+  args : (string * value) list;
+}
+
+(* One open span on the stack. [extra] collects add_args attributes in
+   reverse order until the span closes. *)
+type open_span = {
+  oname : string;
+  t0 : int;
+  mutable extra : (string * value) list;
+}
+
+let dummy_event =
+  { name = ""; kind = `Instant; ts_ns = 0; dur_ns = 0; depth = 0; args = [] }
+
+let enabled = ref false
+
+let hook : (string -> int -> unit) option ref = ref None
+
+let origin = ref 0
+
+let stack : open_span list ref = ref []
+
+let buf = ref (Array.make 1024 dummy_event)
+
+let count = ref 0
+
+let push ev =
+  let cap = Array.length !buf in
+  if !count = cap then begin
+    let b = Array.make (2 * cap) dummy_event in
+    Array.blit !buf 0 b 0 cap;
+    buf := b
+  end;
+  !buf.(!count) <- ev;
+  incr count
+
+let start () =
+  origin := Clock.now_ns ();
+  count := 0;
+  stack := [];
+  enabled := true
+
+let stop () = enabled := false
+
+let clear () =
+  count := 0;
+  stack := []
+
+let is_enabled () = !enabled
+
+let set_span_hook h = hook := h
+
+let depth () = List.length !stack
+
+let events_recorded () = !count
+
+let events () = List.init !count (fun i -> !buf.(i))
+
+let with_span ?(args = []) name f =
+  if (not !enabled) && !hook = None then f ()
+  else begin
+    let sp = { oname = name; t0 = Clock.now_ns (); extra = [] } in
+    stack := sp :: !stack;
+    let finish () =
+      let dur = Clock.now_ns () - sp.t0 in
+      (match !stack with _ :: tl -> stack := tl | [] -> ());
+      if !enabled then
+        push
+          {
+            name = sp.oname;
+            kind = `Span;
+            ts_ns = sp.t0 - !origin;
+            dur_ns = dur;
+            depth = List.length !stack;
+            args = args @ List.rev sp.extra;
+          };
+      match !hook with Some h -> h sp.oname dur | None -> ()
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let add_args args =
+  if !enabled || !hook <> None then
+    match !stack with
+    | sp :: _ -> sp.extra <- List.rev_append args sp.extra
+    | [] -> ()
+
+let instant ?(args = []) name =
+  if !enabled then
+    push
+      {
+        name;
+        kind = `Instant;
+        ts_ns = Clock.now_ns () - !origin;
+        dur_ns = 0;
+        depth = List.length !stack;
+        args;
+      }
+
+let counter name series =
+  if !enabled then
+    push
+      {
+        name;
+        kind = `Counter;
+        ts_ns = Clock.now_ns () - !origin;
+        dur_ns = 0;
+        depth = List.length !stack;
+        args = List.map (fun (k, v) -> (k, Float v)) series;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace format export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_json f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let value_json = function
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> float_json f
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+
+let args_json args =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" (escape k) (value_json v)))
+    args;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let us ns = Printf.sprintf "%.3f" (Clock.ns_to_us ns)
+
+let event_json ev =
+  match ev.kind with
+  | `Span ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"dpa\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+      (escape ev.name) (us ev.ts_ns) (us ev.dur_ns) (args_json ev.args)
+  | `Instant ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"dpa\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+      (escape ev.name) (us ev.ts_ns) (args_json ev.args)
+  | `Counter ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"dpa\",\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":%s}"
+      (escape ev.name) (us ev.ts_ns) (args_json ev.args)
+
+let to_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for i = 0 to !count - 1 do
+    if i > 0 then Buffer.add_string b ",\n";
+    Buffer.add_string b (event_json !buf.(i))
+  done;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write oc = output_string oc (to_json ())
+
+let save path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc)

@@ -1,0 +1,100 @@
+(** Structured tracing: monotonic-clock spans with typed attributes.
+
+    A span brackets one region of the flow (a BLIF parse, one output
+    cone's BDD build, one optimizer pass); spans nest freely and the
+    recorder keeps their depth, so the exported trace reconstructs the
+    call tree. Events accumulate in a growable in-memory buffer and are
+    exported in Chrome trace format — a JSON object with a [traceEvents]
+    array — loadable directly in Perfetto ([ui.perfetto.dev]) or
+    [chrome://tracing].
+
+    {b Cost when disabled.} Recording is off by default. A disabled
+    {!with_span} is one mutable-bool load plus the call of the thunk: no
+    clock read, no event allocation. Hot paths that would even pay for
+    building an [args] list should guard it with {!is_enabled}. The
+    recorder is single-domain; concurrent use from multiple domains is
+    not supported.
+
+    Conventions for span and event names are documented in DESIGN.md §9:
+    lowercase dotted paths, [<layer>.<operation>], e.g. [engine.cone] or
+    [blif.parse]. *)
+
+(** Typed attribute value. Attributes land in the Chrome-trace [args]
+    object of the event, so Perfetto shows them in the selection panel. *)
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+(** One recorded event, exposed read-only so tests and tooling can
+    inspect a trace without re-parsing its JSON. *)
+type event = {
+  name : string;
+  kind : [ `Span | `Instant | `Counter ];
+  ts_ns : int;  (** start time, monotonic, relative to {!start} *)
+  dur_ns : int;  (** span duration; [0] for instants and counters *)
+  depth : int;  (** nesting depth at emission ([0] = top level) *)
+  args : (string * value) list;
+}
+
+val start : unit -> unit
+(** Clears the buffer and enables recording. *)
+
+val stop : unit -> unit
+(** Disables recording; the buffer is kept for export. *)
+
+val clear : unit -> unit
+(** Drops all recorded events (recording state unchanged). *)
+
+val is_enabled : unit -> bool
+
+val with_span : ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span. The span closes when
+    [f] returns {e or raises} — the exception is re-raised after the
+    close, so a trace never contains a dangling open span. [args] are
+    evaluated at the call site; guard their construction with
+    {!is_enabled} if building them is not free. *)
+
+val add_args : (string * value) list -> unit
+(** Appends attributes to the innermost open span (for facts only known
+    mid-span, e.g. which ladder rung priced a cone). No-op when disabled
+    or outside any span. *)
+
+val instant : ?args:(string * value) list -> string -> unit
+(** Zero-duration point event (ladder steps, table resizes). *)
+
+val counter : string -> (string * float) list -> unit
+(** Chrome counter event: Perfetto plots each series as a stacked track
+    over time (e.g. BDD budget remaining per cone). *)
+
+val depth : unit -> int
+(** Current span nesting depth — [0] outside any span. *)
+
+val events_recorded : unit -> int
+
+val events : unit -> event list
+(** All recorded events in emission order (spans appear when they close,
+    so a parent span follows its children). *)
+
+(** {2 Profiling hook}
+
+    A hook observes every closed span even while buffer recording is
+    active or not; installing one turns timing on. {!Profile} uses this
+    to feed span durations into the {!Metrics} registry. *)
+
+val set_span_hook : (string -> int -> unit) option -> unit
+(** [set_span_hook (Some f)] calls [f name dur_ns] at every span close;
+    [None] removes the hook. *)
+
+(** {2 Export} *)
+
+val to_json : unit -> string
+(** The whole trace as Chrome trace format JSON:
+    [{"displayTimeUnit": "ms", "traceEvents": [...]}] with [ts]/[dur] in
+    microseconds, [pid]/[tid] fixed at 1 and category ["dpa"]. *)
+
+val write : out_channel -> unit
+
+val save : string -> unit
+(** Writes {!to_json} to a file (truncating). *)

@@ -18,16 +18,22 @@
     worst-case duplication of conflicting assignments. *)
 
 type action = Retain | Invert
+(** What a candidate move does to an output's {e current} phase —
+    relative, not an absolute polarity. *)
 
 type t
+(** Assignment-independent cone data of one netlist: cones, sizes,
+    pairwise overlaps. *)
 
 val make : Dpa_logic.Netlist.t -> t
 (** Precomputes cones, cone sizes and pairwise overlaps (assignment
     independent). *)
 
 val num_outputs : t -> int
+(** Primary-output count of the underlying netlist. *)
 
 val cone_size : t -> int -> int
+(** [|Di|]: transitive-fanin cone size of output [i], gates only. *)
 
 val overlap : t -> int -> int -> float
 (** Symmetric; [overlap t i i] is well defined but unused by the search. *)
@@ -46,6 +52,7 @@ type averager
     instead of re-walking every cone. *)
 
 val averager : t -> base_probs:float array -> averager
+(** Builds the per-cone means once; feed to {!averages_of}. *)
 
 val averages_of : t -> averager -> Dpa_synth.Phase.assignment -> float array
 (** Identical to {!averages} over the precomputed means. *)

@@ -1,4 +1,10 @@
 module Phase = Dpa_synth.Phase
+module Trace = Dpa_obs.Trace
+module Metrics = Dpa_obs.Metrics
+
+let c_committed = lazy (Metrics.counter ~help:"greedy moves that lowered measured power" "phase.greedy.moves_committed")
+
+let c_rejected = lazy (Metrics.counter ~help:"greedy moves measured but not committed" "phase.greedy.moves_rejected")
 
 type initial =
   [ `All_positive | `Random of Dpa_util.Rng.t | `Given of Phase.assignment ]
@@ -66,8 +72,14 @@ let run ?(initial = `All_positive) ?pair_limit measure ~cost ~base_probs =
   in
   let commits = ref 0 in
   let steps = ref [] in
+  let passes = ref 0 in
   let finished = ref (!candidates = []) in
   while not !finished do
+    incr passes;
+    Trace.with_span "phase.greedy.pass"
+      ~args:
+        [ ("pass", Trace.Int !passes); ("candidates", Trace.Int (List.length !candidates)) ]
+    @@ fun () ->
     (* global minimum-cost pair/combination over the remaining candidates *)
     let choose (best, all_retain) ((i, j) as p) =
       let ai, aj, k = Cost.best_action_pair cost ~averages:!averages i j in
@@ -93,6 +105,7 @@ let run ?(initial = `All_positive) ?pair_limit measure ~cost ~base_probs =
         else begin
           let sample = Measure.eval measure proposed in
           let better = sample.Measure.power < !current_sample.Measure.power in
+          Metrics.incr (Lazy.force (if better then c_committed else c_rejected));
           if better then begin
             current := proposed;
             current_sample := sample;

@@ -1,4 +1,10 @@
 module Phase = Dpa_synth.Phase
+module Trace = Dpa_obs.Trace
+module Metrics = Dpa_obs.Metrics
+
+let c_evals = lazy (Metrics.counter ~help:"candidate assignments priced" "phase.measure.evaluations")
+
+let c_cache_hits = lazy (Metrics.counter ~help:"assignments answered from the sample cache" "phase.measure.cache_hits")
 
 type sample = {
   power : float;
@@ -103,10 +109,17 @@ let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budge
 let eval t assignment =
   let key = Phase.to_string assignment in
   match Hashtbl.find_opt t.cache key with
-  | Some s -> s
+  | Some s ->
+    Metrics.incr (Lazy.force c_cache_hits);
+    s
   | None ->
     t.misses <- t.misses + 1;
-    let s = t.pricer t (realize_mapped t assignment) in
+    Metrics.incr (Lazy.force c_evals);
+    let s =
+      Trace.with_span "phase.measure.eval" @@ fun () ->
+      if Trace.is_enabled () then Trace.add_args [ ("phases", Trace.Str key) ];
+      t.pricer t (realize_mapped t assignment)
+    in
     Hashtbl.replace t.cache key s;
     s
 
@@ -118,3 +131,8 @@ let worst_degradation t = t.worst
 
 let bdd_stats t =
   Option.map (fun e -> Dpa_bdd.Robdd.stats (Dpa_power.Estimate.env_manager e)) t.env
+
+let publish_metrics t =
+  Option.iter
+    (fun e -> Dpa_bdd.Robdd.publish_metrics (Dpa_power.Estimate.env_manager e))
+    t.env

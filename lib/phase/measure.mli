@@ -62,7 +62,15 @@ val worst_degradation : t -> Dpa_power.Engine.degradation option
 val realize_mapped : t -> Dpa_synth.Phase.assignment -> Dpa_domino.Mapped.t
 (** The mapped block for an assignment (not cached). *)
 
-val bdd_stats : t -> Dpa_bdd.Robdd.stats option
+val publish_metrics : t -> unit
+(** Folds the shared incremental manager's kernel counters into the
+    {!Dpa_obs.Metrics} registry (a no-op until the first [`Incremental]
+    evaluation). The registry is the one source of truth for BDD
+    counters; call this after a search instead of reading {!bdd_stats}. *)
+
 (** Kernel counters of the shared incremental manager; [None] until the
     first [`Incremental] evaluation (or always, under [`Rebuild] or a
     custom pricer). *)
+val bdd_stats : t -> Dpa_bdd.Robdd.stats option
+  [@@ocaml.deprecated
+    "ad-hoc accessor; use Measure.publish_metrics and read the Dpa_obs.Metrics registry"]

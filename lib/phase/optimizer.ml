@@ -41,6 +41,8 @@ type result = {
 let minimize_power config net =
   let n = Netlist.num_outputs net in
   if n = 0 then invalid_arg "Optimizer.minimize_power: network has no outputs";
+  Dpa_obs.Trace.with_span "phase.optimize" ~args:[ ("outputs", Dpa_obs.Trace.Int n) ]
+  @@ fun () ->
   let measure =
     Measure.create ~library:config.library ?budget:config.budget
       ~input_probs:config.input_probs net
@@ -97,6 +99,12 @@ let minimize_power config net =
       end
       else run_greedy ()
   in
+  Measure.publish_metrics measure;
+  Dpa_obs.Trace.add_args
+    [
+      ("strategy", Dpa_obs.Trace.Str strategy_used);
+      ("measurements", Dpa_obs.Trace.Int (Measure.evaluations measure));
+    ];
   {
     assignment;
     power;

@@ -68,6 +68,11 @@ let ci_halfwidth_of b cycles =
 
 type cone_method = Exact | Reordered | Simulated
 
+let cone_method_to_string = function
+  | Exact -> "exact"
+  | Reordered -> "reordered"
+  | Simulated -> "simulated"
+
 type degradation = {
   methods : cone_method array;
   bdd_nodes : int;
@@ -115,13 +120,37 @@ type result = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Observability cells (resolved lazily; see DESIGN.md §9 for names)    *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Dpa_obs.Trace
+module Metrics = Dpa_obs.Metrics
+
+let oc name help = lazy (Metrics.counter ~help name)
+
+let c_estimates = oc "engine.estimates" "power estimates run through the engine"
+
+let c_exact = oc "engine.cones.exact" "output cones priced exactly"
+
+let c_reordered = oc "engine.cones.reordered" "output cones priced after the reorder rung"
+
+let c_simulated = oc "engine.cones.simulated" "output cones priced by Monte-Carlo fallback"
+
+let c_sim_cycles = oc "engine.sim_cycles" "Monte-Carlo cycles spent in fallbacks"
+
+let g_budget_remaining =
+  lazy
+    (Metrics.gauge ~help:"BDD node budget left after the last cone build"
+       "engine.budget.nodes_remaining")
+
+(* ------------------------------------------------------------------ *)
 (* The ladder                                                           *)
 (* ------------------------------------------------------------------ *)
 
 (* One bounded build attempt: every output cone in order, each protected
    individually, so one hostile cone cannot take down its siblings (they
    still profit from whatever sharing was interned before exhaustion). *)
-let attempt ~budget ~deadline ~order ~cones mapped =
+let attempt ~budget ~deadline ~order ~cones ~rung mapped =
   let pb = Estimate.start_build ~order mapped in
   let m = Estimate.partial_manager pb in
   Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline m;
@@ -129,12 +158,30 @@ let attempt ~budget ~deadline ~order ~cones mapped =
     Array.mapi
       (fun k cone ->
         Robdd.set_budget_context m (Printf.sprintf "output cone %d" k);
-        match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
-        | () -> true
-        | exception Dpa_error.Budget_exceeded _ -> false)
+        let built =
+          Trace.with_span "engine.cone"
+            ~args:[ ("cone", Trace.Int k); ("rung", Trace.Str rung) ]
+          @@ fun () ->
+          match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
+          | () ->
+            Trace.add_args [ ("built", Trace.Bool true) ];
+            true
+          | exception Dpa_error.Budget_exceeded _ ->
+            Trace.add_args [ ("built", Trace.Bool false) ];
+            false
+        in
+        (match budget.max_bdd_nodes with
+        | Some cap ->
+          let remaining = float_of_int (max 0 (cap - Robdd.total_nodes m)) in
+          Metrics.set (Lazy.force g_budget_remaining) remaining;
+          if Trace.is_enabled () then
+            Trace.counter "engine.budget" [ ("nodes_remaining", remaining) ]
+        | None -> ());
+        built)
       cones
   in
   Robdd.clear_budget m;
+  Robdd.publish_metrics m;
   (pb, ok)
 
 let count_ok ok = Array.fold_left (fun n b -> if b then n + 1 else n) 0 ok
@@ -170,8 +217,18 @@ let merge_methods ~ok0 ~okf ~used_reorder =
 let estimate ?(budget = default_budget) ~input_probs mapped =
   let net = Mapped.net mapped in
   let n_out = Netlist.num_outputs net in
+  Trace.with_span "engine.estimate"
+    ~args:
+      [
+        ("outputs", Trace.Int n_out);
+        ("bounded", Trace.Bool (not (is_unbounded budget)));
+        ("fallback", Trace.Str (fallback_to_string budget.fallback));
+      ]
+  @@ fun () ->
+  Metrics.incr (Lazy.force c_estimates);
   if is_unbounded budget then begin
     let report = Estimate.of_mapped ~input_probs mapped in
+    Metrics.add (Lazy.force c_exact) n_out;
     {
       report;
       degradation =
@@ -183,18 +240,39 @@ let estimate ?(budget = default_budget) ~input_probs mapped =
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget.deadline_s in
     let cones = Dpa_logic.Cone.of_outputs net in
     (* rung 1: exact under budget *)
-    let pb0, ok0 = attempt ~budget ~deadline ~order ~cones mapped in
+    let pb0, ok0 = attempt ~budget ~deadline ~order ~cones ~rung:"exact" mapped in
+    Trace.instant "engine.ladder.exact"
+      ~args:[ ("built", Trace.Int (count_ok ok0)); ("cones", Trace.Int n_out) ];
     let pb, okf, reorder_used =
       if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (pb0, ok0, false)
       else
         (* rung 2: one retry under a budget-aware reordered variable order *)
         match reordered_order ~budget ~deadline ~order mapped with
-        | None -> (pb0, ok0, false)
+        | None ->
+          Trace.instant "engine.ladder.reorder" ~args:[ ("adopted", Trace.Bool false) ];
+          (pb0, ok0, false)
         | Some order' ->
-          let pb1, ok1 = attempt ~budget ~deadline ~order:order' ~cones mapped in
-          if count_ok ok1 > count_ok ok0 then (pb1, ok1, true) else (pb0, ok0, false)
+          let pb1, ok1 = attempt ~budget ~deadline ~order:order' ~cones ~rung:"reorder" mapped in
+          let adopted = count_ok ok1 > count_ok ok0 in
+          Trace.instant "engine.ladder.reorder"
+            ~args:
+              [ ("adopted", Trace.Bool adopted); ("built", Trace.Int (count_ok ok1)) ];
+          if adopted then (pb1, ok1, true) else (pb0, ok0, false)
     in
     let methods = merge_methods ~ok0 ~okf ~used_reorder:reorder_used in
+    if Trace.is_enabled () then
+      Array.iteri
+        (fun k meth ->
+          Trace.instant "engine.cone.method"
+            ~args:
+              [ ("cone", Trace.Int k); ("method", Trace.Str (cone_method_to_string meth)) ])
+        methods;
+    Metrics.add (Lazy.force c_exact)
+      (Array.fold_left (fun n m -> if m = Exact then n + 1 else n) 0 methods);
+    Metrics.add (Lazy.force c_reordered)
+      (Array.fold_left (fun n m -> if m = Reordered then n + 1 else n) 0 methods);
+    Metrics.add (Lazy.force c_simulated)
+      (Array.fold_left (fun n m -> if m = Simulated then n + 1 else n) 0 methods);
     let bdd_nodes = Robdd.total_nodes (Estimate.partial_manager pb) in
     let n_failed = n_out - count_ok okf in
     if n_failed > 0 && budget.fallback <> Simulate then
@@ -218,6 +296,9 @@ let estimate ?(budget = default_budget) ~input_probs mapped =
       else begin
         (* rung 3: Monte-Carlo fallback for whatever stayed unbuilt *)
         let cycles = sim_cycles_of budget in
+        Trace.instant "engine.ladder.sim"
+          ~args:[ ("cycles", Trace.Int cycles); ("cones", Trace.Int n_failed) ];
+        Metrics.add (Lazy.force c_sim_cycles) cycles;
         let rng = Dpa_util.Rng.create budget.sim_seed in
         let act = Dpa_sim.Simulator.measure ~cycles rng ~input_probs mapped in
         let merged =
@@ -258,7 +339,14 @@ let mc_netlist_probabilities ~cycles ~seed ~input_probs net =
 let node_probabilities ?(budget = default_budget) ~input_probs net =
   if Array.length input_probs <> Netlist.num_inputs net then
     invalid_arg "Engine.node_probabilities: input_probs length mismatch";
-  if is_unbounded budget then (Dpa_bdd.Build.probabilities ~input_probs net, Exact)
+  Trace.with_span "engine.node_probabilities" @@ fun () ->
+  let tag meth =
+    Trace.add_args [ ("method", Trace.Str (cone_method_to_string meth)) ]
+  in
+  if is_unbounded budget then begin
+    tag Exact;
+    (Dpa_bdd.Build.probabilities ~input_probs net, Exact)
+  end
   else begin
     let order = Dpa_bdd.Ordering.reverse_topological net in
     let max_nodes = match budget.max_bdd_nodes with Some n -> n | None -> max_int in
@@ -270,7 +358,9 @@ let node_probabilities ?(budget = default_budget) ~input_probs net =
       | None -> None
     in
     match bounded_try order with
-    | Some probs -> (probs, Exact)
+    | Some probs ->
+      tag Exact;
+      (probs, Exact)
     | None -> (
       let retry =
         if budget.fallback = No_fallback then None
@@ -286,7 +376,9 @@ let node_probabilities ?(budget = default_budget) ~input_probs net =
             | None -> None)
       in
       match retry with
-      | Some probs -> (probs, Reordered)
+      | Some probs ->
+        tag Reordered;
+        (probs, Reordered)
       | None ->
         if budget.fallback <> Simulate then
           Dpa_error.error
@@ -300,6 +392,7 @@ let node_probabilities ?(budget = default_budget) ~input_probs net =
                  spent = float_of_int max_nodes;
                  context = "netlist probability build (fallback insufficient)";
                });
+        tag Simulated;
         (mc_netlist_probabilities ~cycles:(sim_cycles_of budget) ~seed:budget.sim_seed
            ~input_probs net,
          Simulated))

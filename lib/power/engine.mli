@@ -71,6 +71,10 @@ val ci_halfwidth_of : budget -> int -> float
 (** How one output cone's probabilities were obtained. *)
 type cone_method = Exact | Reordered | Simulated
 
+val cone_method_to_string : cone_method -> string
+(** ["exact"] | ["reordered"] | ["simulated"] — also the spelling of the
+    [method] attribute on [engine.cone.method] trace events. *)
+
 type degradation = {
   methods : cone_method array;  (** per output cone, in output order *)
   bdd_nodes : int;  (** manager size of the (possibly partial) build *)

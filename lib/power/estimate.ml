@@ -86,6 +86,7 @@ let block_probabilities ~input_probs mapped =
   let roots = build_block_roots m level_of_orig mapped in
   let level_probs = Array.map (fun opos -> input_probs.(opos)) order in
   let probs = Robdd.probabilities m level_probs roots in
+  Robdd.publish_metrics m;
   probs, Robdd.total_nodes m
 
 let probabilities_of_block ~input_probs mapped =
@@ -141,11 +142,13 @@ let price mapped ~node_probs ~input_toggle =
   }
 
 let of_mapped ~input_probs mapped =
+  Dpa_obs.Trace.with_span "estimate.block" @@ fun () ->
   let node_probs, bdd_nodes = block_probabilities ~input_probs mapped in
   let report =
     price mapped ~node_probs ~input_toggle:(fun opos ->
         Model.static_switching input_probs.(opos))
   in
+  Dpa_obs.Trace.add_args [ ("bdd_nodes", Dpa_obs.Trace.Int bdd_nodes) ];
   { report with bdd_nodes }
 
 let of_activity mapped (a : Dpa_sim.Simulator.activity) =
@@ -231,9 +234,13 @@ let partial_probabilities pb ~input_probs =
 let bounded_block_size ~order ~max_nodes ~deadline mapped =
   let pb = start_build ~order mapped in
   Robdd.set_budget ~max_nodes ?deadline ~context:"reorder probe" pb.pb_manager;
-  match build_nodes pb ~within:(fun _ -> true) with
-  | () -> Some (Robdd.total_nodes pb.pb_manager)
-  | exception Dpa_util.Dpa_error.Budget_exceeded _ -> None
+  let r =
+    match build_nodes pb ~within:(fun _ -> true) with
+    | () -> Some (Robdd.total_nodes pb.pb_manager)
+    | exception Dpa_util.Dpa_error.Budget_exceeded _ -> None
+  in
+  Robdd.publish_metrics pb.pb_manager;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Incremental estimation: one shared manager across many blocks        *)
@@ -278,6 +285,7 @@ let make_env ~input_probs mapped =
 let env_manager env = env.manager
 
 let of_mapped_env env mapped =
+  Dpa_obs.Trace.with_span "estimate.block.incremental" @@ fun () ->
   check_literals ~input_probs:env.env_input_probs mapped;
   let roots = build_block_roots env.manager env.level_of_orig mapped in
   let node_probs = Array.map (Robdd.cached_probability env.cache) roots in
@@ -285,6 +293,7 @@ let of_mapped_env env mapped =
     price mapped ~node_probs ~input_toggle:(fun opos ->
         Model.static_switching env.env_input_probs.(opos))
   in
+  Robdd.publish_metrics env.manager;
   { report with bdd_nodes = Robdd.total_nodes env.manager }
 
 let by_cell_type ?(input_toggle = fun _ -> 0.0) mapped ~node_probs =

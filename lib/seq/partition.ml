@@ -32,6 +32,13 @@ let ff_topo_order sn fvs =
   List.rev !order
 
 let probabilities ?(symmetry = true) ?(cut_prob = 0.5) ?(refine = 0) ~input_probs sn =
+  Dpa_obs.Trace.with_span "seq.partition"
+    ~args:
+      [
+        ("ffs", Dpa_obs.Trace.Int (Seq_netlist.n_ffs sn));
+        ("refine", Dpa_obs.Trace.Int refine);
+      ]
+  @@ fun () ->
   let core = Seq_netlist.comb sn in
   let n_real = Seq_netlist.n_real_inputs sn in
   if Array.length input_probs <> n_real then

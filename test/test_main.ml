@@ -14,4 +14,5 @@ let () =
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
+      ("obs", Test_obs.suite);
       ("edge-cases", Test_edge_cases.suite) ]
