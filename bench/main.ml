@@ -232,6 +232,120 @@ let write_kernel_json ?(metrics = false) ~path results =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Service throughput                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end throughput of the resident server: a pipelined batch of
+   estimate requests over one real Unix-socket connection, repeated at
+   several worker-pool sizes. The interesting number is the speedup of 4
+   workers over 1 — the requests are CPU-bound (BDD build + probability
+   descent per request), so the pool should scale until the socket pump
+   or the queue becomes the bottleneck. Requests ship the netlist text
+   inline so the measurement has no filesystem dependency. *)
+let service_throughput ?(quick = false) ?(json = false) () =
+  let requests_per_worker_count = if quick then 8 else 48 in
+  let worker_counts = [ 1; 2; 4 ] in
+  let inline_sources =
+    (* heavier than [small_profile]: each estimate costs several
+       milliseconds of BDD work, so the pool's scaling is measured
+       against real per-request compute rather than socket overhead *)
+    List.map
+      (fun seed ->
+        Dpa_logic.Io.to_string
+          (Dpa_workload.Generator.combinational
+             { small_profile with
+               Dpa_workload.Generator.seed;
+               n_inputs = 32;
+               n_outputs = 10;
+               gates_per_output = 22 }))
+      [ 7; 11; 13 ]
+  in
+  let lines =
+    List.init requests_per_worker_count (fun i ->
+        let text = List.nth inline_sources (i mod List.length inline_sources) in
+        Dpa_service.Protocol.request_line
+          { Dpa_service.Protocol.id = i;
+            request =
+              Dpa_service.Protocol.Estimate
+                { source = Dpa_service.Protocol.Inline { text; format = `Dln };
+                  input_prob = 0.5;
+                  phases = None;
+                  budget = None } })
+  in
+  Printf.printf "\n=== service throughput (%d pipelined estimate requests) ===\n\n"
+    requests_per_worker_count;
+  let measure workers =
+    Dpa_service.Client.with_self_hosted ~workers (fun ~socket ->
+        (* warm-up pass so domain spawn and first-connection costs are not
+           billed to the measured batch *)
+        ignore (Dpa_service.Client.run_batch ~socket [ List.hd lines ]);
+        let t0 = Unix.gettimeofday () in
+        let responses = Dpa_service.Client.run_batch ~socket lines in
+        let dt = Unix.gettimeofday () -. t0 in
+        let failed =
+          List.filter
+            (fun l ->
+              match Dpa_service.Protocol.parse_response l with
+              | Ok r -> not r.Dpa_service.Protocol.ok
+              | Error _ -> true)
+            responses
+        in
+        if failed <> [] then begin
+          Printf.eprintf "service bench: %d request(s) failed, e.g. %s\n"
+            (List.length failed) (List.hd failed);
+          exit 1
+        end;
+        (workers, List.length responses, dt))
+  in
+  let rows = List.map measure worker_counts in
+  let t =
+    Dpa_util.Table.create
+      ~columns:
+        [ ("workers", Dpa_util.Table.Right);
+          ("requests", Dpa_util.Table.Right);
+          ("seconds", Dpa_util.Table.Right);
+          ("req/s", Dpa_util.Table.Right) ]
+  in
+  let rate (_, n, dt) = float_of_int n /. Float.max dt 1e-9 in
+  List.iter
+    (fun ((workers, n, dt) as row) ->
+      Dpa_util.Table.add_row t
+        [ string_of_int workers;
+          string_of_int n;
+          Printf.sprintf "%.3f" dt;
+          Printf.sprintf "%.1f" (rate row) ])
+    rows;
+  Dpa_util.Table.print t;
+  let find w = List.find (fun (workers, _, _) -> workers = w) rows in
+  let speedup = rate (find 4) /. rate (find 1) in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "\nspeedup 4 workers vs 1: %.2fx (host parallelism: %d)\n" speedup cores;
+  if cores < 4 then
+    Printf.printf
+      "note: requests are CPU-bound, so the pool can only scale up to the\n\
+       host's available cores; run on >= 4 cores to see the full speedup.\n";
+  if json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"bench\": \"service\",\n  \"unit\": \"req/s\",\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"quick\": %b,\n  \"cores\": %d,\n  \"results\": [\n" quick cores);
+    List.iteri
+      (fun k ((workers, n, dt) as row) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"workers\": %d, \"requests\": %d, \"seconds\": %s, \"req_per_s\": %s}%s\n"
+             workers n (json_float dt) (json_float (rate row))
+             (if k = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string b "  ],\n";
+    Buffer.add_string b (Printf.sprintf "  \"speedup_4v1\": %s\n}\n" (json_float speedup));
+    let oc = open_out "BENCH_service.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote BENCH_service.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel suite                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -317,6 +431,7 @@ let all () =
   Experiments.seq_table ();
   Experiments.validate ();
   Experiments.ablation ();
+  service_throughput ();
   perf ()
 
 let () =
@@ -349,6 +464,7 @@ let () =
       ("seqtable", Experiments.seq_table);
       ("validate", Experiments.validate);
       ("ablation", Experiments.ablation);
+      ("service", fun () -> service_throughput ~quick:is_quick ~json ());
       ("perf", perf ~json ~metrics) ]
   in
   match names with

@@ -26,27 +26,13 @@ let guard f =
   try f () with
   | e -> ( match Dpa_error.of_exn e with Some err -> die err | None -> raise e)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let load_netlist path =
-  let text = read_file path in
-  let parsed =
-    if Filename.check_suffix path ".blif" then Dpa_logic.Blif.of_string text
-    else Dpa_logic.Io.of_string text
-  in
-  match parsed with
-  | Ok net -> net
-  | Error msg ->
-    Dpa_error.error (Dpa_error.Parse { source = path; line = None; message = msg })
+(* one shared loader (Dpa_logic.Io) for every path-taking entry point:
+   exception-safe reads, one place for the .blif/.dln dispatch *)
+let read_file = Dpa_logic.Io.read_file
 
 let netlist_of_source ~file ~profile =
   match file, profile with
-  | Some path, None -> Ok (load_netlist path)
+  | Some path, None -> Ok (Dpa_logic.Io.load_file path)
   | None, Some name -> (
     match Dpa_workload.Profiles.find name with
     | Some p -> Ok (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
@@ -375,7 +361,7 @@ let info_cmd =
 let equiv_cmd =
   let action file_a file_b =
     guard @@ fun () ->
-    let a = load_netlist file_a and b = load_netlist file_b in
+    let a = Dpa_logic.Io.load_file file_a and b = Dpa_logic.Io.load_file file_b in
     (
       match Dpa_bdd.Equiv.check a b with
       | Dpa_bdd.Equiv.Equivalent ->
@@ -451,6 +437,325 @@ let mfvs_cmd =
   Cmd.v (Cmd.info "mfvs" ~doc)
     Term.(ret (const action $ file_pos $ trace_arg $ metrics_arg))
 
+(* ---- serve / submit / batch (the resident service) ---- *)
+
+module Server = Dpa_service.Server
+module Client = Dpa_service.Client
+module Protocol = Dpa_service.Protocol
+
+let socket_doc = "Unix-domain socket path of the phase-assignment server."
+
+let socket_req_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:socket_doc)
+
+let socket_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket"; "s" ]
+        ~docv:"PATH"
+        ~doc:(socket_doc ^ " Omitted: a private server is started in-process for the call."))
+
+let workers_arg =
+  let doc = "Worker domains executing requests in parallel." in
+  Arg.(
+    value
+    & opt int (max 1 (min 4 (Domain.recommended_domain_count () - 1)))
+    & info [ "workers"; "j" ] ~docv:"N" ~doc)
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Bound of the job queue; once full, the accept loop blocks (backpressure) \
+       instead of buffering requests without limit."
+    in
+    Arg.(value & opt int Server.default_queue_capacity & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let action socket workers queue_capacity trace metrics =
+    if workers < 1 then `Error (false, "--workers must be >= 1")
+    else if queue_capacity < 1 then `Error (false, "--queue-capacity must be >= 1")
+    else begin
+      guard @@ fun () ->
+      with_obs ~trace ~metrics @@ fun () ->
+      Server.run
+        ~on_ready:(fun h ->
+          (* ctrl-C drains like a shutdown request instead of killing
+             in-flight work *)
+          Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Server.stop h));
+          Printf.printf "dominoflow: serving on %s (workers=%d, queue=%d)\n%!" socket
+            workers queue_capacity)
+        { Server.socket_path = socket; workers; queue_capacity };
+      print_endline "dominoflow: server drained, bye";
+      `Ok ()
+    end
+  in
+  let doc =
+    "Run the resident phase-assignment server: newline-delimited JSON requests \
+     (ping, info, estimate, optimize, compare, shutdown) over a Unix socket, \
+     executed by a pool of worker domains."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const action $ socket_req_arg $ workers_arg $ queue_arg $ trace_arg
+       $ metrics_arg))
+
+(* Request construction shared by submit and batch: one CLI-side source
+   of truth for turning flags into protocol envelopes. *)
+let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget =
+  let source path =
+    if inline then
+      Protocol.Inline
+        {
+          text = read_file path;
+          format = (if Filename.check_suffix path ".blif" then `Blif else `Dln);
+        }
+    else Protocol.File path
+  in
+  let need_file k =
+    match file with
+    | Some path -> Ok (source path)
+    | None -> Error (Printf.sprintf "cmd %s requires --file" k)
+  in
+  let budget_opts =
+    Option.map
+      (fun b ->
+        {
+          Protocol.max_bdd_nodes = b.Dpa_power.Engine.max_bdd_nodes;
+          deadline_s = b.Dpa_power.Engine.deadline_s;
+          fallback = b.Dpa_power.Engine.fallback;
+        })
+      budget
+  in
+  let req =
+    match cmd with
+    | "ping" -> Ok Protocol.Ping
+    | "shutdown" -> Ok Protocol.Shutdown
+    | "info" -> Result.map (fun s -> Protocol.Info { source = s }) (need_file "info")
+    | "estimate" ->
+      Result.map
+        (fun s ->
+          Protocol.Estimate { source = s; input_prob; phases; budget = budget_opts })
+        (need_file "estimate")
+    | "optimize" ->
+      Result.map
+        (fun s -> Protocol.Optimize { source = s; input_prob; seed; budget = budget_opts })
+        (need_file "optimize")
+    | "compare" ->
+      Result.map
+        (fun s -> Protocol.Compare { source = s; input_prob; seed; budget = budget_opts })
+        (need_file "compare")
+    | other ->
+      Error
+        (Printf.sprintf "unknown cmd %S (ping|info|estimate|optimize|compare|shutdown)"
+           other)
+  in
+  Result.map (fun request -> { Protocol.id; request }) req
+
+let cmd_pos =
+  let doc = "Request kind: ping, info, estimate, optimize, compare or shutdown." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CMD" ~doc)
+
+let inline_arg =
+  let doc =
+    "Ship the netlist text inside the request instead of sending the path \
+     (useful when the server runs in another directory)."
+  in
+  Arg.(value & flag & info [ "inline" ] ~doc)
+
+let submit_cmd =
+  let id_arg =
+    let doc = "Request id echoed in the response." in
+    Arg.(value & opt int 0 & info [ "id" ] ~docv:"N" ~doc)
+  in
+  let action socket cmd id file inline input_prob phases seed max_bdd_nodes deadline
+      fallback =
+    guard @@ fun () ->
+    let budget = budget_of ~max_bdd_nodes ~deadline ~fallback in
+    match build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget with
+    | Error msg -> `Error (false, msg)
+    | Ok envelope ->
+      let client = Client.connect socket in
+      let line =
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () -> Client.request client (Protocol.request_line envelope))
+      in
+      print_endline line;
+      (match Protocol.parse_response line with
+      | Ok { Protocol.ok = true; _ } -> `Ok ()
+      | Ok { Protocol.ok = false; result; _ } ->
+        let code =
+          match Dpa_util.Jsonlite.member_opt "exit_code" result with
+          | Some (Dpa_util.Jsonlite.Num f) -> int_of_float f
+          | _ -> 70
+        in
+        exit code
+      | Error msg -> die (Dpa_error.Internal ("unparseable response: " ^ msg)))
+  in
+  let doc = "Send one request to a running server and print the response line." in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      ret
+        (const action $ socket_req_arg $ cmd_pos $ id_arg $ file_arg
+       $ inline_arg $ input_prob_arg
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
+        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg))
+
+let batch_cmd =
+  let jobs_arg =
+    let doc =
+      "Newline-delimited JSON request file ($(b,-) reads stdin); requests without \
+       an id get their line number. Mutually exclusive with positional FILEs."
+    in
+    Arg.(value & opt (some string) None & info [ "jobs" ] ~docv:"FILE" ~doc)
+  in
+  let files_pos =
+    let doc = "Netlist files; each becomes one request of kind --cmd." in
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let cmd_arg =
+    let doc = "Request kind for positional FILEs (estimate, optimize, compare, info)." in
+    Arg.(value & opt string "estimate" & info [ "cmd" ] ~docv:"CMD" ~doc)
+  in
+  let repeat_arg =
+    let doc = "Send each request $(docv) times (throughput measurement)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"K" ~doc)
+  in
+  let action socket workers jobs files cmd repeat inline input_prob phases seed
+      max_bdd_nodes deadline fallback =
+    guard @@ fun () ->
+    let budget = budget_of ~max_bdd_nodes ~deadline ~fallback in
+    let with_id i json =
+      match Dpa_util.Jsonlite.member_opt "id" json with
+      | Some _ -> json
+      | None -> (
+        match json with
+        | Dpa_util.Jsonlite.Obj fields ->
+          Dpa_util.Jsonlite.Obj (("id", Dpa_util.Jsonlite.Num (float_of_int i)) :: fields)
+        | other -> other)
+    in
+    let requests =
+      match jobs, files with
+      | Some _, _ :: _ -> Error "--jobs and positional FILEs are mutually exclusive"
+      | None, [] -> Error "nothing to do: pass --jobs FILE or netlist FILEs"
+      | Some path, [] ->
+        let text = if path = "-" then In_channel.input_all stdin else read_file path in
+        let lines =
+          String.split_on_char '\n' text
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let parse i line =
+          match Dpa_util.Jsonlite.parse line with
+          | json -> Ok (Dpa_util.Jsonlite.encode (with_id i json))
+          | exception Dpa_util.Jsonlite.Parse_error msg ->
+            Error (Printf.sprintf "jobs line %d: %s" (i + 1) msg)
+        in
+        List.mapi parse lines
+        |> List.fold_left
+             (fun acc r ->
+               match acc, r with
+               | Error e, _ -> Error e
+               | Ok _, Error e -> Error e
+               | Ok xs, Ok x -> Ok (x :: xs))
+             (Ok [])
+        |> Result.map List.rev
+      | None, files ->
+        let rec expand i acc = function
+          | [] -> Ok (List.rev acc)
+          | path :: rest -> (
+            match
+              build_request ~id:i ~cmd ~file:(Some path) ~inline ~input_prob ~phases
+                ~seed ~budget
+            with
+            | Error msg -> Error msg
+            | Ok env -> expand (i + 1) (Protocol.request_line env :: acc) rest)
+        in
+        let repeated =
+          List.concat_map (fun f -> List.init repeat (fun _ -> f)) files
+        in
+        expand 0 [] repeated
+    in
+    match requests with
+    | Error msg -> `Error (false, msg)
+    | Ok [] -> `Ok ()
+    | Ok lines ->
+      let run ~socket =
+        let t0 = Unix.gettimeofday () in
+        let responses = Client.run_batch ~socket lines in
+        (responses, Unix.gettimeofday () -. t0)
+      in
+      let responses, dt =
+        match socket with
+        | Some s -> run ~socket:s
+        | None -> Client.with_self_hosted ~workers (fun ~socket -> run ~socket)
+      in
+      (* responses arrive in completion order; print them in request
+         order by correlating on the echoed id *)
+      let order = Hashtbl.create 64 in
+      List.iteri
+        (fun pos line ->
+          match Dpa_util.Jsonlite.(member_opt "id" (parse line)) with
+          | Some (Dpa_util.Jsonlite.Num f) ->
+            let id = int_of_float f in
+            Hashtbl.replace order id
+              (match Hashtbl.find_opt order id with
+              | Some ps -> ps @ [ pos ]
+              | None -> [ pos ])
+          | _ -> ())
+        lines;
+      let n = List.length lines in
+      let slots = Array.make n None in
+      let spill = ref [] in
+      List.iter
+        (fun line ->
+          let id =
+            match Protocol.parse_response line with
+            | Ok r -> Some r.Protocol.rid
+            | Error _ -> None
+          in
+          let placed =
+            match id with
+            | None -> false
+            | Some id -> (
+              match Hashtbl.find_opt order id with
+              | Some (pos :: rest) ->
+                Hashtbl.replace order id rest;
+                slots.(pos) <- Some line;
+                true
+              | Some [] | None -> false)
+          in
+          if not placed then spill := line :: !spill)
+        responses;
+      Array.iter (function Some line -> print_endline line | None -> ()) slots;
+      List.iter print_endline (List.rev !spill);
+      Printf.eprintf "batch: %d requests in %.3f s (%.1f req/s, workers=%s)\n" n dt
+        (float_of_int n /. Float.max dt 1e-9)
+        (match socket with Some _ -> "server" | None -> string_of_int workers);
+      `Ok ()
+  in
+  let doc =
+    "Stream many requests over one connection (pipelined), print the responses \
+     in request order and report aggregate throughput. Without --socket, a \
+     private in-process server with --workers domains handles the batch."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      ret
+        (const action $ socket_opt_arg $ workers_arg $ jobs_arg $ files_pos
+       $ cmd_arg $ repeat_arg $ inline_arg $ input_prob_arg
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
+        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg))
+
 (* ---- tables ---- *)
 
 let table_cmd name doc profiles timed =
@@ -492,4 +797,4 @@ let () =
   let info = Cmd.info "dominoflow" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; estimate_cmd; generate_cmd; info_cmd; equiv_cmd; mfvs_cmd; table1_cmd;
-         table2_cmd ]))
+         table2_cmd; serve_cmd; submit_cmd; batch_cmd ]))

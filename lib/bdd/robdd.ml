@@ -346,7 +346,7 @@ let pp_stats fmt s =
    process, plus gauges for the last-published and peak manager sizes.
    Cells are resolved lazily so a process that never publishes never
    touches the registry. *)
-let mc name help = lazy (Dpa_obs.Metrics.counter ~help name)
+let mc name help = Dpa_obs.Metrics.counter ~help name
 
 let c_nodes = mc "bdd.nodes_allocated" "BDD nodes allocated across all managers"
 
@@ -362,14 +362,14 @@ let c_ihits = mc "bdd.ite.hits" "ite-cache hits"
 
 let c_iresizes = mc "bdd.ite.resizes" "ite-cache resizes"
 
-let g_manager = lazy (Dpa_obs.Metrics.gauge ~help:"nodes in the last published manager" "bdd.manager.nodes")
+let g_manager = Dpa_obs.Metrics.gauge ~help:"nodes in the last published manager" "bdd.manager.nodes"
 
-let g_peak = lazy (Dpa_obs.Metrics.gauge ~help:"largest manager seen" "bdd.manager.peak_nodes")
+let g_peak = Dpa_obs.Metrics.gauge ~help:"largest manager seen" "bdd.manager.peak_nodes"
 
 let publish_metrics m =
   let s = stats m in
   let p = m.published in
-  let d cell get = Dpa_obs.Metrics.add (Lazy.force cell) (max 0 (get s - get p)) in
+  let d cell get = Dpa_obs.Metrics.add cell (max 0 (get s - get p)) in
   d c_nodes (fun x -> x.nodes);
   d c_uprobes (fun x -> x.unique_probes);
   d c_uhits (fun x -> x.unique_hits);
@@ -377,6 +377,6 @@ let publish_metrics m =
   d c_iprobes (fun x -> x.ite_probes);
   d c_ihits (fun x -> x.ite_hits);
   d c_iresizes (fun x -> x.ite_resizes);
-  Dpa_obs.Metrics.set (Lazy.force g_manager) (float_of_int s.nodes);
-  Dpa_obs.Metrics.set_max (Lazy.force g_peak) (float_of_int s.nodes);
+  Dpa_obs.Metrics.set g_manager (float_of_int s.nodes);
+  Dpa_obs.Metrics.set_max g_peak (float_of_int s.nodes);
   m.published <- s

@@ -200,3 +200,26 @@ let to_dot t =
     (Netlist.outputs t);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* File loading (shared by the CLI and the service)                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_netlist ~source text =
+  let parsed =
+    if Filename.check_suffix source ".blif" then Blif.of_string text
+    else of_string text
+  in
+  match parsed with
+  | Ok net -> net
+  | Error msg ->
+    Dpa_util.Dpa_error.error
+      (Dpa_util.Dpa_error.Parse { source; line = None; message = msg })
+
+let load_file path = parse_netlist ~source:path (read_file path)

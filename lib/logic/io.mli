@@ -25,3 +25,23 @@ val parse_exn : string -> Netlist.t
 
 val to_dot : Netlist.t -> string
 (** Graphviz digraph for debugging / documentation. *)
+
+(** {2 File loading}
+
+    The one shared loader behind every entry point that takes a netlist
+    path — CLI subcommands and service requests alike — so format
+    dispatch and error mapping cannot drift between them. *)
+
+val read_file : string -> string
+(** Whole file as a string; the channel is closed even when reading
+    raises. [Sys_error] propagates (the CLI folds it into
+    {!Dpa_util.Dpa_error.Io}). *)
+
+val parse_netlist : source:string -> string -> Netlist.t
+(** Parses netlist text: a [source] ending in [.blif] selects the BLIF
+    parser, anything else the .dln parser. Raises
+    {!Dpa_util.Dpa_error.Error} with a [Parse] payload carrying
+    [source]. *)
+
+val load_file : string -> Netlist.t
+(** [parse_netlist ~source:path (read_file path)]. *)

@@ -14,6 +14,11 @@ type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Domain-safety: one mutex guards registry mutation, cell updates and
+   snapshot export. Updates are a handful of loads and stores under an
+   uncontended lock — still cheap enough to leave on unconditionally. *)
+let guard = Mutex.create ()
+
 let default_buckets =
   [|
     0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0;
@@ -23,6 +28,7 @@ let default_buckets =
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let register name make select =
+  Mutex.protect guard @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m -> (
     match select m with
@@ -68,23 +74,24 @@ let histogram ?(help = "") ?(buckets = default_buckets) name =
         })
     (function H h -> Some h | C _ | G _ -> None)
 
-let incr c = c.c <- c.c + 1
+let incr c = Mutex.protect guard (fun () -> c.c <- c.c + 1)
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: negative delta";
-  c.c <- c.c + n
+  Mutex.protect guard (fun () -> c.c <- c.c + n)
 
-let counter_value c = c.c
+let counter_value c = Mutex.protect guard (fun () -> c.c)
 
-let set g v = g.g <- v
+let set g v = Mutex.protect guard (fun () -> g.g <- v)
 
-let set_max g v = if v > g.g then g.g <- v
+let set_max g v = Mutex.protect guard (fun () -> if v > g.g then g.g <- v)
 
-let gauge_value g = g.g
+let gauge_value g = Mutex.protect guard (fun () -> g.g)
 
 (* First bucket whose bound >= v (le semantics: boundary values belong to
    the bucket they bound); past the last bound, the overflow slot. *)
 let observe h v =
+  Mutex.protect guard @@ fun () ->
   let n = Array.length h.bounds in
   let i = ref 0 in
   while !i < n && v > h.bounds.(!i) do
@@ -94,11 +101,12 @@ let observe h v =
   h.sum <- h.sum +. v;
   h.total <- h.total + 1
 
-let histogram_count h = h.total
+let histogram_count h = Mutex.protect guard (fun () -> h.total)
 
-let histogram_sum h = h.sum
+let histogram_sum h = Mutex.protect guard (fun () -> h.sum)
 
 let bucket_counts h =
+  Mutex.protect guard @@ fun () ->
   (Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds, h.counts.(Array.length h.bounds))
 
 (* ------------------------------------------------------------------ *)
@@ -106,6 +114,7 @@ let bucket_counts h =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
+  Mutex.protect guard @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
@@ -117,11 +126,13 @@ let reset () =
         h.total <- 0)
     registry
 
-let sorted_entries () =
+(* must be called with [guard] held *)
+let sorted_entries_unlocked () =
   Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let names () = List.map fst (sorted_entries ())
+let names () =
+  Mutex.protect guard (fun () -> List.map fst (sorted_entries_unlocked ()))
 
 let escape s =
   let b = Buffer.create (String.length s + 2) in
@@ -142,7 +153,8 @@ let float_json f =
   else Printf.sprintf "%.9g" f
 
 let to_json () =
-  let entries = sorted_entries () in
+  Mutex.protect guard @@ fun () ->
+  let entries = sorted_entries_unlocked () in
   let b = Buffer.create 2048 in
   let section title select render =
     Buffer.add_string b (Printf.sprintf "  \"%s\": {" title);
@@ -185,6 +197,7 @@ let to_json () =
   Buffer.contents b
 
 let dump () =
+  Mutex.protect guard @@ fun () ->
   let b = Buffer.create 1024 in
   List.iter
     (fun (name, m) ->
@@ -203,7 +216,7 @@ let dump () =
           Buffer.add_string b
             (Printf.sprintf " inf=%d" h.counts.(Array.length h.bounds));
         Buffer.add_char b '\n')
-    (sorted_entries ());
+    (sorted_entries_unlocked ());
   Buffer.contents b
 
 let save_json path =

@@ -10,9 +10,11 @@
 
     The registry exports as JSON (machines) and a flat sorted text dump
     (humans); see DESIGN.md §9 for the naming conventions. Cells are
-    plain mutable records — updates are a handful of loads and stores,
-    cheap enough to leave on unconditionally. Single-domain, like
-    {!Trace}. *)
+    plain mutable records — updates are a handful of loads and stores
+    under one uncontended mutex, cheap enough to leave on
+    unconditionally. Domain-safe: registration, updates and snapshot
+    export may run concurrently from service worker domains; exports see
+    a consistent point-in-time snapshot. *)
 
 type counter
 (** Monotonically increasing integer (events, cache probes, moves). *)

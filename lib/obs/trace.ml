@@ -28,14 +28,25 @@ let enabled = ref false
 
 let hook : (string -> int -> unit) option ref = ref None
 
-let origin = ref 0
+(* Domain-safety: the event buffer is shared (one exported trace per
+   process, workers interleave) and guarded by [guard]; the span stack is
+   per-domain (Domain.DLS), so nesting depth stays correct inside each
+   worker no matter how spans interleave across domains. The disabled
+   path touches neither — it is still a single mutable-bool load. *)
+let guard = Mutex.create ()
 
-let stack : open_span list ref = ref []
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let origin = ref 0
 
 let buf = ref (Array.make 1024 dummy_event)
 
 let count = ref 0
 
+(* must be called with [guard] held *)
 let push ev =
   let cap = Array.length !buf in
   if !count = cap then begin
@@ -47,45 +58,49 @@ let push ev =
   incr count
 
 let start () =
-  origin := Clock.now_ns ();
-  count := 0;
-  stack := [];
+  Mutex.protect guard (fun () ->
+      origin := Clock.now_ns ();
+      count := 0);
+  (stack ()) := [];
   enabled := true
 
 let stop () = enabled := false
 
 let clear () =
-  count := 0;
-  stack := []
+  Mutex.protect guard (fun () -> count := 0);
+  (stack ()) := []
 
 let is_enabled () = !enabled
 
 let set_span_hook h = hook := h
 
-let depth () = List.length !stack
+let depth () = List.length !(stack ())
 
-let events_recorded () = !count
+let events_recorded () = Mutex.protect guard (fun () -> !count)
 
-let events () = List.init !count (fun i -> !buf.(i))
+let events () =
+  Mutex.protect guard (fun () -> List.init !count (fun i -> !buf.(i)))
 
 let with_span ?(args = []) name f =
   if (not !enabled) && !hook = None then f ()
   else begin
+    let stack = stack () in
     let sp = { oname = name; t0 = Clock.now_ns (); extra = [] } in
     stack := sp :: !stack;
     let finish () =
       let dur = Clock.now_ns () - sp.t0 in
       (match !stack with _ :: tl -> stack := tl | [] -> ());
       if !enabled then
-        push
-          {
-            name = sp.oname;
-            kind = `Span;
-            ts_ns = sp.t0 - !origin;
-            dur_ns = dur;
-            depth = List.length !stack;
-            args = args @ List.rev sp.extra;
-          };
+        Mutex.protect guard (fun () ->
+            push
+              {
+                name = sp.oname;
+                kind = `Span;
+                ts_ns = sp.t0 - !origin;
+                dur_ns = dur;
+                depth = List.length !stack;
+                args = args @ List.rev sp.extra;
+              });
       match !hook with Some h -> h sp.oname dur | None -> ()
     in
     match f () with
@@ -99,33 +114,39 @@ let with_span ?(args = []) name f =
 
 let add_args args =
   if !enabled || !hook <> None then
-    match !stack with
+    match !(stack ()) with
     | sp :: _ -> sp.extra <- List.rev_append args sp.extra
     | [] -> ()
 
 let instant ?(args = []) name =
-  if !enabled then
-    push
-      {
-        name;
-        kind = `Instant;
-        ts_ns = Clock.now_ns () - !origin;
-        dur_ns = 0;
-        depth = List.length !stack;
-        args;
-      }
+  if !enabled then begin
+    let d = depth () in
+    Mutex.protect guard (fun () ->
+        push
+          {
+            name;
+            kind = `Instant;
+            ts_ns = Clock.now_ns () - !origin;
+            dur_ns = 0;
+            depth = d;
+            args;
+          })
+  end
 
 let counter name series =
-  if !enabled then
-    push
-      {
-        name;
-        kind = `Counter;
-        ts_ns = Clock.now_ns () - !origin;
-        dur_ns = 0;
-        depth = List.length !stack;
-        args = List.map (fun (k, v) -> (k, Float v)) series;
-      }
+  if !enabled then begin
+    let d = depth () in
+    Mutex.protect guard (fun () ->
+        push
+          {
+            name;
+            kind = `Counter;
+            ts_ns = Clock.now_ns () - !origin;
+            dur_ns = 0;
+            depth = d;
+            args = List.map (fun (k, v) -> (k, Float v)) series;
+          })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace format export                                           *)
@@ -186,12 +207,14 @@ let event_json ev =
       (escape ev.name) (us ev.ts_ns) (args_json ev.args)
 
 let to_json () =
+  let events = events () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  for i = 0 to !count - 1 do
-    if i > 0 then Buffer.add_string b ",\n";
-    Buffer.add_string b (event_json !buf.(i))
-  done;
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (event_json ev))
+    events;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 

@@ -10,10 +10,13 @@
 
     {b Cost when disabled.} Recording is off by default. A disabled
     {!with_span} is one mutable-bool load plus the call of the thunk: no
-    clock read, no event allocation. Hot paths that would even pay for
-    building an [args] list should guard it with {!is_enabled}. The
-    recorder is single-domain; concurrent use from multiple domains is
-    not supported.
+    clock read, no event allocation, no lock. Hot paths that would even
+    pay for building an [args] list should guard it with {!is_enabled}.
+
+    {b Domain-safety.} The span stack is per-domain (each service worker
+    nests its own spans correctly); the event buffer is shared and
+    mutex-guarded, so one exported trace interleaves all domains'
+    events. [depth] in an event is the depth within its own domain.
 
     Conventions for span and event names are documented in DESIGN.md §9:
     lowercase dotted paths, [<layer>.<operation>], e.g. [engine.cone] or

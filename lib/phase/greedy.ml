@@ -2,9 +2,9 @@ module Phase = Dpa_synth.Phase
 module Trace = Dpa_obs.Trace
 module Metrics = Dpa_obs.Metrics
 
-let c_committed = lazy (Metrics.counter ~help:"greedy moves that lowered measured power" "phase.greedy.moves_committed")
+let c_committed = (Metrics.counter ~help:"greedy moves that lowered measured power" "phase.greedy.moves_committed")
 
-let c_rejected = lazy (Metrics.counter ~help:"greedy moves measured but not committed" "phase.greedy.moves_rejected")
+let c_rejected = (Metrics.counter ~help:"greedy moves measured but not committed" "phase.greedy.moves_rejected")
 
 type initial =
   [ `All_positive | `Random of Dpa_util.Rng.t | `Given of Phase.assignment ]
@@ -105,7 +105,7 @@ let run ?(initial = `All_positive) ?pair_limit measure ~cost ~base_probs =
         else begin
           let sample = Measure.eval measure proposed in
           let better = sample.Measure.power < !current_sample.Measure.power in
-          Metrics.incr (Lazy.force (if better then c_committed else c_rejected));
+          Metrics.incr (if better then c_committed else c_rejected);
           if better then begin
             current := proposed;
             current_sample := sample;

@@ -2,9 +2,9 @@ module Phase = Dpa_synth.Phase
 module Trace = Dpa_obs.Trace
 module Metrics = Dpa_obs.Metrics
 
-let c_evals = lazy (Metrics.counter ~help:"candidate assignments priced" "phase.measure.evaluations")
+let c_evals = (Metrics.counter ~help:"candidate assignments priced" "phase.measure.evaluations")
 
-let c_cache_hits = lazy (Metrics.counter ~help:"assignments answered from the sample cache" "phase.measure.cache_hits")
+let c_cache_hits = (Metrics.counter ~help:"assignments answered from the sample cache" "phase.measure.cache_hits")
 
 type sample = {
   power : float;
@@ -110,11 +110,11 @@ let eval t assignment =
   let key = Phase.to_string assignment in
   match Hashtbl.find_opt t.cache key with
   | Some s ->
-    Metrics.incr (Lazy.force c_cache_hits);
+    Metrics.incr c_cache_hits;
     s
   | None ->
     t.misses <- t.misses + 1;
-    Metrics.incr (Lazy.force c_evals);
+    Metrics.incr c_evals;
     let s =
       Trace.with_span "phase.measure.eval" @@ fun () ->
       if Trace.is_enabled () then Trace.add_args [ ("phases", Trace.Str key) ];

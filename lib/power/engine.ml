@@ -126,7 +126,9 @@ type result = {
 module Trace = Dpa_obs.Trace
 module Metrics = Dpa_obs.Metrics
 
-let oc name help = lazy (Metrics.counter ~help name)
+(* eager registration: forcing a [lazy] cell concurrently from two
+   service worker domains is a race; registering at module init is not *)
+let oc name help = Metrics.counter ~help name
 
 let c_estimates = oc "engine.estimates" "power estimates run through the engine"
 
@@ -139,9 +141,8 @@ let c_simulated = oc "engine.cones.simulated" "output cones priced by Monte-Carl
 let c_sim_cycles = oc "engine.sim_cycles" "Monte-Carlo cycles spent in fallbacks"
 
 let g_budget_remaining =
-  lazy
-    (Metrics.gauge ~help:"BDD node budget left after the last cone build"
-       "engine.budget.nodes_remaining")
+  Metrics.gauge ~help:"BDD node budget left after the last cone build"
+    "engine.budget.nodes_remaining"
 
 (* ------------------------------------------------------------------ *)
 (* The ladder                                                           *)
@@ -173,7 +174,7 @@ let attempt ~budget ~deadline ~order ~cones ~rung mapped =
         (match budget.max_bdd_nodes with
         | Some cap ->
           let remaining = float_of_int (max 0 (cap - Robdd.total_nodes m)) in
-          Metrics.set (Lazy.force g_budget_remaining) remaining;
+          Metrics.set g_budget_remaining remaining;
           if Trace.is_enabled () then
             Trace.counter "engine.budget" [ ("nodes_remaining", remaining) ]
         | None -> ());
@@ -225,10 +226,10 @@ let estimate ?(budget = default_budget) ~input_probs mapped =
         ("fallback", Trace.Str (fallback_to_string budget.fallback));
       ]
   @@ fun () ->
-  Metrics.incr (Lazy.force c_estimates);
+  Metrics.incr c_estimates;
   if is_unbounded budget then begin
     let report = Estimate.of_mapped ~input_probs mapped in
-    Metrics.add (Lazy.force c_exact) n_out;
+    Metrics.add c_exact n_out;
     {
       report;
       degradation =
@@ -267,11 +268,11 @@ let estimate ?(budget = default_budget) ~input_probs mapped =
             ~args:
               [ ("cone", Trace.Int k); ("method", Trace.Str (cone_method_to_string meth)) ])
         methods;
-    Metrics.add (Lazy.force c_exact)
+    Metrics.add c_exact
       (Array.fold_left (fun n m -> if m = Exact then n + 1 else n) 0 methods);
-    Metrics.add (Lazy.force c_reordered)
+    Metrics.add c_reordered
       (Array.fold_left (fun n m -> if m = Reordered then n + 1 else n) 0 methods);
-    Metrics.add (Lazy.force c_simulated)
+    Metrics.add c_simulated
       (Array.fold_left (fun n m -> if m = Simulated then n + 1 else n) 0 methods);
     let bdd_nodes = Robdd.total_nodes (Estimate.partial_manager pb) in
     let n_failed = n_out - count_ok okf in
@@ -298,7 +299,7 @@ let estimate ?(budget = default_budget) ~input_probs mapped =
         let cycles = sim_cycles_of budget in
         Trace.instant "engine.ladder.sim"
           ~args:[ ("cycles", Trace.Int cycles); ("cones", Trace.Int n_failed) ];
-        Metrics.add (Lazy.force c_sim_cycles) cycles;
+        Metrics.add c_sim_cycles cycles;
         let rng = Dpa_util.Rng.create budget.sim_seed in
         let act = Dpa_sim.Simulator.measure ~cycles rng ~input_probs mapped in
         let merged =

@@ -1,0 +1,163 @@
+module Dpa_error = Dpa_util.Dpa_error
+
+type t = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+}
+
+let io_error fmt =
+  Printf.ksprintf (fun msg -> Dpa_error.error (Dpa_error.Io msg)) fmt
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     io_error "cannot connect to %s: %s" path (Unix.error_message err));
+  { fd; rbuf = Buffer.create 1024 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd data =
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd data !off (len - !off)
+  done
+
+(* One buffered line (newline stripped), or [None] at end of stream. *)
+let read_line t =
+  let chunk = Bytes.create 65536 in
+  let rec take () =
+    let data = Buffer.contents t.rbuf in
+    match String.index_opt data '\n' with
+    | Some nl ->
+      let line = String.sub data 0 nl in
+      Buffer.clear t.rbuf;
+      Buffer.add_substring t.rbuf data (nl + 1) (String.length data - nl - 1);
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | None -> (
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length t.rbuf = 0 then None else io_error "truncated response line"
+      | n ->
+        Buffer.add_subbytes t.rbuf chunk 0 n;
+        take ()
+      | exception Unix.Unix_error (ECONNRESET, _, _) -> None)
+  in
+  take ()
+
+let request t line =
+  write_all t.fd (Bytes.of_string (line ^ "\n"));
+  match read_line t with
+  | Some response -> response
+  | None -> io_error "server closed the connection before responding"
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined batch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch ~socket lines =
+  let n_requests = List.length lines in
+  if n_requests = 0 then []
+  else begin
+    let t = connect socket in
+    Fun.protect ~finally:(fun () -> close t) @@ fun () ->
+    Unix.set_nonblock t.fd;
+    let out = Bytes.of_string (String.concat "\n" lines ^ "\n") in
+    let out_len = Bytes.length out in
+    let sent = ref 0 in
+    let responses = ref [] in
+    let received = ref 0 in
+    let chunk = Bytes.create 65536 in
+    (* one select-driven pump: keep writing while reading, so a full
+       buffer on either side never deadlocks the exchange *)
+    while !received < n_requests do
+      let want_write = !sent < out_len in
+      match Unix.select [ t.fd ] (if want_write then [ t.fd ] else []) [] (-1.0) with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        (if writable <> [] then
+           try sent := !sent + Unix.write t.fd out !sent (out_len - !sent)
+           with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ());
+        if readable <> [] then begin
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+          | 0 ->
+            io_error "server closed the connection after %d of %d responses"
+              !received n_requests
+          | n ->
+            Buffer.add_subbytes t.rbuf chunk 0 n;
+            let data = Buffer.contents t.rbuf in
+            let len = String.length data in
+            let start = ref 0 in
+            (try
+               while !start < len do
+                 let nl = String.index_from data !start '\n' in
+                 responses := String.sub data !start (nl - !start) :: !responses;
+                 incr received;
+                 start := nl + 1
+               done
+             with Not_found -> ());
+            Buffer.clear t.rbuf;
+            Buffer.add_substring t.rbuf data !start (len - !start)
+        end
+    done;
+    List.rev !responses
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Self-hosted server                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_socket_path () =
+  let path = Filename.temp_file "dpa_service" ".sock" in
+  (* temp_file creates the file; the server wants to bind the name *)
+  (try Sys.remove path with Sys_error _ -> ());
+  path
+
+let with_self_hosted ~workers ?(queue_capacity = Server.default_queue_capacity) f =
+  let socket = fresh_socket_path () in
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let handle = ref None in
+  let failure = ref None in
+  let signal_ready h =
+    Mutex.protect mutex (fun () ->
+        handle := Some h;
+        Condition.broadcast cond)
+  in
+  let server =
+    Domain.spawn (fun () ->
+        try
+          Server.run ~on_ready:signal_ready
+            { Server.socket_path = socket; workers; queue_capacity }
+        with e ->
+          Mutex.protect mutex (fun () ->
+              failure := Some e;
+              Condition.broadcast cond);
+          raise e)
+  in
+  let ready =
+    Mutex.protect mutex (fun () ->
+        while !handle = None && !failure = None do
+          Condition.wait cond mutex
+        done;
+        !handle)
+  in
+  match ready with
+  | None ->
+    (* the server died before listening; join re-raises its exception *)
+    Domain.join server;
+    assert false
+  | Some h ->
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop h;
+        Domain.join server;
+        try Sys.remove socket with Sys_error _ -> ())
+      (fun () -> f ~socket)

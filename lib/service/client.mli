@@ -1,0 +1,39 @@
+(** Client side of the wire protocol: connect, submit, batch.
+
+    {!request} is the one-shot path ([dominoflow submit]): one line out,
+    one line back. {!run_batch} is the streaming path ([dominoflow
+    batch]): it pipelines every request over a single connection with a
+    select-based duplex pump — reading responses while there are still
+    requests to write, so neither side's socket buffer can deadlock the
+    exchange — and returns when every request has been answered.
+
+    {!with_self_hosted} runs a {!Server} in a spawned domain on a fresh
+    temporary socket for the duration of a callback — how [dominoflow
+    batch] without [--socket], the throughput bench and the test suite
+    get a real server (full wire protocol, real domains) without
+    managing a daemon. *)
+
+type t
+
+val connect : string -> t
+(** Connects to a server socket; {!Dpa_util.Dpa_error.Io} on failure. *)
+
+val close : t -> unit
+
+val request : t -> string -> string
+(** [request t line] sends one request line and blocks for one response
+    line. Raises [Dpa_error.Io] if the server closes the connection
+    first. *)
+
+val run_batch : socket:string -> string list -> string list
+(** Sends every line over one connection, pipelined, and returns the
+    response lines {e in arrival order} (correlate/reorder on the echoed
+    [id]). Raises [Dpa_error.Io] if the connection drops before every
+    response has arrived. *)
+
+val with_self_hosted :
+  workers:int -> ?queue_capacity:int -> (socket:string -> 'a) -> 'a
+(** [with_self_hosted ~workers f] starts a server in its own domain on a
+    fresh temp socket, waits until it is accepting, runs [f ~socket],
+    then stops the server gracefully (draining in-flight work) and joins
+    its domain — including when [f] raises. *)

@@ -1,0 +1,15 @@
+(** Executes one decoded request on the calling domain.
+
+    Each handler mirrors the corresponding one-shot CLI code path —
+    [estimate] is optimize → realize → map → {!Dpa_power.Engine.estimate}
+    exactly as [dominoflow estimate], [compare] is
+    {!Dpa_core.Flow.compare_ma_mp} exactly as [dominoflow run] — so a
+    worker domain returns bit-identical numbers to the CLI. Workers each
+    call this with their own arguments; every BDD manager involved is
+    created inside the call, so concurrent executions share no mutable
+    state beyond the (domain-safe) observability registry. *)
+
+val execute : Protocol.request -> Dpa_util.Jsonlite.t
+(** The [result] payload of a success response. Failures raise
+    {!Dpa_util.Dpa_error.Error} (or exceptions its [of_exn] recognizes);
+    the worker pool maps them to structured error responses. *)

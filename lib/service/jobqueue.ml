@@ -1,0 +1,52 @@
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobqueue.create: capacity must be >= 1";
+  {
+    items = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    closed = false;
+  }
+
+let push t x =
+  Mutex.protect t.mutex @@ fun () ->
+  while (not t.closed) && Queue.length t.items >= t.capacity do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.closed then false
+  else begin
+    Queue.push x t.items;
+    Condition.signal t.not_empty;
+    true
+  end
+
+let pop t =
+  Mutex.protect t.mutex @@ fun () ->
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.not_empty t.mutex
+  done;
+  match Queue.take_opt t.items with
+  | Some x ->
+    Condition.signal t.not_full;
+    Some x
+  | None -> None (* closed and drained *)
+
+let close t =
+  Mutex.protect t.mutex @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full
+  end
+
+let length t = Mutex.protect t.mutex (fun () -> Queue.length t.items)

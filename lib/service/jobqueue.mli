@@ -1,0 +1,30 @@
+(** Bounded multi-producer / multi-consumer queue (Mutex + Condition).
+
+    The service's backpressure point: the accept loop pushes decoded
+    requests and blocks once [capacity] jobs are waiting, so a flood of
+    requests parks in the clients' socket buffers instead of growing the
+    server heap; worker domains pop from the other end.
+
+    {!close} flips the queue into drain mode: pending jobs are still
+    handed out, further pushes are refused, and once empty every blocked
+    {!pop} returns [None] — the workers' signal to exit. This is what
+    makes shutdown graceful rather than abrupt. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1] or [Invalid_argument]. *)
+
+val push : 'a t -> 'a -> bool
+(** Blocks while the queue is full. [false] iff the queue was (or
+    became) closed — the job was not enqueued. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while the queue is empty and open. [None] once the queue is
+    closed and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent. Wakes every blocked producer and consumer. *)
+
+val length : 'a t -> int
+(** Jobs currently waiting (racy by nature; for metrics). *)

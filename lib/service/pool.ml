@@ -1,0 +1,100 @@
+module Jsonlite = Dpa_util.Jsonlite
+module Dpa_error = Dpa_util.Dpa_error
+module Trace = Dpa_obs.Trace
+module Metrics = Dpa_obs.Metrics
+module Clock = Dpa_obs.Clock
+
+type job = {
+  line : string;
+  enqueued_ns : int;
+  reply : string -> unit;
+}
+
+type t = {
+  domains : unit Domain.t array;
+}
+
+(* service-layer observability cells (eager registration: domain-safe) *)
+let c_requests = Metrics.counter ~help:"requests executed by the pool" "service.requests"
+
+let c_errors =
+  Metrics.counter ~help:"requests answered with a structured error" "service.errors"
+
+let c_busy_us =
+  Metrics.counter ~help:"microseconds workers spent executing requests"
+    "service.worker.busy_us"
+
+let g_depth =
+  Metrics.gauge ~help:"jobs waiting in the queue, sampled at each pop"
+    "service.queue.depth"
+
+let h_latency =
+  Metrics.histogram ~help:"request execution latency (decode to reply)"
+    "service.request.ms"
+
+let h_wait =
+  Metrics.histogram ~help:"time a request waited in the queue" "service.queue.wait_ms"
+
+(* Best-effort id recovery for error responses: a request that fails
+   protocol decoding still gets its id echoed when the line parses as an
+   object with a numeric id. *)
+let salvage_id line =
+  match Jsonlite.parse line with
+  | exception Jsonlite.Parse_error _ -> 0
+  | json -> (
+    match Jsonlite.member_opt "id" json with
+    | Some (Jsonlite.Num f) when Float.is_integer f -> int_of_float f
+    | _ -> 0)
+
+let process_line line =
+  match Protocol.parse_request line with
+  | Error e ->
+    Metrics.incr c_errors;
+    (Protocol.error_response ~id:(salvage_id line) e, false)
+  | Ok { Protocol.id; request } -> (
+    let cmd = Protocol.cmd_name request in
+    let is_shutdown = request = Protocol.Shutdown in
+    match
+      Trace.with_span "service.request"
+        ~args:[ ("cmd", Trace.Str cmd); ("id", Trace.Int id) ]
+        (fun () -> Handler.execute request)
+    with
+    | result -> (Protocol.ok_response ~id ~cmd result, is_shutdown)
+    | exception e ->
+      Metrics.incr c_errors;
+      let err =
+        match Dpa_error.of_exn e with
+        | Some err -> err
+        | None -> Dpa_error.Internal (Printexc.to_string e)
+      in
+      (Protocol.error_response ~id err, is_shutdown))
+
+let worker ~queue ~on_shutdown index =
+  ignore index;
+  let rec loop () =
+    match Jobqueue.pop queue with
+    | None -> ()
+    | Some job ->
+      Metrics.set g_depth (float_of_int (Jobqueue.length queue));
+      let t0 = Clock.now_ns () in
+      Metrics.observe h_wait (float_of_int (t0 - job.enqueued_ns) /. 1e6);
+      let response, is_shutdown = process_line job.line in
+      Metrics.incr c_requests;
+      (* reply before shutdown so the requester always sees its answer *)
+      job.reply response;
+      let dur_ns = Clock.now_ns () - t0 in
+      Metrics.observe h_latency (float_of_int dur_ns /. 1e6);
+      Metrics.add c_busy_us (max 0 (dur_ns / 1000));
+      if is_shutdown then on_shutdown ();
+      loop ()
+  in
+  loop ()
+
+let create ~workers ~on_shutdown queue =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  {
+    domains =
+      Array.init workers (fun i -> Domain.spawn (fun () -> worker ~queue ~on_shutdown i));
+  }
+
+let join t = Array.iter Domain.join t.domains

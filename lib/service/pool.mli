@@ -1,0 +1,42 @@
+(** Worker pool: OCaml 5 domains draining the job queue.
+
+    Each worker pops raw request lines, decodes them ({!Protocol}),
+    executes them ({!Handler}) and hands the response line to the job's
+    [reply] callback. Every failure — malformed JSON, a missing file, a
+    blown budget with fallback disabled, even an unrecognized exception —
+    becomes a structured error response; a worker never dies with the
+    request. BDD managers live and die inside {!Handler.execute}, so each
+    domain effectively owns a private manager per request and results are
+    bit-identical to the one-shot CLI.
+
+    Observability (all through the domain-safe {!Dpa_obs} registry):
+    [service.requests] / [service.errors] counters, [service.request.ms]
+    and [service.queue.wait_ms] histograms, [service.queue.depth] gauge
+    (sampled at each pop), [service.worker.busy_us] counter (whole-pool
+    busy time, for utilization), plus a [service.request] trace span per
+    request tagged with cmd, id and worker. *)
+
+type job = {
+  line : string;  (** one raw request line, newline stripped *)
+  enqueued_ns : int;  (** {!Dpa_obs.Clock.now_ns} at enqueue *)
+  reply : string -> unit;
+      (** called exactly once with the response line (no newline); must
+          be safe to call from any worker domain *)
+}
+
+type t
+
+val process_line : string -> string * bool
+(** [process_line line] is the full decode → execute → encode pipeline
+    of one worker iteration: the response line, and whether the request
+    was a well-formed [shutdown]. Exposed so tests (and the pool itself)
+    exercise exactly the wire semantics without a socket. *)
+
+val create : workers:int -> on_shutdown:(unit -> unit) -> job Jobqueue.t -> t
+(** Spawns [workers] domains ([>= 1] or [Invalid_argument]). A worker
+    that executes a well-formed [shutdown] request calls [on_shutdown]
+    (once per such request) {e after} replying. *)
+
+val join : t -> unit
+(** Waits for every worker to exit — they do when the queue is closed
+    and drained. *)

@@ -1,0 +1,99 @@
+(** The service wire protocol: newline-delimited JSON requests and
+    responses over a Unix-domain socket.
+
+    One request is one line, one JSON object; the server answers each
+    with exactly one line. Responses to concurrently executing requests
+    may arrive out of request order — the echoed [id] is the correlation
+    key, and the batch client reorders on it.
+
+    Request schema (fields beyond [cmd] are optional unless noted):
+    {v
+    {"id": 7, "cmd": "estimate",
+     "file": "data/frg1_synthetic.blif",     -- or "netlist": "<text>"
+     "format": "blif" | "dln",               -- inline text only
+     "input_prob": 0.5, "phases": "+-+",
+     "max_bdd_nodes": 20000, "deadline_s": 1.5,
+     "fallback": "none" | "reorder" | "sim",
+     "seed": 1}                              -- optimize / compare
+    v}
+    [cmd] is one of [ping], [info], [estimate], [optimize], [compare],
+    [shutdown]. Responses are [{"id": n, "ok": true, "cmd": c,
+    "result": {...}}] or [{"id": n, "ok": false, "error": {"kind": k,
+    "message": m, "exit_code": c}}] with [kind]/[exit_code] following
+    the {!Dpa_util.Dpa_error} taxonomy — a malformed or unexecutable
+    request produces a structured error response, never a dead worker. *)
+
+module Jsonlite = Dpa_util.Jsonlite
+
+(** Where the circuit text comes from: a server-side path (loaded with
+    the shared {!Dpa_logic.Io} loader) or inline netlist text shipped in
+    the request. *)
+type source =
+  | File of string
+  | Inline of { text : string; format : [ `Blif | `Dln ] }
+
+type budget_opts = {
+  max_bdd_nodes : int option;
+  deadline_s : float option;
+  fallback : Dpa_power.Engine.fallback;
+}
+
+type request =
+  | Ping
+  | Info of { source : source }
+  | Estimate of {
+      source : source;
+      input_prob : float;
+      phases : string option;  (** [None] = all positive *)
+      budget : budget_opts option;
+    }
+  | Optimize of {
+      source : source;
+      input_prob : float;
+      seed : int;
+      budget : budget_opts option;
+    }
+  | Compare of {
+      source : source;
+      input_prob : float;
+      seed : int;
+      budget : budget_opts option;
+    }
+  | Shutdown
+
+type envelope = { id : int; request : request }
+(** [id] defaults to 0 when the request omits it. *)
+
+val cmd_name : request -> string
+
+val request_to_json : envelope -> Jsonlite.t
+(** Client-side encoding; {!parse_request} of the encoded line yields an
+    equal envelope (the round trip the protocol tests pin down). *)
+
+val request_line : envelope -> string
+(** [Jsonlite.encode (request_to_json e)] — one wire line, no newline. *)
+
+val parse_request : string -> (envelope, Dpa_util.Dpa_error.t) result
+(** Malformed JSON, an unknown [cmd], or ill-typed fields map to
+    [Dpa_error.Parse] / [Invalid_input] payloads. *)
+
+(** {2 Responses} *)
+
+val ok_response : id:int -> cmd:string -> Jsonlite.t -> string
+(** One response line (no newline). *)
+
+val error_response : id:int -> Dpa_util.Dpa_error.t -> string
+
+val error_kind : Dpa_util.Dpa_error.t -> string
+(** Stable [kind] strings: [parse], [invalid-input], [unsupported],
+    [budget], [io], [internal]. *)
+
+(** Client-side view of one parsed response line. *)
+type response = {
+  rid : int;
+  ok : bool;
+  cmd : string option;  (** present on success *)
+  result : Jsonlite.t;  (** the [result] object, or the [error] object *)
+}
+
+val parse_response : string -> (response, string) result

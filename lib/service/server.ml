@@ -1,0 +1,209 @@
+module Dpa_error = Dpa_util.Dpa_error
+module Metrics = Dpa_obs.Metrics
+module Clock = Dpa_obs.Clock
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+}
+
+let default_queue_capacity = 64
+
+(* A request line longer than this is a protocol violation (or a client
+   that never sends a newline); the connection is dropped rather than
+   letting its buffer grow without bound. *)
+let max_line_bytes = 16 * 1024 * 1024
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  wmutex : Mutex.t;
+  mutable pending : int;  (* jobs in flight whose reply targets this fd *)
+  mutable eof : bool;  (* stop reading: client closed or I/O error *)
+  mutable closed : bool;  (* fd closed; only the accept loop does this *)
+}
+
+type t = {
+  config : config;
+  queue : Pool.job Jobqueue.t;
+  stopping : bool Atomic.t;
+  wake_w : Unix.file_descr;  (* self-pipe: wakes the select loop *)
+}
+
+let c_accepted =
+  Metrics.counter ~help:"client connections accepted" "service.connections.accepted"
+
+let c_rejected =
+  Metrics.counter ~help:"requests rejected because the server was draining"
+    "service.rejected"
+
+let g_connections = Metrics.gauge ~help:"currently open connections" "service.connections"
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* wake the select loop; the pipe may already be gone during teardown *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* Worker-side reply: one response line per request, written whole under
+   the connection mutex so concurrent workers never interleave bytes. *)
+let conn_reply conn line =
+  Mutex.protect conn.wmutex @@ fun () ->
+  (if not (conn.closed || conn.eof) then
+     try
+       let data = Bytes.of_string (line ^ "\n") in
+       let len = Bytes.length data in
+       let off = ref 0 in
+       while !off < len do
+         off := !off + Unix.write conn.fd data !off (len - !off)
+       done
+     with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _) ->
+       conn.eof <- true);
+  conn.pending <- conn.pending - 1
+
+let drain_error =
+  Dpa_error.Invalid_input "server is draining after shutdown; request rejected"
+
+let reject conn line =
+  Metrics.incr c_rejected;
+  let id =
+    match Dpa_util.Jsonlite.parse line with
+    | exception Dpa_util.Jsonlite.Parse_error _ -> 0
+    | json -> (
+      match Dpa_util.Jsonlite.member_opt "id" json with
+      | Some (Dpa_util.Jsonlite.Num f) when Float.is_integer f -> int_of_float f
+      | _ -> 0)
+  in
+  Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending + 1);
+  conn_reply conn (Protocol.error_response ~id drain_error)
+
+let submit t conn line =
+  if Atomic.get t.stopping then reject conn line
+  else begin
+    Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending + 1);
+    let job =
+      { Pool.line; enqueued_ns = Clock.now_ns (); reply = conn_reply conn }
+    in
+    (* blocks when the queue is full: bounded-queue backpressure *)
+    if not (Jobqueue.push t.queue job) then begin
+      (* queue closed between the stopping check and the push *)
+      Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending - 1);
+      reject conn line
+    end
+  end
+
+(* Extract every complete line from the connection buffer and submit it;
+   the tail (no newline yet) stays buffered. *)
+let drain_lines t conn =
+  let data = Buffer.contents conn.rbuf in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       let nl = String.index_from data !start '\n' in
+       let len = nl - !start in
+       let len = if len > 0 && data.[!start + len - 1] = '\r' then len - 1 else len in
+       let line = String.sub data !start len in
+       if String.trim line <> "" then submit t conn line;
+       start := nl + 1
+     done
+   with Not_found -> ());
+  Buffer.clear conn.rbuf;
+  Buffer.add_substring conn.rbuf data !start (n - !start);
+  if Buffer.length conn.rbuf > max_line_bytes then
+    Mutex.protect conn.wmutex (fun () -> conn.eof <- true)
+
+let read_chunk = Bytes.create 65536
+
+let handle_readable t conn =
+  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> Mutex.protect conn.wmutex (fun () -> conn.eof <- true)
+  | n ->
+    Buffer.add_subbytes conn.rbuf read_chunk 0 n;
+    drain_lines t conn
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+    Mutex.protect conn.wmutex (fun () -> conn.eof <- true)
+
+(* Close a connection's fd once nothing will write to it again. Returns
+   [true] when the connection is gone. *)
+let reap conn =
+  Mutex.protect conn.wmutex @@ fun () ->
+  if (not conn.closed) && conn.eof && conn.pending = 0 then begin
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    conn.closed <- true
+  end;
+  conn.closed
+
+let bind_socket path =
+  (* a stale socket file from a crashed server is replaced; a live one is
+     indistinguishable here, so serve documents single-instance sockets *)
+  if Sys.file_exists path then (try Unix.unlink path with Sys_error _ | Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Dpa_error.error
+       (Dpa_error.Io
+          (Printf.sprintf "cannot bind socket %s: %s" path (Unix.error_message err))));
+  Unix.listen fd 64;
+  fd
+
+let run ?(on_ready = fun (_ : t) -> ()) config =
+  if config.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
+  (* a client that disconnects mid-reply must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = bind_socket config.socket_path in
+  let wake_r, wake_w = Unix.pipe () in
+  let queue = Jobqueue.create ~capacity:config.queue_capacity in
+  let t = { config; queue; stopping = Atomic.make false; wake_w } in
+  let pool = Pool.create ~workers:config.workers ~on_shutdown:(fun () -> stop t) queue in
+  let conns = ref [] in
+  on_ready t;
+  (* accept/read loop: runs until a shutdown is requested *)
+  while not (Atomic.get t.stopping) do
+    let readable_conns = List.filter (fun c -> not (c.eof || c.closed)) !conns in
+    let fds = listen_fd :: wake_r :: List.map (fun c -> c.fd) readable_conns in
+    (* finite timeout: reap connections whose last in-flight reply
+       finished since the previous iteration *)
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | ready, _, _ ->
+      if List.mem listen_fd ready then begin
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          Metrics.incr c_accepted;
+          conns :=
+            {
+              fd;
+              rbuf = Buffer.create 1024;
+              wmutex = Mutex.create ();
+              pending = 0;
+              eof = false;
+              closed = false;
+            }
+            :: !conns
+        | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) -> ()
+      end;
+      List.iter (fun c -> if List.mem c.fd ready then handle_readable t c) readable_conns;
+      conns := List.filter (fun c -> not (reap c)) !conns;
+      Metrics.set g_connections (float_of_int (List.length !conns))
+  done;
+  (* drain: no new connections or requests; queued jobs still execute *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Sys_error _ | Unix.Unix_error _ -> ());
+  Jobqueue.close queue;
+  Pool.join pool;
+  (* workers are gone, so pending counts are final: flush and close *)
+  List.iter
+    (fun c ->
+      ignore
+        (Mutex.protect c.wmutex (fun () ->
+             c.eof <- true;
+             c.pending <- 0));
+      ignore (reap c))
+    !conns;
+  conns := [];
+  Metrics.set g_connections 0.0;
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  try Unix.close wake_w with Unix.Unix_error _ -> ()

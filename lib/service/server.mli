@@ -1,0 +1,47 @@
+(** The resident phase-assignment server.
+
+    [run] binds a Unix-domain socket, spawns the worker pool, and
+    multiplexes client connections from the calling domain with
+    [Unix.select]: complete request lines go into the bounded job queue
+    (blocking there — not allocating — once it is full, so the queue
+    bound is the server's backpressure), and worker domains write each
+    response line back on the requesting connection under a
+    per-connection mutex.
+
+    Shutdown is graceful by construction: a well-formed [shutdown]
+    request (or {!stop}, e.g. from a SIGINT handler) stops the accept
+    loop, unlinks the socket, and closes the queue — which drains: jobs
+    already accepted still execute and their responses are written
+    before [run] returns. Requests arriving during the drain are
+    answered with a structured [invalid-input] error, never silently
+    dropped.
+
+    Observability: [service.connections.accepted] / [service.rejected]
+    counters and a [service.connections] gauge on top of the per-request
+    cells documented in {!Pool}. [run] itself writes no trace or metrics
+    file — the CLI wraps it in the same [--trace]/[--metrics] plumbing
+    as every other subcommand. *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+}
+
+val default_queue_capacity : int
+(** 64. *)
+
+type t
+(** Handle onto a running server, valid while {!run} executes. *)
+
+val stop : t -> unit
+(** Triggers the same graceful drain as a [shutdown] request. Safe to
+    call from any domain or from a signal handler; idempotent. *)
+
+val run : ?on_ready:(t -> unit) -> config -> unit
+(** Blocks until the server has drained and every worker has exited.
+    [on_ready] fires once the socket is listening — the hook self-hosted
+    clients (tests, [dominoflow batch] without [--socket], the bench
+    kernel) use to know when to connect. Raises
+    {!Dpa_util.Dpa_error.Error} with an [Io] payload if the socket
+    cannot be bound. *)

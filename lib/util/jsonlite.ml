@@ -1,8 +1,8 @@
-(* Minimal recursive-descent JSON parser, used only by the observability
-   tests so the trace/metrics emitters are validated through an independent
-   reader rather than string matching. Accepts the full JSON grammar; the
-   only simplification is that \uXXXX escapes above ASCII decode to '?',
-   which the emitters never produce. *)
+(* Minimal recursive-descent JSON parser and compact encoder. Promoted
+   from the test suite so the observability tests and the service wire
+   protocol share one reader. Accepts the full JSON grammar; the only
+   simplification is that \uXXXX escapes above ASCII decode to '?',
+   which our emitters never produce. *)
 
 type t =
   | Null
@@ -157,8 +157,76 @@ let parse text =
   if !pos <> n then fail "trailing characters after value";
   v
 
-(* accessors; all raise [Parse_error] on shape mismatch so test failures
-   point at the emitter bug rather than an OCaml match exception *)
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Shortest decimal that parses back to the same bits: probabilities
+   survive an encode/parse round trip unchanged, which the service's
+   bit-identity guarantee depends on. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else begin
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else begin
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+    end
+  end
+
+let encode v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> Buffer.add_string b (float_repr f)
+    | Str s ->
+      Buffer.add_char b '"';
+      escape_into b s;
+      Buffer.add_char b '"'
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          go x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_into b k;
+          Buffer.add_string b "\":";
+          go x)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+(* accessors; all raise [Parse_error] on shape mismatch so a consumer
+   failure points at the emitter bug rather than an OCaml match error *)
 
 let member key = function
   | Obj fields -> (
@@ -184,3 +252,7 @@ let to_int v = int_of_float (to_float v)
 let to_string = function
   | Str s -> s
   | _ -> raise (Parse_error "expected string")
+
+let to_bool = function
+  | Bool b -> b
+  | _ -> raise (Parse_error "expected boolean")

@@ -1,0 +1,54 @@
+(** Minimal JSON tree: recursive-descent parser and compact encoder.
+
+    Started life as a test-only reader that validated the observability
+    emitters through an independent parser; promoted here because the
+    service wire protocol ([Dpa_service.Protocol]) needs the same tree on
+    both ends of a socket. Accepts the full JSON grammar; the only
+    simplification is that [\uXXXX] escapes above ASCII decode to ['?'],
+    which none of our emitters produce.
+
+    Numbers are carried as [float]. {!encode} prints them with the
+    shortest decimal representation that round-trips through
+    [float_of_string], so a probability that crosses the wire and comes
+    back parses to the {e bit-identical} float — the property the
+    service's "same answer as the one-shot CLI" guarantee rests on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} (with a character offset) on malformed input,
+    including trailing garbage after the value. *)
+
+val encode : t -> string
+(** Compact single-line encoding (no insignificant whitespace, no
+    trailing newline) — one encoded value is one line of the service's
+    newline-delimited wire protocol. [NaN] and infinities encode as
+    [null]. *)
+
+(** {2 Accessors}
+
+    All raise {!Parse_error} on shape mismatch, so a consumer failure
+    points at the emitter bug rather than a generic match failure. *)
+
+val member : string -> t -> t
+
+val member_opt : string -> t -> t option
+(** [None] when the key is absent {e or} the value is not an object. *)
+
+val to_list : t -> t list
+
+val to_float : t -> float
+
+val to_int : t -> int
+
+val to_string : t -> string
+
+val to_bool : t -> bool

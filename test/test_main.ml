@@ -15,4 +15,5 @@ let () =
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
       ("edge-cases", Test_edge_cases.suite) ]

@@ -3,6 +3,7 @@
    parser (Jsonlite), exact histogram boundary semantics, and the
    end-to-end span names the flow and the degradation ladder must emit. *)
 
+module Jsonlite = Dpa_util.Jsonlite
 module Trace = Dpa_obs.Trace
 module Metrics = Dpa_obs.Metrics
 module Profile = Dpa_obs.Profile

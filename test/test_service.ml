@@ -1,0 +1,342 @@
+(* The service layer end to end: wire-protocol round-trips for every
+   request kind, structured errors for malformed input (and the worker
+   surviving them), the bounded job queue's blocking/close semantics,
+   bit-identity of concurrent service results against the sequential
+   in-process pipeline, and graceful shutdown draining in-flight work.
+
+   The server tests run a real server — own domain, real Unix socket,
+   real worker pool — via [Client.with_self_hosted], so they cover the
+   same code path as [dominoflow serve]. *)
+
+module Jsonlite = Dpa_util.Jsonlite
+module Dpa_error = Dpa_util.Dpa_error
+module Protocol = Dpa_service.Protocol
+module Handler = Dpa_service.Handler
+module Jobqueue = Dpa_service.Jobqueue
+module Client = Dpa_service.Client
+
+let frg1 = "../data/frg1_synthetic.blif"
+let apex7 = "../data/apex7_synthetic.blif"
+
+let roundtrip env =
+  match Protocol.parse_request (Protocol.request_line env) with
+  | Ok env' -> env'
+  | Error e -> Alcotest.failf "round-trip failed: %s" (Dpa_error.to_string e)
+
+(* ---- protocol round-trips ----------------------------------------- *)
+
+let test_roundtrip_simple () =
+  List.iter
+    (fun request ->
+      let env = { Protocol.id = 42; request } in
+      let env' = roundtrip env in
+      Alcotest.(check int) "id" 42 env'.Protocol.id;
+      Alcotest.(check string)
+        "cmd"
+        (Protocol.cmd_name request)
+        (Protocol.cmd_name env'.Protocol.request))
+    [ Protocol.Ping; Protocol.Shutdown ]
+
+let test_roundtrip_estimate () =
+  let request =
+    Protocol.Estimate
+      {
+        source = Protocol.Inline { text = "in a\nout y = a\n"; format = `Dln };
+        input_prob = 0.25;
+        phases = Some "+-";
+        budget =
+          Some
+            {
+              Protocol.max_bdd_nodes = Some 4096;
+              deadline_s = Some 1.5;
+              fallback = Dpa_power.Engine.No_fallback;
+            };
+      }
+  in
+  match (roundtrip { Protocol.id = 7; request }).Protocol.request with
+  | Protocol.Estimate { source; input_prob; phases; budget } ->
+    (match source with
+    | Protocol.Inline { text; format = `Dln } ->
+      Alcotest.(check string) "inline text" "in a\nout y = a\n" text
+    | _ -> Alcotest.fail "source changed shape");
+    Alcotest.(check (float 0.0)) "input_prob" 0.25 input_prob;
+    Alcotest.(check (option string)) "phases" (Some "+-") phases;
+    (match budget with
+    | Some { Protocol.max_bdd_nodes; deadline_s; fallback } ->
+      Alcotest.(check (option int)) "max_bdd_nodes" (Some 4096) max_bdd_nodes;
+      Alcotest.(check (option (float 0.0))) "deadline_s" (Some 1.5) deadline_s;
+      Alcotest.(check bool) "fallback" true (fallback = Dpa_power.Engine.No_fallback)
+    | None -> Alcotest.fail "budget dropped")
+  | _ -> Alcotest.fail "request changed kind"
+
+let test_roundtrip_flow_cmds () =
+  List.iter
+    (fun make ->
+      let request =
+        make
+          ~source:(Protocol.File "design.blif")
+          ~input_prob:0.75 ~seed:9 ~budget:None
+      in
+      match (roundtrip { Protocol.id = 3; request }).Protocol.request with
+      | Protocol.Optimize { source = Protocol.File p; input_prob; seed; budget = None }
+      | Protocol.Compare { source = Protocol.File p; input_prob; seed; budget = None } ->
+        Alcotest.(check string) "file" "design.blif" p;
+        Alcotest.(check (float 0.0)) "input_prob" 0.75 input_prob;
+        Alcotest.(check int) "seed" 9 seed
+      | _ -> Alcotest.fail "request changed shape")
+    [
+      (fun ~source ~input_prob ~seed ~budget ->
+        Protocol.Optimize { source; input_prob; seed; budget });
+      (fun ~source ~input_prob ~seed ~budget ->
+        Protocol.Compare { source; input_prob; seed; budget });
+    ]
+
+let test_roundtrip_info () =
+  match (roundtrip { Protocol.id = 1; request = Protocol.Info { source = Protocol.File "x.dln" } }).Protocol.request with
+  | Protocol.Info { source = Protocol.File p } -> Alcotest.(check string) "file" "x.dln" p
+  | _ -> Alcotest.fail "request changed shape"
+
+(* ---- request validation ------------------------------------------- *)
+
+let expect_error line =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.failf "expected an error for %s" line
+  | Error e -> e
+
+let test_malformed_json_is_parse_error () =
+  match expect_error "{not json" with
+  | Dpa_error.Parse _ -> ()
+  | e -> Alcotest.failf "wanted Parse, got %s" (Dpa_error.to_string e)
+
+let test_validation_errors () =
+  let invalid line =
+    match expect_error line with
+    | Dpa_error.Invalid_input _ -> ()
+    | e -> Alcotest.failf "wanted Invalid_input for %s, got %s" line (Dpa_error.to_string e)
+  in
+  invalid "[1,2]";
+  invalid {|{"cmd":"frobnicate"}|};
+  invalid {|{"cmd":"estimate"}|};
+  invalid {|{"cmd":"estimate","file":"a","netlist":"b"}|};
+  invalid {|{"cmd":"estimate","file":"a","input_prob":1.5}|};
+  invalid {|{"cmd":"estimate","file":"a","max_bdd_nodes":-3}|};
+  invalid {|{"cmd":"estimate","file":"a","fallback":"maybe"}|};
+  invalid {|{"cmd":"estimate","netlist":"in a\nout y = a\n","format":"vhdl"}|}
+
+let test_error_response_shape () =
+  let line = Protocol.error_response ~id:5 (Dpa_error.Invalid_input "nope") in
+  let json = Jsonlite.parse line in
+  Alcotest.(check bool) "ok" false (Jsonlite.to_bool (Jsonlite.member "ok" json));
+  Alcotest.(check int) "id" 5 (Jsonlite.to_int (Jsonlite.member "id" json));
+  let err = Jsonlite.member "error" json in
+  Alcotest.(check string)
+    "kind" "invalid-input"
+    (Jsonlite.to_string (Jsonlite.member "kind" err));
+  Alcotest.(check int) "exit_code" 65 (Jsonlite.to_int (Jsonlite.member "exit_code" err))
+
+(* ---- float fidelity through the encoder --------------------------- *)
+
+let test_encode_floats_roundtrip () =
+  List.iter
+    (fun f ->
+      let encoded = Jsonlite.encode (Jsonlite.Num f) in
+      match Jsonlite.parse encoded with
+      | Jsonlite.Num f' ->
+        if f <> f' then Alcotest.failf "%.17g reparsed as %.17g via %s" f f' encoded
+      | _ -> Alcotest.failf "%s did not parse as a number" encoded)
+    [
+      0.1; 1.0 /. 3.0; 0.30000000000000004; 1e-17; 6.02214076e23; 217.88970947265625;
+      0.0; 1.0; -1.0; 4503599627370497.0;
+    ]
+
+(* ---- job queue ----------------------------------------------------- *)
+
+let test_jobqueue_fifo_and_close () =
+  let q = Jobqueue.create ~capacity:4 in
+  Alcotest.(check bool) "push a" true (Jobqueue.push q "a");
+  Alcotest.(check bool) "push b" true (Jobqueue.push q "b");
+  Alcotest.(check int) "length" 2 (Jobqueue.length q);
+  Jobqueue.close q;
+  Alcotest.(check bool) "push after close" false (Jobqueue.push q "c");
+  (* close drains: queued jobs are still handed out, then None *)
+  Alcotest.(check (option string)) "pop a" (Some "a") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "pop b" (Some "b") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "pop end" None (Jobqueue.pop q)
+
+let test_jobqueue_blocking_handoff () =
+  (* capacity 1: the producer can only advance as the consumer pops, so a
+     full producer/consumer cycle across domains proves both condition
+     variables actually wake their waiters *)
+  let q = Jobqueue.create ~capacity:1 in
+  let n = 100 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec take acc =
+          match Jobqueue.pop q with Some v -> take (v :: acc) | None -> List.rev acc
+        in
+        take [])
+  in
+  for i = 1 to n do
+    ignore (Jobqueue.push q (string_of_int i))
+  done;
+  Jobqueue.close q;
+  let got = Domain.join consumer in
+  Alcotest.(check int) "all delivered" n (List.length got);
+  Alcotest.(check (list string))
+    "in order"
+    (List.init n (fun i -> string_of_int (i + 1)))
+    got
+
+(* ---- the server end to end ---------------------------------------- *)
+
+let test_server_ping_and_malformed () =
+  Client.with_self_hosted ~workers:1 (fun ~socket ->
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (* malformed JSON: a structured parse error comes back... *)
+      let r = Client.request c "this is not json" in
+      (match Protocol.parse_response r with
+      | Ok { Protocol.ok = false; result; _ } ->
+        Alcotest.(check string)
+          "kind" "parse"
+          (Jsonlite.to_string (Jsonlite.member "kind" result))
+      | Ok _ -> Alcotest.fail "malformed line was accepted"
+      | Error msg -> Alcotest.failf "unparseable response: %s" msg);
+      (* ...and the worker survives to serve the next request *)
+      let r = Client.request c {|{"id":2,"cmd":"ping"}|} in
+      match Protocol.parse_response r with
+      | Ok { Protocol.rid = 2; ok = true; _ } -> ()
+      | _ -> Alcotest.failf "worker did not survive the malformed line: %s" r)
+
+let test_server_missing_file_is_io_error () =
+  Client.with_self_hosted ~workers:1 (fun ~socket ->
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let r = Client.request c {|{"id":1,"cmd":"estimate","file":"/nonexistent.blif"}|} in
+      match Protocol.parse_response r with
+      | Ok { Protocol.ok = false; result; _ } ->
+        Alcotest.(check string)
+          "kind" "io"
+          (Jsonlite.to_string (Jsonlite.member "kind" result))
+      | _ -> Alcotest.failf "wanted an io error, got %s" r)
+
+(* Bit-identity: many concurrent estimates across a 4-domain pool must
+   reproduce the sequential in-process pipeline byte for byte — private
+   BDD managers per worker may not change a single ulp of any
+   probability or power figure. *)
+let test_server_concurrent_bit_identity () =
+  let files = [ frg1; apex7 ] in
+  let copies = 4 in
+  let envelopes =
+    List.concat_map
+      (fun file ->
+        List.init copies (fun k ->
+            {
+              Protocol.id = (Hashtbl.hash (file, k) land 0xFFFF);
+              request =
+                Protocol.Estimate
+                  {
+                    source = Protocol.File file;
+                    input_prob = 0.5;
+                    phases = None;
+                    budget = None;
+                  };
+            }))
+      files
+  in
+  (* ids must be distinct for response correlation *)
+  let envelopes =
+    List.mapi (fun i e -> { e with Protocol.id = i + 1 }) envelopes
+  in
+  let expected =
+    List.map
+      (fun e ->
+        ( e.Protocol.id,
+          Protocol.ok_response ~id:e.Protocol.id
+            ~cmd:(Protocol.cmd_name e.Protocol.request)
+            (Handler.execute e.Protocol.request) ))
+      envelopes
+  in
+  Client.with_self_hosted ~workers:4 (fun ~socket ->
+      let responses =
+        Client.run_batch ~socket (List.map Protocol.request_line envelopes)
+      in
+      Alcotest.(check int)
+        "one response per request"
+        (List.length envelopes) (List.length responses);
+      List.iter
+        (fun line ->
+          match Protocol.parse_response line with
+          | Ok { Protocol.rid; _ } ->
+            let want =
+              match List.assoc_opt rid expected with
+              | Some w -> w
+              | None -> Alcotest.failf "unknown response id %d" rid
+            in
+            Alcotest.(check string)
+              (Printf.sprintf "response %d bit-identical" rid)
+              want line
+          | Error msg -> Alcotest.failf "unparseable response: %s" msg)
+        responses)
+
+let test_server_shutdown_drains () =
+  (* pipeline several estimates, then shutdown, over one connection with a
+     single worker: every estimate must still be answered (the queue is
+     drained, not dropped) and the response set must include the shutdown
+     acknowledgment *)
+  let estimates =
+    List.init 5 (fun i ->
+        Protocol.request_line
+          {
+            Protocol.id = i + 1;
+            request =
+              Protocol.Estimate
+                {
+                  source = Protocol.File frg1;
+                  input_prob = 0.5;
+                  phases = None;
+                  budget = None;
+                };
+          })
+  in
+  let shutdown =
+    Protocol.request_line { Protocol.id = 99; request = Protocol.Shutdown }
+  in
+  Client.with_self_hosted ~workers:1 (fun ~socket ->
+      let responses = Client.run_batch ~socket (estimates @ [ shutdown ]) in
+      Alcotest.(check int) "all answered" 6 (List.length responses);
+      let ids =
+        List.filter_map
+          (fun l ->
+            match Protocol.parse_response l with
+            | Ok { Protocol.rid; ok = true; _ } -> Some rid
+            | _ -> None)
+          responses
+      in
+      List.iter
+        (fun want ->
+          if not (List.mem want ids) then Alcotest.failf "no ok response for id %d" want)
+        [ 1; 2; 3; 4; 5; 99 ])
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip: ping/shutdown" `Quick test_roundtrip_simple;
+    Alcotest.test_case "roundtrip: estimate" `Quick test_roundtrip_estimate;
+    Alcotest.test_case "roundtrip: optimize/compare" `Quick test_roundtrip_flow_cmds;
+    Alcotest.test_case "roundtrip: info" `Quick test_roundtrip_info;
+    Alcotest.test_case "malformed JSON is a parse error" `Quick
+      test_malformed_json_is_parse_error;
+    Alcotest.test_case "validation errors" `Quick test_validation_errors;
+    Alcotest.test_case "error response shape" `Quick test_error_response_shape;
+    Alcotest.test_case "float encode round-trip" `Quick test_encode_floats_roundtrip;
+    Alcotest.test_case "jobqueue: fifo + close drains" `Quick test_jobqueue_fifo_and_close;
+    Alcotest.test_case "jobqueue: blocking handoff" `Quick test_jobqueue_blocking_handoff;
+    Alcotest.test_case "server: malformed line, worker survives" `Quick
+      test_server_ping_and_malformed;
+    Alcotest.test_case "server: missing file is io error" `Quick
+      test_server_missing_file_is_io_error;
+    Alcotest.test_case "server: concurrent bit-identity" `Quick
+      test_server_concurrent_bit_identity;
+    Alcotest.test_case "server: shutdown drains in-flight jobs" `Quick
+      test_server_shutdown_drains;
+  ]
