@@ -346,6 +346,166 @@ let service_throughput ?(quick = false) ?(json = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Intra-request parallel speedup                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock of the two pool-driven hot paths — per-cone estimation and
+   the speculative greedy search — at jobs = 1/2/4, plus the full MA/MP
+   flow on the largest real netlist in data/. Every workload returns a
+   float fingerprint that must be bitwise identical at every jobs count;
+   the bench aborts if the determinism contract is ever violated, so the
+   speedup numbers are only ever reported for identical answers. *)
+let parallel_bench ?(quick = false) ?(json = false) () =
+  let job_counts = [ 1; 2; 4 ] in
+  let repeats = if quick then 1 else 3 in
+  (* heavier than [small_profile] so per-cone BDD work dominates the
+     pool's fan-out overhead *)
+  let est_net =
+    Dpa_synth.Opt.optimize
+      (Dpa_workload.Generator.combinational
+         { small_profile with
+           Dpa_workload.Generator.seed = 19;
+           n_inputs = 32;
+           n_outputs = 12;
+           gates_per_output = 24 })
+  in
+  let est_mapped =
+    Dpa_domino.Mapped.map
+      (Dpa_synth.Inverterless.realize est_net
+         (Phase.all_positive (Netlist.num_outputs est_net)))
+  in
+  let est_probs = Array.make (Netlist.num_inputs est_net) 0.5 in
+  let workloads =
+    [ ("fig5.estimate", fun pool ->
+        let r =
+          Dpa_power.Engine.estimate ~par:pool ~input_probs:est_probs est_mapped
+        in
+        r.Dpa_power.Engine.report.Dpa_power.Estimate.total);
+      ("fig6.greedy-optimize", fun pool ->
+        let config =
+          { (Dpa_phase.Optimizer.default_config ~input_probs:est_probs) with
+            Dpa_phase.Optimizer.strategy = Dpa_phase.Optimizer.Greedy;
+            par = Some pool }
+        in
+        (Dpa_phase.Optimizer.minimize_power config est_net).Dpa_phase.Optimizer.power) ]
+    @
+    let apex7 = "data/apex7_synthetic.blif" in
+    if not (Sys.file_exists apex7) then []
+    else begin
+      let ic = open_in_bin apex7 in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Dpa_logic.Blif.of_string text with
+      | Error _ -> []
+      | Ok raw ->
+        let net = Dpa_synth.Opt.optimize raw in
+        let mapped =
+          Dpa_domino.Mapped.map
+            (Dpa_synth.Inverterless.realize net
+               (Phase.all_positive (Netlist.num_outputs net)))
+        in
+        let probs = Array.make (Netlist.num_inputs net) 0.5 in
+        [ ("apex7.estimate", fun pool ->
+            let r = Dpa_power.Engine.estimate ~par:pool ~input_probs:probs mapped in
+            r.Dpa_power.Engine.report.Dpa_power.Estimate.total);
+          ("apex7.ma-vs-mp-flow", fun pool ->
+            let config =
+              { Dpa_core.Flow.default_config with Dpa_core.Flow.par = Some pool }
+            in
+            let r = Dpa_core.Flow.compare_ma_mp ~config raw in
+            r.Dpa_core.Flow.mp.Dpa_core.Flow.power) ]
+    end
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "\n=== intra-request parallel speedup (host parallelism: %d) ===\n\n" cores;
+  let measure (name, f) =
+    let runs =
+      List.map
+        (fun jobs ->
+          Dpa_util.Par.with_pool ~jobs (fun pool ->
+              let fingerprint = f pool in
+              (* warmed: the line above already ran the workload once *)
+              let best = ref infinity in
+              for _ = 1 to repeats do
+                let t0 = Unix.gettimeofday () in
+                let v = f pool in
+                let dt = Unix.gettimeofday () -. t0 in
+                if Int64.bits_of_float v <> Int64.bits_of_float fingerprint then begin
+                  Printf.eprintf
+                    "parallel bench: %s not deterministic at jobs=%d (%h vs %h)\n"
+                    name jobs v fingerprint;
+                  exit 1
+                end;
+                if dt < !best then best := dt
+              done;
+              (jobs, !best, fingerprint)))
+        job_counts
+    in
+    let _, t1, fp1 = List.hd runs in
+    List.iter
+      (fun (jobs, _, fp) ->
+        if Int64.bits_of_float fp <> Int64.bits_of_float fp1 then begin
+          Printf.eprintf
+            "parallel bench: %s differs between jobs=1 and jobs=%d (%h vs %h)\n"
+            name jobs fp fp1;
+          exit 1
+        end)
+      runs;
+    (name, List.map (fun (jobs, dt, _) -> (jobs, dt, t1 /. Float.max dt 1e-9)) runs)
+  in
+  let rows = List.map measure workloads in
+  let t =
+    Dpa_util.Table.create
+      ~columns:
+        [ ("workload", Dpa_util.Table.Left);
+          ("jobs", Dpa_util.Table.Right);
+          ("seconds", Dpa_util.Table.Right);
+          ("speedup", Dpa_util.Table.Right) ]
+  in
+  List.iter
+    (fun (name, runs) ->
+      List.iter
+        (fun (jobs, dt, speedup) ->
+          Dpa_util.Table.add_row t
+            [ name;
+              string_of_int jobs;
+              Printf.sprintf "%.4f" dt;
+              Printf.sprintf "%.2fx" speedup ])
+        runs)
+    rows;
+  Dpa_util.Table.print t;
+  Printf.printf "\nall workloads bit-identical across jobs counts\n";
+  if cores < 4 then
+    Printf.printf
+      "note: speedup is bounded by the host's available cores (%d here);\n\
+       run on >= 4 cores to see the full effect.\n"
+      cores;
+  if json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"bench\": \"parallel\",\n  \"unit\": \"s\",\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"quick\": %b,\n  \"cores\": %d,\n  \"results\": [\n" quick cores);
+    let n_rows = List.length rows in
+    List.iteri
+      (fun i (name, runs) ->
+        let n_runs = List.length runs in
+        List.iteri
+          (fun k (jobs, dt, speedup) ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "    {\"workload\": \"%s\", \"jobs\": %d, \"seconds\": %s, \"speedup\": %s}%s\n"
+                 (json_escape name) jobs (json_float dt) (json_float speedup)
+                 (if i = n_rows - 1 && k = n_runs - 1 then "" else ",")))
+          runs)
+      rows;
+    Buffer.add_string b "  ]\n}\n";
+    let oc = open_out "BENCH_parallel.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote BENCH_parallel.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel suite                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,6 +592,7 @@ let all () =
   Experiments.validate ();
   Experiments.ablation ();
   service_throughput ();
+  parallel_bench ();
   perf ()
 
 let () =
@@ -465,6 +626,7 @@ let () =
       ("validate", Experiments.validate);
       ("ablation", Experiments.ablation);
       ("service", fun () -> service_throughput ~quick:is_quick ~json ());
+      ("parallel", fun () -> parallel_bench ~quick:is_quick ~json ());
       ("perf", perf ~json ~metrics) ]
   in
   match names with

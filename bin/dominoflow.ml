@@ -73,6 +73,23 @@ let seed_arg =
   let doc = "Seed for randomized search strategies." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains used for intra-request parallelism: per-cone BDD estimation fans \
+     out across $(docv) domains and the phase search prices candidate moves \
+     speculatively. Results are bit-identical at any value (including 1). \
+     Default: the machine's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+
+(* One pool per command invocation, created before the work and shut down
+   after. The width is a performance hint, never a semantic knob, so an
+   out-of-range request is clamped to what Par.create accepts rather than
+   rejected. *)
+let with_par ~jobs f =
+  let requested = match jobs with Some j -> j | None -> Dpa_util.Par.default_jobs () in
+  Dpa_util.Par.with_pool ~jobs:(max 1 (min 126 requested)) f
+
 (* ---- observability options ---- *)
 
 let trace_arg =
@@ -158,19 +175,21 @@ let run_cmd =
     Arg.(value & flag & info [ "two-level" ] ~doc)
   in
   let action file profile input_prob timed seed sequential two_level max_bdd_nodes
-      deadline fallback trace metrics =
+      deadline fallback jobs trace metrics =
     if input_prob < 0.0 || input_prob > 1.0 then
       `Error (false, "--input-prob must lie in [0,1]")
     else begin
       guard @@ fun () ->
       with_obs ~trace ~metrics @@ fun () ->
+      with_par ~jobs @@ fun pool ->
       let config =
         { Flow.default_config with
           Flow.input_prob;
           seed;
           pair_limit = pair_limit_of ~profile;
           timing = (if timed then Some Flow.default_timing else None);
-          budget = budget_of ~max_bdd_nodes ~deadline ~fallback }
+          budget = budget_of ~max_bdd_nodes ~deadline ~fallback;
+          par = Some pool }
       in
       if sequential then begin
         match file with
@@ -227,7 +246,7 @@ let run_cmd =
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ timed_arg $ seed_arg
         $ sequential_arg $ two_level_arg $ max_bdd_nodes_arg $ deadline_arg
-        $ fallback_arg $ trace_arg $ metrics_arg))
+        $ fallback_arg $ jobs_arg $ trace_arg $ metrics_arg))
 
 (* ---- estimate ---- *)
 
@@ -241,9 +260,10 @@ let estimate_cmd =
     Arg.(value & opt (some int) None & info [ "simulate" ] ~docv:"CYCLES" ~doc)
   in
   let action file profile input_prob phases cycles max_bdd_nodes deadline fallback
-      trace metrics =
+      jobs trace metrics =
     guard @@ fun () ->
     with_obs ~trace ~metrics @@ fun () ->
+    with_par ~jobs @@ fun pool ->
     match netlist_of_source ~file ~profile with
     | Error msg -> `Error (false, msg)
     | Ok raw ->
@@ -270,7 +290,7 @@ let estimate_cmd =
           Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment)
         in
         let est =
-          Dpa_power.Engine.estimate
+          Dpa_power.Engine.estimate ~par:pool
             ?budget:(budget_of ~max_bdd_nodes ~deadline ~fallback)
             ~input_probs mapped
         in
@@ -310,7 +330,8 @@ let estimate_cmd =
     Term.(
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg
-        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ trace_arg $ metrics_arg))
+        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ jobs_arg $ trace_arg
+        $ metrics_arg))
 
 (* ---- generate ---- *)
 
@@ -474,20 +495,35 @@ let serve_cmd =
     in
     Arg.(value & opt int Server.default_queue_capacity & info [ "queue-capacity" ] ~docv:"N" ~doc)
   in
-  let action socket workers queue_capacity trace metrics =
+  let serve_jobs_arg =
+    let doc =
+      "Intra-request domains per worker: each worker owns a private pool, so at \
+       most workers × $(docv) domains are ever busy. Default: the machine's \
+       cores spread evenly across the workers."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let action socket workers jobs queue_capacity trace metrics =
     if workers < 1 then `Error (false, "--workers must be >= 1")
     else if queue_capacity < 1 then `Error (false, "--queue-capacity must be >= 1")
+    else if (match jobs with Some j -> j < 1 | None -> false) then
+      `Error (false, "--jobs must be >= 1")
     else begin
       guard @@ fun () ->
       with_obs ~trace ~metrics @@ fun () ->
+      let jobs =
+        match jobs with
+        | Some j -> min 126 j
+        | None -> max 1 (min 126 (Dpa_util.Par.default_jobs () / workers))
+      in
       Server.run
         ~on_ready:(fun h ->
           (* ctrl-C drains like a shutdown request instead of killing
              in-flight work *)
           Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Server.stop h));
-          Printf.printf "dominoflow: serving on %s (workers=%d, queue=%d)\n%!" socket
-            workers queue_capacity)
-        { Server.socket_path = socket; workers; queue_capacity };
+          Printf.printf "dominoflow: serving on %s (workers=%d, jobs=%d, queue=%d)\n%!"
+            socket workers jobs queue_capacity)
+        { Server.socket_path = socket; workers; jobs; queue_capacity };
       print_endline "dominoflow: server drained, bye";
       `Ok ()
     end
@@ -500,8 +536,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const action $ socket_req_arg $ workers_arg $ queue_arg $ trace_arg
-       $ metrics_arg))
+        (const action $ socket_req_arg $ workers_arg $ serve_jobs_arg $ queue_arg
+       $ trace_arg $ metrics_arg))
 
 (* Request construction shared by submit and batch: one CLI-side source
    of truth for turning flags into protocol envelopes. *)
@@ -628,8 +664,15 @@ let batch_cmd =
     let doc = "Send each request $(docv) times (throughput measurement)." in
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"K" ~doc)
   in
-  let action socket workers jobs files cmd repeat inline input_prob phases seed
-      max_bdd_nodes deadline fallback =
+  let request_jobs_arg =
+    let doc =
+      "Intra-request domains per worker of the in-process server (ignored with \
+       --socket; the resident server sets its own width via $(b,serve --jobs))."
+    in
+    Arg.(value & opt int 1 & info [ "request-jobs" ] ~docv:"N" ~doc)
+  in
+  let action socket workers request_jobs jobs files cmd repeat inline input_prob phases
+      seed max_bdd_nodes deadline fallback =
     guard @@ fun () ->
     let budget = budget_of ~max_bdd_nodes ~deadline ~fallback in
     let with_id i json =
@@ -694,7 +737,10 @@ let batch_cmd =
       let responses, dt =
         match socket with
         | Some s -> run ~socket:s
-        | None -> Client.with_self_hosted ~workers (fun ~socket -> run ~socket)
+        | None ->
+          Client.with_self_hosted ~workers
+            ~jobs:(max 1 (min 126 request_jobs))
+            (fun ~socket -> run ~socket)
       in
       (* responses arrive in completion order; print them in request
          order by correlating on the echoed id *)
@@ -748,8 +794,8 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       ret
-        (const action $ socket_opt_arg $ workers_arg $ jobs_arg $ files_pos
-       $ cmd_arg $ repeat_arg $ inline_arg $ input_prob_arg
+        (const action $ socket_opt_arg $ workers_arg $ request_jobs_arg $ jobs_arg
+       $ files_pos $ cmd_arg $ repeat_arg $ inline_arg $ input_prob_arg
         $ Arg.(
             value
             & opt (some string) None
@@ -763,8 +809,9 @@ let table_cmd name doc profiles timed =
     let d = "Emit machine-readable CSV instead of the formatted table." in
     Arg.(value & flag & info [ "csv" ] ~doc:d)
   in
-  let action csv trace metrics =
+  let action csv jobs trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
+    with_par ~jobs @@ fun pool ->
     let rows =
       List.map
         (fun p ->
@@ -772,7 +819,8 @@ let table_cmd name doc profiles timed =
           let config =
             { Flow.default_config with
               Flow.pair_limit = p.Dpa_workload.Profiles.pair_limit;
-              timing = (if timed then Some Flow.default_timing else None) }
+              timing = (if timed then Some Flow.default_timing else None);
+              par = Some pool }
           in
           (p.Dpa_workload.Profiles.description, Flow.compare_ma_mp ~config net))
         profiles
@@ -780,7 +828,7 @@ let table_cmd name doc profiles timed =
     if csv then print_string (Dpa_core.Report.csv rows)
     else print_string (Dpa_core.Report.table ~title:(String.uppercase_ascii name ^ ":") rows)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const action $ csv_arg $ trace_arg $ metrics_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ csv_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let table1_cmd =
   table_cmd "table1" "Reproduce Table 1 (untimed synthesis, input probability 0.5)."

@@ -47,6 +47,12 @@ type manager = {
      [publish_metrics] calls on one manager add only the growth since the
      previous call *)
   mutable published : stats;
+  (* managers are single-domain: the unique table, ite cache and node
+     store are unsynchronized, so cross-domain mutation is memory-unsafe,
+     not just nondeterministic. Mutating entry points assert the caller
+     is the owning domain; [adopt] re-homes a manager after a legitimate
+     single-threaded handoff. *)
+  mutable owner : int;
 }
 
 let deadline_stride = 1024
@@ -72,6 +78,7 @@ let create_sized ~nvars ~cache_capacity =
       deadline_tick = deadline_stride;
       budget_context = "";
       published = zero_stats;
+      owner = (Domain.self () :> int);
     }
   in
   (* terminals occupy ids 0 and 1 *)
@@ -84,6 +91,18 @@ let create_sized ~nvars ~cache_capacity =
 let create ~nvars = create_sized ~nvars ~cache_capacity:1024
 
 let nvars m = m.nv
+
+let check_owner m op =
+  let d = (Domain.self () :> int) in
+  if d <> m.owner then
+    Dpa_util.Dpa_error.error
+      (Dpa_util.Dpa_error.Internal
+         (Printf.sprintf
+            "Robdd.%s: manager owned by domain %d used from domain %d (managers are \
+             single-domain; see DESIGN.md §11)"
+            op m.owner d))
+
+let adopt m = m.owner <- (Domain.self () :> int)
 
 let is_terminal n = n = bdd_false || n = bdd_true
 
@@ -109,6 +128,7 @@ let grow_nodes m =
 (* ------------------------------------------------------------------ *)
 
 let set_budget ?max_nodes ?deadline ?(context = "") m =
+  check_owner m "set_budget";
   m.max_nodes <- (match max_nodes with Some n -> n | None -> max_int);
   m.deadline <- (match deadline with Some d -> d | None -> infinity);
   m.started <- (if m.deadline = infinity then 0.0 else Unix.gettimeofday ());
@@ -161,6 +181,7 @@ let mk m l lo hi =
   if lo = hi then lo else Int3_table.find_or_insert m.unique l lo hi ~default:(fun () -> new_node m l lo hi)
 
 let var m l =
+  check_owner m "var";
   if l < 0 || l >= m.nv then invalid_arg (Printf.sprintf "Robdd.var: level %d out of range" l);
   mk m l bdd_false bdd_true
 
@@ -168,7 +189,7 @@ let var m l =
 let cofactors m l n =
   if node_level m n > l then n, n else Array.unsafe_get m.lo n, Array.unsafe_get m.hi n
 
-let rec ite m f g h =
+let rec ite_rec m f g h =
   if f = bdd_true then g
   else if f = bdd_false then h
   else if g = h then g
@@ -181,13 +202,18 @@ let rec ite m f g h =
       let f0, f1 = cofactors m l f in
       let g0, g1 = cofactors m l g in
       let h0, h1 = cofactors m l h in
-      let r0 = ite m f0 g0 h0 in
-      let r1 = ite m f1 g1 h1 in
+      let r0 = ite_rec m f0 g0 h0 in
+      let r1 = ite_rec m f1 g1 h1 in
       let id = mk m l r0 r1 in
       Int3_table.replace m.ite_cache f g h id;
       id
     end
   end
+
+(* ownership is asserted once per top-level call, not per recursion *)
+let ite m f g h =
+  check_owner m "ite";
+  ite_rec m f g h
 
 let apply_and m a b = ite m a b bdd_false
 
@@ -302,6 +328,7 @@ type prob_cache = {
 }
 
 let prob_cache m probs =
+  check_owner m "prob_cache";
   check_probs m probs;
   { pm = m; level_probs = Array.copy probs; memo = fill_prob_memo (Array.make (max m.n 2) Float.nan) }
 

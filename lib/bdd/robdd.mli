@@ -30,6 +30,17 @@ val create_sized : nvars:int -> cache_capacity:int -> manager
 val nvars : manager -> int
 (** Number of variable levels the manager was created with. *)
 
+val adopt : manager -> unit
+(** Transfers manager ownership to the calling domain. A manager is
+    owned by the domain that created it: its unique table, ite cache
+    and node store are unsynchronized, so mutating entry points
+    ({!var}, {!ite} and the operators built on it, {!set_budget},
+    {!prob_cache}) assert that the caller is the owner and raise a
+    typed {!Dpa_util.Dpa_error.Internal} error otherwise — turning a
+    latent cross-domain data race into an immediate, attributable
+    failure. Call [adopt] only after a genuine handoff, i.e. when the
+    previous owner will never touch the manager again. *)
+
 (** {2 Resource budget}
 
     A manager optionally carries a node budget and a wall-clock deadline.

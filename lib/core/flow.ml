@@ -41,6 +41,7 @@ type config = {
   timing : timing_config option;
   seed : int;
   budget : Dpa_power.Engine.budget option;
+  par : Dpa_util.Par.t option;
 }
 
 let default_config =
@@ -52,6 +53,7 @@ let default_config =
     timing = None;
     seed = 1;
     budget = None;
+    par = None;
   }
 
 (* Map an assignment, optionally resize to the clock, and price it. *)
@@ -72,7 +74,7 @@ let realize_and_price config net ~input_probs ~clock ~measurements
     | None, _ ->
       (true, (Dpa_timing.Sta.analyze mapped).Dpa_timing.Sta.critical_delay)
   in
-  let est = Dpa_power.Engine.estimate ?budget:config.budget ~input_probs mapped in
+  let est = Dpa_power.Engine.estimate ?par:config.par ?budget:config.budget ~input_probs mapped in
   let report = est.Dpa_power.Engine.report in
   (* Under the timed flow, resizing replaces cells by larger drive
      variants: area is the drive-weighted cell count (a 2× cell occupies
@@ -152,6 +154,7 @@ let compare_ma_mp_probs ?(config = default_config) ~input_probs raw =
         pair_limit = config.pair_limit;
         seed = config.seed;
         budget = config.budget;
+        par = config.par;
       }
     in
     let opt = Dpa_phase.Optimizer.minimize_power opt_config net in

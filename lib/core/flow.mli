@@ -59,11 +59,17 @@ type config = {
   budget : Dpa_power.Engine.budget option;
       (** resource budget for every power estimate in both flows (search
           and final pricing); [None] = exact, unbounded *)
+  par : Dpa_util.Par.t option;
+      (** domain pool for intra-request parallelism: per-cone estimation
+          fan-out in every final pricing and speculative candidate
+          pricing inside the phase search. Results are bit-identical
+          with or without a pool, at any jobs count (see DESIGN.md §11);
+          [None] = fully sequential *)
 }
 
 val default_config : config
 (** Default library, [input_prob = 0.5], [exhaustive_limit = 10], no pair
-    cap, untimed, seed 1, no resource budget. *)
+    cap, untimed, seed 1, no resource budget, no domain pool. *)
 
 val compare_ma_mp : ?config:config -> Dpa_logic.Netlist.t -> result
 (** Runs both flows on the (internally re-optimized) network with the

@@ -1,10 +1,20 @@
 module Phase = Dpa_synth.Phase
+module Par = Dpa_util.Par
 module Trace = Dpa_obs.Trace
 module Metrics = Dpa_obs.Metrics
 
 let c_evals = (Metrics.counter ~help:"candidate assignments priced" "phase.measure.evaluations")
 
 let c_cache_hits = (Metrics.counter ~help:"assignments answered from the sample cache" "phase.measure.cache_hits")
+
+let c_prefetched =
+  Metrics.counter ~help:"assignments priced speculatively by the prefetch fan-out"
+    "phase.measure.prefetched"
+
+let c_par_tasks = Metrics.counter ~help:"tasks fanned out to the domain pool" "par.tasks"
+
+let c_par_steals =
+  Metrics.counter ~help:"work-stealing operations in the domain pool" "par.steals"
 
 type sample = {
   power : float;
@@ -14,15 +24,33 @@ type sample = {
 
 type mode = [ `Incremental | `Rebuild ]
 
+(* What a measurement produces. Degradation is carried alongside the
+   sample instead of being recorded eagerly so that a speculative
+   prefetch can price a candidate without touching the search-trajectory
+   accounting: [degraded_evaluations] and [worst_degradation] only ever
+   advance when {!eval} first visits the assignment, in trajectory
+   order — identical at any jobs count. *)
+type entry = {
+  sample : sample;
+  degradation : Dpa_power.Engine.degradation option;
+}
+
 type t = {
   net : Dpa_logic.Netlist.t;
   library : Dpa_domino.Library.t;
   input_probs : float array;
   mode : mode;
   budget : Dpa_power.Engine.budget option;
-  pricer : t -> Dpa_domino.Mapped.t -> sample;
-  cache : (string, sample) Hashtbl.t;
-  mutable env : Dpa_power.Estimate.env option;
+  custom_pricer : (t -> Dpa_domino.Mapped.t -> sample) option;
+  par : Par.t option;
+  cache : (string, entry) Hashtbl.t;  (* priced candidates, incl. speculative *)
+  seen : (string, unit) Hashtbl.t;  (* assignments the search actually visited *)
+  (* one incremental estimation env per domain: BDD managers are
+     single-domain (Robdd ownership), and each env is created inside the
+     domain that uses it. All envs share the same assignment-independent
+     variable order, so their probabilities are bitwise identical. *)
+  envs : (int, Dpa_power.Estimate.env) Hashtbl.t;
+  envs_mutex : Mutex.t;
   mutable misses : int;
   mutable degraded : int;
   mutable worst : Dpa_power.Engine.degradation option;
@@ -33,9 +61,13 @@ let realize_mapped t assignment =
 
 (* The shared estimation env is seeded from the all-positive realization —
    not from whichever candidate happens to be measured first — so the
-   variable order is assignment-independent and the search deterministic. *)
+   variable order is assignment-independent and the search deterministic.
+   Keyed by domain: the submitting domain and every pool worker get (and
+   keep) their own manager. *)
 let env_of t =
-  match t.env with
+  let d = (Domain.self () :> int) in
+  let existing = Mutex.protect t.envs_mutex (fun () -> Hashtbl.find_opt t.envs d) in
+  match existing with
   | Some e -> e
   | None ->
     let n_out = Array.length (Dpa_logic.Netlist.outputs t.net) in
@@ -43,7 +75,7 @@ let env_of t =
     let e =
       Dpa_power.Estimate.make_env ~input_probs:t.input_probs (realize_mapped t all_pos)
     in
-    t.env <- Some e;
+    Mutex.protect t.envs_mutex (fun () -> Hashtbl.replace t.envs d e);
     e
 
 (* Ranks degradation reports so the search can remember its worst case. *)
@@ -59,8 +91,13 @@ let record_degradation t (d : Dpa_power.Engine.degradation) =
     | Some w -> if more_degraded d w then t.worst <- Some d
   end
 
-let default_price t mapped =
-  let report =
+(* Price one candidate on the calling domain. Safe to run concurrently
+   from pool workers: the only shared state it touches is the env table
+   (mutex-guarded, one slot per domain). *)
+let price t mapped =
+  match t.custom_pricer with
+  | Some f -> { sample = f t mapped; degradation = None }
+  | None -> (
     match t.budget with
     | Some budget when not (Dpa_power.Engine.is_unbounded budget) ->
       (* Every candidate is priced under the same budget policy with a
@@ -68,39 +105,50 @@ let default_price t mapped =
          stay consistent and greedy descent stays monotone even when some
          cones fall back to simulation. *)
       let r = Dpa_power.Engine.estimate ~budget ~input_probs:t.input_probs mapped in
-      record_degradation t r.Dpa_power.Engine.degradation;
-      r.Dpa_power.Engine.report
-    | Some _ | None -> (
-      match t.mode with
-      | `Rebuild -> Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped
-      | `Incremental -> Dpa_power.Estimate.of_mapped_env (env_of t) mapped)
-  in
-  {
-    power = report.Dpa_power.Estimate.total;
-    size = Dpa_domino.Mapped.size mapped;
-    domino_switching = report.Dpa_power.Estimate.domino_switching;
-  }
+      let report = r.Dpa_power.Engine.report in
+      {
+        sample =
+          {
+            power = report.Dpa_power.Estimate.total;
+            size = Dpa_domino.Mapped.size mapped;
+            domino_switching = report.Dpa_power.Estimate.domino_switching;
+          };
+        degradation = Some r.Dpa_power.Engine.degradation;
+      }
+    | Some _ | None ->
+      let report =
+        match t.mode with
+        | `Rebuild -> Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped
+        | `Incremental -> Dpa_power.Estimate.of_mapped_env (env_of t) mapped
+      in
+      {
+        sample =
+          {
+            power = report.Dpa_power.Estimate.total;
+            size = Dpa_domino.Mapped.size mapped;
+            domino_switching = report.Dpa_power.Estimate.domino_switching;
+          };
+        degradation = None;
+      })
 
 let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budget ?pricer
-    ~input_probs net =
+    ?par ~input_probs net =
   if not (Dpa_synth.Opt.is_domino_ready net) then
     invalid_arg "Measure.create: netlist contains XOR; run Opt.optimize first";
   if Array.length input_probs <> Dpa_logic.Netlist.num_inputs net then
     invalid_arg "Measure.create: input_probs length mismatch";
-  let pricer =
-    match pricer with
-    | Some f -> fun _ mapped -> f mapped
-    | None -> default_price
-  in
   {
     net;
     library;
     input_probs;
     mode;
     budget;
-    pricer;
+    custom_pricer = Option.map (fun f t mapped -> (ignore t; f mapped)) pricer;
+    par;
     cache = Hashtbl.create 64;
-    env = None;
+    seen = Hashtbl.create 64;
+    envs = Hashtbl.create 4;
+    envs_mutex = Mutex.create ();
     misses = 0;
     degraded = 0;
     worst = None;
@@ -108,20 +156,75 @@ let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budge
 
 let eval t assignment =
   let key = Phase.to_string assignment in
-  match Hashtbl.find_opt t.cache key with
-  | Some s ->
+  if Hashtbl.mem t.seen key then begin
     Metrics.incr c_cache_hits;
-    s
-  | None ->
+    (Hashtbl.find t.cache key).sample
+  end
+  else begin
+    (* first visit on the search trajectory: counts as an evaluation
+       whether the price comes from a speculative prefetch or is
+       computed here — both yield the same entry, so every counter and
+       degradation record is independent of the speculation schedule *)
+    Hashtbl.replace t.seen key ();
     t.misses <- t.misses + 1;
     Metrics.incr c_evals;
-    let s =
-      Trace.with_span "phase.measure.eval" @@ fun () ->
-      if Trace.is_enabled () then Trace.add_args [ ("phases", Trace.Str key) ];
-      t.pricer t (realize_mapped t assignment)
+    let entry =
+      match Hashtbl.find_opt t.cache key with
+      | Some e -> e
+      | None ->
+        let e =
+          Trace.with_span "phase.measure.eval" @@ fun () ->
+          if Trace.is_enabled () then Trace.add_args [ ("phases", Trace.Str key) ];
+          price t (realize_mapped t assignment)
+        in
+        Hashtbl.replace t.cache key e;
+        e
     in
-    Hashtbl.replace t.cache key s;
-    s
+    Option.iter (record_degradation t) entry.degradation;
+    entry.sample
+  end
+
+(* How wide the greedy search should speculate: the pool's job count
+   when speculative pricing is known-safe, 1 (no speculation) otherwise.
+   A custom pricer is opaque — it may close over single-domain state —
+   so it disables the fan-out but not the search itself. *)
+let parallel_jobs t =
+  match t.par, t.custom_pricer with
+  | Some pool, None -> Par.jobs pool
+  | Some _, Some _ | None, _ -> 1
+
+let prefetch t assignments =
+  match t.par, t.custom_pricer with
+  | None, _ | Some _, Some _ -> ()
+  | Some pool, None ->
+    (* dedup (two pairs can propose the same flip) and drop anything
+       already priced; order is irrelevant — entries are keyed merges *)
+    let todo = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let key = Phase.to_string a in
+        if not (Hashtbl.mem t.cache key || Hashtbl.mem todo key) then
+          Hashtbl.replace todo key a)
+      assignments;
+    if Hashtbl.length todo > 0 then begin
+      let work =
+        Array.of_seq (Seq.map (fun (k, a) -> (k, a)) (Hashtbl.to_seq todo))
+      in
+      let before = Par.stats pool in
+      let entries =
+        Par.map pool (Array.length work) (fun i ->
+            let _, assignment = work.(i) in
+            Trace.with_span "phase.measure.prefetch"
+              ~args:[ ("domain", Trace.Int (Domain.self () :> int)) ]
+            @@ fun () ->
+            price t (realize_mapped t assignment))
+      in
+      let after = Par.stats pool in
+      Metrics.add c_par_tasks (after.Par.tasks - before.Par.tasks);
+      Metrics.add c_par_steals (after.Par.steals - before.Par.steals);
+      Metrics.add c_prefetched (Array.length work);
+      Array.iteri (fun i e -> Hashtbl.replace t.cache (fst work.(i)) e) entries
+    end
 
 let evaluations t = t.misses
 
@@ -129,10 +232,8 @@ let degraded_evaluations t = t.degraded
 
 let worst_degradation t = t.worst
 
-let bdd_stats t =
-  Option.map (fun e -> Dpa_bdd.Robdd.stats (Dpa_power.Estimate.env_manager e)) t.env
-
 let publish_metrics t =
-  Option.iter
-    (fun e -> Dpa_bdd.Robdd.publish_metrics (Dpa_power.Estimate.env_manager e))
-    t.env
+  Mutex.protect t.envs_mutex @@ fun () ->
+  Hashtbl.iter
+    (fun _ e -> Dpa_bdd.Robdd.publish_metrics (Dpa_power.Estimate.env_manager e))
+    t.envs

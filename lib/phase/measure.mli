@@ -12,7 +12,16 @@
     restores the original build-from-scratch behavior (a fresh manager and
     a per-block variable order for every candidate). Both modes are exact;
     they can differ in the last ulp because summation order over BDD nodes
-    differs. *)
+    differs.
+
+    With a {!Dpa_util.Par} pool the searches built on top can
+    {!prefetch} candidates speculatively across domains. Each domain owns
+    a private incremental env (BDD managers are single-domain); every env
+    uses the same assignment-independent variable order, so a price is
+    bitwise identical no matter which domain computed it, and the
+    trajectory counters ({!evaluations}, {!degraded_evaluations},
+    {!worst_degradation}) advance only when {!eval} first visits an
+    assignment — never during speculation. *)
 
 type sample = {
   power : float;  (** Estimate total: domino + boundary inverters *)
@@ -29,6 +38,7 @@ val create :
   ?mode:mode ->
   ?budget:Dpa_power.Engine.budget ->
   ?pricer:(Dpa_domino.Mapped.t -> sample) ->
+  ?par:Dpa_util.Par.t ->
   input_probs:float array ->
   Dpa_logic.Netlist.t ->
   t
@@ -36,7 +46,9 @@ val create :
     [`Incremental] and only affects the built-in pricer. [pricer]
     overrides how a mapped block is turned into a sample — the default is
     the BDD power estimate and the plain cell count; the timing-integrated
-    optimizer substitutes a price-after-resizing pricer.
+    optimizer substitutes a price-after-resizing pricer. A custom [pricer]
+    is opaque (it may close over single-domain state), so it disables
+    {!prefetch} but not the search.
 
     A non-unbounded [budget] switches the built-in pricer to the
     resource-bounded {!Dpa_power.Engine}: every candidate is priced under
@@ -44,16 +56,34 @@ val create :
     seed, so a greedy search ranks candidates consistently even when the
     degradation ladder kicks in — fallback never breaks monotonicity.
     Degradations are tallied per distinct candidate (see
-    {!degraded_evaluations}, {!worst_degradation}). *)
+    {!degraded_evaluations}, {!worst_degradation}).
+
+    [par] enables speculative parallel pricing via {!prefetch}; it never
+    changes any measured value, only where and when prices are computed. *)
 
 val eval : t -> Dpa_synth.Phase.assignment -> sample
 
+val prefetch : t -> Dpa_synth.Phase.assignment list -> unit
+(** Prices the given candidates across the pool's domains and stores the
+    results in the sample cache, so subsequent {!eval} calls answer
+    without recomputing. Duplicates and already-priced candidates are
+    skipped. A no-op without [par] or with a custom pricer. Does {e not}
+    touch {!evaluations} or the degradation tallies — those track the
+    search trajectory, which speculation must not perturb. *)
+
+val parallel_jobs : t -> int
+(** How wide a search built on this measure should speculate: the pool's
+    job count when {!prefetch} is operational, [1] otherwise (no pool, or
+    an opaque custom pricer). *)
+
 val evaluations : t -> int
-(** Number of {e distinct} assignments measured so far (cache misses). *)
+(** Number of {e distinct} assignments the search visited via {!eval}
+    (trajectory cache misses — speculative prefetches excluded until the
+    search actually reaches them). *)
 
 val degraded_evaluations : t -> int
-(** Distinct assignments whose estimate degraded below fully exact (only
-    ever nonzero under a [budget]). *)
+(** Distinct visited assignments whose estimate degraded below fully
+    exact (only ever nonzero under a [budget]). *)
 
 val worst_degradation : t -> Dpa_power.Engine.degradation option
 (** The most degraded report seen (most simulated cones, ties broken by
@@ -63,14 +93,7 @@ val realize_mapped : t -> Dpa_synth.Phase.assignment -> Dpa_domino.Mapped.t
 (** The mapped block for an assignment (not cached). *)
 
 val publish_metrics : t -> unit
-(** Folds the shared incremental manager's kernel counters into the
-    {!Dpa_obs.Metrics} registry (a no-op until the first [`Incremental]
-    evaluation). The registry is the one source of truth for BDD
-    counters; call this after a search instead of reading {!bdd_stats}. *)
-
-(** Kernel counters of the shared incremental manager; [None] until the
-    first [`Incremental] evaluation (or always, under [`Rebuild] or a
-    custom pricer). *)
-val bdd_stats : t -> Dpa_bdd.Robdd.stats option
-  [@@ocaml.deprecated
-    "ad-hoc accessor; use Measure.publish_metrics and read the Dpa_obs.Metrics registry"]
+(** Folds the kernel counters of every per-domain incremental manager
+    into the {!Dpa_obs.Metrics} registry (a no-op until the first
+    [`Incremental] evaluation). The registry is the one source of truth
+    for BDD counters; call this after a search. *)

@@ -15,6 +15,7 @@ type config = {
   pair_limit : int option;
   seed : int;
   budget : Dpa_power.Engine.budget option;
+  par : Dpa_util.Par.t option;
 }
 
 let default_config ~input_probs =
@@ -26,6 +27,7 @@ let default_config ~input_probs =
     pair_limit = None;
     seed = 1;
     budget = None;
+    par = None;
   }
 
 type result = {
@@ -44,8 +46,37 @@ let minimize_power config net =
   Dpa_obs.Trace.with_span "phase.optimize" ~args:[ ("outputs", Dpa_obs.Trace.Int n) ]
   @@ fun () ->
   let measure =
-    Measure.create ~library:config.library ?budget:config.budget
+    Measure.create ~library:config.library ?budget:config.budget ?par:config.par
       ~input_probs:config.input_probs net
+  in
+  let run_exhaustive () =
+    (* Exhaustive search visits every assignment anyway, so speculation
+       is free of waste: price the enumeration across the pool in
+       bounded chunks, then let the sequential scan answer from cache.
+       The scan order — and thus the argmin tie-break — is unchanged. *)
+    (if Measure.parallel_jobs measure > 1 then begin
+       let chunk = 64 * Measure.parallel_jobs measure in
+       let rec go seq =
+         let batch = ref [] and count = ref 0 and rest = ref seq in
+         (try
+            while !count < chunk do
+              match Seq.uncons !rest with
+              | None -> raise Exit
+              | Some (a, tl) ->
+                batch := a :: !batch;
+                incr count;
+                rest := tl
+            done
+          with Exit -> ());
+         if !batch <> [] then begin
+           Measure.prefetch measure !batch;
+           go !rest
+         end
+       in
+       go (Dpa_synth.Phase.enumerate ~num_outputs:n)
+     end);
+    let r = Exhaustive.run measure ~num_outputs:n in
+    (r.Exhaustive.assignment, r.Exhaustive.power, r.Exhaustive.size, "exhaustive")
   in
   let cost_and_base () =
     let cost = Cost.make net in
@@ -83,21 +114,14 @@ let minimize_power config net =
   in
   let assignment, power, size, strategy_used =
     match config.strategy with
-    | Exhaustive ->
-      let r = Exhaustive.run measure ~num_outputs:n in
-      (r.Exhaustive.assignment, r.Exhaustive.power, r.Exhaustive.size, "exhaustive")
+    | Exhaustive -> run_exhaustive ()
     | Greedy -> run_greedy ()
     | Multi_start restarts -> run_multi_start restarts
     | Annealing params ->
       let rng = Dpa_util.Rng.create config.seed in
       let r = Annealing.run ~params rng measure ~num_outputs:n in
       (r.Annealing.assignment, r.Annealing.power, r.Annealing.size, "annealing")
-    | Auto ->
-      if n <= config.exhaustive_limit then begin
-        let r = Exhaustive.run measure ~num_outputs:n in
-        (r.Exhaustive.assignment, r.Exhaustive.power, r.Exhaustive.size, "exhaustive")
-      end
-      else run_greedy ()
+    | Auto -> if n <= config.exhaustive_limit then run_exhaustive () else run_greedy ()
   in
   Measure.publish_metrics measure;
   Dpa_obs.Trace.add_args

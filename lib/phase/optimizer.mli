@@ -25,6 +25,11 @@ type config = {
       (** resource budget for every estimate in the search (base
           probabilities and per-candidate pricing); [None] = exact,
           unbounded *)
+  par : Dpa_util.Par.t option;
+      (** domain pool for speculative parallel candidate pricing (greedy
+          lookahead, exhaustive chunked prefetch). Never changes any
+          measured value or the search trajectory — the result is
+          bit-identical with or without it, at any jobs count. *)
 }
 
 val default_config : input_probs:float array -> config

@@ -3,6 +3,7 @@ module Mapped = Dpa_domino.Mapped
 module Robdd = Dpa_bdd.Robdd
 module Bitset = Dpa_util.Bitset
 module Dpa_error = Dpa_util.Dpa_error
+module Par = Dpa_util.Par
 
 type fallback = No_fallback | Reorder_retry | Simulate
 
@@ -144,6 +145,17 @@ let g_budget_remaining =
   Metrics.gauge ~help:"BDD node budget left after the last cone build"
     "engine.budget.nodes_remaining"
 
+let c_par_tasks = oc "par.tasks" "tasks fanned out to the domain pool"
+
+let c_par_steals = oc "par.steals" "work-stealing operations in the domain pool"
+
+(* The pool itself sits below Dpa_obs, so it only keeps raw counters;
+   every layer that runs a region folds the growth into the registry. *)
+let publish_par_stats pool (before : Par.stats) =
+  let after = Par.stats pool in
+  Metrics.add c_par_tasks (after.Par.tasks - before.Par.tasks);
+  Metrics.add c_par_steals (after.Par.steals - before.Par.steals)
+
 (* ------------------------------------------------------------------ *)
 (* The ladder                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -215,18 +227,228 @@ let merge_methods ~ok0 ~okf ~used_reorder =
       if okf.(k) then if used_reorder && not ok0.(k) then Reordered else Exact
       else Simulated)
 
-let estimate ?(budget = default_budget) ~input_probs mapped =
-  let net = Mapped.net mapped in
-  let n_out = Netlist.num_outputs net in
-  Trace.with_span "engine.estimate"
+(* ------------------------------------------------------------------ *)
+(* Parallel per-cone estimation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* What one per-cone task hands back across the domain boundary: plain
+   data only — the private manager dies with the task. [probs] has
+   [Float.nan] wherever the (possibly partial) build did not reach. *)
+type cone_build = {
+  cb_built : bool;
+  cb_nodes : int;
+  cb_probs : float array;
+}
+
+(* One cone, one private manager, built in whatever domain the pool
+   schedules the task on — the Brace/Rudell/Bryant thread-local manager
+   discipline, with probabilities extracted before the task returns so
+   no cross-domain manager access ever happens. *)
+let build_cone_private ~budget ~deadline ~order ~input_probs ~cone ~k ~rung mapped =
+  Trace.with_span "engine.cone"
     ~args:
       [
-        ("outputs", Trace.Int n_out);
-        ("bounded", Trace.Bool (not (is_unbounded budget)));
-        ("fallback", Trace.Str (fallback_to_string budget.fallback));
+        ("cone", Trace.Int k);
+        ("rung", Trace.Str rung);
+        ("domain", Trace.Int (Domain.self () :> int));
       ]
   @@ fun () ->
+  let pb = Estimate.start_build ~order mapped in
+  let m = Estimate.partial_manager pb in
+  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline
+    ~context:(Printf.sprintf "output cone %d" k) m;
+  let built =
+    match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
+    | () ->
+      Trace.add_args [ ("built", Trace.Bool true) ];
+      true
+    | exception Dpa_error.Budget_exceeded _ ->
+      Trace.add_args [ ("built", Trace.Bool false) ];
+      false
+  in
+  Robdd.clear_budget m;
+  (match budget.max_bdd_nodes with
+  | Some cap ->
+    Metrics.set g_budget_remaining (float_of_int (max 0 (cap - Robdd.total_nodes m)))
+  | None -> ());
+  Robdd.publish_metrics m;
+  {
+    cb_built = built;
+    cb_nodes = Robdd.total_nodes m;
+    cb_probs = Estimate.partial_probabilities pb ~input_probs;
+  }
+
+let failed_indices ok =
+  let acc = ref [] in
+  Array.iteri (fun k b -> if not b then acc := k :: !acc) ok;
+  Array.of_list (List.rev !acc)
+
+(* The parallel ladder. Every rung fans per-cone work across the pool;
+   tasks return plain arrays and all merging happens on the submitting
+   domain in ascending cone order, so the result is independent of the
+   pool's schedule — and therefore of the jobs count. The budget is
+   enforced per cone (each private manager gets the full node cap),
+   unlike the sequential ladder's one shared manager under a cumulative
+   cap; both are honest policies, but they are different policies, so
+   the two paths are not numerically comparable under a budget. *)
+let estimate_par ~pool ~budget ~input_probs mapped =
+  let net = Mapped.net mapped in
+  let n_out = Netlist.num_outputs net in
+  let order = Estimate.block_order ~input_probs mapped in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget.deadline_s in
+  let cones = Dpa_logic.Cone.of_outputs net in
+  let before = Par.stats pool in
+  (* rung 1: per-cone exact builds *)
+  let builds =
+    Par.map pool n_out (fun k ->
+        build_cone_private ~budget ~deadline ~order ~input_probs ~cone:cones.(k) ~k
+          ~rung:"exact" mapped)
+  in
+  let ok0 = Array.map (fun b -> b.cb_built) builds in
+  Trace.instant "engine.ladder.exact"
+    ~args:[ ("built", Trace.Int (count_ok ok0)); ("cones", Trace.Int n_out) ];
+  (* rung 2: failed cones retry once under a reordered variable order;
+     adoption is per cone — a retry that also blows the budget keeps the
+     rung-1 partial build (its interned prefix still prices exactly) *)
+  let builds, okf, reorder_used =
+    if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (builds, ok0, false)
+    else
+      match reordered_order ~budget ~deadline ~order mapped with
+      | None ->
+        Trace.instant "engine.ladder.reorder" ~args:[ ("adopted", Trace.Bool false) ];
+        (builds, ok0, false)
+      | Some order' ->
+        let failed = failed_indices ok0 in
+        let retries =
+          Par.map pool (Array.length failed) (fun t ->
+              let k = failed.(t) in
+              build_cone_private ~budget ~deadline ~order:order' ~input_probs
+                ~cone:cones.(k) ~k ~rung:"reorder" mapped)
+        in
+        let builds' = Array.copy builds and ok' = Array.copy ok0 in
+        let adopted = ref 0 in
+        Array.iteri
+          (fun t k ->
+            if retries.(t).cb_built then begin
+              builds'.(k) <- retries.(t);
+              ok'.(k) <- true;
+              incr adopted
+            end)
+          failed;
+        Trace.instant "engine.ladder.reorder"
+          ~args:
+            [ ("adopted", Trace.Bool (!adopted > 0)); ("built", Trace.Int (count_ok ok')) ];
+        (builds', ok', !adopted > 0)
+  in
+  let methods =
+    Array.init n_out (fun k ->
+        if not okf.(k) then Simulated else if ok0.(k) then Exact else Reordered)
+  in
+  if Trace.is_enabled () then
+    Array.iteri
+      (fun k meth ->
+        Trace.instant "engine.cone.method"
+          ~args:
+            [ ("cone", Trace.Int k); ("method", Trace.Str (cone_method_to_string meth)) ])
+      methods;
+  Metrics.add c_exact (Array.fold_left (fun n m -> if m = Exact then n + 1 else n) 0 methods);
+  Metrics.add c_reordered
+    (Array.fold_left (fun n m -> if m = Reordered then n + 1 else n) 0 methods);
+  Metrics.add c_simulated
+    (Array.fold_left (fun n m -> if m = Simulated then n + 1 else n) 0 methods);
+  let bdd_nodes = Array.fold_left (fun acc b -> acc + b.cb_nodes) 0 builds in
+  let n_failed = n_out - count_ok okf in
+  if n_failed > 0 && budget.fallback <> Simulate then
+    Dpa_error.error
+      (Dpa_error.Budget
+         {
+           Dpa_error.resource = Dpa_error.Bdd_nodes;
+           limit =
+             (match budget.max_bdd_nodes with
+             | Some n -> float_of_int n
+             | None -> infinity);
+           spent = float_of_int bdd_nodes;
+           context =
+             Printf.sprintf "%d of %d output cones unbuildable (fallback %s)" n_failed
+               n_out
+               (fallback_to_string budget.fallback);
+         });
+  (* deterministic merge, ascending cone index: every exact value a cone
+     produced (including the interned prefix of a failed build), then
+     Monte-Carlo values for whatever stayed unbuilt everywhere *)
+  let node_probs = Array.make (Netlist.size net) Float.nan in
+  Array.iter
+    (fun b ->
+      Array.iteri
+        (fun i p -> if not (Float.is_nan p) then node_probs.(i) <- p)
+        b.cb_probs)
+    builds;
+  let sim_cycles, ci =
+    if n_failed = 0 then (0, 0.0)
+    else begin
+      let cycles = sim_cycles_of budget in
+      let failed = failed_indices okf in
+      Trace.instant "engine.ladder.sim"
+        ~args:[ ("cycles", Trace.Int cycles); ("cones", Trace.Int n_failed) ];
+      Metrics.add c_sim_cycles (cycles * n_failed);
+      (* rung 3: per-cone Monte-Carlo with index-derived seeds — cone k
+         sees the same stream whichever domain (or jobs count) runs it *)
+      let acts =
+        Par.map pool n_failed (fun t ->
+            let k = failed.(t) in
+            Trace.with_span "engine.cone"
+              ~args:
+                [
+                  ("cone", Trace.Int k);
+                  ("rung", Trace.Str "sim");
+                  ("domain", Trace.Int (Domain.self () :> int));
+                ]
+            @@ fun () ->
+            let rng = Dpa_util.Rng.derive ~base:budget.sim_seed ~index:k in
+            Dpa_sim.Simulator.measure ~cycles rng ~input_probs mapped)
+      in
+      Array.iteri
+        (fun t k ->
+          Bitset.iter
+            (fun i ->
+              if Float.is_nan node_probs.(i) then
+                node_probs.(i) <- acts.(t).Dpa_sim.Simulator.node_probs.(i))
+            cones.(k))
+        failed;
+      (cycles, ci_halfwidth_of budget cycles)
+    end
+  in
+  publish_par_stats pool before;
+  let report =
+    Estimate.price mapped ~node_probs ~input_toggle:(fun opos ->
+        Model.static_switching input_probs.(opos))
+  in
+  {
+    report = { report with Estimate.bdd_nodes };
+    degradation = { methods; bdd_nodes; reorder_used; sim_cycles; ci_halfwidth = ci };
+  }
+
+let estimate ?par ?(budget = default_budget) ~input_probs mapped =
+  let net = Mapped.net mapped in
+  let n_out = Netlist.num_outputs net in
+  let args =
+    [
+      ("outputs", Trace.Int n_out);
+      ("bounded", Trace.Bool (not (is_unbounded budget)));
+      ("fallback", Trace.Str (fallback_to_string budget.fallback));
+    ]
+  in
+  let args =
+    match par with
+    | None -> args
+    | Some pool -> args @ [ ("jobs", Trace.Int (Par.jobs pool)) ]
+  in
+  Trace.with_span "engine.estimate" ~args
+  @@ fun () ->
   Metrics.incr c_estimates;
+  match par with
+  | Some pool -> estimate_par ~pool ~budget ~input_probs mapped
+  | None ->
   if is_unbounded budget then begin
     let report = Estimate.of_mapped ~input_probs mapped in
     Metrics.add c_exact n_out;

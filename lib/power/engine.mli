@@ -109,11 +109,29 @@ type result = {
 }
 
 val estimate :
-  ?budget:budget -> input_probs:float array -> Dpa_domino.Mapped.t -> result
+  ?par:Dpa_util.Par.t ->
+  ?budget:budget ->
+  input_probs:float array ->
+  Dpa_domino.Mapped.t ->
+  result
 (** Runs the ladder on one mapped block. With an unbounded budget this is
     exactly {!Estimate.of_mapped}. Under a budget, each output cone is
     built separately so exhaustion is contained: sibling cones keep the
     nodes interned before the blow-up and their probabilities stay exact.
+
+    With [par], per-cone BDD builds, probability extraction and the
+    Monte-Carlo rung fan out across the pool's domains; every task owns
+    a private manager ({!Dpa_bdd.Robdd.adopt} discipline) and returns
+    plain arrays that are merged on the submitting domain in ascending
+    cone order, so the result is bit-identical at every [jobs] count
+    (Monte-Carlo streams are index-derived via {!Dpa_util.Rng.derive}).
+    Note the budget then applies {e per cone} — each private manager
+    gets the full node cap — whereas the sequential ladder shares one
+    cumulative cap, so budgeted results are not comparable between the
+    two paths. Unbudgeted, every probability and power is bitwise equal
+    to the sequential path (ROBDD canonicity); only the [bdd_nodes]
+    complexity metric can be larger, because per-cone private managers
+    forgo cross-cone node sharing.
 
     @raise Dpa_util.Dpa_error.Error with a [Budget] payload when cones
     remain unpriced and [budget.fallback] forbids simulation. *)

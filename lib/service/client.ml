@@ -120,7 +120,7 @@ let fresh_socket_path () =
   (try Sys.remove path with Sys_error _ -> ());
   path
 
-let with_self_hosted ~workers ?(queue_capacity = Server.default_queue_capacity) f =
+let with_self_hosted ~workers ?(jobs = 1) ?(queue_capacity = Server.default_queue_capacity) f =
   let socket = fresh_socket_path () in
   let mutex = Mutex.create () in
   let cond = Condition.create () in
@@ -135,7 +135,7 @@ let with_self_hosted ~workers ?(queue_capacity = Server.default_queue_capacity) 
     Domain.spawn (fun () ->
         try
           Server.run ~on_ready:signal_ready
-            { Server.socket_path = socket; workers; queue_capacity }
+            { Server.socket_path = socket; workers; jobs; queue_capacity }
         with e ->
           Mutex.protect mutex (fun () ->
               failure := Some e;

@@ -32,8 +32,9 @@ val run_batch : socket:string -> string list -> string list
     response has arrived. *)
 
 val with_self_hosted :
-  workers:int -> ?queue_capacity:int -> (socket:string -> 'a) -> 'a
+  workers:int -> ?jobs:int -> ?queue_capacity:int -> (socket:string -> 'a) -> 'a
 (** [with_self_hosted ~workers f] starts a server in its own domain on a
     fresh temp socket, waits until it is accepting, runs [f ~socket],
     then stops the server gracefully (draining in-flight work) and joins
-    its domain — including when [f] raises. *)
+    its domain — including when [f] raises. [jobs] (default 1) is the
+    per-worker intra-request parallelism ({!Server.config}). *)

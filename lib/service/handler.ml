@@ -55,7 +55,7 @@ let info source =
       ("optimized_gates", num (Netlist.gate_count opt));
     ]
 
-let estimate ~source ~input_prob ~phases ~budget =
+let estimate ?par ~source ~input_prob ~phases ~budget () =
   (* the exact [dominoflow estimate] pipeline: optimize, realize the
      phase assignment inverter-free, map, price through the engine *)
   let net = Dpa_synth.Opt.optimize (load source) in
@@ -63,7 +63,7 @@ let estimate ~source ~input_prob ~phases ~budget =
   let assignment = assignment_of ~n phases in
   let input_probs = Array.make (Netlist.num_inputs net) input_prob in
   let mapped = Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment) in
-  let est = Engine.estimate ?budget:(engine_budget budget) ~input_probs mapped in
+  let est = Engine.estimate ?par ?budget:(engine_budget budget) ~input_probs mapped in
   let r = est.Engine.report in
   let block = Dpa_domino.Mapped.net mapped in
   let outputs = Netlist.outputs block in
@@ -101,22 +101,23 @@ let realization_json (r : Flow.realization) =
       ("degradation", str (Engine.degradation_label r.Flow.degradation));
     ]
 
-let flow_result ~source ~input_prob ~seed ~budget =
+let flow_result ?par ~source ~input_prob ~seed ~budget () =
   let net = load source in
   let config =
     { Flow.default_config with
       Flow.input_prob;
       seed;
-      budget = engine_budget budget }
+      budget = engine_budget budget;
+      par }
   in
   Flow.compare_ma_mp ~config net
 
-let optimize ~source ~input_prob ~seed ~budget =
-  let r = flow_result ~source ~input_prob ~seed ~budget in
+let optimize ?par ~source ~input_prob ~seed ~budget () =
+  let r = flow_result ?par ~source ~input_prob ~seed ~budget () in
   realization_json r.Flow.mp
 
-let compare ~source ~input_prob ~seed ~budget =
-  let r = flow_result ~source ~input_prob ~seed ~budget in
+let compare ?par ~source ~input_prob ~seed ~budget () =
+  let r = flow_result ?par ~source ~input_prob ~seed ~budget () in
   Jsonlite.Obj
     [
       ("circuit", str r.Flow.circuit);
@@ -128,13 +129,13 @@ let compare ~source ~input_prob ~seed ~budget =
       ("power_saving_pct", fnum r.Flow.power_saving_pct);
     ]
 
-let execute = function
+let execute ?par = function
   | Protocol.Ping -> ping ()
   | Protocol.Shutdown -> Jsonlite.Obj [ ("stopping", Jsonlite.Bool true) ]
   | Protocol.Info { source } -> info source
   | Protocol.Estimate { source; input_prob; phases; budget } ->
-    estimate ~source ~input_prob ~phases ~budget
+    estimate ?par ~source ~input_prob ~phases ~budget ()
   | Protocol.Optimize { source; input_prob; seed; budget } ->
-    optimize ~source ~input_prob ~seed ~budget
+    optimize ?par ~source ~input_prob ~seed ~budget ()
   | Protocol.Compare { source; input_prob; seed; budget } ->
-    compare ~source ~input_prob ~seed ~budget
+    compare ?par ~source ~input_prob ~seed ~budget ()

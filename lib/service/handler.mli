@@ -9,7 +9,17 @@
     created inside the call, so concurrent executions share no mutable
     state beyond the (domain-safe) observability registry. *)
 
-val execute : Protocol.request -> Dpa_util.Jsonlite.t
+val execute : ?par:Dpa_util.Par.t -> Protocol.request -> Dpa_util.Jsonlite.t
 (** The [result] payload of a success response. Failures raise
     {!Dpa_util.Dpa_error.Error} (or exceptions its [of_exn] recognizes);
-    the worker pool maps them to structured error responses. *)
+    the worker pool maps them to structured error responses.
+
+    [par] is the calling worker's private domain pool for intra-request
+    parallelism (per-cone estimation, speculative phase-search pricing).
+    It must belong to the calling domain exclusively — pools are one
+    submitter at a time, and each service worker owns its own so
+    inter-request and intra-request parallelism compose without sharing.
+    Responses are bit-identical at every pool width; relative to {e no}
+    pool, every power and probability is identical too, but the
+    [bdd_nodes] complexity metric can be larger (per-cone private
+    managers forgo cross-cone node sharing). *)

@@ -46,7 +46,7 @@ let salvage_id line =
     | Some (Jsonlite.Num f) when Float.is_integer f -> int_of_float f
     | _ -> 0)
 
-let process_line line =
+let process_line ?par line =
   match Protocol.parse_request line with
   | Error e ->
     Metrics.incr c_errors;
@@ -57,7 +57,7 @@ let process_line line =
     match
       Trace.with_span "service.request"
         ~args:[ ("cmd", Trace.Str cmd); ("id", Trace.Int id) ]
-        (fun () -> Handler.execute request)
+        (fun () -> Handler.execute ?par request)
     with
     | result -> (Protocol.ok_response ~id ~cmd result, is_shutdown)
     | exception e ->
@@ -69,8 +69,9 @@ let process_line line =
       in
       (Protocol.error_response ~id err, is_shutdown))
 
-let worker ~queue ~on_shutdown index =
+let worker ~jobs ~queue ~on_shutdown index =
   ignore index;
+  let drain par =
   let rec loop () =
     match Jobqueue.pop queue with
     | None -> ()
@@ -78,7 +79,7 @@ let worker ~queue ~on_shutdown index =
       Metrics.set g_depth (float_of_int (Jobqueue.length queue));
       let t0 = Clock.now_ns () in
       Metrics.observe h_wait (float_of_int (t0 - job.enqueued_ns) /. 1e6);
-      let response, is_shutdown = process_line job.line in
+      let response, is_shutdown = process_line ?par job.line in
       Metrics.incr c_requests;
       (* reply before shutdown so the requester always sees its answer *)
       job.reply response;
@@ -89,12 +90,21 @@ let worker ~queue ~on_shutdown index =
       loop ()
   in
   loop ()
+  in
+  (* the intra-request pool lives and dies with the worker domain: its
+     sub-domains are resident across requests (no spawn per request) and
+     it has exactly one submitter — this worker — by construction.
+     jobs = 1 runs without a pool: byte-for-byte the pre-pool service. *)
+  if jobs <= 1 then drain None
+  else Dpa_util.Par.with_pool ~jobs (fun par -> drain (Some par))
 
-let create ~workers ~on_shutdown queue =
+let create ?(jobs = 1) ~workers ~on_shutdown queue =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   {
     domains =
-      Array.init workers (fun i -> Domain.spawn (fun () -> worker ~queue ~on_shutdown i));
+      Array.init workers (fun i ->
+          Domain.spawn (fun () -> worker ~jobs ~queue ~on_shutdown i));
   }
 
 let join t = Array.iter Domain.join t.domains

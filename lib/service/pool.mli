@@ -26,16 +26,26 @@ type job = {
 
 type t
 
-val process_line : string -> string * bool
+val process_line : ?par:Dpa_util.Par.t -> string -> string * bool
 (** [process_line line] is the full decode → execute → encode pipeline
     of one worker iteration: the response line, and whether the request
     was a well-formed [shutdown]. Exposed so tests (and the pool itself)
-    exercise exactly the wire semantics without a socket. *)
+    exercise exactly the wire semantics without a socket. [par] is
+    forwarded to {!Handler.execute}; it never changes a response byte. *)
 
-val create : workers:int -> on_shutdown:(unit -> unit) -> job Jobqueue.t -> t
+val create :
+  ?jobs:int -> workers:int -> on_shutdown:(unit -> unit) -> job Jobqueue.t -> t
 (** Spawns [workers] domains ([>= 1] or [Invalid_argument]). A worker
     that executes a well-formed [shutdown] request calls [on_shutdown]
-    (once per such request) {e after} replying. *)
+    (once per such request) {e after} replying.
+
+    [jobs] (default 1) is the intra-request parallelism width: each
+    worker owns a private {!Dpa_util.Par} pool of that many jobs,
+    created inside the worker domain and shut down when it exits, so
+    the process runs at most [workers × jobs] busy domains — pick
+    [jobs ≈ cores / workers] to avoid oversubscription. [jobs = 1]
+    creates no pool at all: requests execute byte-for-byte as the
+    pre-pool service did. *)
 
 val join : t -> unit
 (** Waits for every worker to exit — they do when the queue is closed

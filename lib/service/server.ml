@@ -5,6 +5,7 @@ module Clock = Dpa_obs.Clock
 type config = {
   socket_path : string;
   workers : int;
+  jobs : int;
   queue_capacity : int;
 }
 
@@ -151,13 +152,18 @@ let bind_socket path =
 
 let run ?(on_ready = fun (_ : t) -> ()) config =
   if config.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
+  if config.jobs < 1 then invalid_arg "Server.run: jobs must be >= 1";
   (* a client that disconnects mid-reply must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = bind_socket config.socket_path in
   let wake_r, wake_w = Unix.pipe () in
   let queue = Jobqueue.create ~capacity:config.queue_capacity in
   let t = { config; queue; stopping = Atomic.make false; wake_w } in
-  let pool = Pool.create ~workers:config.workers ~on_shutdown:(fun () -> stop t) queue in
+  let pool =
+    Pool.create ~jobs:config.jobs ~workers:config.workers
+      ~on_shutdown:(fun () -> stop t)
+      queue
+  in
   let conns = ref [] in
   on_ready t;
   (* accept/read loop: runs until a shutdown is requested *)

@@ -25,6 +25,11 @@
 type config = {
   socket_path : string;
   workers : int;
+  jobs : int;
+      (** intra-request parallelism per worker (each worker owns a
+          private {!Dpa_util.Par} pool of this width); at most
+          [workers × jobs] domains are ever busy. 1 = sequential
+          requests, the pre-pool behaviour. *)
   queue_capacity : int;
 }
 

@@ -32,6 +32,18 @@ let bernoulli t p = float t 1.0 < p
 
 let split t = { state = bits64 t }
 
+(* Key-derived stream: state = mix (base + (index+1)·γ), the same jump
+   splitmix64 itself makes, so streams for distinct indices are as
+   independent as successive [split]s — but addressable by index, which
+   is what per-cone Monte-Carlo fallback needs to stay reproducible
+   under any parallel schedule. *)
+let derive ~base ~index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  {
+    state =
+      mix (Int64.add (Int64.of_int base) (Int64.mul (Int64.of_int (index + 1)) golden_gamma));
+  }
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int t (i + 1) in

@@ -32,6 +32,14 @@ val split : t -> t
 (** [split t] derives a statistically independent generator, advancing
     [t]. Useful for giving each sub-experiment its own stream. *)
 
+val derive : base:int -> index:int -> t
+(** [derive ~base ~index] is the [index]-th independent stream of the
+    splittable seed [base] ([index >= 0]). Unlike {!split} it does not
+    thread generator state, so sub-experiment [index] gets the same
+    stream no matter how many siblings ran before it — the property
+    that keeps per-cone Monte-Carlo fallback identical at any [--jobs]
+    value. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "dpa"
     [ ("util", Test_util.suite);
+      ("par", Test_par.suite);
       ("logic", Test_logic.suite);
       ("blif", Test_blif.suite);
       ("bdd", Test_bdd.suite);

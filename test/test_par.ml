@@ -1,0 +1,291 @@
+(* The shared work-stealing domain pool and the parallel-identity
+   property: everything the pool touches — per-cone estimation, the
+   speculative greedy replay, Monte-Carlo fallback streams — must be
+   bit-identical at every jobs count. Floats are compared through
+   [Int64.bits_of_float]: "close" is not good enough here. *)
+
+module Par = Dpa_util.Par
+module Rng = Dpa_util.Rng
+module Engine = Dpa_power.Engine
+module Optimizer = Dpa_phase.Optimizer
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* combinational designs parse directly; sequential ones contribute
+   their combinational core (latch outputs become PIs), as the flow
+   does *)
+let load_blif path =
+  let text = read_file path in
+  match Dpa_logic.Blif.of_string text with
+  | Ok net -> net
+  | Error _ -> (
+    match Dpa_logic.Blif.sequential_of_string text with
+    | Ok s -> s.Dpa_logic.Blif.comb
+    | Error msg -> Alcotest.failf "%s failed to parse: %s" path msg)
+
+let data_files =
+  [
+    "../data/apex7_synthetic.blif";
+    "../data/frg1_synthetic.blif";
+    "../data/seq_controller.blif";
+  ]
+
+let check_bits msg a b =
+  if Int64.bits_of_float a <> Int64.bits_of_float b then
+    Alcotest.failf "%s: %h <> %h" msg a b
+
+let check_bits_array msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri (fun i x -> check_bits (Printf.sprintf "%s.(%d)" msg i) x b.(i)) a
+
+(* ---- the pool itself ---------------------------------------------- *)
+
+let test_map_ordered () =
+  Par.with_pool ~jobs:4 @@ fun pool ->
+  let r = Par.map pool 1000 (fun i -> i * i) in
+  Alcotest.(check int) "length" 1000 (Array.length r);
+  Array.iteri (fun i v -> Alcotest.(check int) "slot" (i * i) v) r
+
+let test_map_empty_and_single () =
+  Par.with_pool ~jobs:3 @@ fun pool ->
+  Alcotest.(check int) "empty" 0 (Array.length (Par.map pool 0 (fun i -> i)));
+  Alcotest.(check (array int)) "single" [| 7 |] (Par.map pool 1 (fun _ -> 7))
+
+let test_reduce_ordered_noncommutative () =
+  (* string concatenation does not commute: any out-of-order fold shows *)
+  let seq =
+    List.fold_left (fun acc i -> acc ^ string_of_int i ^ ";") "" (List.init 64 Fun.id)
+  in
+  Par.with_pool ~jobs:4 @@ fun pool ->
+  for _ = 1 to 10 do
+    let got =
+      Par.reduce pool 64
+        ~map:(fun i -> string_of_int i ^ ";")
+        ~fold:(fun acc s -> acc ^ s)
+        ~init:""
+    in
+    Alcotest.(check string) "ordered fold" seq got
+  done
+
+let test_jobs1_inline_matches () =
+  let with_jobs j =
+    Par.with_pool ~jobs:j @@ fun pool -> Par.map pool 100 (fun i -> (i * 37) mod 11)
+  in
+  Alcotest.(check (array int)) "jobs 1 = jobs 4" (with_jobs 1) (with_jobs 4)
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  Par.with_pool ~jobs:4 @@ fun pool ->
+  let saw =
+    try
+      ignore (Par.map pool 100 (fun i -> if i = 37 || i = 53 then raise (Boom i) else i));
+      None
+    with Boom i -> Some i
+  in
+  (* the lowest failing index wins, deterministically *)
+  Alcotest.(check (option int)) "lowest failure" (Some 37) saw;
+  (* the pool survives a failed region *)
+  let r = Par.map pool 8 (fun i -> i + 1) in
+  Alcotest.(check int) "pool alive after failure" 8 r.(7)
+
+let test_nested_use_rejected () =
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let rejected =
+    try
+      ignore (Par.map pool 4 (fun _ -> Array.length (Par.map pool 2 (fun i -> i))));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "nested map raises Invalid_argument" true rejected;
+  Alcotest.(check int) "pool alive after rejection" 3 (Par.map pool 4 Fun.id).(3)
+
+let test_create_bounds () =
+  let invalid jobs =
+    try
+      Par.shutdown (Par.create ~jobs);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "jobs 0 rejected" true (invalid 0);
+  Alcotest.(check bool) "jobs 127 rejected" true (invalid 127)
+
+let test_shutdown_idempotent () =
+  let pool = Par.create ~jobs:3 in
+  Alcotest.(check int) "works" 5 (Par.map pool 6 Fun.id).(5);
+  Par.shutdown pool;
+  Par.shutdown pool
+
+let test_stats_count_tasks () =
+  Par.with_pool ~jobs:2 @@ fun pool ->
+  let before = (Par.stats pool).Par.tasks in
+  ignore (Par.map pool 50 Fun.id);
+  let after = (Par.stats pool).Par.tasks in
+  Alcotest.(check int) "50 tasks accounted" 50 (after - before)
+
+(* ---- split Rng streams -------------------------------------------- *)
+
+let test_rng_derive_deterministic () =
+  let a = Rng.derive ~base:42 ~index:7 and b = Rng.derive ~base:42 ~index:7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_derive_independent () =
+  let a = Rng.derive ~base:42 ~index:0 and b = Rng.derive ~base:42 ~index:1 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "indices give distinct streams" true !differs
+
+(* ---- parallel identity: estimation -------------------------------- *)
+
+let mapped_of path =
+  let net = Dpa_synth.Opt.optimize (load_blif path) in
+  let n = Dpa_logic.Netlist.num_outputs net in
+  let input_probs = Array.make (Dpa_logic.Netlist.num_inputs net) 0.5 in
+  ( Dpa_domino.Mapped.map
+      (Dpa_synth.Inverterless.realize net (Dpa_synth.Phase.all_positive n)),
+    input_probs )
+
+let check_reports_equal msg (a : Engine.result) (b : Engine.result) =
+  let ra = a.Engine.report and rb = b.Engine.report in
+  check_bits (msg ^ " total") ra.Dpa_power.Estimate.total rb.Dpa_power.Estimate.total;
+  check_bits (msg ^ " domino")
+    ra.Dpa_power.Estimate.domino_power rb.Dpa_power.Estimate.domino_power;
+  check_bits_array (msg ^ " node_probs")
+    ra.Dpa_power.Estimate.node_probs rb.Dpa_power.Estimate.node_probs;
+  Alcotest.(check int)
+    (msg ^ " bdd_nodes")
+    ra.Dpa_power.Estimate.bdd_nodes rb.Dpa_power.Estimate.bdd_nodes;
+  Alcotest.(check string)
+    (msg ^ " degradation")
+    (Engine.degradation_to_string a.Engine.degradation)
+    (Engine.degradation_to_string b.Engine.degradation)
+
+let test_estimate_identity_across_jobs () =
+  List.iter
+    (fun path ->
+      let mapped, input_probs = mapped_of path in
+      let at_jobs jobs =
+        Par.with_pool ~jobs @@ fun pool -> Engine.estimate ~par:pool ~input_probs mapped
+      in
+      let r1 = at_jobs 1 in
+      check_reports_equal (path ^ " jobs 1 vs 2") r1 (at_jobs 2);
+      check_reports_equal (path ^ " jobs 1 vs 4") r1 (at_jobs 4);
+      (* against the sequential path, every probability and power is
+         bitwise equal; only the bdd_nodes complexity metric may differ
+         (per-cone managers forgo cross-cone sharing) *)
+      let seq = Engine.estimate ~input_probs mapped in
+      check_bits (path ^ " par vs seq total") seq.Engine.report.Dpa_power.Estimate.total
+        r1.Engine.report.Dpa_power.Estimate.total;
+      check_bits_array
+        (path ^ " par vs seq node_probs")
+        seq.Engine.report.Dpa_power.Estimate.node_probs
+        r1.Engine.report.Dpa_power.Estimate.node_probs)
+    data_files
+
+let test_budgeted_estimate_identity_across_jobs () =
+  (* a tight node cap forces the full ladder (reorder + simulation);
+     index-derived Monte-Carlo streams keep it jobs-invariant *)
+  let budget = Engine.bounded ~max_bdd_nodes:200 () in
+  List.iter
+    (fun path ->
+      let mapped, input_probs = mapped_of path in
+      let at_jobs jobs =
+        Par.with_pool ~jobs @@ fun pool ->
+        Engine.estimate ~par:pool ~budget ~input_probs mapped
+      in
+      let r1 = at_jobs 1 in
+      check_reports_equal (path ^ " budgeted jobs 1 vs 4") r1 (at_jobs 4))
+    data_files
+
+(* ---- parallel identity: the phase search -------------------------- *)
+
+let check_opt_equal msg (a : Optimizer.result) (b : Optimizer.result) =
+  Alcotest.(check string)
+    (msg ^ " assignment")
+    (Dpa_synth.Phase.to_string a.Optimizer.assignment)
+    (Dpa_synth.Phase.to_string b.Optimizer.assignment);
+  check_bits (msg ^ " power") a.Optimizer.power b.Optimizer.power;
+  Alcotest.(check int) (msg ^ " size") a.Optimizer.size b.Optimizer.size;
+  Alcotest.(check int) (msg ^ " measurements") a.Optimizer.measurements b.Optimizer.measurements;
+  Alcotest.(check string) (msg ^ " strategy") a.Optimizer.strategy_used b.Optimizer.strategy_used
+
+let optimize_identity ~strategy path =
+  let net = Dpa_synth.Opt.optimize (load_blif path) in
+  let input_probs = Array.make (Dpa_logic.Netlist.num_inputs net) 0.5 in
+  let base = Optimizer.default_config ~input_probs in
+  let run par = Optimizer.minimize_power { base with Optimizer.strategy; par } net in
+  let seq = run None in
+  List.iter
+    (fun jobs ->
+      let r = Par.with_pool ~jobs (fun pool -> run (Some pool)) in
+      check_opt_equal (Printf.sprintf "%s jobs %d" path jobs) seq r)
+    [ 1; 2; 4 ]
+
+let test_optimize_identity_greedy () =
+  (* apex7 has 36 outputs: the real greedy path with speculative replay *)
+  optimize_identity ~strategy:Optimizer.Greedy "../data/apex7_synthetic.blif"
+
+let test_optimize_identity_exhaustive () =
+  List.iter
+    (optimize_identity ~strategy:Optimizer.Auto)
+    [ "../data/frg1_synthetic.blif"; "../data/seq_controller.blif" ]
+
+let test_optimize_identity_multistart () =
+  optimize_identity ~strategy:(Optimizer.Multi_start 3) "../data/frg1_synthetic.blif"
+
+let test_full_flow_identity () =
+  (* the whole compare flow (MA + MP + final pricing) through Flow.config *)
+  let module Flow = Dpa_core.Flow in
+  List.iter
+    (fun path ->
+      let net = load_blif path in
+      let run par = Flow.compare_ma_mp ~config:{ Flow.default_config with Flow.par } net in
+      let seq = run None in
+      let par4 = Par.with_pool ~jobs:4 (fun pool -> run (Some pool)) in
+      check_bits (path ^ " mp power") seq.Flow.mp.Flow.power par4.Flow.mp.Flow.power;
+      check_bits (path ^ " ma power") seq.Flow.ma.Flow.power par4.Flow.ma.Flow.power;
+      Alcotest.(check string)
+        (path ^ " mp phases")
+        (Dpa_synth.Phase.to_string seq.Flow.mp.Flow.assignment)
+        (Dpa_synth.Phase.to_string par4.Flow.mp.Flow.assignment);
+      Alcotest.(check int) (path ^ " mp size") seq.Flow.mp.Flow.size par4.Flow.mp.Flow.size;
+      Alcotest.(check int)
+        (path ^ " measurements")
+        seq.Flow.mp.Flow.measurements par4.Flow.mp.Flow.measurements)
+    data_files
+
+let suite =
+  [
+    Alcotest.test_case "map ordered results" `Quick test_map_ordered;
+    Alcotest.test_case "map empty and single" `Quick test_map_empty_and_single;
+    Alcotest.test_case "reduce ordered (non-commutative)" `Quick
+      test_reduce_ordered_noncommutative;
+    Alcotest.test_case "jobs 1 inline matches" `Quick test_jobs1_inline_matches;
+    Alcotest.test_case "exception: lowest index wins" `Quick test_exception_lowest_index;
+    Alcotest.test_case "nested use rejected" `Quick test_nested_use_rejected;
+    Alcotest.test_case "create bounds" `Quick test_create_bounds;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "stats count tasks" `Quick test_stats_count_tasks;
+    Alcotest.test_case "rng derive deterministic" `Quick test_rng_derive_deterministic;
+    Alcotest.test_case "rng derive independent" `Quick test_rng_derive_independent;
+    Alcotest.test_case "estimate identity across jobs" `Quick
+      test_estimate_identity_across_jobs;
+    Alcotest.test_case "budgeted estimate identity" `Quick
+      test_budgeted_estimate_identity_across_jobs;
+    Alcotest.test_case "optimize identity (greedy apex7)" `Quick
+      test_optimize_identity_greedy;
+    Alcotest.test_case "optimize identity (exhaustive)" `Quick
+      test_optimize_identity_exhaustive;
+    Alcotest.test_case "optimize identity (multi-start)" `Quick
+      test_optimize_identity_multistart;
+    Alcotest.test_case "full flow identity" `Quick test_full_flow_identity;
+  ]
