@@ -583,6 +583,131 @@ let validate () =
      accurate."
 
 (* ------------------------------------------------------------------ *)
+(* Compiled simulation: interp vs bit-parallel tape throughput          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cycles/second of the two Monte-Carlo backends on every data/ circuit
+   plus a generated Table 1 profile, same seed for both. The activity
+   counts are compared first — a speedup for different answers would be
+   meaningless, so the bench aborts on any mismatch (the determinism
+   contract of Dpa_sim.Backend). With [json] the rows land in
+   BENCH_sim_compile.json for CI trend tracking. *)
+let sim_compile ?(quick = false) ?(json = false) () =
+  section "Compiled simulation — interpreter vs bit-parallel tape";
+  let cycles = if quick then 2_000 else 20_000 in
+  let repeats = if quick then 1 else 3 in
+  let data_circuits =
+    if Sys.file_exists "data" then
+      Sys.readdir "data" |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".blif")
+      |> List.sort compare
+      |> List.filter_map (fun f ->
+             (* sequential designs contribute their combinational core
+                (latch outputs become PIs), as the flow does *)
+             let text =
+               let ic = open_in_bin (Filename.concat "data" f) in
+               let s = really_input_string ic (in_channel_length ic) in
+               close_in ic;
+               s
+             in
+             let net =
+               match Dpa_logic.Blif.of_string text with
+               | Ok net -> Some net
+               | Error _ -> (
+                 match Dpa_logic.Blif.sequential_of_string text with
+                 | Ok s -> Some s.Dpa_logic.Blif.comb
+                 | Error _ -> None)
+             in
+             Option.map (fun net -> (Filename.chop_suffix f ".blif", net)) net)
+    else []
+  in
+  let generated =
+    match Dpa_workload.Profiles.find "industry2" with
+    | Some p ->
+      [ ( p.Dpa_workload.Profiles.params.Dpa_workload.Generator.name,
+          Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params ) ]
+    | None -> []
+  in
+  let measure (name, raw) =
+    let net = Dpa_synth.Opt.optimize raw in
+    let mapped =
+      Mapped.map (Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net)))
+    in
+    let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+    let run backend =
+      let best = ref infinity and result = ref None in
+      for _ = 1 to repeats do
+        let rng = Dpa_util.Rng.create 2024 in
+        let t0 = Unix.gettimeofday () in
+        let a = Dpa_sim.Simulator.measure ~backend ~cycles rng ~input_probs mapped in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        result := Some a
+      done;
+      (Option.get !result, float_of_int cycles /. Float.max !best 1e-9)
+    in
+    let ai, interp_cps = run Dpa_sim.Backend.Interp in
+    let ac, compiled_cps = run Dpa_sim.Backend.Compiled in
+    let identical =
+      ai.Dpa_sim.Simulator.fire_counts = ac.Dpa_sim.Simulator.fire_counts
+      && ai.Dpa_sim.Simulator.input_toggles = ac.Dpa_sim.Simulator.input_toggles
+      && ai.Dpa_sim.Simulator.node_probs = ac.Dpa_sim.Simulator.node_probs
+    in
+    if not identical then begin
+      Printf.eprintf
+        "sim bench: %s: backends disagree at seed 2024 — speedup would be meaningless\n"
+        name;
+      exit 1
+    end;
+    (name, Netlist.size (Mapped.net mapped), interp_cps, compiled_cps)
+  in
+  let rows = List.map measure (data_circuits @ generated) in
+  let t =
+    Table.create
+      ~columns:
+        [ ("Ckt", Table.Left); ("nodes", Table.Right); ("interp cyc/s", Table.Right);
+          ("compiled cyc/s", Table.Right); ("speedup", Table.Right) ]
+  in
+  List.iter
+    (fun (name, nodes, icps, ccps) ->
+      Table.add_row t
+        [ name; string_of_int nodes;
+          Printf.sprintf "%.0f" icps;
+          Printf.sprintf "%.0f" ccps;
+          Printf.sprintf "%.1fx" (ccps /. Float.max icps 1e-9) ])
+    rows;
+  Table.print t;
+  Printf.printf "\nall circuits bit-identical across backends (%d cycles, seed 2024)\n"
+    cycles;
+  if json then begin
+    let json_float f =
+      if Float.is_nan f then "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+      else Printf.sprintf "%.6g" f
+    in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"bench\": \"sim_compile\",\n  \"unit\": \"cycles/s\",\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"quick\": %b,\n  \"cycles\": %d,\n  \"results\": [\n" quick cycles);
+    let n = List.length rows in
+    List.iteri
+      (fun k (name, nodes, icps, ccps) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"circuit\": \"%s\", \"nodes\": %d, \"interp_cps\": %s, \
+              \"compiled_cps\": %s, \"speedup\": %s, \"identical\": true}%s\n"
+             name nodes (json_float icps) (json_float ccps)
+             (json_float (ccps /. Float.max icps 1e-9))
+             (if k = n - 1 then "" else ",")))
+      rows;
+    Buffer.add_string b "  ]\n}\n";
+    let oc = open_out "BENCH_sim_compile.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote BENCH_sim_compile.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 

@@ -591,6 +591,7 @@ let all () =
   Experiments.seq_table ();
   Experiments.validate ();
   Experiments.ablation ();
+  Experiments.sim_compile ();
   service_throughput ();
   parallel_bench ();
   perf ()
@@ -625,6 +626,7 @@ let () =
       ("seqtable", Experiments.seq_table);
       ("validate", Experiments.validate);
       ("ablation", Experiments.ablation);
+      ("sim", fun () -> Experiments.sim_compile ~quick:is_quick ~json ());
       ("service", fun () -> service_throughput ~quick:is_quick ~json ());
       ("parallel", fun () -> parallel_bench ~quick:is_quick ~json ());
       ("perf", perf ~json ~metrics) ]

@@ -150,15 +150,37 @@ let fallback_arg =
   in
   Arg.(value & opt fb_conv Dpa_power.Engine.Simulate & info [ "fallback" ] ~docv:"POLICY" ~doc)
 
-let budget_of ~max_bdd_nodes ~deadline ~fallback =
+let sim_backend_arg =
+  let doc =
+    "Monte-Carlo simulation backend: $(b,interp) walks the netlist event queue \
+     cycle by cycle, $(b,compiled) (default) lowers the block once to a flat \
+     bit-parallel instruction tape that evaluates 63 cycles per pass. Both \
+     backends produce bit-identical activity counts for equal seeds."
+  in
+  let sb_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dpa_sim.Backend.of_string s with
+          | Some b -> Ok b
+          | None ->
+            Error (`Msg (Printf.sprintf "invalid sim backend %S (interp|compiled)" s))),
+        fun fmt b -> Format.pp_print_string fmt (Dpa_sim.Backend.to_string b) )
+  in
+  Arg.(
+    value
+    & opt sb_conv Dpa_sim.Backend.default
+    & info [ "sim-backend" ] ~docv:"BACKEND" ~doc)
+
+let budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend =
   match max_bdd_nodes, deadline with
-  | None, None -> None
+  | None, None when sim_backend = Dpa_sim.Backend.default -> None
   | _ ->
     Some
       { Dpa_power.Engine.default_budget with
         Dpa_power.Engine.max_bdd_nodes;
         deadline_s = deadline;
-        fallback }
+        fallback;
+        sim_backend }
 
 (* ---- run ---- *)
 
@@ -175,7 +197,7 @@ let run_cmd =
     Arg.(value & flag & info [ "two-level" ] ~doc)
   in
   let action file profile input_prob timed seed sequential two_level max_bdd_nodes
-      deadline fallback jobs trace metrics =
+      deadline fallback sim_backend jobs trace metrics =
     if input_prob < 0.0 || input_prob > 1.0 then
       `Error (false, "--input-prob must lie in [0,1]")
     else begin
@@ -188,7 +210,7 @@ let run_cmd =
           seed;
           pair_limit = pair_limit_of ~profile;
           timing = (if timed then Some Flow.default_timing else None);
-          budget = budget_of ~max_bdd_nodes ~deadline ~fallback;
+          budget = budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend;
           par = Some pool }
       in
       if sequential then begin
@@ -246,7 +268,7 @@ let run_cmd =
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ timed_arg $ seed_arg
         $ sequential_arg $ two_level_arg $ max_bdd_nodes_arg $ deadline_arg
-        $ fallback_arg $ jobs_arg $ trace_arg $ metrics_arg))
+        $ fallback_arg $ sim_backend_arg $ jobs_arg $ trace_arg $ metrics_arg))
 
 (* ---- estimate ---- *)
 
@@ -260,7 +282,7 @@ let estimate_cmd =
     Arg.(value & opt (some int) None & info [ "simulate" ] ~docv:"CYCLES" ~doc)
   in
   let action file profile input_prob phases cycles max_bdd_nodes deadline fallback
-      jobs trace metrics =
+      sim_backend jobs trace metrics =
     guard @@ fun () ->
     with_obs ~trace ~metrics @@ fun () ->
     with_par ~jobs @@ fun pool ->
@@ -291,7 +313,7 @@ let estimate_cmd =
         in
         let est =
           Dpa_power.Engine.estimate ~par:pool
-            ?budget:(budget_of ~max_bdd_nodes ~deadline ~fallback)
+            ?budget:(budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend)
             ~input_probs mapped
         in
         let r = est.Dpa_power.Engine.report in
@@ -318,7 +340,8 @@ let estimate_cmd =
           let rng = Dpa_util.Rng.create 1 in
           let m =
             Dpa_power.Estimate.of_activity mapped
-              (Dpa_sim.Simulator.measure ~cycles:c rng ~input_probs mapped)
+              (Dpa_sim.Simulator.measure ~backend:sim_backend ~cycles:c rng ~input_probs
+                 mapped)
           in
           Printf.printf "  simulated (%d cycles) %9.4f\n" c
             m.Dpa_power.Estimate.total
@@ -330,8 +353,107 @@ let estimate_cmd =
     Term.(
       ret
         (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg
-        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ jobs_arg $ trace_arg
-        $ metrics_arg))
+        $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg $ jobs_arg
+        $ trace_arg $ metrics_arg))
+
+(* ---- validate ---- *)
+
+(* Cross-check the analytic engine estimate against a Monte-Carlo
+   measurement of the same mapped block. The simulated number is the
+   ground truth the whole estimation stack approximates, so this is the
+   end-to-end validation path for both the engine and the simulation
+   backends. *)
+let validate_cmd =
+  let phases_arg =
+    let doc = "Explicit phase string, e.g. \"+-+\" (default all positive)." in
+    Arg.(value & opt (some string) None & info [ "phases" ] ~docv:"PHASES" ~doc)
+  in
+  let cycles_arg =
+    let doc =
+      "Monte-Carlo cycles for the simulated measurement (default: the shared \
+       simulator default, 10000)."
+    in
+    Arg.(
+      value
+      & opt int Dpa_sim.Backend.default_cycles
+      & info [ "cycles" ] ~docv:"N" ~doc)
+  in
+  let action file profile input_prob phases cycles seed sim_backend max_bdd_nodes
+      deadline fallback jobs trace metrics =
+    if cycles < 1 then `Error (false, "--cycles must be >= 1")
+    else begin
+      guard @@ fun () ->
+      with_obs ~trace ~metrics @@ fun () ->
+      with_par ~jobs @@ fun pool ->
+      match netlist_of_source ~file ~profile with
+      | Error msg -> `Error (false, msg)
+      | Ok raw ->
+        let net = Dpa_synth.Opt.optimize raw in
+        let n = Netlist.num_outputs net in
+        let assignment =
+          match phases with
+          | None -> Ok (Phase.all_positive n)
+          | Some s when String.length s = n ->
+            if String.for_all (fun c -> c = '+' || c = '-') s then
+              Ok
+                (Array.init n (fun k ->
+                     if s.[k] = '-' then Phase.Negative else Phase.Positive))
+            else Error "phase string may contain only '+' and '-'"
+          | Some s ->
+            Error
+              (Printf.sprintf "phase string %S has %d characters for %d outputs" s
+                 (String.length s) n)
+        in
+        (match assignment with
+        | Error msg -> `Error (false, msg)
+        | Ok assignment ->
+          let input_probs = Array.make (Netlist.num_inputs net) input_prob in
+          let mapped =
+            Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment)
+          in
+          let est =
+            Dpa_power.Engine.estimate ~par:pool
+              ?budget:(budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend)
+              ~input_probs mapped
+          in
+          let estimated = est.Dpa_power.Engine.report.Dpa_power.Estimate.total in
+          let rng = Dpa_util.Rng.create seed in
+          let measured =
+            Dpa_power.Estimate.of_activity mapped
+              (Dpa_sim.Simulator.measure ~backend:sim_backend ~cycles rng ~input_probs
+                 mapped)
+          in
+          let simulated = measured.Dpa_power.Estimate.total in
+          let rel =
+            if Float.abs estimated > 1e-12 then
+              100.0 *. Float.abs (simulated -. estimated) /. estimated
+            else 0.0
+          in
+          Printf.printf "phases %s: %d cells\n" (Phase.to_string assignment)
+            (Dpa_domino.Mapped.size mapped);
+          if not (Dpa_power.Engine.all_exact est.Dpa_power.Engine.degradation) then
+            Printf.printf "  estimate degraded: %s\n"
+              (Dpa_power.Engine.degradation_to_string
+                 est.Dpa_power.Engine.degradation);
+          Printf.printf "  estimated total      %10.4f\n" estimated;
+          Printf.printf "  simulated total      %10.4f   (%s backend, %d cycles, seed %d)\n"
+            simulated
+            (Dpa_sim.Backend.to_string sim_backend)
+            cycles seed;
+          Printf.printf "  relative gap         %9.2f%%\n" rel;
+          `Ok ())
+    end
+  in
+  let doc =
+    "Validate the analytic power estimate against a Monte-Carlo simulation of the \
+     mapped block (selectable backend, deterministic seed)."
+  in
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(
+      ret
+        (const action $ file_arg $ profile_arg $ input_prob_arg $ phases_arg $ cycles_arg
+        $ seed_arg $ sim_backend_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg
+        $ jobs_arg $ trace_arg $ metrics_arg))
 
 (* ---- generate ---- *)
 
@@ -563,6 +685,7 @@ let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget =
           Protocol.max_bdd_nodes = b.Dpa_power.Engine.max_bdd_nodes;
           deadline_s = b.Dpa_power.Engine.deadline_s;
           fallback = b.Dpa_power.Engine.fallback;
+          sim_backend = b.Dpa_power.Engine.sim_backend;
         })
       budget
   in
@@ -608,9 +731,9 @@ let submit_cmd =
     Arg.(value & opt int 0 & info [ "id" ] ~docv:"N" ~doc)
   in
   let action socket cmd id file inline input_prob phases seed max_bdd_nodes deadline
-      fallback =
+      fallback sim_backend =
     guard @@ fun () ->
-    let budget = budget_of ~max_bdd_nodes ~deadline ~fallback in
+    let budget = budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend in
     match build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget with
     | Error msg -> `Error (false, msg)
     | Ok envelope ->
@@ -642,7 +765,7 @@ let submit_cmd =
             value
             & opt (some string) None
             & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
-        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg))
+        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg))
 
 let batch_cmd =
   let jobs_arg =
@@ -672,9 +795,9 @@ let batch_cmd =
     Arg.(value & opt int 1 & info [ "request-jobs" ] ~docv:"N" ~doc)
   in
   let action socket workers request_jobs jobs files cmd repeat inline input_prob phases
-      seed max_bdd_nodes deadline fallback =
+      seed max_bdd_nodes deadline fallback sim_backend =
     guard @@ fun () ->
-    let budget = budget_of ~max_bdd_nodes ~deadline ~fallback in
+    let budget = budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend in
     let with_id i json =
       match Dpa_util.Jsonlite.member_opt "id" json with
       | Some _ -> json
@@ -800,7 +923,7 @@ let batch_cmd =
             value
             & opt (some string) None
             & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
-        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg))
+        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg))
 
 (* ---- tables ---- *)
 
@@ -844,5 +967,5 @@ let () =
   let doc = "automated phase assignment for low power domino circuits" in
   let info = Cmd.info "dominoflow" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ run_cmd; estimate_cmd; generate_cmd; info_cmd; equiv_cmd; mfvs_cmd; table1_cmd;
-         table2_cmd; serve_cmd; submit_cmd; batch_cmd ]))
+       [ run_cmd; estimate_cmd; validate_cmd; generate_cmd; info_cmd; equiv_cmd;
+         mfvs_cmd; table1_cmd; table2_cmd; serve_cmd; submit_cmd; batch_cmd ]))

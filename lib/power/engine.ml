@@ -14,6 +14,7 @@ type budget = {
   sim_halfwidth : float;
   sim_confidence : float;
   sim_seed : int;
+  sim_backend : Dpa_sim.Backend.t;
   reorder_passes : int;
 }
 
@@ -25,11 +26,13 @@ let default_budget =
     sim_halfwidth = 0.01;
     sim_confidence = 0.95;
     sim_seed = 1;
+    sim_backend = Dpa_sim.Backend.default;
     reorder_passes = 2;
   }
 
-let bounded ?max_bdd_nodes ?deadline_s ?(fallback = Simulate) () =
-  { default_budget with max_bdd_nodes; deadline_s; fallback }
+let bounded ?max_bdd_nodes ?deadline_s ?(fallback = Simulate)
+    ?(sim_backend = Dpa_sim.Backend.default) () =
+  { default_budget with max_bdd_nodes; deadline_s; fallback; sim_backend }
 
 let is_unbounded b = b.max_bdd_nodes = None && b.deadline_s = None
 
@@ -389,8 +392,26 @@ let estimate_par ~pool ~budget ~input_probs mapped =
       let cycles = sim_cycles_of budget in
       let failed = failed_indices okf in
       Trace.instant "engine.ladder.sim"
-        ~args:[ ("cycles", Trace.Int cycles); ("cones", Trace.Int n_failed) ];
+        ~args:
+          [
+            ("cycles", Trace.Int cycles);
+            ("cones", Trace.Int n_failed);
+            ("backend", Trace.Str (Dpa_sim.Backend.to_string budget.sim_backend));
+          ];
       Metrics.add c_sim_cycles (cycles * n_failed);
+      (* compiled backend: lower the block to its tape once on the
+         submitting domain; the program is immutable, so the pool's
+         domains measure their cones against the shared tape *)
+      let measure_cone =
+        match budget.sim_backend with
+        | Dpa_sim.Backend.Interp ->
+          fun rng ->
+            Dpa_sim.Simulator.measure ~backend:Dpa_sim.Backend.Interp ~cycles rng
+              ~input_probs mapped
+        | Dpa_sim.Backend.Compiled ->
+          let prog = Dpa_sim.Compiled.of_block mapped in
+          fun rng -> Dpa_sim.Simulator.measure_compiled ~cycles rng ~input_probs prog
+      in
       (* rung 3: per-cone Monte-Carlo with index-derived seeds — cone k
          sees the same stream whichever domain (or jobs count) runs it *)
       let acts =
@@ -404,8 +425,7 @@ let estimate_par ~pool ~budget ~input_probs mapped =
                   ("domain", Trace.Int (Domain.self () :> int));
                 ]
             @@ fun () ->
-            let rng = Dpa_util.Rng.derive ~base:budget.sim_seed ~index:k in
-            Dpa_sim.Simulator.measure ~cycles rng ~input_probs mapped)
+            measure_cone (Dpa_util.Rng.derive ~base:budget.sim_seed ~index:k))
       in
       Array.iteri
         (fun t k ->
@@ -520,10 +540,18 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
         (* rung 3: Monte-Carlo fallback for whatever stayed unbuilt *)
         let cycles = sim_cycles_of budget in
         Trace.instant "engine.ladder.sim"
-          ~args:[ ("cycles", Trace.Int cycles); ("cones", Trace.Int n_failed) ];
+          ~args:
+            [
+              ("cycles", Trace.Int cycles);
+              ("cones", Trace.Int n_failed);
+              ("backend", Trace.Str (Dpa_sim.Backend.to_string budget.sim_backend));
+            ];
         Metrics.add c_sim_cycles cycles;
         let rng = Dpa_util.Rng.create budget.sim_seed in
-        let act = Dpa_sim.Simulator.measure ~cycles rng ~input_probs mapped in
+        let act =
+          Dpa_sim.Simulator.measure ~backend:budget.sim_backend ~cycles rng ~input_probs
+            mapped
+        in
         let merged =
           Array.mapi
             (fun i exact ->
@@ -548,16 +576,21 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
 (* Netlist-level node probabilities under the same ladder               *)
 (* ------------------------------------------------------------------ *)
 
-let mc_netlist_probabilities ~cycles ~seed ~input_probs net =
+let mc_netlist_probabilities ~backend ~cycles ~seed ~input_probs net =
   let rng = Dpa_util.Rng.create seed in
-  let n = Netlist.size net in
-  let counts = Array.make n 0 in
-  for _ = 1 to cycles do
-    let vec = Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) input_probs in
-    let values = Dpa_logic.Eval.all_nodes net vec in
-    Array.iteri (fun i v -> if v then counts.(i) <- counts.(i) + 1) values
-  done;
-  Array.map (fun c -> float_of_int c /. float_of_int cycles) counts
+  match backend with
+  | Dpa_sim.Backend.Compiled ->
+    Dpa_sim.Compiled.node_probabilities ~cycles rng ~input_probs
+      (Dpa_sim.Compiled.of_netlist net)
+  | Dpa_sim.Backend.Interp ->
+    let n = Netlist.size net in
+    let counts = Array.make n 0 in
+    for _ = 1 to cycles do
+      let vec = Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) input_probs in
+      let values = Dpa_logic.Eval.all_nodes net vec in
+      Array.iteri (fun i v -> if v then counts.(i) <- counts.(i) + 1) values
+    done;
+    Array.map (fun c -> float_of_int c /. float_of_int cycles) counts
 
 let node_probabilities ?(budget = default_budget) ~input_probs net =
   if Array.length input_probs <> Netlist.num_inputs net then
@@ -616,7 +649,9 @@ let node_probabilities ?(budget = default_budget) ~input_probs net =
                  context = "netlist probability build (fallback insufficient)";
                });
         tag Simulated;
-        (mc_netlist_probabilities ~cycles:(sim_cycles_of budget) ~seed:budget.sim_seed
-           ~input_probs net,
+        Trace.add_args
+          [ ("backend", Trace.Str (Dpa_sim.Backend.to_string budget.sim_backend)) ];
+        (mc_netlist_probabilities ~backend:budget.sim_backend
+           ~cycles:(sim_cycles_of budget) ~seed:budget.sim_seed ~input_probs net,
          Simulated))
   end

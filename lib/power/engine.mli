@@ -38,15 +38,25 @@ type budget = {
   sim_seed : int;
       (** deterministic simulator seed — identical inputs give identical
           fallback numbers, which keeps greedy phase search monotone *)
+  sim_backend : Dpa_sim.Backend.t;
+      (** how the Monte-Carlo rung evaluates the netlist; both backends
+          are bit-identical for equal seeds ({!Dpa_sim.Backend}), so
+          this only trades speed *)
   reorder_passes : int;  (** hill-climb passes for the reorder rung *)
 }
 
 val default_budget : budget
 (** Unlimited resources, [Simulate] fallback, 1% half-width at 95%
-    confidence, seed 1, 2 reorder passes. *)
+    confidence, seed 1, the default simulation backend
+    ({!Dpa_sim.Backend.default}), 2 reorder passes. *)
 
 val bounded :
-  ?max_bdd_nodes:int -> ?deadline_s:float -> ?fallback:fallback -> unit -> budget
+  ?max_bdd_nodes:int ->
+  ?deadline_s:float ->
+  ?fallback:fallback ->
+  ?sim_backend:Dpa_sim.Backend.t ->
+  unit ->
+  budget
 (** [default_budget] with the given limits installed. *)
 
 val is_unbounded : budget -> bool

@@ -19,8 +19,9 @@ let load = function
 
 let engine_budget = function
   | None -> None
-  | Some { Protocol.max_bdd_nodes; deadline_s; fallback } ->
-    Some { Engine.default_budget with Engine.max_bdd_nodes; deadline_s; fallback }
+  | Some { Protocol.max_bdd_nodes; deadline_s; fallback; sim_backend } ->
+    Some
+      { Engine.default_budget with Engine.max_bdd_nodes; deadline_s; fallback; sim_backend }
 
 let assignment_of ~n = function
   | None -> Phase.all_positive n

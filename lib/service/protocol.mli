@@ -36,6 +36,11 @@ type budget_opts = {
   max_bdd_nodes : int option;
   deadline_s : float option;
   fallback : Dpa_power.Engine.fallback;
+  sim_backend : Dpa_sim.Backend.t;
+      (** Monte-Carlo rung backend; wire field [sim_backend]
+          (["interp"] | ["compiled"]), omitted when equal to
+          {!Dpa_sim.Backend.default} so default-budget request lines are
+          unchanged from earlier protocol revisions *)
 }
 
 type request =

@@ -1,0 +1,14 @@
+type t = Interp | Compiled
+
+let default = Compiled
+
+let default_cycles = 10_000
+
+let to_string = function Interp -> "interp" | Compiled -> "compiled"
+
+let of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let all = [ Interp; Compiled ]

@@ -1,0 +1,34 @@
+(** Simulation backend selector.
+
+    Both backends consume the {e same} random stream in the same order
+    and therefore produce bit-identical activity counts; the selector
+    only chooses how fast those counts are obtained (see DESIGN.md §12
+    for the determinism contract):
+
+    - [Interp] — the original cycle-at-a-time interpreter, one
+      {!Dpa_logic.Eval.all_nodes} walk per cycle.
+    - [Compiled] — the block is lowered once to a flat instruction tape
+      and evaluated on 63-bit words, one simulated cycle per bit lane,
+      so one tape pass covers up to 63 cycles ({!Compiled}). *)
+
+type t = Interp | Compiled
+
+val default : t
+(** [Compiled] — safe because the backends are count-identical by
+    construction (and gated on that equality by the test suite); the
+    interpreter remains selectable as the executable specification. *)
+
+val default_cycles : int
+(** The one default sample count ([10_000]) shared by every measurement
+    entry point — {!Simulator.measure}, {!Static_sim.measure} and the
+    compiled paths — so that "I didn't ask for a cycle count" means the
+    same thing everywhere. Overridable per call ([?cycles]) and from the
+    CLI ([--cycles]). Chosen to put the binomial 95% confidence
+    halfwidth on a measured probability below ±0.01. *)
+
+val to_string : t -> string
+(** ["interp"] / ["compiled"] — the [--sim-backend] spellings. *)
+
+val of_string : string -> t option
+
+val all : t list

@@ -1,6 +1,9 @@
 module Netlist = Dpa_logic.Netlist
 module Mapped = Dpa_domino.Mapped
 module Inverterless = Dpa_synth.Inverterless
+module Trace = Dpa_obs.Trace
+module Metrics = Dpa_obs.Metrics
+module Clock = Dpa_obs.Clock
 
 type activity = {
   node_probs : float array;
@@ -8,6 +11,19 @@ type activity = {
   cycles : int;
   fire_counts : int array;
 }
+
+(* eager registration — forcing a [lazy] cell from two domains races *)
+let g_interp_cps =
+  Metrics.gauge ~help:"interpreter backend throughput, simulated cycles per second"
+    "sim.interp.cycles_per_sec"
+
+let g_compiled_cps =
+  Metrics.gauge ~help:"compiled backend throughput, simulated cycles per second"
+    "sim.compiled.cycles_per_sec"
+
+let publish_cps gauge ~cycles ~since =
+  let dt = Clock.elapsed_ns ~since in
+  if dt > 0 then Metrics.set gauge (float_of_int cycles *. 1e9 /. float_of_int dt)
 
 let literal_vector lits pi_vec =
   Array.map
@@ -17,8 +33,7 @@ let literal_vector lits pi_vec =
       | Inverterless.Neg -> not pi_vec.(opos))
     lits
 
-let measure ?(cycles = 10_000) rng ~input_probs mapped =
-  if cycles <= 0 then invalid_arg "Simulator.measure: cycles must be positive";
+let interp_measure ~cycles rng ~input_probs mapped =
   let net = Mapped.net mapped in
   let lits = Mapped.literals mapped in
   let n = Netlist.size net in
@@ -35,10 +50,42 @@ let measure ?(cycles = 10_000) rng ~input_probs mapped =
     let values = Dpa_logic.Eval.all_nodes net (literal_vector lits pi_vec) in
     Array.iteri (fun i v -> if v then fire_counts.(i) <- fire_counts.(i) + 1) values
   done;
+  (fire_counts, pi_toggles)
+
+let activity_of_counts ~cycles ~fire_counts ~pi_toggles =
   let fc = float_of_int cycles in
   let node_probs = Array.map (fun c -> float_of_int c /. fc) fire_counts in
   let input_toggles = Array.map (fun c -> float_of_int c /. fc) pi_toggles in
   { node_probs; input_toggles; cycles; fire_counts }
+
+let measure_compiled ?(cycles = Backend.default_cycles) rng ~input_probs prog =
+  Trace.with_span "sim.run"
+    ~args:
+      [
+        ("backend", Trace.Str "compiled");
+        ("cycles", Trace.Int cycles);
+        ("nodes", Trace.Int (Compiled.n_nodes prog));
+      ]
+  @@ fun () ->
+  let since = Clock.now_ns () in
+  let counts = Compiled.measure_counts ~cycles rng ~input_probs prog in
+  publish_cps g_compiled_cps ~cycles ~since;
+  activity_of_counts ~cycles ~fire_counts:counts.Compiled.fire
+    ~pi_toggles:counts.Compiled.source_toggles
+
+let measure ?(backend = Backend.default) ?(cycles = Backend.default_cycles) rng ~input_probs
+    mapped =
+  if cycles <= 0 then invalid_arg "Simulator.measure: cycles must be positive";
+  match backend with
+  | Backend.Compiled -> measure_compiled ~cycles rng ~input_probs (Compiled.of_block mapped)
+  | Backend.Interp ->
+    Trace.with_span "sim.run"
+      ~args:[ ("backend", Trace.Str "interp"); ("cycles", Trace.Int cycles) ]
+    @@ fun () ->
+    let since = Clock.now_ns () in
+    let fire_counts, pi_toggles = interp_measure ~cycles rng ~input_probs mapped in
+    publish_cps g_interp_cps ~cycles ~since;
+    activity_of_counts ~cycles ~fire_counts ~pi_toggles
 
 type evaluate_trace = {
   rises : int array;

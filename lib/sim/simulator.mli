@@ -23,15 +23,34 @@ type activity = {
 }
 
 val measure :
+  ?backend:Backend.t ->
   ?cycles:int ->
   Dpa_util.Rng.t ->
   input_probs:float array ->
   Dpa_domino.Mapped.t ->
   activity
 (** Drives the block with Bernoulli vectors over the {e original} primary
-    inputs (default 10_000 cycles). The measured activity uses the same
-    per-node indexing as the BDD estimator, so the two are directly
-    comparable once priced with the same model. *)
+    inputs (default {!Backend.default_cycles} cycles). The measured
+    activity uses the same per-node indexing as the BDD estimator, so
+    the two are directly comparable once priced with the same model.
+
+    [backend] (default {!Backend.default}) selects the interpreter or
+    the bit-parallel {!Compiled} tape; both consume the same random
+    stream in the same order, so [fire_counts], [input_toggles] and the
+    derived probabilities are bit-identical across backends for equal
+    seeds. Emits a [sim.run] trace span tagged with the backend and
+    publishes a [sim.<backend>.cycles_per_sec] gauge. *)
+
+val measure_compiled :
+  ?cycles:int ->
+  Dpa_util.Rng.t ->
+  input_probs:float array ->
+  Compiled.t ->
+  activity
+(** As [measure ~backend:Compiled], but on an already-compiled program —
+    the engine's per-cone Monte-Carlo rung compiles the block once and
+    measures many cones against it (the program is immutable and safe to
+    share across pool domains). *)
 
 type evaluate_trace = {
   rises : int array;  (** 0→1 transitions per node during one evaluate *)

@@ -8,7 +8,8 @@ type measurement = {
   cycles : int;
 }
 
-let measure ?(cycles = 5_000) rng ~input_probs net =
+let measure ?(backend = Backend.default) ?(cycles = Backend.default_cycles) rng ~input_probs
+    net =
   if cycles <= 0 then invalid_arg "Static_sim.measure: cycles must be positive";
   let ins = Netlist.inputs net in
   if Array.length input_probs <> Array.length ins then
@@ -58,9 +59,22 @@ let measure ?(cycles = 5_000) rng ~input_probs net =
         current.(id) <- next_vec.(k);
         touch id)
       order;
-    (* final settled values must equal the zero-delay evaluation *)
-    let settled = Dpa_logic.Eval.all_nodes net next_vec in
-    assert (settled = current);
+    (* Final settled values must equal the zero-delay evaluation: the
+       network is acyclic and every change re-touches its readers, so
+       quiescence is the unique fixpoint [Eval.all_nodes] computes. The
+       interpreter backend recomputes it and asserts the equality; the
+       compiled backend relies on the invariant and skips the O(n)
+       re-evaluation — the one part of this glitch model that {e can} be
+       elided without perturbing the random stream (the per-cycle
+       draw/shuffle interleaving rules out lane batching here). *)
+    let settled =
+      match backend with
+      | Backend.Compiled -> current
+      | Backend.Interp ->
+        let settled = Dpa_logic.Eval.all_nodes net next_vec in
+        assert (settled = current);
+        settled
+    in
     Array.iteri
       (fun i v -> if is_gate.(i) && v <> !values.(i) then incr zero_delay)
       settled;

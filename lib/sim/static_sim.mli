@@ -19,11 +19,18 @@ type measurement = {
 }
 
 val measure :
+  ?backend:Backend.t ->
   ?cycles:int ->
   Dpa_util.Rng.t ->
   input_probs:float array ->
   Dpa_logic.Netlist.t ->
   measurement
-(** Default 5_000 cycles. Inputs are independent Bernoulli streams; each
-    cycle the changed inputs are applied in a fresh random order. The
-    network may contain any gate type. *)
+(** Default {!Backend.default_cycles} cycles. Inputs are independent
+    Bernoulli streams; each cycle the changed inputs are applied in a
+    fresh random order. The network may contain any gate type.
+
+    [backend] keeps the measurement bit-identical either way: the hazard
+    model interleaves Bernoulli draws with per-cycle shuffles, which
+    rules out the lane-packed tape, so [Compiled] instead elides the
+    per-cycle zero-delay re-evaluation (the event propagation already
+    settles to the same fixpoint, asserted under [Interp]). *)

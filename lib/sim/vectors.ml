@@ -1,3 +1,32 @@
+let lanes = 63
+
+(* SWAR popcount over the 63 usable bits of an OCaml int. The standard
+   64-bit constants are reused with bit 63 conceptually zero; only the
+   0x5555… mask exceeds [max_int] and has to be assembled. The final
+   multiply cannot wrap: every byte-sum is ≤ 63, so the true 64-bit
+   product stays below 2^63 and mod-2^63 arithmetic is exact. *)
+let m55 = 0x1555555555555555 lor (1 lsl 62)
+let m33 = 0x3333333333333333
+let m0f = 0x0F0F0F0F0F0F0F0F
+let h01 = 0x0101010101010101
+
+let popcount v =
+  let v = v - ((v lsr 1) land m55) in
+  let v = (v land m33) + ((v lsr 2) land m33) in
+  let v = (v + (v lsr 4)) land m0f in
+  (v * h01) lsr 56
+
+let lane_mask w =
+  if w < 1 || w > lanes then invalid_arg "Vectors.lane_mask: width not in 1..63";
+  if w = lanes then -1 else (1 lsl w) - 1
+
+let lane_toggles ~prev_last word ~width =
+  if width < 1 || width > lanes then invalid_arg "Vectors.lane_toggles: width not in 1..63";
+  let adjacent = popcount ((word lxor (word lsr 1)) land ((1 lsl (width - 1)) - 1)) in
+  match prev_last with
+  | None -> adjacent
+  | Some last -> adjacent + (if word land 1 <> last then 1 else 0)
+
 let generate rng ~probs ~cycles =
   Array.init cycles (fun _ -> Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) probs)
 

@@ -40,6 +40,27 @@ val derive : base:int -> index:int -> t
     that keeps per-cone Monte-Carlo fallback identical at any [--jobs]
     value. *)
 
+val bernoulli_threshold : float -> int
+(** [bernoulli_threshold p] is the integer [T] such that
+    [bernoulli t p] decides exactly as [b < T], where [b] is the 53-bit
+    uniform integer the draw consumes. The equivalence is exact, not
+    approximate: [float t 1.0] is [b / 2^53] with both steps exact, so
+    [b/2^53 < p  ≡  b < ceil (p·2^53) = T]. Used by
+    {!fill_bernoulli_lanes} to replace a float division per draw with an
+    integer compare without perturbing the stream. *)
+
+val fill_bernoulli_lanes : t -> thresholds:int array -> lanes:int -> into:int array -> unit
+(** [fill_bernoulli_lanes t ~thresholds ~lanes ~into] draws
+    [lanes × Array.length thresholds] Bernoulli bits and packs them into
+    [into]: bit [c] of [into.(k)] is draw [k] of lane [c]. Draw order is
+    lane-major, threshold-minor — for each lane [c], one draw per
+    threshold [k] in ascending [k] — which is exactly the order
+    [Array.map (bernoulli t) probs] consumes per cycle, so a packed
+    64-bit-word simulator sees the {e same} stream as a cycle-at-a-time
+    one and advances [t] by the same number of draws. [lanes] must be in
+    [1..63] (an OCaml [int] has 63 usable bits). [into] is overwritten,
+    not accumulated into. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

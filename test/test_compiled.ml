@@ -1,0 +1,311 @@
+(* The compiled bit-parallel simulation backend. The contract under test
+   is exact equality with the interpreter — same per-node fire counts,
+   same per-input toggle counts, same probabilities — for equal seeds at
+   every cycle count, including partial final passes (cycles mod 63 ≠ 0).
+   Floats are compared through [Int64.bits_of_float]: the backends share
+   one Bernoulli stream, so "close" is not good enough. *)
+
+module Backend = Dpa_sim.Backend
+module Compiled = Dpa_sim.Compiled
+module Simulator = Dpa_sim.Simulator
+module Netlist = Dpa_logic.Netlist
+module Gate = Dpa_logic.Gate
+module Phase = Dpa_synth.Phase
+module Mapped = Dpa_domino.Mapped
+module Rng = Dpa_util.Rng
+module Engine = Dpa_power.Engine
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_blif path =
+  let text = read_file path in
+  match Dpa_logic.Blif.of_string text with
+  | Ok net -> net
+  | Error _ -> (
+    match Dpa_logic.Blif.sequential_of_string text with
+    | Ok s -> s.Dpa_logic.Blif.comb
+    | Error msg -> Alcotest.failf "%s failed to parse: %s" path msg)
+
+let data_files =
+  [
+    "../data/apex7_synthetic.blif";
+    "../data/frg1_synthetic.blif";
+    "../data/seq_controller.blif";
+  ]
+
+let check_bits msg a b =
+  if Int64.bits_of_float a <> Int64.bits_of_float b then
+    Alcotest.failf "%s: %h <> %h" msg a b
+
+let check_bits_array msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri (fun i x -> check_bits (Printf.sprintf "%s.(%d)" msg i) x b.(i)) a
+
+(* optimize + all-positive realization + mapping, keeping the optimized
+   netlist so input_probs is sized off the original PI count *)
+let prep raw =
+  let net = Dpa_synth.Opt.optimize raw in
+  let mapped =
+    Mapped.map (Dpa_synth.Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net)))
+  in
+  (net, mapped)
+
+let check_identity ~name ~cycles ~seed (net, mapped) =
+  let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let interp =
+    Simulator.measure ~backend:Backend.Interp ~cycles (Rng.create seed) ~input_probs
+      mapped
+  in
+  let compiled =
+    Simulator.measure ~backend:Backend.Compiled ~cycles (Rng.create seed) ~input_probs
+      mapped
+  in
+  let tag = Printf.sprintf "%s@%d" name cycles in
+  Alcotest.(check (array int))
+    (tag ^ " fire counts")
+    interp.Simulator.fire_counts compiled.Simulator.fire_counts;
+  check_bits_array (tag ^ " input toggles") interp.Simulator.input_toggles
+    compiled.Simulator.input_toggles;
+  check_bits_array (tag ^ " node probs") interp.Simulator.node_probs
+    compiled.Simulator.node_probs;
+  Alcotest.(check int) (tag ^ " cycles") interp.Simulator.cycles compiled.Simulator.cycles
+
+(* ---- bit-identity across the data/ circuits ----------------------- *)
+
+let test_identity_data_circuits () =
+  List.iter
+    (fun path ->
+      let prepped = prep (load_blif path) in
+      (* 1 and 62: single partial pass; 63: exactly one full pass; 64 and
+         1000: full passes plus a partial tail crossing pass boundaries *)
+      List.iter
+        (fun cycles ->
+          check_identity ~name:(Filename.basename path) ~cycles ~seed:2024 prepped)
+        [ 1; 62; 63; 64; 1000 ])
+    data_files
+
+let test_identity_workload_profiles () =
+  List.iter
+    (fun name ->
+      match Dpa_workload.Profiles.find name with
+      | None -> Alcotest.failf "profile %s vanished" name
+      | Some p ->
+        let prepped =
+          prep (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
+        in
+        List.iter
+          (fun cycles -> check_identity ~name ~cycles ~seed:7 prepped)
+          [ 65; 126 ])
+    Dpa_workload.Profiles.names
+
+let test_identity_many_seeds () =
+  (* the stream equality must hold for any seed, not just a lucky one *)
+  let prepped = prep (load_blif "../data/frg1_synthetic.blif") in
+  List.iter
+    (fun seed -> check_identity ~name:"frg1" ~cycles:200 ~seed prepped)
+    [ 1; 2; 3; 17; 123456 ]
+
+(* ---- tape lowering ------------------------------------------------ *)
+
+let test_lowering_constants () =
+  (* constant nodes must hold their value in every lane, full and partial
+     passes alike; a gate fed by a constant folds to the live input *)
+  let t = Netlist.create () in
+  let a = Netlist.add_input ~name:"a" t in
+  let ct = Netlist.add_gate t (Gate.Const true) in
+  let cf = Netlist.add_gate t (Gate.Const false) in
+  let f = Netlist.add_gate t (Gate.And [| a; ct |]) in
+  let g = Netlist.add_gate t (Gate.Or [| a; cf |]) in
+  Netlist.add_output t "f" f;
+  Netlist.add_output t "g" g;
+  let prog = Compiled.of_netlist t in
+  Alcotest.(check int) "n_nodes" (Netlist.size t) (Compiled.n_nodes prog);
+  let probs =
+    Compiled.node_probabilities ~cycles:70 (Rng.create 3) ~input_probs:[| 0.5 |] prog
+  in
+  check_bits "const true" 1.0 probs.(ct);
+  check_bits "const false" 0.0 probs.(cf);
+  (* f = a ∧ 1 = a and g = a ∨ 0 = a: all three sample the same stream *)
+  check_bits "and with true = a" probs.(a) probs.(f);
+  check_bits "or with false = a" probs.(a) probs.(g)
+
+let test_lowering_single_gates () =
+  (* deterministic inputs (p = 1 or 0) make every gate's output exact *)
+  let t = Netlist.create () in
+  let one = Netlist.add_input ~name:"one" t in
+  let zero = Netlist.add_input ~name:"zero" t in
+  let and2 = Netlist.add_gate t (Gate.And [| one; zero |]) in
+  let or2 = Netlist.add_gate t (Gate.Or [| one; zero |]) in
+  let not1 = Netlist.add_gate t (Gate.Not one) in
+  let buf1 = Netlist.add_gate t (Gate.Buf zero) in
+  let and1 = Netlist.add_gate t (Gate.And [| one |]) in
+  let and3 = Netlist.add_gate t (Gate.And [| one; one; zero |]) in
+  let or3 = Netlist.add_gate t (Gate.Or [| zero; zero; one |]) in
+  Netlist.add_output t "f" or3;
+  let prog = Compiled.of_netlist t in
+  let probs =
+    Compiled.node_probabilities ~cycles:100 (Rng.create 9) ~input_probs:[| 1.0; 0.0 |]
+      prog
+  in
+  check_bits "and2(1,0)" 0.0 probs.(and2);
+  check_bits "or2(1,0)" 1.0 probs.(or2);
+  check_bits "not(1)" 0.0 probs.(not1);
+  check_bits "buf(0)" 0.0 probs.(buf1);
+  check_bits "and1(1)" 1.0 probs.(and1);
+  check_bits "and3(1,1,0)" 0.0 probs.(and3);
+  check_bits "or3(0,0,1)" 1.0 probs.(or3)
+
+let test_lowering_xor_chain () =
+  (* a parity chain over always-one inputs: node k of the chain holds the
+     parity of k+2 ones, so probabilities alternate 0/1 exactly *)
+  let n = 8 in
+  let t = Netlist.create () in
+  let xs = Array.init n (fun k -> Netlist.add_input ~name:(Printf.sprintf "x%d" k) t) in
+  let chain = Array.make (n - 1) 0 in
+  let prev = ref xs.(0) in
+  for k = 1 to n - 1 do
+    let y = Netlist.add_gate t (Gate.Xor (!prev, xs.(k))) in
+    chain.(k - 1) <- y;
+    prev := y
+  done;
+  Netlist.add_output t "parity" !prev;
+  let prog = Compiled.of_netlist t in
+  let probs =
+    Compiled.node_probabilities ~cycles:63 (Rng.create 2) ~input_probs:(Array.make n 1.0)
+      prog
+  in
+  Array.iteri
+    (fun k y ->
+      let expected = if (k + 2) mod 2 = 0 then 0.0 else 1.0 in
+      check_bits (Printf.sprintf "parity of %d ones" (k + 2)) expected probs.(y))
+    chain
+
+let test_measure_counts_validation () =
+  let t = Netlist.create () in
+  let a = Netlist.add_input t in
+  Netlist.add_output t "f" a;
+  let prog = Compiled.of_netlist t in
+  Alcotest.(check bool) "cycles=0 rejected" true
+    (match
+       Compiled.measure_counts ~cycles:0 (Rng.create 1) ~input_probs:[| 0.5 |] prog
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---- engine integration: jobs invariance and backend equality ----- *)
+
+let test_engine_jobs_invariance () =
+  (* a node budget tight enough that every cone falls through to the
+     Monte-Carlo rung, on the compiled backend: jobs=1 and jobs=4 must
+     price every node bit-identically (Rng.derive per-cone streams) *)
+  let net, mapped = prep (load_blif "../data/frg1_synthetic.blif") in
+  let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let budget =
+    { Engine.default_budget with
+      Engine.max_bdd_nodes = Some 16;
+      sim_backend = Backend.Compiled }
+  in
+  let run jobs =
+    Dpa_util.Par.with_pool ~jobs (fun pool ->
+        Engine.estimate ~par:pool ~budget ~input_probs mapped)
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "sim rung exercised" true
+    (Engine.simulated_cones r1.Engine.degradation > 0);
+  check_bits "total" r1.Engine.report.Dpa_power.Estimate.total
+    r4.Engine.report.Dpa_power.Estimate.total;
+  check_bits_array "node probs" r1.Engine.report.Dpa_power.Estimate.node_probs
+    r4.Engine.report.Dpa_power.Estimate.node_probs
+
+let test_engine_backend_equality () =
+  (* the ladder's answers cannot depend on which backend simulated the
+     fallback cones — counts are bit-identical, so totals must be too *)
+  let net, mapped = prep (load_blif "../data/frg1_synthetic.blif") in
+  let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+  let run backend =
+    let budget =
+      { Engine.default_budget with
+        Engine.max_bdd_nodes = Some 16;
+        sim_backend = backend }
+    in
+    Dpa_util.Par.with_pool ~jobs:2 (fun pool ->
+        Engine.estimate ~par:pool ~budget ~input_probs mapped)
+  in
+  let ri = run Backend.Interp and rc = run Backend.Compiled in
+  check_bits "total" ri.Engine.report.Dpa_power.Estimate.total
+    rc.Engine.report.Dpa_power.Estimate.total;
+  check_bits_array "node probs" ri.Engine.report.Dpa_power.Estimate.node_probs
+    rc.Engine.report.Dpa_power.Estimate.node_probs
+
+(* ---- static sim backend equality ---------------------------------- *)
+
+let test_static_sim_backend_equality () =
+  (* the reconvergent circuit from the static-sim tests: the Compiled
+     mode elides the per-cycle zero-delay recomputation, which must not
+     change a single count *)
+  let t = Netlist.create () in
+  let a = Netlist.add_input t in
+  let b = Netlist.add_input t in
+  let na = Netlist.add_gate t (Gate.Not a) in
+  let t1 = Netlist.add_gate t (Gate.And [| a; b |]) in
+  let t2 = Netlist.add_gate t (Gate.And [| na; b |]) in
+  let f = Netlist.add_gate t (Gate.Or [| t1; t2 |]) in
+  Netlist.add_output t "f" f;
+  let run backend =
+    Dpa_sim.Static_sim.measure ~backend ~cycles:4000 (Rng.create 5)
+      ~input_probs:[| 0.5; 0.9 |] t
+  in
+  let i = run Backend.Interp and c = run Backend.Compiled in
+  check_bits "zero_delay" i.Dpa_sim.Static_sim.zero_delay c.Dpa_sim.Static_sim.zero_delay;
+  check_bits "with_glitches" i.Dpa_sim.Static_sim.with_glitches
+    c.Dpa_sim.Static_sim.with_glitches;
+  check_bits "glitch_ratio" i.Dpa_sim.Static_sim.glitch_ratio
+    c.Dpa_sim.Static_sim.glitch_ratio;
+  Alcotest.(check int) "cycles" i.Dpa_sim.Static_sim.cycles c.Dpa_sim.Static_sim.cycles
+
+(* ---- unified cycle default ---------------------------------------- *)
+
+let test_default_cycles () =
+  Alcotest.(check int) "shared constant" 10_000 Backend.default_cycles;
+  let _, mapped = prep (Dpa_workload.Examples.fig5 ()) in
+  let a = Simulator.measure (Rng.create 1) ~input_probs:(Array.make 4 0.5) mapped in
+  Alcotest.(check int) "Simulator.measure default" Backend.default_cycles
+    a.Simulator.cycles;
+  let t = Netlist.create () in
+  let x = Netlist.add_input t in
+  let y = Netlist.add_gate t (Gate.Not x) in
+  Netlist.add_output t "f" y;
+  let m = Dpa_sim.Static_sim.measure (Rng.create 1) ~input_probs:[| 0.5 |] t in
+  Alcotest.(check int) "Static_sim.measure default" Backend.default_cycles
+    m.Dpa_sim.Static_sim.cycles
+
+let test_backend_strings () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Backend.to_string b ^ " roundtrip")
+        true
+        (Backend.of_string (Backend.to_string b) = Some b))
+    Backend.all;
+  Alcotest.(check bool) "unknown rejected" true (Backend.of_string "fast" = None)
+
+let suite =
+  [ Alcotest.test_case "identity on data circuits" `Quick test_identity_data_circuits;
+    Alcotest.test_case "identity on workload profiles" `Quick
+      test_identity_workload_profiles;
+    Alcotest.test_case "identity across seeds" `Quick test_identity_many_seeds;
+    Alcotest.test_case "lowering: constants" `Quick test_lowering_constants;
+    Alcotest.test_case "lowering: single gates" `Quick test_lowering_single_gates;
+    Alcotest.test_case "lowering: xor chain" `Quick test_lowering_xor_chain;
+    Alcotest.test_case "measure_counts validation" `Quick test_measure_counts_validation;
+    Alcotest.test_case "engine jobs invariance" `Quick test_engine_jobs_invariance;
+    Alcotest.test_case "engine backend equality" `Quick test_engine_backend_equality;
+    Alcotest.test_case "static sim backend equality" `Quick
+      test_static_sim_backend_equality;
+    Alcotest.test_case "unified cycle default" `Quick test_default_cycles;
+    Alcotest.test_case "backend strings" `Quick test_backend_strings ]

@@ -12,6 +12,7 @@ let () =
       ("phase", Test_phase.suite);
       ("timing", Test_timing.suite);
       ("sim", Test_sim.suite);
+      ("compiled", Test_compiled.suite);
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);

@@ -50,6 +50,7 @@ let test_roundtrip_estimate () =
               Protocol.max_bdd_nodes = Some 4096;
               deadline_s = Some 1.5;
               fallback = Dpa_power.Engine.No_fallback;
+              sim_backend = Dpa_sim.Backend.Interp;
             };
       }
   in
@@ -62,10 +63,11 @@ let test_roundtrip_estimate () =
     Alcotest.(check (float 0.0)) "input_prob" 0.25 input_prob;
     Alcotest.(check (option string)) "phases" (Some "+-") phases;
     (match budget with
-    | Some { Protocol.max_bdd_nodes; deadline_s; fallback } ->
+    | Some { Protocol.max_bdd_nodes; deadline_s; fallback; sim_backend } ->
       Alcotest.(check (option int)) "max_bdd_nodes" (Some 4096) max_bdd_nodes;
       Alcotest.(check (option (float 0.0))) "deadline_s" (Some 1.5) deadline_s;
-      Alcotest.(check bool) "fallback" true (fallback = Dpa_power.Engine.No_fallback)
+      Alcotest.(check bool) "fallback" true (fallback = Dpa_power.Engine.No_fallback);
+      Alcotest.(check bool) "sim_backend" true (sim_backend = Dpa_sim.Backend.Interp)
     | None -> Alcotest.fail "budget dropped")
   | _ -> Alcotest.fail "request changed kind"
 
