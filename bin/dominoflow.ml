@@ -609,11 +609,49 @@ let workers_arg =
     & opt int (max 1 (min 4 (Domain.recommended_domain_count () - 1)))
     & info [ "workers"; "j" ] ~docv:"N" ~doc)
 
+(* Fault-injection plumbing shared by serve and chaos: an explicit
+   --fault spec wins over the DPA_FAULT environment variable. *)
+let fault_arg =
+  let doc =
+    "Arm fault injection: $(docv) is \"point:rate[:param],...\" over slow_cone, \
+     worker_panic, garbage_frame, torn_frame, drop_conn, write_stall. Overrides \
+     $(b,DPA_FAULT)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault-decision stream (with --fault; default 0)." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let arm_faults ~fault ~fault_seed =
+  match fault with
+  | Some spec -> (
+    match Dpa_util.Fault.parse_config spec with
+    | Ok cfg ->
+      Dpa_util.Fault.configure ~seed:fault_seed cfg;
+      Ok ()
+    | Error msg -> Error ("--fault: " ^ msg))
+  | None -> (
+    match Dpa_util.Fault.from_env () with
+    | Ok () -> Ok ()
+    | Error msg -> Error ("DPA_FAULT: " ^ msg))
+
+let max_request_bytes_arg =
+  let doc =
+    "Largest admissible request frame in bytes; larger frames are answered with \
+     a structured error before parsing."
+  in
+  Arg.(
+    value
+    & opt int Server.default_max_request_bytes
+    & info [ "max-request-bytes" ] ~docv:"BYTES" ~doc)
+
 let serve_cmd =
   let queue_arg =
     let doc =
-      "Bound of the job queue; once full, the accept loop blocks (backpressure) \
-       instead of buffering requests without limit."
+      "Bound of the job queue; once full, further requests are shed with a \
+       structured $(b,overloaded) response carrying a retry_after_ms hint \
+       instead of buffering without limit."
     in
     Arg.(value & opt int Server.default_queue_capacity & info [ "queue-capacity" ] ~docv:"N" ~doc)
   in
@@ -625,41 +663,60 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
   in
-  let action socket workers jobs queue_capacity trace metrics =
+  let action socket workers jobs queue_capacity max_request_bytes fault fault_seed trace
+      metrics =
     if workers < 1 then `Error (false, "--workers must be >= 1")
     else if queue_capacity < 1 then `Error (false, "--queue-capacity must be >= 1")
+    else if max_request_bytes < 1 then `Error (false, "--max-request-bytes must be >= 1")
     else if (match jobs with Some j -> j < 1 | None -> false) then
       `Error (false, "--jobs must be >= 1")
     else begin
-      guard @@ fun () ->
-      with_obs ~trace ~metrics @@ fun () ->
-      let jobs =
-        match jobs with
-        | Some j -> min 126 j
-        | None -> max 1 (min 126 (Dpa_util.Par.default_jobs () / workers))
-      in
-      Server.run
-        ~on_ready:(fun h ->
-          (* ctrl-C drains like a shutdown request instead of killing
-             in-flight work *)
-          Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Server.stop h));
-          Printf.printf "dominoflow: serving on %s (workers=%d, jobs=%d, queue=%d)\n%!"
-            socket workers jobs queue_capacity)
-        { Server.socket_path = socket; workers; jobs; queue_capacity };
-      print_endline "dominoflow: server drained, bye";
-      `Ok ()
+      match arm_faults ~fault ~fault_seed with
+      | Error msg -> `Error (false, msg)
+      | Ok () ->
+        guard @@ fun () ->
+        with_obs ~trace ~metrics @@ fun () ->
+        let jobs =
+          match jobs with
+          | Some j -> min 126 j
+          | None -> max 1 (min 126 (Dpa_util.Par.default_jobs () / workers))
+        in
+        (* a signal drains like a shutdown request instead of killing
+           in-flight work; the exit code records which signal it was *)
+        let caught_signal = ref None in
+        Server.run
+          ~on_ready:(fun h ->
+            let drain_on signum =
+              Sys.set_signal signum
+                (Sys.Signal_handle
+                   (fun _ ->
+                     caught_signal := Some signum;
+                     Server.stop h))
+            in
+            drain_on Sys.sigint;
+            drain_on Sys.sigterm;
+            Printf.printf "dominoflow: serving on %s (workers=%d, jobs=%d, queue=%d)\n%!"
+              socket workers jobs queue_capacity)
+          { Server.socket_path = socket; workers; jobs; queue_capacity; max_request_bytes };
+        print_endline "dominoflow: server drained, bye";
+        (match !caught_signal with
+        | Some s when s = Sys.sigterm -> exit (128 + 15)
+        | Some s when s = Sys.sigint -> exit (128 + 2)
+        | Some _ | None -> ());
+        `Ok ()
     end
   in
   let doc =
     "Run the resident phase-assignment server: newline-delimited JSON requests \
-     (ping, info, estimate, optimize, compare, shutdown) over a Unix socket, \
-     executed by a pool of worker domains."
+     (ping, info, estimate, optimize, compare, stats, shutdown) over a Unix \
+     socket, executed by a pool of worker domains under a watchdog. SIGINT and \
+     SIGTERM drain gracefully (exit 130 / 143)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const action $ socket_req_arg $ workers_arg $ serve_jobs_arg $ queue_arg
-       $ trace_arg $ metrics_arg))
+       $ max_request_bytes_arg $ fault_arg $ fault_seed_arg $ trace_arg $ metrics_arg))
 
 (* Request construction shared by submit and batch: one CLI-side source
    of truth for turning flags into protocol envelopes. *)
@@ -692,6 +749,7 @@ let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget =
   let req =
     match cmd with
     | "ping" -> Ok Protocol.Ping
+    | "stats" -> Ok Protocol.Stats
     | "shutdown" -> Ok Protocol.Shutdown
     | "info" -> Result.map (fun s -> Protocol.Info { source = s }) (need_file "info")
     | "estimate" ->
@@ -709,13 +767,13 @@ let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget =
         (need_file "compare")
     | other ->
       Error
-        (Printf.sprintf "unknown cmd %S (ping|info|estimate|optimize|compare|shutdown)"
-           other)
+        (Printf.sprintf
+           "unknown cmd %S (ping|info|estimate|optimize|compare|stats|shutdown)" other)
   in
   Result.map (fun request -> { Protocol.id; request }) req
 
 let cmd_pos =
-  let doc = "Request kind: ping, info, estimate, optimize, compare or shutdown." in
+  let doc = "Request kind: ping, info, estimate, optimize, compare, stats or shutdown." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CMD" ~doc)
 
 let inline_arg =
@@ -794,8 +852,17 @@ let batch_cmd =
     in
     Arg.(value & opt int 1 & info [ "request-jobs" ] ~docv:"N" ~doc)
   in
-  let action socket workers request_jobs jobs files cmd repeat inline input_prob phases
-      seed max_bdd_nodes deadline fallback sim_backend =
+  let retries_arg =
+    let doc =
+      "Retry attempts after the first for requests answered $(b,overloaded) or \
+       orphaned by a dropped connection (capped exponential backoff with \
+       jitter, honoring the server's retry_after_ms hint). Requires distinct \
+       positive request ids (the default numbering provides them); 0 disables."
+    in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"K" ~doc)
+  in
+  let action socket workers request_jobs retries jobs files cmd repeat inline input_prob
+      phases seed max_bdd_nodes deadline fallback sim_backend =
     guard @@ fun () ->
     let budget = budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend in
     let with_id i json =
@@ -819,7 +886,7 @@ let batch_cmd =
         in
         let parse i line =
           match Dpa_util.Jsonlite.parse line with
-          | json -> Ok (Dpa_util.Jsonlite.encode (with_id i json))
+          | json -> Ok (Dpa_util.Jsonlite.encode (with_id (i + 1) json))
           | exception Dpa_util.Jsonlite.Parse_error msg ->
             Error (Printf.sprintf "jobs line %d: %s" (i + 1) msg)
         in
@@ -846,15 +913,20 @@ let batch_cmd =
         let repeated =
           List.concat_map (fun f -> List.init repeat (fun _ -> f)) files
         in
-        expand 0 [] repeated
+        (* ids start at 1: retry correlation needs distinct positive ids *)
+        expand 1 [] repeated
     in
     match requests with
     | Error msg -> `Error (false, msg)
     | Ok [] -> `Ok ()
     | Ok lines ->
+      let retry =
+        if retries <= 0 then None
+        else Some { Client.default_retry with Client.max_attempts = retries + 1; seed }
+      in
       let run ~socket =
         let t0 = Unix.gettimeofday () in
-        let responses = Client.run_batch ~socket lines in
+        let responses = Client.run_batch ?retry ~socket lines in
         (responses, Unix.gettimeofday () -. t0)
       in
       let responses, dt =
@@ -917,13 +989,85 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       ret
-        (const action $ socket_opt_arg $ workers_arg $ request_jobs_arg $ jobs_arg
-       $ files_pos $ cmd_arg $ repeat_arg $ inline_arg $ input_prob_arg
+        (const action $ socket_opt_arg $ workers_arg $ request_jobs_arg $ retries_arg
+       $ jobs_arg $ files_pos $ cmd_arg $ repeat_arg $ inline_arg $ input_prob_arg
         $ Arg.(
             value
             & opt (some string) None
             & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
         $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg))
+
+let chaos_cmd =
+  let requests_arg =
+    let doc = "Requests in the soak batch." in
+    Arg.(value & opt int 120 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let garbage_arg =
+    let doc = "Garbage probe lines (each must get a structured error back)." in
+    Arg.(value & opt int 9 & info [ "garbage" ] ~docv:"N" ~doc)
+  in
+  let deadline_every_arg =
+    let doc = "Attach a tight 50ms deadline budget to every $(docv)th request (0 = never)." in
+    Arg.(value & opt int 5 & info [ "deadline-every" ] ~docv:"K" ~doc)
+  in
+  let chaos_queue_arg =
+    let doc = "Job-queue bound (small on purpose, so overload shedding triggers)." in
+    Arg.(value & opt int 8 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let chaos_jobs_arg =
+    let doc = "Intra-request domains per worker." in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the report JSON to $(docv) (the CI metrics artifact)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let action workers jobs requests garbage deadline_every queue_capacity fault seed out
+      trace metrics =
+    if workers < 1 then `Error (false, "--workers must be >= 1")
+    else if requests < 1 then `Error (false, "--requests must be >= 1")
+    else begin
+      let faults =
+        match fault with
+        | None -> Ok None
+        | Some spec -> Result.map Option.some (Dpa_util.Fault.parse_config spec)
+      in
+      match faults with
+      | Error msg -> `Error (false, "--fault: " ^ msg)
+      | Ok faults ->
+        guard @@ fun () ->
+        with_obs ~trace ~metrics @@ fun () ->
+        let r =
+          Dpa_service.Chaos.soak ~seed ~workers ~jobs:(max 1 (min 126 jobs))
+            ~queue_capacity ~requests ~deadline_every ~garbage ?faults ()
+        in
+        let json = Dpa_util.Jsonlite.encode (Dpa_service.Chaos.report_json r) in
+        print_endline json;
+        (match out with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc -> output_string oc (json ^ "\n"))
+        | None -> ());
+        if r.Dpa_service.Chaos.strength < r.Dpa_service.Chaos.workers then
+          die
+            (Dpa_error.Internal
+               (Printf.sprintf "pool not at full strength after soak: %d/%d workers"
+                  r.Dpa_service.Chaos.strength r.Dpa_service.Chaos.workers))
+        else `Ok ()
+    end
+  in
+  let doc =
+    "Chaos soak: run a self-hosted server under injected faults (stalled cones, \
+     worker panics, torn frames, dropped connections, stalled flushes) and \
+     verify every request is answered exactly once, every garbage probe gets a \
+     structured error, and the worker pool ends at full strength. Prints a JSON \
+     report; exits non-zero when an invariant fails."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const action $ workers_arg $ chaos_jobs_arg $ requests_arg $ garbage_arg
+       $ deadline_every_arg $ chaos_queue_arg $ fault_arg $ seed_arg $ out_arg
+       $ trace_arg $ metrics_arg))
 
 (* ---- tables ---- *)
 
@@ -968,4 +1112,5 @@ let () =
   let info = Cmd.info "dominoflow" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; estimate_cmd; validate_cmd; generate_cmd; info_cmd; equiv_cmd;
-         mfvs_cmd; table1_cmd; table2_cmd; serve_cmd; submit_cmd; batch_cmd ]))
+         mfvs_cmd; table1_cmd; table2_cmd; serve_cmd; submit_cmd; batch_cmd;
+         chaos_cmd ]))

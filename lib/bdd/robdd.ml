@@ -43,6 +43,12 @@ type manager = {
   mutable started : float;
   mutable deadline_tick : int;
   mutable budget_context : string;
+  (* cooperative cancellation: the flag is polled per allocation (one
+     atomic load), the token's deadline rides the same stride as the
+     budget deadline. [guarded] caches "any bound installed at all" so
+     the unbudgeted hot path stays a single bool test. *)
+  mutable cancel : Dpa_util.Cancel.t;
+  mutable guarded : bool;
   (* counters already folded into the metrics registry, so repeated
      [publish_metrics] calls on one manager add only the growth since the
      previous call *)
@@ -77,6 +83,8 @@ let create_sized ~nvars ~cache_capacity =
       started = 0.0;
       deadline_tick = deadline_stride;
       budget_context = "";
+      cancel = Dpa_util.Cancel.none;
+      guarded = false;
       published = zero_stats;
       owner = (Domain.self () :> int);
     }
@@ -127,28 +135,37 @@ let grow_nodes m =
 (* Resource budget                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let set_budget ?max_nodes ?deadline ?(context = "") m =
+let set_budget ?max_nodes ?deadline ?cancel ?(context = "") m =
   check_owner m "set_budget";
   m.max_nodes <- (match max_nodes with Some n -> n | None -> max_int);
   m.deadline <- (match deadline with Some d -> d | None -> infinity);
   m.started <- (if m.deadline = infinity then 0.0 else Unix.gettimeofday ());
   m.deadline_tick <- deadline_stride;
-  m.budget_context <- context
+  m.budget_context <- context;
+  m.cancel <- (match cancel with Some c -> c | None -> Dpa_util.Cancel.none);
+  m.guarded <-
+    m.max_nodes <> max_int || m.deadline < infinity
+    || not (Dpa_util.Cancel.is_none m.cancel)
 
 let clear_budget m = set_budget m
 
 let set_budget_context m context = m.budget_context <- context
 
 let check_budget m =
+  (* explicit cancellation first: it is not a budget, so it must raise
+     [Cancelled] (which fallback ladders propagate), not [Budget_exceeded]
+     (which they catch) *)
+  if Dpa_util.Cancel.flag_set m.cancel then Dpa_util.Cancel.check_flag m.cancel;
   if m.n >= m.max_nodes then
     Dpa_util.Dpa_error.budget_exceeded ~context:m.budget_context
       ~resource:Dpa_util.Dpa_error.Bdd_nodes
       ~limit:(float_of_int m.max_nodes) ~spent:(float_of_int m.n) ();
-  if m.deadline < infinity then begin
+  if m.deadline < infinity || Dpa_util.Cancel.has_deadline m.cancel then begin
     m.deadline_tick <- m.deadline_tick - 1;
     if m.deadline_tick <= 0 then begin
       m.deadline_tick <- deadline_stride;
       let now = Unix.gettimeofday () in
+      Dpa_util.Cancel.check_at ~now m.cancel;
       if now > m.deadline then
         Dpa_util.Dpa_error.budget_exceeded ~context:m.budget_context
           ~resource:Dpa_util.Dpa_error.Wall_clock
@@ -157,7 +174,7 @@ let check_budget m =
   end
 
 let new_node m l lo hi =
-  if m.max_nodes <> max_int || m.deadline < infinity then check_budget m;
+  if m.guarded then check_budget m;
   if m.n = Array.length m.lvl then grow_nodes m;
   let id = m.n in
   Array.unsafe_set m.lvl id l;

@@ -50,13 +50,27 @@ val adopt : manager -> unit
     when exhausted. The manager stays valid after exhaustion: already
     interned nodes, probabilities and lookups keep working, so a caller
     can salvage the part of the computation that completed, then retry
-    under a different variable order or fall back to simulation. *)
+    under a different variable order or fall back to simulation.
 
-val set_budget : ?max_nodes:int -> ?deadline:float -> ?context:string -> manager -> unit
-(** [set_budget ?max_nodes ?deadline m] installs (or, with no arguments,
-    clears) the budget. [max_nodes] bounds {!total_nodes}; [deadline] is an
-    absolute [Unix.gettimeofday] timestamp. [context] tags the
-    {!Dpa_util.Dpa_error.budget_report} (e.g. which cone was building). *)
+    A {!Dpa_util.Cancel} token may ride along: its flag is polled on
+    every allocation (one atomic load) and its deadline on the same
+    1024-allocation stride, but firing raises
+    [Dpa_error.Error (Cancelled _)] — a hard stop the fallback ladder
+    propagates instead of catching. *)
+
+val set_budget :
+  ?max_nodes:int ->
+  ?deadline:float ->
+  ?cancel:Dpa_util.Cancel.t ->
+  ?context:string ->
+  manager ->
+  unit
+(** [set_budget ?max_nodes ?deadline ?cancel m] installs (or, with no
+    arguments, clears) the budget. [max_nodes] bounds {!total_nodes};
+    [deadline] is an absolute [Unix.gettimeofday] timestamp. [context]
+    tags the {!Dpa_util.Dpa_error.budget_report} (e.g. which cone was
+    building). [cancel] makes builds under this manager cooperatively
+    cancellable. *)
 
 val clear_budget : manager -> unit
 (** Removes any installed budget. *)

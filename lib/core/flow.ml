@@ -42,6 +42,7 @@ type config = {
   seed : int;
   budget : Dpa_power.Engine.budget option;
   par : Dpa_util.Par.t option;
+  cancel : Dpa_util.Cancel.t;
 }
 
 let default_config =
@@ -54,6 +55,7 @@ let default_config =
     seed = 1;
     budget = None;
     par = None;
+    cancel = Dpa_util.Cancel.none;
   }
 
 (* Map an assignment, optionally resize to the clock, and price it. *)
@@ -74,7 +76,10 @@ let realize_and_price config net ~input_probs ~clock ~measurements
     | None, _ ->
       (true, (Dpa_timing.Sta.analyze mapped).Dpa_timing.Sta.critical_delay)
   in
-  let est = Dpa_power.Engine.estimate ?par:config.par ?budget:config.budget ~input_probs mapped in
+  let est =
+    Dpa_power.Engine.estimate ?par:config.par ?budget:config.budget ~cancel:config.cancel
+      ~input_probs mapped
+  in
   let report = est.Dpa_power.Engine.report in
   (* Under the timed flow, resizing replaces cells by larger drive
      variants: area is the drive-weighted cell count (a 2× cell occupies
@@ -155,6 +160,7 @@ let compare_ma_mp_probs ?(config = default_config) ~input_probs raw =
         seed = config.seed;
         budget = config.budget;
         par = config.par;
+        cancel = config.cancel;
       }
     in
     let opt = Dpa_phase.Optimizer.minimize_power opt_config net in

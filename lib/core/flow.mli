@@ -65,11 +65,17 @@ type config = {
           pricing inside the phase search. Results are bit-identical
           with or without a pool, at any jobs count (see DESIGN.md §11);
           [None] = fully sequential *)
+  cancel : Dpa_util.Cancel.t;
+      (** cooperative-cancellation token threaded into every estimate and
+          search step; a fired token aborts the flow with
+          [Dpa_error.Error (Cancelled _)]. Default
+          {!Dpa_util.Cancel.none}. *)
 }
 
 val default_config : config
 (** Default library, [input_prob = 0.5], [exhaustive_limit = 10], no pair
-    cap, untimed, seed 1, no resource budget, no domain pool. *)
+    cap, untimed, seed 1, no resource budget, no domain pool, no
+    cancellation token. *)
 
 val compare_ma_mp : ?config:config -> Dpa_logic.Netlist.t -> result
 (** Runs both flows on the (internally re-optimized) network with the

@@ -41,6 +41,7 @@ type t = {
   input_probs : float array;
   mode : mode;
   budget : Dpa_power.Engine.budget option;
+  cancel : Dpa_util.Cancel.t;
   custom_pricer : (t -> Dpa_domino.Mapped.t -> sample) option;
   par : Par.t option;
   cache : (string, entry) Hashtbl.t;  (* priced candidates, incl. speculative *)
@@ -73,7 +74,8 @@ let env_of t =
     let n_out = Array.length (Dpa_logic.Netlist.outputs t.net) in
     let all_pos = Array.make n_out Phase.Positive in
     let e =
-      Dpa_power.Estimate.make_env ~input_probs:t.input_probs (realize_mapped t all_pos)
+      Dpa_power.Estimate.make_env ~cancel:t.cancel ~input_probs:t.input_probs
+        (realize_mapped t all_pos)
     in
     Mutex.protect t.envs_mutex (fun () -> Hashtbl.replace t.envs d e);
     e
@@ -104,7 +106,10 @@ let price t mapped =
          deterministic simulator seed, so comparisons between candidates
          stay consistent and greedy descent stays monotone even when some
          cones fall back to simulation. *)
-      let r = Dpa_power.Engine.estimate ~budget ~input_probs:t.input_probs mapped in
+      let r =
+        Dpa_power.Engine.estimate ~budget ~cancel:t.cancel ~input_probs:t.input_probs
+          mapped
+      in
       let report = r.Dpa_power.Engine.report in
       {
         sample =
@@ -118,7 +123,8 @@ let price t mapped =
     | Some _ | None ->
       let report =
         match t.mode with
-        | `Rebuild -> Dpa_power.Estimate.of_mapped ~input_probs:t.input_probs mapped
+        | `Rebuild ->
+          Dpa_power.Estimate.of_mapped ~cancel:t.cancel ~input_probs:t.input_probs mapped
         | `Incremental -> Dpa_power.Estimate.of_mapped_env (env_of t) mapped
       in
       {
@@ -131,8 +137,8 @@ let price t mapped =
         degradation = None;
       })
 
-let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budget ?pricer
-    ?par ~input_probs net =
+let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budget
+    ?(cancel = Dpa_util.Cancel.none) ?pricer ?par ~input_probs net =
   if not (Dpa_synth.Opt.is_domino_ready net) then
     invalid_arg "Measure.create: netlist contains XOR; run Opt.optimize first";
   if Array.length input_probs <> Dpa_logic.Netlist.num_inputs net then
@@ -143,6 +149,7 @@ let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budge
     input_probs;
     mode;
     budget;
+    cancel;
     custom_pricer = Option.map (fun f t mapped -> (ignore t; f mapped)) pricer;
     par;
     cache = Hashtbl.create 64;
@@ -155,6 +162,7 @@ let create ?(library = Dpa_domino.Library.default) ?(mode = `Incremental) ?budge
   }
 
 let eval t assignment =
+  Dpa_util.Cancel.check t.cancel;
   let key = Phase.to_string assignment in
   if Hashtbl.mem t.seen key then begin
     Metrics.incr c_cache_hits;

@@ -37,6 +37,7 @@ val create :
   ?library:Dpa_domino.Library.t ->
   ?mode:mode ->
   ?budget:Dpa_power.Engine.budget ->
+  ?cancel:Dpa_util.Cancel.t ->
   ?pricer:(Dpa_domino.Mapped.t -> sample) ->
   ?par:Dpa_util.Par.t ->
   input_probs:float array ->
@@ -59,7 +60,13 @@ val create :
     {!degraded_evaluations}, {!worst_degradation}).
 
     [par] enables speculative parallel pricing via {!prefetch}; it never
-    changes any measured value, only where and when prices are computed. *)
+    changes any measured value, only where and when prices are computed.
+
+    [cancel] makes every measurement cooperatively cancellable: the token
+    is polled on each {!eval}, threaded into the bounded engine, and
+    installed on every incremental env manager, so a firing token aborts
+    a search mid-candidate with [Dpa_error.Error (Cancelled _)]. The
+    checks never change measured values. *)
 
 val eval : t -> Dpa_synth.Phase.assignment -> sample
 

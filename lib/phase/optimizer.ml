@@ -16,6 +16,7 @@ type config = {
   seed : int;
   budget : Dpa_power.Engine.budget option;
   par : Dpa_util.Par.t option;
+  cancel : Dpa_util.Cancel.t;
 }
 
 let default_config ~input_probs =
@@ -28,6 +29,7 @@ let default_config ~input_probs =
     seed = 1;
     budget = None;
     par = None;
+    cancel = Dpa_util.Cancel.none;
   }
 
 type result = {
@@ -46,8 +48,8 @@ let minimize_power config net =
   Dpa_obs.Trace.with_span "phase.optimize" ~args:[ ("outputs", Dpa_obs.Trace.Int n) ]
   @@ fun () ->
   let measure =
-    Measure.create ~library:config.library ?budget:config.budget ?par:config.par
-      ~input_probs:config.input_probs net
+    Measure.create ~library:config.library ?budget:config.budget ~cancel:config.cancel
+      ?par:config.par ~input_probs:config.input_probs net
   in
   let run_exhaustive () =
     (* Exhaustive search visits every assignment anyway, so speculation
@@ -83,7 +85,9 @@ let minimize_power config net =
     let base_probs =
       match config.budget with
       | Some budget when not (Dpa_power.Engine.is_unbounded budget) ->
-        fst (Dpa_power.Engine.node_probabilities ~budget ~input_probs:config.input_probs net)
+        fst
+          (Dpa_power.Engine.node_probabilities ~budget ~cancel:config.cancel
+             ~input_probs:config.input_probs net)
       | Some _ | None -> Dpa_bdd.Build.probabilities ~input_probs:config.input_probs net
     in
     (cost, base_probs)

@@ -30,6 +30,11 @@ type config = {
           lookahead, exhaustive chunked prefetch). Never changes any
           measured value or the search trajectory — the result is
           bit-identical with or without it, at any jobs count. *)
+  cancel : Dpa_util.Cancel.t;
+      (** cooperative-cancellation token polled on every measurement; a
+          fired token aborts the search with
+          [Dpa_error.Error (Cancelled _)]. Default {!Dpa_util.Cancel.none}
+          (never fires, zero overhead). *)
 }
 
 val default_config : input_probs:float array -> config

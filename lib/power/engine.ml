@@ -166,10 +166,10 @@ let publish_par_stats pool (before : Par.stats) =
 (* One bounded build attempt: every output cone in order, each protected
    individually, so one hostile cone cannot take down its siblings (they
    still profit from whatever sharing was interned before exhaustion). *)
-let attempt ~budget ~deadline ~order ~cones ~rung mapped =
+let attempt ~budget ~deadline ~cancel ~order ~cones ~rung mapped =
   let pb = Estimate.start_build ~order mapped in
   let m = Estimate.partial_manager pb in
-  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline m;
+  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline ~cancel m;
   let ok =
     Array.mapi
       (fun k cone ->
@@ -178,6 +178,8 @@ let attempt ~budget ~deadline ~order ~cones ~rung mapped =
           Trace.with_span "engine.cone"
             ~args:[ ("cone", Trace.Int k); ("rung", Trace.Str rung) ]
           @@ fun () ->
+          if Dpa_util.Fault.fire Dpa_util.Fault.Slow_cone then
+            Dpa_util.Fault.sleep ~cancel Dpa_util.Fault.Slow_cone;
           match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
           | () ->
             Trace.add_args [ ("built", Trace.Bool true) ];
@@ -205,7 +207,7 @@ let count_ok ok = Array.fold_left (fun n b -> if b then n + 1 else n) 0 ok
 (* Budgeted adjacent-swap reorder of the collapsed variable order. Only
    meaningful under a node budget: the oracle needs a finite cap to price
    infeasible orders without hanging. *)
-let reordered_order ~budget ~deadline ~order mapped =
+let reordered_order ~budget ~deadline ~cancel ~order mapped =
   match budget.max_bdd_nodes with
   | None -> None
   | Some max_nodes ->
@@ -215,9 +217,10 @@ let reordered_order ~budget ~deadline ~order mapped =
     if Array.length order < 2 || deadline_passed () then None
     else begin
       let cost o =
+        Dpa_util.Cancel.check cancel;
         if deadline_passed () then max_int
         else
-          match Estimate.bounded_block_size ~order:o ~max_nodes ~deadline mapped with
+          match Estimate.bounded_block_size ~cancel ~order:o ~max_nodes ~deadline mapped with
           | Some s -> s
           | None -> max_int
       in
@@ -247,7 +250,7 @@ type cone_build = {
    schedules the task on — the Brace/Rudell/Bryant thread-local manager
    discipline, with probabilities extracted before the task returns so
    no cross-domain manager access ever happens. *)
-let build_cone_private ~budget ~deadline ~order ~input_probs ~cone ~k ~rung mapped =
+let build_cone_private ~budget ~deadline ~cancel ~order ~input_probs ~cone ~k ~rung mapped =
   Trace.with_span "engine.cone"
     ~args:
       [
@@ -258,8 +261,10 @@ let build_cone_private ~budget ~deadline ~order ~input_probs ~cone ~k ~rung mapp
   @@ fun () ->
   let pb = Estimate.start_build ~order mapped in
   let m = Estimate.partial_manager pb in
-  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline
+  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline ~cancel
     ~context:(Printf.sprintf "output cone %d" k) m;
+  if Dpa_util.Fault.fire Dpa_util.Fault.Slow_cone then
+    Dpa_util.Fault.sleep ~cancel Dpa_util.Fault.Slow_cone;
   let built =
     match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
     | () ->
@@ -294,7 +299,7 @@ let failed_indices ok =
    unlike the sequential ladder's one shared manager under a cumulative
    cap; both are honest policies, but they are different policies, so
    the two paths are not numerically comparable under a budget. *)
-let estimate_par ~pool ~budget ~input_probs mapped =
+let estimate_par ~pool ~budget ~cancel ~input_probs mapped =
   let net = Mapped.net mapped in
   let n_out = Netlist.num_outputs net in
   let order = Estimate.block_order ~input_probs mapped in
@@ -304,7 +309,7 @@ let estimate_par ~pool ~budget ~input_probs mapped =
   (* rung 1: per-cone exact builds *)
   let builds =
     Par.map pool n_out (fun k ->
-        build_cone_private ~budget ~deadline ~order ~input_probs ~cone:cones.(k) ~k
+        build_cone_private ~budget ~deadline ~cancel ~order ~input_probs ~cone:cones.(k) ~k
           ~rung:"exact" mapped)
   in
   let ok0 = Array.map (fun b -> b.cb_built) builds in
@@ -315,8 +320,9 @@ let estimate_par ~pool ~budget ~input_probs mapped =
      rung-1 partial build (its interned prefix still prices exactly) *)
   let builds, okf, reorder_used =
     if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (builds, ok0, false)
-    else
-      match reordered_order ~budget ~deadline ~order mapped with
+    else begin
+      Dpa_util.Cancel.check cancel;
+      match reordered_order ~budget ~deadline ~cancel ~order mapped with
       | None ->
         Trace.instant "engine.ladder.reorder" ~args:[ ("adopted", Trace.Bool false) ];
         (builds, ok0, false)
@@ -325,7 +331,7 @@ let estimate_par ~pool ~budget ~input_probs mapped =
         let retries =
           Par.map pool (Array.length failed) (fun t ->
               let k = failed.(t) in
-              build_cone_private ~budget ~deadline ~order:order' ~input_probs
+              build_cone_private ~budget ~deadline ~cancel ~order:order' ~input_probs
                 ~cone:cones.(k) ~k ~rung:"reorder" mapped)
         in
         let builds' = Array.copy builds and ok' = Array.copy ok0 in
@@ -342,6 +348,7 @@ let estimate_par ~pool ~budget ~input_probs mapped =
           ~args:
             [ ("adopted", Trace.Bool (!adopted > 0)); ("built", Trace.Int (count_ok ok')) ];
         (builds', ok', !adopted > 0)
+    end
   in
   let methods =
     Array.init n_out (fun k ->
@@ -389,6 +396,7 @@ let estimate_par ~pool ~budget ~input_probs mapped =
   let sim_cycles, ci =
     if n_failed = 0 then (0, 0.0)
     else begin
+      Dpa_util.Cancel.check cancel;
       let cycles = sim_cycles_of budget in
       let failed = failed_indices okf in
       Trace.instant "engine.ladder.sim"
@@ -406,11 +414,11 @@ let estimate_par ~pool ~budget ~input_probs mapped =
         match budget.sim_backend with
         | Dpa_sim.Backend.Interp ->
           fun rng ->
-            Dpa_sim.Simulator.measure ~backend:Dpa_sim.Backend.Interp ~cycles rng
+            Dpa_sim.Simulator.measure ~backend:Dpa_sim.Backend.Interp ~cycles ~cancel rng
               ~input_probs mapped
         | Dpa_sim.Backend.Compiled ->
           let prog = Dpa_sim.Compiled.of_block mapped in
-          fun rng -> Dpa_sim.Simulator.measure_compiled ~cycles rng ~input_probs prog
+          fun rng -> Dpa_sim.Simulator.measure_compiled ~cycles ~cancel rng ~input_probs prog
       in
       (* rung 3: per-cone Monte-Carlo with index-derived seeds — cone k
          sees the same stream whichever domain (or jobs count) runs it *)
@@ -448,7 +456,8 @@ let estimate_par ~pool ~budget ~input_probs mapped =
     degradation = { methods; bdd_nodes; reorder_used; sim_cycles; ci_halfwidth = ci };
   }
 
-let estimate ?par ?(budget = default_budget) ~input_probs mapped =
+let estimate ?par ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.none) ~input_probs
+    mapped =
   let net = Mapped.net mapped in
   let n_out = Netlist.num_outputs net in
   let args =
@@ -466,11 +475,14 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
   Trace.with_span "engine.estimate" ~args
   @@ fun () ->
   Metrics.incr c_estimates;
+  Dpa_util.Cancel.check cancel;
   match par with
-  | Some pool -> estimate_par ~pool ~budget ~input_probs mapped
+  | Some pool -> estimate_par ~pool ~budget ~cancel ~input_probs mapped
   | None ->
   if is_unbounded budget then begin
-    let report = Estimate.of_mapped ~input_probs mapped in
+    if Dpa_util.Fault.fire Dpa_util.Fault.Slow_cone then
+      Dpa_util.Fault.sleep ~cancel Dpa_util.Fault.Slow_cone;
+    let report = Estimate.of_mapped ~cancel ~input_probs mapped in
     Metrics.add c_exact n_out;
     {
       report;
@@ -483,24 +495,28 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
     let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget.deadline_s in
     let cones = Dpa_logic.Cone.of_outputs net in
     (* rung 1: exact under budget *)
-    let pb0, ok0 = attempt ~budget ~deadline ~order ~cones ~rung:"exact" mapped in
+    let pb0, ok0 = attempt ~budget ~deadline ~cancel ~order ~cones ~rung:"exact" mapped in
     Trace.instant "engine.ladder.exact"
       ~args:[ ("built", Trace.Int (count_ok ok0)); ("cones", Trace.Int n_out) ];
     let pb, okf, reorder_used =
       if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (pb0, ok0, false)
-      else
+      else begin
+        Dpa_util.Cancel.check cancel;
         (* rung 2: one retry under a budget-aware reordered variable order *)
-        match reordered_order ~budget ~deadline ~order mapped with
+        match reordered_order ~budget ~deadline ~cancel ~order mapped with
         | None ->
           Trace.instant "engine.ladder.reorder" ~args:[ ("adopted", Trace.Bool false) ];
           (pb0, ok0, false)
         | Some order' ->
-          let pb1, ok1 = attempt ~budget ~deadline ~order:order' ~cones ~rung:"reorder" mapped in
+          let pb1, ok1 =
+            attempt ~budget ~deadline ~cancel ~order:order' ~cones ~rung:"reorder" mapped
+          in
           let adopted = count_ok ok1 > count_ok ok0 in
           Trace.instant "engine.ladder.reorder"
             ~args:
               [ ("adopted", Trace.Bool adopted); ("built", Trace.Int (count_ok ok1)) ];
           if adopted then (pb1, ok1, true) else (pb0, ok0, false)
+      end
     in
     let methods = merge_methods ~ok0 ~okf ~used_reorder:reorder_used in
     if Trace.is_enabled () then
@@ -538,6 +554,7 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
       if n_failed = 0 then (exact_probs, 0, 0.0)
       else begin
         (* rung 3: Monte-Carlo fallback for whatever stayed unbuilt *)
+        Dpa_util.Cancel.check cancel;
         let cycles = sim_cycles_of budget in
         Trace.instant "engine.ladder.sim"
           ~args:
@@ -549,8 +566,8 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
         Metrics.add c_sim_cycles cycles;
         let rng = Dpa_util.Rng.create budget.sim_seed in
         let act =
-          Dpa_sim.Simulator.measure ~backend:budget.sim_backend ~cycles rng ~input_probs
-            mapped
+          Dpa_sim.Simulator.measure ~backend:budget.sim_backend ~cycles ~cancel rng
+            ~input_probs mapped
         in
         let merged =
           Array.mapi
@@ -576,26 +593,29 @@ let estimate ?par ?(budget = default_budget) ~input_probs mapped =
 (* Netlist-level node probabilities under the same ladder               *)
 (* ------------------------------------------------------------------ *)
 
-let mc_netlist_probabilities ~backend ~cycles ~seed ~input_probs net =
+let mc_netlist_probabilities ~backend ~cycles ~seed ~cancel ~input_probs net =
   let rng = Dpa_util.Rng.create seed in
   match backend with
   | Dpa_sim.Backend.Compiled ->
-    Dpa_sim.Compiled.node_probabilities ~cycles rng ~input_probs
+    Dpa_sim.Compiled.node_probabilities ~cycles ~cancel rng ~input_probs
       (Dpa_sim.Compiled.of_netlist net)
   | Dpa_sim.Backend.Interp ->
     let n = Netlist.size net in
     let counts = Array.make n 0 in
-    for _ = 1 to cycles do
+    for cycle = 1 to cycles do
+      if cycle land 63 = 0 then Dpa_util.Cancel.check cancel;
       let vec = Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) input_probs in
       let values = Dpa_logic.Eval.all_nodes net vec in
       Array.iteri (fun i v -> if v then counts.(i) <- counts.(i) + 1) values
     done;
     Array.map (fun c -> float_of_int c /. float_of_int cycles) counts
 
-let node_probabilities ?(budget = default_budget) ~input_probs net =
+let node_probabilities ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.none)
+    ~input_probs net =
   if Array.length input_probs <> Netlist.num_inputs net then
     invalid_arg "Engine.node_probabilities: input_probs length mismatch";
   Trace.with_span "engine.node_probabilities" @@ fun () ->
+  Dpa_util.Cancel.check cancel;
   let tag meth =
     Trace.add_args [ ("method", Trace.Str (cone_method_to_string meth)) ]
   in
@@ -652,6 +672,6 @@ let node_probabilities ?(budget = default_budget) ~input_probs net =
         Trace.add_args
           [ ("backend", Trace.Str (Dpa_sim.Backend.to_string budget.sim_backend)) ];
         (mc_netlist_probabilities ~backend:budget.sim_backend
-           ~cycles:(sim_cycles_of budget) ~seed:budget.sim_seed ~input_probs net,
+           ~cycles:(sim_cycles_of budget) ~seed:budget.sim_seed ~cancel ~input_probs net,
          Simulated))
   end

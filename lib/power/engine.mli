@@ -121,6 +121,7 @@ type result = {
 val estimate :
   ?par:Dpa_util.Par.t ->
   ?budget:budget ->
+  ?cancel:Dpa_util.Cancel.t ->
   input_probs:float array ->
   Dpa_domino.Mapped.t ->
   result
@@ -143,11 +144,19 @@ val estimate :
     complexity metric can be larger, because per-cone private managers
     forgo cross-cone node sharing.
 
+    [cancel] is a cooperative-cancellation token, orthogonal to the
+    budget: it is installed on every manager the ladder creates, polled
+    between rungs and inside the Monte-Carlo loops, and firing raises
+    [Dpa_error.Error (Cancelled _)] — a hard stop the ladder propagates
+    instead of degrading, so a cancelled estimate never falls back. The
+    checks never change numeric results.
+
     @raise Dpa_util.Dpa_error.Error with a [Budget] payload when cones
     remain unpriced and [budget.fallback] forbids simulation. *)
 
 val node_probabilities :
   ?budget:budget ->
+  ?cancel:Dpa_util.Cancel.t ->
   input_probs:float array ->
   Dpa_logic.Netlist.t ->
   float array * cone_method

@@ -74,7 +74,7 @@ let build_block_roots m level_of_orig mapped =
 (* Signal probability of every block node, with both literals of one
    original PI sharing a single BDD variable. Returns the probabilities and
    the manager size. *)
-let block_probabilities ~input_probs mapped =
+let block_probabilities ?(cancel = Dpa_util.Cancel.none) ~input_probs mapped =
   check_literals ~input_probs mapped;
   let order = order_of_block mapped in
   let level_of_orig = Int_table.create ~capacity:(2 * Array.length order) () in
@@ -83,6 +83,7 @@ let block_probabilities ~input_probs mapped =
     Robdd.create_sized ~nvars:(Array.length order)
       ~cache_capacity:(4 * Netlist.size (Mapped.net mapped))
   in
+  if not (Dpa_util.Cancel.is_none cancel) then Robdd.set_budget ~cancel m;
   let roots = build_block_roots m level_of_orig mapped in
   let level_probs = Array.map (fun opos -> input_probs.(opos)) order in
   let probs = Robdd.probabilities m level_probs roots in
@@ -141,9 +142,9 @@ let price mapped ~node_probs ~input_toggle =
     bdd_nodes = 0;
   }
 
-let of_mapped ~input_probs mapped =
+let of_mapped ?(cancel = Dpa_util.Cancel.none) ~input_probs mapped =
   Dpa_obs.Trace.with_span "estimate.block" @@ fun () ->
-  let node_probs, bdd_nodes = block_probabilities ~input_probs mapped in
+  let node_probs, bdd_nodes = block_probabilities ~cancel ~input_probs mapped in
   let report =
     price mapped ~node_probs ~input_toggle:(fun opos ->
         Model.static_switching input_probs.(opos))
@@ -231,9 +232,9 @@ let partial_probabilities pb ~input_probs =
     (fun i ->
       if node_built pb i then Robdd.cached_probability cache pb.pb_roots.(i) else Float.nan)
 
-let bounded_block_size ~order ~max_nodes ~deadline mapped =
+let bounded_block_size ?(cancel = Dpa_util.Cancel.none) ~order ~max_nodes ~deadline mapped =
   let pb = start_build ~order mapped in
-  Robdd.set_budget ~max_nodes ?deadline ~context:"reorder probe" pb.pb_manager;
+  Robdd.set_budget ~max_nodes ?deadline ~cancel ~context:"reorder probe" pb.pb_manager;
   let r =
     match build_nodes pb ~within:(fun _ -> true) with
     | () -> Some (Robdd.total_nodes pb.pb_manager)
@@ -253,7 +254,7 @@ type env = {
   env_input_probs : float array;
 }
 
-let make_env ~input_probs mapped =
+let make_env ?(cancel = Dpa_util.Cancel.none) ~input_probs mapped =
   check_literals ~input_probs mapped;
   (* Seed the variable order from this block (canonically the all-positive
      realization), then append every remaining PI position: re-phased
@@ -274,6 +275,7 @@ let make_env ~input_probs mapped =
     Robdd.create_sized ~nvars:(Array.length order)
       ~cache_capacity:(8 * Netlist.size (Mapped.net mapped))
   in
+  if not (Dpa_util.Cancel.is_none cancel) then Robdd.set_budget ~cancel manager;
   let level_probs = Array.map (fun opos -> input_probs.(opos)) order in
   {
     manager;

@@ -21,9 +21,13 @@ type report = {
   bdd_nodes : int;  (** manager size, complexity metric *)
 }
 
-val of_mapped : input_probs:float array -> Dpa_domino.Mapped.t -> report
+val of_mapped :
+  ?cancel:Dpa_util.Cancel.t -> input_probs:float array -> Dpa_domino.Mapped.t -> report
 (** [input_probs] is indexed by {e original} primary-input position and
-    must cover every PI the block references. *)
+    must cover every PI the block references. [cancel] installs a
+    cooperative-cancellation token on the internal manager: the build
+    raises [Dpa_error.Error (Cancelled _)] promptly once the token fires,
+    and the checks never change the numeric result. *)
 
 val price :
   Dpa_domino.Mapped.t ->
@@ -80,6 +84,7 @@ val partial_probabilities : partial_build -> input_probs:float array -> float ar
     not built. *)
 
 val bounded_block_size :
+  ?cancel:Dpa_util.Cancel.t ->
   order:int array ->
   max_nodes:int ->
   deadline:float option ->
@@ -103,11 +108,13 @@ type env
 (** Shared BDD manager + probability cache for repeated estimation of
     blocks over one set of primary inputs. *)
 
-val make_env : input_probs:float array -> Dpa_domino.Mapped.t -> env
+val make_env :
+  ?cancel:Dpa_util.Cancel.t -> input_probs:float array -> Dpa_domino.Mapped.t -> env
 (** [make_env ~input_probs mapped] fixes the variable order from [mapped]
     (canonically the all-positive realization, mirroring {!of_mapped}'s
     per-block order) extended with any PI positions the block does not
-    reference. [input_probs] is copied. *)
+    reference. [input_probs] is copied. [cancel] makes every build under
+    the env's shared manager cooperatively cancellable. *)
 
 val of_mapped_env : env -> Dpa_domino.Mapped.t -> report
 (** Like {!of_mapped} under the env's manager and cached probabilities.

@@ -56,7 +56,7 @@ let info source =
       ("optimized_gates", num (Netlist.gate_count opt));
     ]
 
-let estimate ?par ~source ~input_prob ~phases ~budget () =
+let estimate ?par ?cancel ~source ~input_prob ~phases ~budget () =
   (* the exact [dominoflow estimate] pipeline: optimize, realize the
      phase assignment inverter-free, map, price through the engine *)
   let net = Dpa_synth.Opt.optimize (load source) in
@@ -64,7 +64,7 @@ let estimate ?par ~source ~input_prob ~phases ~budget () =
   let assignment = assignment_of ~n phases in
   let input_probs = Array.make (Netlist.num_inputs net) input_prob in
   let mapped = Dpa_domino.Mapped.map (Dpa_synth.Inverterless.realize net assignment) in
-  let est = Engine.estimate ?par ?budget:(engine_budget budget) ~input_probs mapped in
+  let est = Engine.estimate ?par ?budget:(engine_budget budget) ?cancel ~input_probs mapped in
   let r = est.Engine.report in
   let block = Dpa_domino.Mapped.net mapped in
   let outputs = Netlist.outputs block in
@@ -102,23 +102,24 @@ let realization_json (r : Flow.realization) =
       ("degradation", str (Engine.degradation_label r.Flow.degradation));
     ]
 
-let flow_result ?par ~source ~input_prob ~seed ~budget () =
+let flow_result ?par ?(cancel = Dpa_util.Cancel.none) ~source ~input_prob ~seed ~budget () =
   let net = load source in
   let config =
     { Flow.default_config with
       Flow.input_prob;
       seed;
       budget = engine_budget budget;
-      par }
+      par;
+      cancel }
   in
   Flow.compare_ma_mp ~config net
 
-let optimize ?par ~source ~input_prob ~seed ~budget () =
-  let r = flow_result ?par ~source ~input_prob ~seed ~budget () in
+let optimize ?par ?cancel ~source ~input_prob ~seed ~budget () =
+  let r = flow_result ?par ?cancel ~source ~input_prob ~seed ~budget () in
   realization_json r.Flow.mp
 
-let compare ?par ~source ~input_prob ~seed ~budget () =
-  let r = flow_result ?par ~source ~input_prob ~seed ~budget () in
+let compare ?par ?cancel ~source ~input_prob ~seed ~budget () =
+  let r = flow_result ?par ?cancel ~source ~input_prob ~seed ~budget () in
   Jsonlite.Obj
     [
       ("circuit", str r.Flow.circuit);
@@ -130,13 +131,18 @@ let compare ?par ~source ~input_prob ~seed ~budget () =
       ("power_saving_pct", fnum r.Flow.power_saving_pct);
     ]
 
-let execute ?par = function
+let execute ?par ?cancel = function
   | Protocol.Ping -> ping ()
   | Protocol.Shutdown -> Jsonlite.Obj [ ("stopping", Jsonlite.Bool true) ]
   | Protocol.Info { source } -> info source
   | Protocol.Estimate { source; input_prob; phases; budget } ->
-    estimate ?par ~source ~input_prob ~phases ~budget ()
+    estimate ?par ?cancel ~source ~input_prob ~phases ~budget ()
   | Protocol.Optimize { source; input_prob; seed; budget } ->
-    optimize ?par ~source ~input_prob ~seed ~budget ()
+    optimize ?par ?cancel ~source ~input_prob ~seed ~budget ()
   | Protocol.Compare { source; input_prob; seed; budget } ->
-    compare ?par ~source ~input_prob ~seed ~budget ()
+    compare ?par ?cancel ~source ~input_prob ~seed ~budget ()
+  | Protocol.Stats ->
+    (* the pool intercepts [stats] before dispatching here; the direct
+       handler path has no pool to report on *)
+    Dpa_error.error
+      (Dpa_error.Unsupported "stats is answered by the service pool, not a handler")

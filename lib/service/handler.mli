@@ -9,10 +9,18 @@
     created inside the call, so concurrent executions share no mutable
     state beyond the (domain-safe) observability registry. *)
 
-val execute : ?par:Dpa_util.Par.t -> Protocol.request -> Dpa_util.Jsonlite.t
+val execute :
+  ?par:Dpa_util.Par.t -> ?cancel:Dpa_util.Cancel.t -> Protocol.request -> Dpa_util.Jsonlite.t
 (** The [result] payload of a success response. Failures raise
     {!Dpa_util.Dpa_error.Error} (or exceptions its [of_exn] recognizes);
     the worker pool maps them to structured error responses.
+
+    [cancel] is the per-request cooperative-cancellation token: it is
+    threaded through every estimate, search and simulation the request
+    runs, and a fired token aborts the request with
+    [Dpa_error.Error (Cancelled _)] — which the pool encodes as a
+    [deadline_exceeded] / [cancelled] error response. [Stats] raises
+    [Unsupported] here: the pool answers it from its own health record.
 
     [par] is the calling worker's private domain pool for intra-request
     parallelism (per-cone estimation, speculative phase-search pricing).

@@ -30,6 +30,16 @@ let push t x =
     true
   end
 
+let try_push t x =
+  Mutex.protect t.mutex @@ fun () ->
+  if t.closed then `Closed
+  else if Queue.length t.items >= t.capacity then `Full
+  else begin
+    Queue.push x t.items;
+    Condition.signal t.not_empty;
+    `Ok
+  end
+
 let pop t =
   Mutex.protect t.mutex @@ fun () ->
   while Queue.is_empty t.items && not t.closed do

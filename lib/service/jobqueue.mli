@@ -19,6 +19,12 @@ val push : 'a t -> 'a -> bool
 (** Blocks while the queue is full. [false] iff the queue was (or
     became) closed — the job was not enqueued. *)
 
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Non-blocking admission: [`Full] when [capacity] jobs are already
+    waiting, [`Closed] after {!close}. The server's overload-shedding
+    path — an explicit [overloaded] response instead of a blocked accept
+    loop. *)
+
 val pop : 'a t -> 'a option
 (** Blocks while the queue is empty and open. [None] once the queue is
     closed and drained. *)

@@ -34,6 +34,7 @@ type request =
       seed : int;
       budget : budget_opts option;
     }
+  | Stats
   | Shutdown
 
 type envelope = { id : int; request : request }
@@ -44,7 +45,16 @@ let cmd_name = function
   | Estimate _ -> "estimate"
   | Optimize _ -> "optimize"
   | Compare _ -> "compare"
+  | Stats -> "stats"
   | Shutdown -> "shutdown"
+
+(* The wall-clock deadline a request carries, if any — the service derives
+   its per-request cancellation token from this. *)
+let request_deadline_s = function
+  | Estimate { budget = Some b; _ }
+  | Optimize { budget = Some b; _ }
+  | Compare { budget = Some b; _ } -> b.deadline_s
+  | Estimate _ | Optimize _ | Compare _ | Ping | Info _ | Stats | Shutdown -> None
 
 (* ------------------------------------------------------------------ *)
 (* Encoding (client side)                                               *)
@@ -77,7 +87,7 @@ let request_to_json { id; request } =
   let base = [ ("id", Jsonlite.Num (float_of_int id)); ("cmd", Jsonlite.Str (cmd_name request)) ] in
   let rest =
     match request with
-    | Ping | Shutdown -> []
+    | Ping | Stats | Shutdown -> []
     | Info { source } -> source_fields source
     | Estimate { source; input_prob; phases; budget } ->
       source_fields source
@@ -198,6 +208,7 @@ let parse_request line =
     let* request =
       match cmd with
       | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
       | "shutdown" -> Ok Shutdown
       | "info" ->
         let* source = source_of json in
@@ -218,7 +229,7 @@ let parse_request line =
       | other ->
         invalid
           (Printf.sprintf
-             "unknown cmd %S (ping|info|estimate|optimize|compare|shutdown)" other)
+             "unknown cmd %S (ping|info|estimate|optimize|compare|stats|shutdown)" other)
     in
     Ok { id; request })
   | _ -> Error (Dpa_error.Invalid_input "request must be a JSON object")
@@ -233,6 +244,9 @@ let error_kind (e : Dpa_error.t) =
   | Dpa_error.Invalid_input _ -> "invalid-input"
   | Dpa_error.Unsupported _ -> "unsupported"
   | Dpa_error.Budget _ -> "budget"
+  | Dpa_error.Cancelled (Dpa_error.Deadline _) -> "deadline_exceeded"
+  | Dpa_error.Cancelled (Dpa_error.Aborted _) -> "cancelled"
+  | Dpa_error.Overloaded _ -> "overloaded"
   | Dpa_error.Io _ -> "io"
   | Dpa_error.Internal _ -> "internal"
 
@@ -247,6 +261,12 @@ let ok_response ~id ~cmd result =
        ])
 
 let error_response ~id e =
+  let extra =
+    match e with
+    | Dpa_error.Overloaded { retry_after_ms } ->
+      [ ("retry_after_ms", Jsonlite.Num (float_of_int retry_after_ms)) ]
+    | _ -> []
+  in
   Jsonlite.encode
     (Jsonlite.Obj
        [
@@ -254,11 +274,12 @@ let error_response ~id e =
          ("ok", Jsonlite.Bool false);
          ( "error",
            Jsonlite.Obj
-             [
-               ("kind", Jsonlite.Str (error_kind e));
-               ("message", Jsonlite.Str (Dpa_error.to_string e));
-               ("exit_code", Jsonlite.Num (float_of_int (Dpa_error.exit_code e)));
-             ] );
+             ([
+                ("kind", Jsonlite.Str (error_kind e));
+                ("message", Jsonlite.Str (Dpa_error.to_string e));
+                ("exit_code", Jsonlite.Num (float_of_int (Dpa_error.exit_code e)));
+              ]
+             @ extra) );
        ])
 
 type response = {

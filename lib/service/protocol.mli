@@ -17,7 +17,7 @@
      "seed": 1}                              -- optimize / compare
     v}
     [cmd] is one of [ping], [info], [estimate], [optimize], [compare],
-    [shutdown]. Responses are [{"id": n, "ok": true, "cmd": c,
+    [stats], [shutdown]. Responses are [{"id": n, "ok": true, "cmd": c,
     "result": {...}}] or [{"id": n, "ok": false, "error": {"kind": k,
     "message": m, "exit_code": c}}] with [kind]/[exit_code] following
     the {!Dpa_util.Dpa_error} taxonomy — a malformed or unexecutable
@@ -64,12 +64,20 @@ type request =
       seed : int;
       budget : budget_opts option;
     }
+  | Stats
+      (** service-health snapshot (worker strength, watchdog counters,
+          queue depth) — answered by the pool itself, not a handler *)
   | Shutdown
 
 type envelope = { id : int; request : request }
 (** [id] defaults to 0 when the request omits it. *)
 
 val cmd_name : request -> string
+
+val request_deadline_s : request -> float option
+(** The request's wall-clock deadline ([deadline_s] of its budget), if
+    any — what the service derives the per-request cancellation token
+    from. *)
 
 val request_to_json : envelope -> Jsonlite.t
 (** Client-side encoding; {!parse_request} of the encoded line yields an
@@ -91,7 +99,9 @@ val error_response : id:int -> Dpa_util.Dpa_error.t -> string
 
 val error_kind : Dpa_util.Dpa_error.t -> string
 (** Stable [kind] strings: [parse], [invalid-input], [unsupported],
-    [budget], [io], [internal]. *)
+    [budget], [deadline_exceeded], [cancelled], [overloaded], [io],
+    [internal]. An [overloaded] error object additionally carries a
+    numeric [retry_after_ms] field. *)
 
 (** Client-side view of one parsed response line. *)
 type response = {

@@ -1,4 +1,5 @@
 module Dpa_error = Dpa_util.Dpa_error
+module Fault = Dpa_util.Fault
 module Metrics = Dpa_obs.Metrics
 module Clock = Dpa_obs.Clock
 
@@ -7,22 +8,32 @@ type config = {
   workers : int;
   jobs : int;
   queue_capacity : int;
+  max_request_bytes : int;
 }
 
 let default_queue_capacity = 64
 
-(* A request line longer than this is a protocol violation (or a client
-   that never sends a newline); the connection is dropped rather than
-   letting its buffer grow without bound. *)
-let max_line_bytes = 16 * 1024 * 1024
+let default_max_request_bytes = 16 * 1024 * 1024
+
+(* A slow reader's response backlog is capped: past this the connection
+   is dropped rather than letting the server buffer grow without bound. *)
+let max_write_buffer = 64 * 1024 * 1024
+
+(* Bytes attempted per [Unix.write]; bounds the copy out of the write
+   buffer so a huge response does not stage itself whole on every
+   partial flush. *)
+let write_chunk_bytes = 256 * 1024
 
 type conn = {
   fd : Unix.file_descr;
   rbuf : Buffer.t;
   wmutex : Mutex.t;
+  wbuf : Buffer.t;  (* response bytes not yet on the wire; under wmutex *)
+  mutable woff : int;  (* consumed prefix of wbuf *)
   mutable pending : int;  (* jobs in flight whose reply targets this fd *)
   mutable eof : bool;  (* stop reading: client closed or I/O error *)
   mutable closed : bool;  (* fd closed; only the accept loop does this *)
+  mutable stall_until : float;  (* Write_stall fault: no flush before this *)
 }
 
 type t = {
@@ -30,6 +41,7 @@ type t = {
   queue : Pool.job Jobqueue.t;
   stopping : bool Atomic.t;
   wake_w : Unix.file_descr;  (* self-pipe: wakes the select loop *)
+  mutable pool : Pool.t option;  (* set once in [run], before any submit *)
 }
 
 let c_accepted =
@@ -39,63 +51,142 @@ let c_rejected =
   Metrics.counter ~help:"requests rejected because the server was draining"
     "service.rejected"
 
+let c_overloaded =
+  Metrics.counter ~help:"requests shed with an overloaded response"
+    "service.overloaded"
+
+let c_oversized =
+  Metrics.counter ~help:"request frames rejected for exceeding max_request_bytes"
+    "service.oversized"
+
 let g_connections = Metrics.gauge ~help:"currently open connections" "service.connections"
 
-let stop t =
-  if not (Atomic.exchange t.stopping true) then
-    (* wake the select loop; the pipe may already be gone during teardown *)
-    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
-    with Unix.Unix_error _ -> ()
+let wake_byte = Bytes.make 1 '!'
 
-(* Worker-side reply: one response line per request, written whole under
-   the connection mutex so concurrent workers never interleave bytes. *)
-let conn_reply conn line =
+let wake t =
+  (* non-blocking pipe: a full pipe already guarantees a pending wakeup *)
+  try ignore (Unix.write t.wake_w wake_byte 0 1) with Unix.Unix_error _ -> ()
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then wake t
+
+(* Best-effort id recovery for error responses produced before (or
+   instead of) protocol decoding. *)
+let salvage_id line =
+  match Dpa_util.Jsonlite.parse line with
+  | exception Dpa_util.Jsonlite.Parse_error _ -> 0
+  | json -> (
+    match Dpa_util.Jsonlite.member_opt "id" json with
+    | Some (Dpa_util.Jsonlite.Num f) when Float.is_integer f -> int_of_float f
+    | _ -> 0)
+
+(* Worker-side reply: append the response line to the connection's write
+   buffer under its mutex and wake the select loop, which owns the fd.
+   Workers never touch the socket, so a stalled client can only slow its
+   own buffer down — never park a worker domain (head-of-line blocking).
+   A reader falling further than [max_write_buffer] behind is dropped. *)
+let conn_reply t conn line =
+  Mutex.protect conn.wmutex (fun () ->
+      if not (conn.closed || conn.eof) then begin
+        Buffer.add_string conn.wbuf line;
+        Buffer.add_char conn.wbuf '\n';
+        if Buffer.length conn.wbuf - conn.woff > max_write_buffer then begin
+          conn.eof <- true;
+          Buffer.clear conn.wbuf;
+          conn.woff <- 0
+        end
+      end;
+      conn.pending <- conn.pending - 1);
+  wake t
+
+let conn_has_output conn =
+  Mutex.protect conn.wmutex (fun () ->
+      (not conn.closed) && Buffer.length conn.wbuf > conn.woff)
+
+(* Select-loop-side flush: non-blocking writes until the buffer drains
+   or the socket would block. The armed [Write_stall] fault freezes the
+   flush for its parameter duration — the soak's way of producing slow
+   readers on demand. *)
+let flush_conn conn =
   Mutex.protect conn.wmutex @@ fun () ->
-  (if not (conn.closed || conn.eof) then
-     try
-       let data = Bytes.of_string (line ^ "\n") in
-       let len = Bytes.length data in
-       let off = ref 0 in
-       while !off < len do
-         off := !off + Unix.write conn.fd data !off (len - !off)
-       done
-     with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _) ->
-       conn.eof <- true);
-  conn.pending <- conn.pending - 1
+  if not conn.closed then begin
+    if conn.stall_until = 0.0 && Fault.active () && Fault.fire Fault.Write_stall then
+      conn.stall_until <- Unix.gettimeofday () +. Fault.param Fault.Write_stall;
+    if conn.stall_until > 0.0 && Unix.gettimeofday () < conn.stall_until then ()
+    else begin
+      conn.stall_until <- 0.0;
+      let continue = ref true in
+      while !continue do
+        let len = Buffer.length conn.wbuf in
+        if conn.woff >= len then begin
+          Buffer.clear conn.wbuf;
+          conn.woff <- 0;
+          continue := false
+        end
+        else begin
+          let chunk = min (len - conn.woff) write_chunk_bytes in
+          let data = Bytes.create chunk in
+          Buffer.blit conn.wbuf conn.woff data 0 chunk;
+          match Unix.write conn.fd data 0 chunk with
+          | 0 -> continue := false
+          | n -> conn.woff <- conn.woff + n
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            continue := false
+          | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _) ->
+            conn.eof <- true;
+            Buffer.clear conn.wbuf;
+            conn.woff <- 0;
+            continue := false
+        end
+      done
+    end
+  end
 
 let drain_error =
   Dpa_error.Invalid_input "server is draining after shutdown; request rejected"
 
-let reject conn line =
+let reject t conn line =
   Metrics.incr c_rejected;
-  let id =
-    match Dpa_util.Jsonlite.parse line with
-    | exception Dpa_util.Jsonlite.Parse_error _ -> 0
-    | json -> (
-      match Dpa_util.Jsonlite.member_opt "id" json with
-      | Some (Dpa_util.Jsonlite.Num f) when Float.is_integer f -> int_of_float f
-      | _ -> 0)
-  in
   Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending + 1);
-  conn_reply conn (Protocol.error_response ~id drain_error)
+  conn_reply t conn (Protocol.error_response ~id:(salvage_id line) drain_error)
 
 let submit t conn line =
-  if Atomic.get t.stopping then reject conn line
+  if Atomic.get t.stopping then reject t conn line
   else begin
     Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending + 1);
-    let job =
-      { Pool.line; enqueued_ns = Clock.now_ns (); reply = conn_reply conn }
-    in
-    (* blocks when the queue is full: bounded-queue backpressure *)
-    if not (Jobqueue.push t.queue job) then begin
+    let job = { Pool.line; enqueued_ns = Clock.now_ns (); reply = conn_reply t conn } in
+    match Jobqueue.try_push t.queue job with
+    | `Ok -> ()
+    | `Closed ->
       (* queue closed between the stopping check and the push *)
       Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending - 1);
-      reject conn line
-    end
+      reject t conn line
+    | `Full ->
+      (* explicit shedding: a structured [overloaded] answer with a
+         backoff hint instead of a blocked accept loop *)
+      Metrics.incr c_overloaded;
+      let retry_after_ms =
+        match t.pool with Some p -> Pool.suggest_retry_ms p | None -> 100
+      in
+      conn_reply t conn
+        (Protocol.error_response ~id:(salvage_id line)
+           (Dpa_error.Overloaded { retry_after_ms }))
   end
 
+let oversized_error t conn ~bytes =
+  Metrics.incr c_oversized;
+  Mutex.protect conn.wmutex (fun () -> conn.pending <- conn.pending + 1);
+  conn_reply t conn
+    (Protocol.error_response ~id:0
+       (Dpa_error.Invalid_input
+          (Printf.sprintf "request frame of %d bytes exceeds max_request_bytes=%d"
+             bytes t.config.max_request_bytes)))
+
 (* Extract every complete line from the connection buffer and submit it;
-   the tail (no newline yet) stays buffered. *)
+   the tail (no newline yet) stays buffered. A frame larger than
+   [max_request_bytes] — complete or still growing — is answered with a
+   structured error before the parser ever sees it; a growing one also
+   ends the connection, because the line boundary is lost. *)
 let drain_lines t conn =
   let data = Buffer.contents conn.rbuf in
   let n = String.length data in
@@ -105,15 +196,21 @@ let drain_lines t conn =
        let nl = String.index_from data !start '\n' in
        let len = nl - !start in
        let len = if len > 0 && data.[!start + len - 1] = '\r' then len - 1 else len in
-       let line = String.sub data !start len in
-       if String.trim line <> "" then submit t conn line;
+       if len > t.config.max_request_bytes then oversized_error t conn ~bytes:len
+       else begin
+         let line = String.sub data !start len in
+         if String.trim line <> "" then submit t conn line
+       end;
        start := nl + 1
      done
    with Not_found -> ());
   Buffer.clear conn.rbuf;
   Buffer.add_substring conn.rbuf data !start (n - !start);
-  if Buffer.length conn.rbuf > max_line_bytes then
+  if Buffer.length conn.rbuf > t.config.max_request_bytes then begin
+    oversized_error t conn ~bytes:(Buffer.length conn.rbuf);
+    Buffer.clear conn.rbuf;
     Mutex.protect conn.wmutex (fun () -> conn.eof <- true)
+  end
 
 let read_chunk = Bytes.create 65536
 
@@ -123,6 +220,7 @@ let handle_readable t conn =
   | n ->
     Buffer.add_subbytes conn.rbuf read_chunk 0 n;
     drain_lines t conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
     Mutex.protect conn.wmutex (fun () -> conn.eof <- true)
 
@@ -130,7 +228,10 @@ let handle_readable t conn =
    [true] when the connection is gone. *)
 let reap conn =
   Mutex.protect conn.wmutex @@ fun () ->
-  if (not conn.closed) && conn.eof && conn.pending = 0 then begin
+  if
+    (not conn.closed) && conn.eof && conn.pending = 0
+    && Buffer.length conn.wbuf <= conn.woff
+  then begin
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     conn.closed <- true
   end;
@@ -150,63 +251,120 @@ let bind_socket path =
   Unix.listen fd 64;
   fd
 
+(* After the pool has drained, write buffers may still hold response
+   bytes: push them out with a bounded blocking-ish loop so the last
+   responses of a drain are never lost to process exit. *)
+let final_flush conns =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go conns =
+    let live =
+      List.filter (fun c -> conn_has_output c && not c.eof) conns
+    in
+    if live <> [] && Unix.gettimeofday () < deadline then begin
+      List.iter (fun c -> c.stall_until <- 0.0) live;
+      List.iter flush_conn live;
+      let still = List.filter (fun c -> conn_has_output c && not c.eof) live in
+      if still <> [] then begin
+        (match Unix.select [] (List.map (fun c -> c.fd) still) [] 0.05 with
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | _ -> ());
+        go still
+      end
+    end
+  in
+  go conns
+
 let run ?(on_ready = fun (_ : t) -> ()) config =
   if config.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
   if config.jobs < 1 then invalid_arg "Server.run: jobs must be >= 1";
+  if config.max_request_bytes < 1 then
+    invalid_arg "Server.run: max_request_bytes must be >= 1";
   (* a client that disconnects mid-reply must not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = bind_socket config.socket_path in
   let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let queue = Jobqueue.create ~capacity:config.queue_capacity in
-  let t = { config; queue; stopping = Atomic.make false; wake_w } in
+  let t = { config; queue; stopping = Atomic.make false; wake_w; pool = None } in
   let pool =
     Pool.create ~jobs:config.jobs ~workers:config.workers
       ~on_shutdown:(fun () -> stop t)
       queue
   in
+  t.pool <- Some pool;
   let conns = ref [] in
+  let wake_buf = Bytes.create 4096 in
   on_ready t;
-  (* accept/read loop: runs until a shutdown is requested *)
+  (* accept/read/flush loop: runs until a shutdown is requested *)
   while not (Atomic.get t.stopping) do
     let readable_conns = List.filter (fun c -> not (c.eof || c.closed)) !conns in
-    let fds = listen_fd :: wake_r :: List.map (fun c -> c.fd) readable_conns in
-    (* finite timeout: reap connections whose last in-flight reply
-       finished since the previous iteration *)
-    match Unix.select fds [] [] 0.25 with
+    let read_fds = listen_fd :: wake_r :: List.map (fun c -> c.fd) readable_conns in
+    let now = Unix.gettimeofday () in
+    let writable_conns =
+      (* stalled connections are left out so an armed Write_stall does
+         not spin the loop; the 0.25s timeout retries them *)
+      List.filter
+        (fun c -> conn_has_output c && (not c.eof) && c.stall_until <= now)
+        !conns
+    in
+    let write_fds = List.map (fun c -> c.fd) writable_conns in
+    (* finite timeout: watchdog ticks, stall expiries and reaping happen
+       even when no fd turns ready *)
+    (match Unix.select read_fds write_fds [] 0.25 with
     | exception Unix.Unix_error (EINTR, _, _) -> ()
-    | ready, _, _ ->
-      if List.mem listen_fd ready then begin
+    | ready_r, ready_w, _ ->
+      if List.mem wake_r ready_r then (
+        try ignore (Unix.read wake_r wake_buf 0 (Bytes.length wake_buf))
+        with Unix.Unix_error _ -> ());
+      if List.mem listen_fd ready_r then begin
         match Unix.accept listen_fd with
         | fd, _ ->
           Metrics.incr c_accepted;
+          Unix.set_nonblock fd;
           conns :=
             {
               fd;
               rbuf = Buffer.create 1024;
               wmutex = Mutex.create ();
+              wbuf = Buffer.create 1024;
+              woff = 0;
               pending = 0;
               eof = false;
               closed = false;
+              stall_until = 0.0;
             }
             :: !conns
-        | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) -> ()
+        | exception Unix.Unix_error ((ECONNABORTED | EINTR | EAGAIN | EWOULDBLOCK), _, _)
+          -> ()
       end;
-      List.iter (fun c -> if List.mem c.fd ready then handle_readable t c) readable_conns;
-      conns := List.filter (fun c -> not (reap c)) !conns;
-      Metrics.set g_connections (float_of_int (List.length !conns))
+      List.iter (fun c -> if List.mem c.fd ready_r then handle_readable t c) readable_conns;
+      List.iter (fun c -> if List.mem c.fd ready_w then flush_conn c) writable_conns);
+    (* flush stall expiries missed by the writable set *)
+    List.iter
+      (fun c ->
+        if c.stall_until > 0.0 && c.stall_until <= Unix.gettimeofday () then flush_conn c)
+      !conns;
+    Pool.watch pool;
+    conns := List.filter (fun c -> not (reap c)) !conns;
+    Metrics.set g_connections (float_of_int (List.length !conns))
   done;
   (* drain: no new connections or requests; queued jobs still execute *)
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink config.socket_path with Sys_error _ | Unix.Unix_error _ -> ());
   Jobqueue.close queue;
   Pool.join pool;
-  (* workers are gone, so pending counts are final: flush and close *)
+  (* workers are gone, so buffers and pending counts are final: flush
+     the last responses, then close every connection *)
+  final_flush !conns;
   List.iter
     (fun c ->
       ignore
         (Mutex.protect c.wmutex (fun () ->
              c.eof <- true;
-             c.pending <- 0));
+             c.pending <- 0;
+             Buffer.clear c.wbuf;
+             c.woff <- 0));
       ignore (reap c))
     !conns;
   conns := [];

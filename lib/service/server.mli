@@ -2,25 +2,46 @@
 
     [run] binds a Unix-domain socket, spawns the worker pool, and
     multiplexes client connections from the calling domain with
-    [Unix.select]: complete request lines go into the bounded job queue
-    (blocking there — not allocating — once it is full, so the queue
-    bound is the server's backpressure), and worker domains write each
-    response line back on the requesting connection under a
-    per-connection mutex.
+    [Unix.select]. Complete request lines are admitted to the bounded
+    job queue {e non-blockingly}: when the queue is full the request is
+    answered immediately with a structured [overloaded] error carrying a
+    [retry_after_ms] hint ({!Pool.suggest_retry_ms}), so overload sheds
+    explicitly instead of parking the accept loop. Worker domains never
+    touch a socket — they append response lines to a per-connection
+    write buffer, and the select loop flushes buffers with non-blocking
+    writes. A stalled reader therefore only delays its own responses
+    (and is dropped once its backlog passes 64 MB); it can never
+    head-of-line-block a worker or another client.
+
+    The select loop also runs the {!Pool.watch} watchdog tick every
+    iteration (at least every 0.25 s), which is what replaces crashed
+    worker domains and rescues or abandons overrunning requests while
+    the server stays up.
+
+    A request frame larger than [max_request_bytes] — whether a complete
+    line or a newline-less flood — is answered with a structured
+    [invalid-input] error {e before} the parser sees it (the flood also
+    ends its connection, since the line boundary is lost).
 
     Shutdown is graceful by construction: a well-formed [shutdown]
-    request (or {!stop}, e.g. from a SIGINT handler) stops the accept
-    loop, unlinks the socket, and closes the queue — which drains: jobs
-    already accepted still execute and their responses are written
-    before [run] returns. Requests arriving during the drain are
+    request (or {!stop}, e.g. from a SIGINT/SIGTERM handler) stops the
+    accept loop, unlinks the socket, and closes the queue — which
+    drains: jobs already accepted still execute and their responses are
+    flushed before [run] returns. Requests arriving during the drain are
     answered with a structured [invalid-input] error, never silently
     dropped.
 
-    Observability: [service.connections.accepted] / [service.rejected]
-    counters and a [service.connections] gauge on top of the per-request
-    cells documented in {!Pool}. [run] itself writes no trace or metrics
-    file — the CLI wraps it in the same [--trace]/[--metrics] plumbing
-    as every other subcommand. *)
+    Fault injection: an armed {!Dpa_util.Fault.Write_stall} freezes a
+    connection's flush for the fault parameter; {!Dpa_util.Fault}'s
+    other server-side points act inside the pool. All injection sites
+    cost one atomic load when injection is off.
+
+    Observability: [service.connections.accepted] / [service.rejected] /
+    [service.overloaded] / [service.oversized] counters and a
+    [service.connections] gauge on top of the per-request cells
+    documented in {!Pool}. [run] itself writes no trace or metrics file —
+    the CLI wraps it in the same [--trace]/[--metrics] plumbing as every
+    other subcommand. *)
 
 type config = {
   socket_path : string;
@@ -31,10 +52,16 @@ type config = {
           [workers × jobs] domains are ever busy. 1 = sequential
           requests, the pre-pool behaviour. *)
   queue_capacity : int;
+  max_request_bytes : int;
+      (** largest admissible request frame; larger frames get a
+          structured error without being parsed *)
 }
 
 val default_queue_capacity : int
 (** 64. *)
+
+val default_max_request_bytes : int
+(** 16 MiB. *)
 
 type t
 (** Handle onto a running server, valid while {!run} executes. *)

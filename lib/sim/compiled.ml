@@ -212,7 +212,8 @@ type counts = {
   cycles : int;
 }
 
-let measure_counts ?(cycles = Backend.default_cycles) rng ~input_probs prog =
+let measure_counts ?(cycles = Backend.default_cycles) ?(cancel = Dpa_util.Cancel.none) rng
+    ~input_probs prog =
   if cycles <= 0 then invalid_arg "Compiled.measure_counts: cycles must be positive";
   let n_pi = Array.length input_probs in
   Array.iter
@@ -229,6 +230,9 @@ let measure_counts ?(cycles = Backend.default_cycles) rng ~input_probs prog =
   let first = ref true in
   let remaining = ref cycles in
   while !remaining > 0 do
+    (* One poll per 63-cycle tape pass: cheap relative to the pass, tight
+       enough that a fired token stops a long measurement within ~one pass. *)
+    Dpa_util.Cancel.check cancel;
     let w = min Vectors.lanes !remaining in
     let mask = Vectors.lane_mask w in
     (* Same stream, same order, as the interpreter: one draw per input
@@ -253,7 +257,7 @@ let measure_counts ?(cycles = Backend.default_cycles) rng ~input_probs prog =
   done;
   { fire; source_toggles; cycles }
 
-let node_probabilities ?cycles rng ~input_probs prog =
-  let counts = measure_counts ?cycles rng ~input_probs prog in
+let node_probabilities ?cycles ?cancel rng ~input_probs prog =
+  let counts = measure_counts ?cycles ?cancel rng ~input_probs prog in
   let fc = float_of_int counts.cycles in
   Array.map (fun c -> float_of_int c /. fc) counts.fire

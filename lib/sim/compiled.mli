@@ -42,14 +42,26 @@ type counts = {
 }
 
 val measure_counts :
-  ?cycles:int -> Dpa_util.Rng.t -> input_probs:float array -> t -> counts
+  ?cycles:int ->
+  ?cancel:Dpa_util.Cancel.t ->
+  Dpa_util.Rng.t ->
+  input_probs:float array ->
+  t ->
+  counts
 (** Raw activity counts over [cycles] Bernoulli cycles (default
     {!Backend.default_cycles}); {!Simulator.measure} dresses them up as
     an {!Simulator.activity}. [input_probs] indexes the {e original}
-    primary inputs, as in the interpreter. *)
+    primary inputs, as in the interpreter. [cancel] is polled once per
+    63-cycle tape pass; a fired token raises
+    [Dpa_error.Error (Cancelled _)]. *)
 
 val node_probabilities :
-  ?cycles:int -> Dpa_util.Rng.t -> input_probs:float array -> t -> float array
+  ?cycles:int ->
+  ?cancel:Dpa_util.Cancel.t ->
+  Dpa_util.Rng.t ->
+  input_probs:float array ->
+  t ->
+  float array
 (** [measure_counts] reduced to per-node signal probabilities —
     the shape [Dpa_power.Engine.node_probabilities]'s simulation rung
     needs. *)

@@ -33,14 +33,15 @@ let literal_vector lits pi_vec =
       | Inverterless.Neg -> not pi_vec.(opos))
     lits
 
-let interp_measure ~cycles rng ~input_probs mapped =
+let interp_measure ~cycles ~cancel rng ~input_probs mapped =
   let net = Mapped.net mapped in
   let lits = Mapped.literals mapped in
   let n = Netlist.size net in
   let fire_counts = Array.make n 0 in
   let pi_toggles = Array.make (Array.length input_probs) 0 in
   let prev_pi = ref None in
-  for _ = 1 to cycles do
+  for cycle = 1 to cycles do
+    if cycle land 63 = 0 then Dpa_util.Cancel.check cancel;
     let pi_vec = Array.map (fun p -> Dpa_util.Rng.bernoulli rng p) input_probs in
     (match !prev_pi with
     | Some prev ->
@@ -58,7 +59,8 @@ let activity_of_counts ~cycles ~fire_counts ~pi_toggles =
   let input_toggles = Array.map (fun c -> float_of_int c /. fc) pi_toggles in
   { node_probs; input_toggles; cycles; fire_counts }
 
-let measure_compiled ?(cycles = Backend.default_cycles) rng ~input_probs prog =
+let measure_compiled ?(cycles = Backend.default_cycles) ?(cancel = Dpa_util.Cancel.none) rng
+    ~input_probs prog =
   Trace.with_span "sim.run"
     ~args:
       [
@@ -68,22 +70,23 @@ let measure_compiled ?(cycles = Backend.default_cycles) rng ~input_probs prog =
       ]
   @@ fun () ->
   let since = Clock.now_ns () in
-  let counts = Compiled.measure_counts ~cycles rng ~input_probs prog in
+  let counts = Compiled.measure_counts ~cycles ~cancel rng ~input_probs prog in
   publish_cps g_compiled_cps ~cycles ~since;
   activity_of_counts ~cycles ~fire_counts:counts.Compiled.fire
     ~pi_toggles:counts.Compiled.source_toggles
 
-let measure ?(backend = Backend.default) ?(cycles = Backend.default_cycles) rng ~input_probs
-    mapped =
+let measure ?(backend = Backend.default) ?(cycles = Backend.default_cycles)
+    ?(cancel = Dpa_util.Cancel.none) rng ~input_probs mapped =
   if cycles <= 0 then invalid_arg "Simulator.measure: cycles must be positive";
   match backend with
-  | Backend.Compiled -> measure_compiled ~cycles rng ~input_probs (Compiled.of_block mapped)
+  | Backend.Compiled ->
+    measure_compiled ~cycles ~cancel rng ~input_probs (Compiled.of_block mapped)
   | Backend.Interp ->
     Trace.with_span "sim.run"
       ~args:[ ("backend", Trace.Str "interp"); ("cycles", Trace.Int cycles) ]
     @@ fun () ->
     let since = Clock.now_ns () in
-    let fire_counts, pi_toggles = interp_measure ~cycles rng ~input_probs mapped in
+    let fire_counts, pi_toggles = interp_measure ~cycles ~cancel rng ~input_probs mapped in
     publish_cps g_interp_cps ~cycles ~since;
     activity_of_counts ~cycles ~fire_counts ~pi_toggles
 

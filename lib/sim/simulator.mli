@@ -25,6 +25,7 @@ type activity = {
 val measure :
   ?backend:Backend.t ->
   ?cycles:int ->
+  ?cancel:Dpa_util.Cancel.t ->
   Dpa_util.Rng.t ->
   input_probs:float array ->
   Dpa_domino.Mapped.t ->
@@ -39,10 +40,16 @@ val measure :
     stream in the same order, so [fire_counts], [input_toggles] and the
     derived probabilities are bit-identical across backends for equal
     seeds. Emits a [sim.run] trace span tagged with the backend and
-    publishes a [sim.<backend>.cycles_per_sec] gauge. *)
+    publishes a [sim.<backend>.cycles_per_sec] gauge.
+
+    [cancel] is polled every 64 cycles (interpreter) or once per 63-cycle
+    tape pass (compiled); a fired token raises
+    [Dpa_error.Error (Cancelled _)]. The checks never perturb the random
+    stream, so cancellation does not break backend bit-identity. *)
 
 val measure_compiled :
   ?cycles:int ->
+  ?cancel:Dpa_util.Cancel.t ->
   Dpa_util.Rng.t ->
   input_probs:float array ->
   Compiled.t ->

@@ -1,0 +1,62 @@
+(* A token is deliberately tiny: one atomic cell for the explicit flag
+   (None = live, Some reason = fired) plus two immutable floats for the
+   deadline. Everything a polling hot path touches is a single load. *)
+
+type t = {
+  fired : string option Atomic.t;
+  deadline : float;  (* absolute Unix.gettimeofday; infinity = none *)
+  started : float;  (* creation time, for elapsed_s in error reports *)
+}
+
+let none = { fired = Atomic.make None; deadline = infinity; started = 0.0 }
+
+let is_none t = t == none
+
+let create ?deadline_in () =
+  match deadline_in with
+  | None -> { fired = Atomic.make None; deadline = infinity; started = 0.0 }
+  | Some d ->
+    if d <= 0.0 then invalid_arg "Cancel.create: deadline_in must be > 0";
+    let now = Unix.gettimeofday () in
+    { fired = Atomic.make None; deadline = now +. d; started = now }
+
+let cancel ?(reason = "cancelled") t =
+  if not (is_none t) then
+    (* first reason wins; losing the race is fine — some reason sticks *)
+    ignore (Atomic.compare_and_set t.fired None (Some reason))
+
+let deadline t = t.deadline
+
+let has_deadline t = t.deadline < infinity
+
+let flag_set t = Atomic.get t.fired <> None
+
+let is_cancelled t =
+  Atomic.get t.fired <> None
+  || (t.deadline < infinity && Unix.gettimeofday () > t.deadline)
+
+let error_of ?now t =
+  match Atomic.get t.fired with
+  | Some reason -> Some (Dpa_error.Cancelled (Dpa_error.Aborted reason))
+  | None ->
+    if t.deadline = infinity then None
+    else
+      let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+      if now > t.deadline then
+        Some
+          (Dpa_error.Cancelled
+             (Dpa_error.Deadline
+                { limit_s = t.deadline -. t.started; elapsed_s = now -. t.started }))
+      else None
+
+let check_at ~now t =
+  match error_of ~now t with None -> () | Some e -> Dpa_error.error e
+
+let check t =
+  if not (is_none t) then
+    match error_of t with None -> () | Some e -> Dpa_error.error e
+
+let check_flag t =
+  match Atomic.get t.fired with
+  | None -> ()
+  | Some reason -> Dpa_error.error (Dpa_error.Cancelled (Dpa_error.Aborted reason))

@@ -1,0 +1,65 @@
+(** Cooperative cancellation tokens.
+
+    A token is an atomic flag plus an optional absolute wall-clock
+    deadline. It is created where a bound is decided (the service worker
+    that admits a request, a CLI flag) and threaded {e down} through the
+    estimation stack — [Dpa_power.Engine], the greedy optimizer loop,
+    [Dpa_bdd.Robdd] node allocation, the simulator inner loops — each of
+    which polls it at cheap intervals. When the token fires, the polling
+    layer raises {!Dpa_error.Error} with a {!Dpa_error.Cancelled}
+    payload, which the degradation ladder deliberately does {e not}
+    catch: unlike {!Dpa_error.Budget_exceeded} (a retryable per-rung
+    condition), cancellation means the whole request must stop.
+
+    Tokens are domain-safe: {!cancel} may be called from any domain (a
+    watchdog, a signal handler) while the working domain polls. The flag
+    check is a single atomic load; deadline checks cost a
+    [Unix.gettimeofday] and are strided by the callers that sit on hot
+    paths. *)
+
+type t
+
+val none : t
+(** The inert token: never cancelled, no deadline, and {!cancel} on it
+    is ignored. Polling it is one physical-equality test. *)
+
+val is_none : t -> bool
+
+val create : ?deadline_in:float -> unit -> t
+(** Fresh token; [deadline_in] is in seconds from now ([> 0]). Without
+    it the token only fires via {!cancel}. *)
+
+val cancel : ?reason:string -> t -> unit
+(** Fires the flag (first caller's [reason] wins; default
+    ["cancelled"]). Idempotent, any domain, async-signal-safe. *)
+
+val deadline : t -> float
+(** Absolute [Unix.gettimeofday] deadline, [infinity] when none. *)
+
+val has_deadline : t -> bool
+
+val flag_set : t -> bool
+(** The explicit flag only — one atomic load, no syscall. *)
+
+val is_cancelled : t -> bool
+(** Flag {e or} expired deadline (pays a [gettimeofday] when a deadline
+    is set — stride calls on hot paths). *)
+
+val error_of : ?now:float -> t -> Dpa_error.t option
+(** The structured error this token currently justifies: a
+    [Cancelled { reason = Deadline _ }] when past the deadline, a
+    [Cancelled { reason = Aborted _ }] when explicitly cancelled,
+    [None] while still live. *)
+
+val check : t -> unit
+(** Raises [Dpa_error.Error (Cancelled _)] iff the token has fired
+    (includes the deadline check). *)
+
+val check_flag : t -> unit
+(** Like {!check} but polls only the explicit flag — the constant-cost
+    form for per-allocation hot paths; pair it with a strided {!check}
+    so deadlines still fire. *)
+
+val check_at : now:float -> t -> unit
+(** {!check} against a caller-supplied clock reading, for loops that
+    already paid the syscall. *)

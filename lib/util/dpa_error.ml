@@ -7,11 +7,17 @@ type budget_report = {
   context : string;
 }
 
+type cancel_reason =
+  | Deadline of { limit_s : float; elapsed_s : float }
+  | Aborted of string
+
 type t =
   | Parse of { source : string; line : int option; message : string }
   | Invalid_input of string
   | Unsupported of string
   | Budget of budget_report
+  | Cancelled of cancel_reason
+  | Overloaded of { retry_after_ms : int }
   | Io of string
   | Internal of string
 
@@ -54,17 +60,26 @@ let to_string = function
   | Invalid_input msg -> "invalid input: " ^ msg
   | Unsupported msg -> "unsupported: " ^ msg
   | Budget b -> budget_to_string b
+  | Cancelled (Deadline { limit_s; elapsed_s }) ->
+    Printf.sprintf "deadline exceeded: %.3f s elapsed of a %.3f s deadline" elapsed_s
+      limit_s
+  | Cancelled (Aborted reason) -> "cancelled: " ^ reason
+  | Overloaded { retry_after_ms } ->
+    Printf.sprintf "server overloaded; retry after %d ms" retry_after_ms
   | Io msg -> msg
   | Internal msg -> "internal error: " ^ msg
 
 (* sysexits(3)-style codes so scripts can distinguish failure classes:
    65 EX_DATAERR, 66 EX_NOINPUT, 69 EX_UNAVAILABLE, 70 EX_SOFTWARE,
-   75 EX_TEMPFAIL (the budget ran out and no fallback was allowed). *)
+   75 EX_TEMPFAIL (a retryable condition: blown budget with fallback
+   disabled, a cancelled/deadline-exceeded request, or shed load). *)
 let exit_code = function
   | Parse _ -> 65
   | Invalid_input _ -> 65
   | Unsupported _ -> 69
   | Budget _ -> 75
+  | Cancelled _ -> 75
+  | Overloaded _ -> 75
   | Io _ -> 66
   | Internal _ -> 70
 

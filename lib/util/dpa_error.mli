@@ -18,12 +18,22 @@ type budget_report = {
   context : string;  (** e.g. which cone was being built; may be empty *)
 }
 
+type cancel_reason =
+  | Deadline of { limit_s : float; elapsed_s : float }
+      (** the request's wall-clock deadline passed *)
+  | Aborted of string  (** explicit cancellation (watchdog, shutdown, …) *)
+
 type t =
   | Parse of { source : string; line : int option; message : string }
       (** malformed input text; [source] is a file name or format name *)
   | Invalid_input of string  (** structurally valid input the flow rejects *)
   | Unsupported of string  (** recognized but unimplemented construct *)
   | Budget of budget_report  (** budget ran out and no fallback was allowed *)
+  | Cancelled of cancel_reason
+      (** the request was cancelled cooperatively ({!Dpa_util.Cancel});
+          unlike {!Budget}, fallback ladders must {e not} catch this *)
+  | Overloaded of { retry_after_ms : int }
+      (** admission control shed the request; retry after the hint *)
   | Io of string  (** file-system failure *)
   | Internal of string  (** invariant violation — a bug, not a user error *)
 
@@ -49,7 +59,8 @@ val to_string : t -> string
 
 val exit_code : t -> int
 (** Documented process exit code for the CLI: 65 parse/invalid input,
-    66 I/O, 69 unsupported, 70 internal, 75 budget exceeded. *)
+    66 I/O, 69 unsupported, 70 internal, 75 budget exceeded /
+    cancelled / overloaded (all retryable). *)
 
 val of_exn : exn -> t option
 (** Structured view of an exception: {!Error} and {!Budget_exceeded}

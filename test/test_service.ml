@@ -320,6 +320,280 @@ let test_server_shutdown_drains () =
           if not (List.mem want ids) then Alcotest.failf "no ok response for id %d" want)
         [ 1; 2; 3; 4; 5; 99 ])
 
+(* ---- fault-injection hardening ------------------------------------ *)
+
+module Fault = Dpa_util.Fault
+module Chaos = Dpa_service.Chaos
+
+let tiny_dln = ".model tiny\n.inputs a b\ng = and a b\n.outputs g\n"
+
+let estimate_line ~id ?budget () =
+  Protocol.request_line
+    {
+      Protocol.id;
+      request =
+        Protocol.Estimate
+          {
+            source = Protocol.Inline { text = tiny_dln; format = `Dln };
+            input_prob = 0.5;
+            phases = None;
+            budget;
+          };
+    }
+
+let response_kind line =
+  match Protocol.parse_response line with
+  | Ok { Protocol.ok = true; _ } -> None
+  | Ok { Protocol.result; _ } -> (
+    match Jsonlite.member_opt "kind" result with
+    | Some (Jsonlite.Str k) -> Some k
+    | _ -> Some "?")
+  | Error m -> Alcotest.failf "unparseable response: %s" m
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_jobqueue_try_push () =
+  let q = Jobqueue.create ~capacity:1 in
+  Alcotest.(check bool) "admitted" true (Jobqueue.try_push q "a" = `Ok);
+  Alcotest.(check bool) "shed when full" true (Jobqueue.try_push q "b" = `Full);
+  Alcotest.(check (option string)) "pop" (Some "a") (Jobqueue.pop q);
+  Alcotest.(check bool) "admitted again" true (Jobqueue.try_push q "c" = `Ok);
+  Jobqueue.close q;
+  Alcotest.(check bool) "refused after close" true (Jobqueue.try_push q "d" = `Closed);
+  Alcotest.(check (option string)) "close drains" (Some "c") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "then ends" None (Jobqueue.pop q)
+
+let test_jobqueue_close_with_waiters () =
+  (* a producer blocked on a full queue is woken by close and refused,
+     without losing the job already queued *)
+  let q = Jobqueue.create ~capacity:1 in
+  ignore (Jobqueue.push q "x");
+  let producer = Domain.spawn (fun () -> Jobqueue.push q "y") in
+  Unix.sleepf 0.05;
+  Jobqueue.close q;
+  Alcotest.(check bool) "blocked push refused" false (Domain.join producer);
+  Alcotest.(check (option string)) "queued job survives" (Some "x") (Jobqueue.pop q);
+  Alcotest.(check (option string)) "then drained" None (Jobqueue.pop q);
+  (* every consumer blocked on an empty queue is woken with None *)
+  let q2 = Jobqueue.create ~capacity:2 in
+  let consumers = List.init 3 (fun _ -> Domain.spawn (fun () -> Jobqueue.pop q2)) in
+  Unix.sleepf 0.05;
+  Jobqueue.close q2;
+  List.iter
+    (fun d -> Alcotest.(check (option string)) "woken with None" None (Domain.join d))
+    consumers
+
+let test_server_deadline_enforced () =
+  (* a cone build stalled for 2 s under a 50 ms deadline must come back
+     as a prompt structured error — the cancellation token interrupts
+     the stall instead of letting the client wait out the full sleep *)
+  Fault.configure ~seed:1 [ (Fault.Slow_cone, 1.0, Some 2.0) ];
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  Client.with_self_hosted ~workers:1 (fun ~socket ->
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let budget =
+        {
+          Protocol.max_bdd_nodes = None;
+          deadline_s = Some 0.05;
+          fallback = Dpa_power.Engine.No_fallback;
+          sim_backend = Dpa_sim.Backend.default;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Client.request c (estimate_line ~id:1 ~budget ()) in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match response_kind r with
+      | Some ("deadline_exceeded" | "budget") -> ()
+      | k ->
+        Alcotest.failf "wanted deadline_exceeded, got %s (%s)"
+          (Option.value ~default:"ok" k) r);
+      Alcotest.(check bool)
+        (Printf.sprintf "answered promptly (%.3fs)" elapsed)
+        true (elapsed < 0.75))
+
+let test_server_overload_shed_and_retry () =
+  (* one slow worker, queue capacity 1: a burst of six requests must be
+     partially shed with typed [overloaded] answers carrying a backoff
+     hint — and the retrying client must then land every one of them *)
+  Fault.configure ~seed:2 [ (Fault.Slow_cone, 1.0, Some 0.12) ];
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  Client.with_self_hosted ~workers:1 ~queue_capacity:1 (fun ~socket ->
+      let lines = List.init 6 (fun i -> estimate_line ~id:(i + 1) ()) in
+      let responses = Client.run_batch ~socket lines in
+      Alcotest.(check int) "one response per request" 6 (List.length responses);
+      let overloaded =
+        List.filter (fun l -> response_kind l = Some "overloaded") responses
+      in
+      Alcotest.(check bool) "burst partially shed" true (overloaded <> []);
+      List.iter
+        (fun l ->
+          match Protocol.parse_response l with
+          | Ok { Protocol.result; _ } -> (
+            match Jsonlite.member_opt "retry_after_ms" result with
+            | Some (Jsonlite.Num ms) ->
+              Alcotest.(check bool) "usable backoff hint" true (ms >= 25.0)
+            | _ -> Alcotest.failf "no retry_after_ms in %s" l)
+          | Error m -> Alcotest.fail m)
+        overloaded;
+      let retry =
+        { Client.default_retry with max_attempts = 12; base_delay_ms = 20 }
+      in
+      let responses = Client.run_batch ~retry ~socket lines in
+      List.iteri
+        (fun i l ->
+          match Protocol.parse_response l with
+          | Ok { Protocol.rid; ok = true; _ } ->
+            Alcotest.(check int) "request order" (i + 1) rid
+          | _ -> Alcotest.failf "request %d not ok after retries: %s" (i + 1) l)
+        responses)
+
+let stats_line = Protocol.request_line { Protocol.id = 77; request = Protocol.Stats }
+
+let stat_int stats key =
+  match Jsonlite.member_opt key stats with
+  | Some (Jsonlite.Num f) -> int_of_float f
+  | _ -> -1
+
+let test_server_watchdog_replaces_panicked_worker () =
+  Client.with_self_hosted ~workers:2 (fun ~socket ->
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (* the in-flight request of a dying worker still gets an answer *)
+      Fault.configure ~seed:3 [ (Fault.Worker_panic, 1.0, None) ];
+      let r =
+        Fun.protect ~finally:Fault.clear @@ fun () ->
+        Client.request c (estimate_line ~id:1 ())
+      in
+      (match response_kind r with
+      | Some "internal" -> ()
+      | k ->
+        Alcotest.failf "wanted internal, got %s (%s)" (Option.value ~default:"ok" k) r);
+      (* ...and the watchdog joins the corpse and staffs a replacement *)
+      (* the reply races ahead of the crash bookkeeping: poll until the
+         watchdog has both noticed the corpse and staffed a replacement *)
+      let rec stats_at_strength tries =
+        let r = Client.request c stats_line in
+        match Protocol.parse_response r with
+        | Ok { Protocol.ok = true; result; _ } ->
+          let healed =
+            stat_int result "strength" >= 2
+            && stat_int result "panics" >= 1
+            && stat_int result "replacements" >= 1
+          in
+          if healed || tries <= 0 then result
+          else begin
+            Unix.sleepf 0.1;
+            stats_at_strength (tries - 1)
+          end
+        | _ -> Alcotest.failf "stats request failed: %s" r
+      in
+      let stats = stats_at_strength 30 in
+      Alcotest.(check int) "strength restored" 2 (stat_int stats "strength");
+      Alcotest.(check bool) "panic counted" true (stat_int stats "panics" >= 1);
+      Alcotest.(check bool)
+        "replacement counted" true
+        (stat_int stats "replacements" >= 1))
+
+let test_server_max_request_bytes () =
+  Client.with_self_hosted ~workers:1 ~max_request_bytes:128 (fun ~socket ->
+      let c = Client.connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let r = Client.request c (String.make 300 'z') in
+      (match response_kind r with
+      | Some "invalid-input" -> ()
+      | k ->
+        Alcotest.failf "wanted invalid-input, got %s (%s)"
+          (Option.value ~default:"ok" k) r);
+      (match Protocol.parse_response r with
+      | Ok { Protocol.result; _ } -> (
+        match Jsonlite.member_opt "message" result with
+        | Some (Jsonlite.Str m) ->
+          Alcotest.(check bool) "names the limit" true (contains ~sub:"max_request_bytes" m)
+        | _ -> Alcotest.failf "no message in %s" r)
+      | Error m -> Alcotest.fail m);
+      (* an oversized complete frame is rejected, not fatal to the conn *)
+      let r2 = Client.request c {|{"id":2,"cmd":"ping"}|} in
+      match Protocol.parse_response r2 with
+      | Ok { Protocol.rid = 2; ok = true; _ } -> ()
+      | _ -> Alcotest.failf "connection did not survive oversized frame: %s" r2)
+
+let test_client_retry_survives_midbatch_drop () =
+  (* a hand-rolled server whose first connection answers two of five
+     requests and hangs up: the retrying client must reconnect and
+     deliver all five responses, in request order *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dpa_drop_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lsock (Unix.ADDR_UNIX path);
+  Unix.listen lsock 8;
+  let answer fd line =
+    match Protocol.parse_request line with
+    | Ok { Protocol.id; _ } ->
+      let resp = Protocol.ok_response ~id ~cmd:"ping" (Jsonlite.Obj []) ^ "\n" in
+      ignore (Unix.write_substring fd resp 0 (String.length resp))
+    | Error _ -> ()
+  in
+  let serve ~limit =
+    match Unix.accept lsock with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      let ic = Unix.in_channel_of_descr fd in
+      (try
+         let n = ref 0 in
+         while limit = 0 || !n < limit do
+           answer fd (input_line ic);
+           incr n
+         done
+       with End_of_file | Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let srv =
+    Domain.spawn (fun () ->
+        serve ~limit:2;
+        serve ~limit:0)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* unblock a still-pending accept so the join cannot hang *)
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+         Unix.close fd
+       with Unix.Unix_error _ -> ());
+      Domain.join srv;
+      Unix.close lsock;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let lines =
+    List.init 5 (fun i ->
+        Protocol.request_line { Protocol.id = i + 1; request = Protocol.Ping })
+  in
+  let retry = { Client.default_retry with base_delay_ms = 10 } in
+  let responses = Client.run_batch ~retry ~socket:path lines in
+  Alcotest.(check int) "all answered" 5 (List.length responses);
+  List.iteri
+    (fun i line ->
+      match Protocol.parse_response line with
+      | Ok { Protocol.rid; ok = true; _ } ->
+        Alcotest.(check int) "request order" (i + 1) rid
+      | _ -> Alcotest.failf "bad response: %s" line)
+    responses
+
+let test_chaos_soak_small () =
+  let r = Chaos.soak ~seed:5 ~workers:2 ~requests:24 ~garbage:5 () in
+  Alcotest.(check int)
+    "every request answered exactly once" 24
+    (r.Chaos.ok + List.fold_left (fun a (_, n) -> a + n) 0 r.Chaos.errors);
+  Alcotest.(check int) "garbage all answered" 5 r.Chaos.garbage_probes;
+  Alcotest.(check int) "pool back at full strength" 2 r.Chaos.strength
+
 let suite =
   [
     Alcotest.test_case "roundtrip: ping/shutdown" `Quick test_roundtrip_simple;
@@ -341,4 +615,18 @@ let suite =
       test_server_concurrent_bit_identity;
     Alcotest.test_case "server: shutdown drains in-flight jobs" `Quick
       test_server_shutdown_drains;
+    Alcotest.test_case "jobqueue: try_push sheds when full" `Quick test_jobqueue_try_push;
+    Alcotest.test_case "jobqueue: close wakes blocked waiters" `Quick
+      test_jobqueue_close_with_waiters;
+    Alcotest.test_case "server: deadline interrupts a stalled cone" `Quick
+      test_server_deadline_enforced;
+    Alcotest.test_case "server: overload shed + client retry" `Quick
+      test_server_overload_shed_and_retry;
+    Alcotest.test_case "server: watchdog replaces panicked worker" `Quick
+      test_server_watchdog_replaces_panicked_worker;
+    Alcotest.test_case "server: oversized frame rejected, conn survives" `Quick
+      test_server_max_request_bytes;
+    Alcotest.test_case "client: retry survives mid-batch drop" `Quick
+      test_client_retry_survives_midbatch_drop;
+    Alcotest.test_case "chaos: small soak, nothing lost" `Quick test_chaos_soak_small;
   ]

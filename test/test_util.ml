@@ -240,6 +240,105 @@ let test_int3_table_find_or_insert () =
   Alcotest.(check bool) "stats count probes" true (Int3_table.probes t >= 2);
   Alcotest.(check bool) "stats count hits" true (Int3_table.hits t >= 1)
 
+(* ---- cancellation tokens ---- *)
+
+module Cancel = Dpa_util.Cancel
+module Fault = Dpa_util.Fault
+module Dpa_error = Dpa_util.Dpa_error
+
+let test_cancel_flag () =
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh token live" false (Cancel.is_cancelled t);
+  Cancel.check t;
+  (* no raise *)
+  Cancel.cancel ~reason:"stop" t;
+  Alcotest.(check bool) "flag set" true (Cancel.flag_set t);
+  (match Cancel.check t with
+  | () -> Alcotest.fail "check did not raise after cancel"
+  | exception Dpa_error.Error (Dpa_error.Cancelled (Dpa_error.Aborted r)) ->
+    Alcotest.(check string) "reason" "stop" r
+  | exception e -> raise e);
+  (* idempotent: the first reason wins *)
+  Cancel.cancel ~reason:"again" t;
+  match Cancel.error_of t with
+  | Some (Dpa_error.Cancelled (Dpa_error.Aborted r)) ->
+    Alcotest.(check string) "first reason wins" "stop" r
+  | _ -> Alcotest.fail "error_of lost the abort reason"
+
+let test_cancel_deadline () =
+  let t = Cancel.create ~deadline_in:0.02 () in
+  Alcotest.(check bool) "has deadline" true (Cancel.has_deadline t);
+  Cancel.check t;
+  (* deadline passes without anyone calling [cancel] *)
+  Unix.sleepf 0.03;
+  Alcotest.(check bool) "flag never set" false (Cancel.flag_set t);
+  match Cancel.check t with
+  | () -> Alcotest.fail "expired deadline did not fire"
+  | exception Dpa_error.Error (Dpa_error.Cancelled (Dpa_error.Deadline { limit_s; _ })) ->
+    Alcotest.(check bool) "limit recorded" true (limit_s > 0.0)
+  | exception e -> raise e
+
+let test_cancel_none_inert () =
+  Alcotest.(check bool) "is_none" true (Cancel.is_none Cancel.none);
+  Cancel.cancel Cancel.none;
+  Cancel.check Cancel.none;
+  Alcotest.(check bool) "cancel on none ignored" false (Cancel.is_cancelled Cancel.none)
+
+let test_cancel_cross_domain () =
+  (* the watchdog pattern: one domain polls, another fires the flag *)
+  let t = Cancel.create () in
+  let poller =
+    Domain.spawn (fun () ->
+        let spins = ref 0 in
+        while (not (Cancel.flag_set t)) && !spins < 10_000_000 do
+          incr spins
+        done;
+        Cancel.flag_set t)
+  in
+  Unix.sleepf 0.01;
+  Cancel.cancel ~reason:"watchdog" t;
+  Alcotest.(check bool) "poller saw the flag" true (Domain.join poller)
+
+(* ---- fault injection ---- *)
+
+let test_fault_inactive_by_default () =
+  Fault.clear ();
+  Alcotest.(check bool) "inactive" false (Fault.active ());
+  Alcotest.(check bool) "never fires" false (Fault.fire Fault.Slow_cone)
+
+let test_fault_configure_fire_count () =
+  Fault.configure ~seed:7 [ (Fault.Worker_panic, 1.0, None) ];
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  Alcotest.(check bool) "active" true (Fault.active ());
+  Alcotest.(check bool) "rate 1 fires" true (Fault.fire Fault.Worker_panic);
+  Alcotest.(check bool) "unarmed point quiet" false (Fault.fire Fault.Slow_cone);
+  Alcotest.(check int)
+    "count recorded" 1
+    (List.assoc Fault.Worker_panic (Fault.injection_counts ()))
+
+let test_fault_deterministic_stream () =
+  let draw () =
+    Fault.configure ~seed:42 [ (Fault.Drop_conn, 0.5, None) ];
+    Fun.protect ~finally:Fault.clear @@ fun () ->
+    List.init 64 (fun _ -> Fault.fire Fault.Drop_conn)
+  in
+  Alcotest.(check (list bool)) "same seed, same decisions" (draw ()) (draw ())
+
+let test_fault_parse_config () =
+  (match Fault.parse_config "slow_cone:0.5:0.1,drop_conn:0.25" with
+  | Ok [ (Fault.Slow_cone, r1, Some p1); (Fault.Drop_conn, r2, None) ] ->
+    Alcotest.(check (float 0.0)) "rate 1" 0.5 r1;
+    Alcotest.(check (float 0.0)) "param 1" 0.1 p1;
+    Alcotest.(check (float 0.0)) "rate 2" 0.25 r2
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e);
+  (match Fault.parse_config "bogus:0.1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown point accepted");
+  match Fault.parse_config "slow_cone:nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad rate accepted"
+
 let suite =
   [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng distinct seeds" `Quick test_rng_distinct_seeds;
@@ -266,4 +365,12 @@ let suite =
     test_int_table_vs_hashtbl;
     Alcotest.test_case "int3_table basic" `Quick test_int3_table_basic;
     Alcotest.test_case "int3_table growth" `Quick test_int3_table_growth;
-    Alcotest.test_case "int3_table find_or_insert" `Quick test_int3_table_find_or_insert ]
+    Alcotest.test_case "int3_table find_or_insert" `Quick test_int3_table_find_or_insert;
+    Alcotest.test_case "cancel: flag + first reason wins" `Quick test_cancel_flag;
+    Alcotest.test_case "cancel: deadline fires" `Quick test_cancel_deadline;
+    Alcotest.test_case "cancel: none is inert" `Quick test_cancel_none_inert;
+    Alcotest.test_case "cancel: cross-domain visibility" `Quick test_cancel_cross_domain;
+    Alcotest.test_case "fault: inactive by default" `Quick test_fault_inactive_by_default;
+    Alcotest.test_case "fault: configure/fire/count" `Quick test_fault_configure_fire_count;
+    Alcotest.test_case "fault: deterministic stream" `Quick test_fault_deterministic_stream;
+    Alcotest.test_case "fault: parse_config" `Quick test_fault_parse_config ]
