@@ -270,7 +270,11 @@ let service_throughput ?(quick = false) ?(json = false) () =
                 { source = Dpa_service.Protocol.Inline { text; format = `Dln };
                   input_prob = 0.5;
                   phases = None;
-                  budget = None } })
+                  budget = None };
+            (* bypass: this bench measures worker-pool scaling on real
+               BDD work; repeated sources would otherwise all hit the
+               result cache and measure the socket pump instead *)
+            cache = `Bypass })
   in
   Printf.printf "\n=== service throughput (%d pipelined estimate requests) ===\n\n"
     requests_per_worker_count;
@@ -343,6 +347,251 @@ let service_throughput ?(quick = false) ?(json = false) () =
     output_string oc (Buffer.contents b);
     close_out oc;
     Printf.printf "wrote BENCH_service.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Service load generator (result-cache proof)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives a 2-worker self-hosted daemon with closed-loop client fleets
+   of increasing width — each client a domain with its own connection
+   issuing estimate requests back to back, so offered load rises with
+   the fleet — over two traffic shapes: a "repetitive" mix cycling a
+   small pool of circuits (production-like: the same cones come back
+   again and again) and a "fresh" mix where every request is a circuit
+   the server has never seen. Each shape runs once against the result
+   cache and once bypassing it. Per-request latencies give p50/p99, the
+   best fleet width gives throughput at saturation, and the server's
+   own [stats] response gives the hit ratio. The headline number is the
+   repetitive-mix p50 improvement of [use] over [bypass] — what the
+   cache actually buys on realistic traffic. *)
+let service_loadgen ?(quick = false) ?(json = false) () =
+  let workers = 2 in
+  let fleet_widths = if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let per_client = if quick then 6 else 24 in
+  let gen seed =
+    Dpa_logic.Io.to_string
+      (Dpa_workload.Generator.combinational
+         { small_profile with
+           Dpa_workload.Generator.seed;
+           n_inputs = 32;
+           n_outputs = 10;
+           gates_per_output = 22 })
+  in
+  let repetitive_pool = Array.of_list (List.map gen [ 21; 22; 23; 24 ]) in
+  let total_requests =
+    List.fold_left (fun acc w -> acc + (w * per_client)) 0 fleet_widths
+  in
+  let fresh_texts = Array.init total_requests (fun i -> gen (1000 + i)) in
+  let request_line ~cache ~id text =
+    Dpa_service.Protocol.request_line
+      { Dpa_service.Protocol.id;
+        request =
+          Dpa_service.Protocol.Estimate
+            { source = Dpa_service.Protocol.Inline { text; format = `Dln };
+              input_prob = 0.5;
+              phases = None;
+              budget = None };
+        cache }
+  in
+  let cache_stats ~socket =
+    let c = Dpa_service.Client.connect socket in
+    Fun.protect ~finally:(fun () -> Dpa_service.Client.close c) @@ fun () ->
+    let r =
+      Dpa_service.Client.request c
+        (Dpa_service.Protocol.request_line
+           { Dpa_service.Protocol.id = 999_999;
+             request = Dpa_service.Protocol.Stats;
+             cache = `Use })
+    in
+    match Dpa_service.Protocol.parse_response r with
+    | Ok { Dpa_service.Protocol.ok = true; result; _ } -> (
+      match Dpa_util.Jsonlite.member_opt "cache" result with
+      | Some cache ->
+        let n key =
+          match Dpa_util.Jsonlite.member_opt key cache with
+          | Some (Dpa_util.Jsonlite.Num f) -> int_of_float f
+          | _ -> 0
+        in
+        (n "hits", n "misses")
+      | None -> (0, 0))
+    | _ -> (0, 0)
+  in
+  (* one server per (shape, mode) run so hit ratios don't bleed across
+     combinations; levels sweep ascending inside it, cache warmth
+     accumulating as it would in a long-lived daemon *)
+  let run ~cache ~text_of =
+    Dpa_service.Client.with_self_hosted ~workers (fun ~socket ->
+        let offset = ref 0 in
+        let levels =
+          List.map
+            (fun width ->
+              let base = !offset in
+              offset := base + (width * per_client);
+              let t0 = Unix.gettimeofday () in
+              let clients =
+                List.init width (fun c ->
+                    Domain.spawn (fun () ->
+                        let conn = Dpa_service.Client.connect socket in
+                        Fun.protect
+                          ~finally:(fun () -> Dpa_service.Client.close conn)
+                        @@ fun () ->
+                        Array.init per_client (fun i ->
+                            let g = base + (c * per_client) + i in
+                            let line = request_line ~cache ~id:(g + 1) (text_of g) in
+                            let s0 = Unix.gettimeofday () in
+                            let r = Dpa_service.Client.request conn line in
+                            let dt = Unix.gettimeofday () -. s0 in
+                            (match Dpa_service.Protocol.parse_response r with
+                            | Ok { Dpa_service.Protocol.ok = true; _ } -> ()
+                            | _ -> failwith ("loadgen request failed: " ^ r));
+                            dt)))
+              in
+              let latencies =
+                List.concat_map (fun d -> Array.to_list (Domain.join d)) clients
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              (width, latencies, dt))
+            fleet_widths
+        in
+        let hits, misses = cache_stats ~socket in
+        (levels, hits, misses))
+  in
+  let percentile latencies p =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then Float.nan
+    else a.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+  in
+  Printf.printf
+    "\n=== service load (cache proof): %d-worker daemon, fleets %s ===\n\n"
+    workers
+    (String.concat "/" (List.map string_of_int fleet_widths));
+  let combos =
+    [ ("repetitive", `Use, fun g -> repetitive_pool.(g mod Array.length repetitive_pool));
+      ("repetitive", `Bypass, fun g -> repetitive_pool.(g mod Array.length repetitive_pool));
+      ("fresh", `Use, fun g -> fresh_texts.(g));
+      ("fresh", `Bypass, fun g -> fresh_texts.(g)) ]
+  in
+  let t =
+    Dpa_util.Table.create
+      ~columns:
+        [ ("workload", Dpa_util.Table.Left);
+          ("cache", Dpa_util.Table.Left);
+          ("fleet", Dpa_util.Table.Right);
+          ("req/s", Dpa_util.Table.Right);
+          ("p50 ms", Dpa_util.Table.Right);
+          ("p99 ms", Dpa_util.Table.Right);
+          ("hit ratio", Dpa_util.Table.Right) ]
+  in
+  let results =
+    List.map
+      (fun (workload, cache, text_of) ->
+        let levels, hits, misses = run ~cache ~text_of in
+        let probes = hits + misses in
+        let hit_ratio =
+          if probes = 0 then 0.0 else float_of_int hits /. float_of_int probes
+        in
+        let mode = match cache with `Use -> "use" | `Bypass -> "bypass" in
+        let rows =
+          List.map
+            (fun (width, latencies, dt) ->
+              let n = List.length latencies in
+              let rate = float_of_int n /. Float.max dt 1e-9 in
+              let p50 = 1e3 *. percentile latencies 50.0 in
+              let p99 = 1e3 *. percentile latencies 99.0 in
+              Dpa_util.Table.add_row t
+                [ workload;
+                  mode;
+                  string_of_int width;
+                  Printf.sprintf "%.1f" rate;
+                  Printf.sprintf "%.3f" p50;
+                  Printf.sprintf "%.3f" p99;
+                  Printf.sprintf "%.2f" hit_ratio ];
+              (width, n, dt, rate, p50, p99))
+            levels
+        in
+        let pooled = List.concat_map (fun (_, l, _) -> l) levels in
+        let saturation =
+          List.fold_left (fun acc (_, _, _, r, _, _) -> Float.max acc r) 0.0 rows
+        in
+        ( workload,
+          mode,
+          rows,
+          1e3 *. percentile pooled 50.0,
+          1e3 *. percentile pooled 99.0,
+          saturation,
+          hit_ratio ))
+      combos
+  in
+  Dpa_util.Table.print t;
+  let pooled_p50 workload mode =
+    let _, _, _, p50, _, _, _ =
+      List.find (fun (w, m, _, _, _, _, _) -> w = workload && m = mode) results
+    in
+    p50
+  in
+  let sat workload mode =
+    let _, _, _, _, _, s, _ =
+      List.find (fun (w, m, _, _, _, _, _) -> w = workload && m = mode) results
+    in
+    s
+  in
+  let hit_ratio_of workload mode =
+    let _, _, _, _, _, _, h =
+      List.find (fun (w, m, _, _, _, _, _) -> w = workload && m = mode) results
+    in
+    h
+  in
+  let p50_speedup = pooled_p50 "repetitive" "bypass" /. pooled_p50 "repetitive" "use" in
+  let sat_speedup = sat "repetitive" "use" /. sat "repetitive" "bypass" in
+  Printf.printf
+    "\nrepetitive mix: p50 %.3f ms -> %.3f ms (%.1fx), saturation %.1fx, hit ratio %.2f\n"
+    (pooled_p50 "repetitive" "bypass")
+    (pooled_p50 "repetitive" "use")
+    p50_speedup sat_speedup
+    (hit_ratio_of "repetitive" "use");
+  if json then begin
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n  \"bench\": \"service_load\",\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"quick\": %b,\n  \"workers\": %d,\n  \"runs\": [\n" quick
+         workers);
+    List.iteri
+      (fun k (workload, mode, rows, p50, p99, saturation, hit_ratio) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"workload\": \"%s\", \"cache\": \"%s\", \"p50_ms\": %s, \
+              \"p99_ms\": %s, \"saturation_req_per_s\": %s, \"hit_ratio\": %s,\n\
+             \     \"levels\": [\n"
+             (json_escape workload) (json_escape mode) (json_float p50)
+             (json_float p99) (json_float saturation) (json_float hit_ratio));
+        List.iteri
+          (fun j (width, n, dt, rate, lp50, lp99) ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "      {\"fleet\": %d, \"requests\": %d, \"seconds\": %s, \
+                  \"req_per_s\": %s, \"p50_ms\": %s, \"p99_ms\": %s}%s\n"
+                 width n (json_float dt) (json_float rate) (json_float lp50)
+                 (json_float lp99)
+                 (if j = List.length rows - 1 then "" else ",")))
+          rows;
+        Buffer.add_string b
+          (Printf.sprintf "    ]}%s\n" (if k = List.length results - 1 then "" else ","));
+        ())
+      results;
+    Buffer.add_string b "  ],\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"hit_ratio_repetitive\": %s,\n  \"p50_speedup_repetitive\": %s,\n\
+         \  \"saturation_speedup_repetitive\": %s\n}\n"
+         (json_float (hit_ratio_of "repetitive" "use"))
+         (json_float p50_speedup) (json_float sat_speedup));
+    let oc = open_out "BENCH_service_load.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote BENCH_service_load.json\n"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -593,6 +842,7 @@ let all () =
   Experiments.ablation ();
   Experiments.sim_compile ();
   service_throughput ();
+  service_loadgen ();
   parallel_bench ();
   perf ()
 
@@ -628,6 +878,7 @@ let () =
       ("ablation", Experiments.ablation);
       ("sim", fun () -> Experiments.sim_compile ~quick:is_quick ~json ());
       ("service", fun () -> service_throughput ~quick:is_quick ~json ());
+      ("loadgen", fun () -> service_loadgen ~quick:is_quick ~json ());
       ("parallel", fun () -> parallel_bench ~quick:is_quick ~json ());
       ("perf", perf ~json ~metrics) ]
   in

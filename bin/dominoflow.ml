@@ -663,11 +663,38 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
   in
-  let action socket workers jobs queue_capacity max_request_bytes fault fault_seed trace
-      metrics =
+  let cache_mb_arg =
+    let doc =
+      "Byte bound of the shared result cache in MiB (successful estimate, \
+       optimize and compare responses keyed by canonical structure); 0 \
+       disables caching."
+    in
+    Arg.(value & opt int Server.default_cache_mb & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "Entry bound of the result cache." in
+    Arg.(
+      value & opt int Server.default_cache_entries & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let cache_snapshot_arg =
+    let doc =
+      "Persist the result cache to $(docv): loaded at startup (a corrupt or \
+       version-skewed file is ignored with a warning) and rewritten atomically \
+       on graceful drain, so a restarted server answers warm."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-snapshot" ] ~docv:"PATH" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the result cache (same as --cache-mb 0)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let action socket workers jobs queue_capacity max_request_bytes cache_mb cache_entries
+      cache_snapshot no_cache fault fault_seed trace metrics =
     if workers < 1 then `Error (false, "--workers must be >= 1")
     else if queue_capacity < 1 then `Error (false, "--queue-capacity must be >= 1")
     else if max_request_bytes < 1 then `Error (false, "--max-request-bytes must be >= 1")
+    else if cache_mb < 0 then `Error (false, "--cache-mb must be >= 0")
+    else if cache_entries < 1 then `Error (false, "--cache-entries must be >= 1")
     else if (match jobs with Some j -> j < 1 | None -> false) then
       `Error (false, "--jobs must be >= 1")
     else begin
@@ -697,7 +724,16 @@ let serve_cmd =
             drain_on Sys.sigterm;
             Printf.printf "dominoflow: serving on %s (workers=%d, jobs=%d, queue=%d)\n%!"
               socket workers jobs queue_capacity)
-          { Server.socket_path = socket; workers; jobs; queue_capacity; max_request_bytes };
+          {
+            Server.socket_path = socket;
+            workers;
+            jobs;
+            queue_capacity;
+            max_request_bytes;
+            cache_mb = (if no_cache then 0 else cache_mb);
+            cache_entries;
+            cache_snapshot;
+          };
         print_endline "dominoflow: server drained, bye";
         (match !caught_signal with
         | Some s when s = Sys.sigterm -> exit (128 + 15)
@@ -716,11 +752,12 @@ let serve_cmd =
     Term.(
       ret
         (const action $ socket_req_arg $ workers_arg $ serve_jobs_arg $ queue_arg
-       $ max_request_bytes_arg $ fault_arg $ fault_seed_arg $ trace_arg $ metrics_arg))
+       $ max_request_bytes_arg $ cache_mb_arg $ cache_entries_arg $ cache_snapshot_arg
+       $ no_cache_arg $ fault_arg $ fault_seed_arg $ trace_arg $ metrics_arg))
 
 (* Request construction shared by submit and batch: one CLI-side source
    of truth for turning flags into protocol envelopes. *)
-let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget =
+let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget ~cache =
   let source path =
     if inline then
       Protocol.Inline
@@ -770,7 +807,18 @@ let build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget =
         (Printf.sprintf
            "unknown cmd %S (ping|info|estimate|optimize|compare|stats|shutdown)" other)
   in
-  Result.map (fun request -> { Protocol.id; request }) req
+  Result.map (fun request -> { Protocol.id; request; cache }) req
+
+let cache_arg =
+  let doc =
+    "Result-cache control: $(b,use) (default) answers from the server's cache \
+     on a hit, $(b,bypass) forces the cold execution path (never probes, never \
+     populates — responses are byte-identical either way)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("use", `Use); ("bypass", `Bypass) ]) `Use
+    & info [ "cache" ] ~docv:"MODE" ~doc)
 
 let cmd_pos =
   let doc = "Request kind: ping, info, estimate, optimize, compare, stats or shutdown." in
@@ -789,10 +837,10 @@ let submit_cmd =
     Arg.(value & opt int 0 & info [ "id" ] ~docv:"N" ~doc)
   in
   let action socket cmd id file inline input_prob phases seed max_bdd_nodes deadline
-      fallback sim_backend =
+      fallback sim_backend cache =
     guard @@ fun () ->
     let budget = budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend in
-    match build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget with
+    match build_request ~id ~cmd ~file ~inline ~input_prob ~phases ~seed ~budget ~cache with
     | Error msg -> `Error (false, msg)
     | Ok envelope ->
       let client = Client.connect socket in
@@ -823,7 +871,8 @@ let submit_cmd =
             value
             & opt (some string) None
             & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
-        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg))
+        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg
+        $ cache_arg))
 
 let batch_cmd =
   let jobs_arg =
@@ -862,7 +911,7 @@ let batch_cmd =
     Arg.(value & opt int 3 & info [ "retries" ] ~docv:"K" ~doc)
   in
   let action socket workers request_jobs retries jobs files cmd repeat inline input_prob
-      phases seed max_bdd_nodes deadline fallback sim_backend =
+      phases seed max_bdd_nodes deadline fallback sim_backend cache =
     guard @@ fun () ->
     let budget = budget_of ~max_bdd_nodes ~deadline ~fallback ~sim_backend in
     let with_id i json =
@@ -905,7 +954,7 @@ let batch_cmd =
           | path :: rest -> (
             match
               build_request ~id:i ~cmd ~file:(Some path) ~inline ~input_prob ~phases
-                ~seed ~budget
+                ~seed ~budget ~cache
             with
             | Error msg -> Error msg
             | Ok env -> expand (i + 1) (Protocol.request_line env :: acc) rest)
@@ -995,7 +1044,8 @@ let batch_cmd =
             value
             & opt (some string) None
             & info [ "phases" ] ~docv:"PHASES" ~doc:"Explicit phase string (estimate).")
-        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg))
+        $ seed_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_arg $ sim_backend_arg
+        $ cache_arg))
 
 let chaos_cmd =
   let requests_arg =

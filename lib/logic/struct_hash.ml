@@ -1,0 +1,61 @@
+(* Canonical ids are assigned by first visit in an explicit-stack DFS
+   from the primary outputs in declaration order, fanins left to right.
+   The numbering therefore depends only on the (output order, fanin
+   order) structure — never on creation order or names — which is the
+   whole invariance claim of the interface. *)
+
+let canonical net =
+  let n = Netlist.size net in
+  let canon = Array.make n (-1) in
+  (* original ids in canonical order *)
+  let visited = ref [] in
+  let next = ref 0 in
+  let stack = Stack.create () in
+  let visit root =
+    Stack.push root stack;
+    while not (Stack.is_empty stack) do
+      let id = Stack.pop stack in
+      if canon.(id) < 0 then begin
+        canon.(id) <- !next;
+        incr next;
+        visited := id :: !visited;
+        (* push fanins reversed so the leftmost is numbered first *)
+        let fi = Netlist.fanins net id in
+        for k = Array.length fi - 1 downto 0 do
+          Stack.push fi.(k) stack
+        done
+      end
+    done
+  in
+  let outputs = Netlist.outputs net in
+  Array.iter (fun (_, driver) -> visit driver) outputs;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "shv1";
+  Buffer.add_string b (Printf.sprintf "|pi:%d" (Netlist.num_inputs net));
+  Array.iter
+    (fun (name, driver) ->
+      (* the name is length-prefixed so "a"^"b:1" cannot collide with
+         "ab"^":1" *)
+      Buffer.add_string b
+        (Printf.sprintf "|po:%d:%s:%d" (String.length name) name canon.(driver)))
+    outputs;
+  let node id =
+    let c f = canon.(f) in
+    match Netlist.gate net id with
+    | Gate.Input -> Buffer.add_string b "|i"
+    | Gate.Const false -> Buffer.add_string b "|c0"
+    | Gate.Const true -> Buffer.add_string b "|c1"
+    | Gate.Buf f -> Buffer.add_string b (Printf.sprintf "|b%d" (c f))
+    | Gate.Not f -> Buffer.add_string b (Printf.sprintf "|n%d" (c f))
+    | Gate.And fs ->
+      Buffer.add_string b "|a";
+      Array.iter (fun f -> Buffer.add_string b (Printf.sprintf ".%d" (c f))) fs
+    | Gate.Or fs ->
+      Buffer.add_string b "|o";
+      Array.iter (fun f -> Buffer.add_string b (Printf.sprintf ".%d" (c f))) fs
+    | Gate.Xor (f, g) -> Buffer.add_string b (Printf.sprintf "|x%d.%d" (c f) (c g))
+  in
+  List.iter node (List.rev !visited);
+  Buffer.contents b
+
+let digest net = Digest.to_hex (Digest.string (canonical net))

@@ -1,0 +1,38 @@
+(** Canonical structural hashing of netlists.
+
+    {!digest} names the {e function} a netlist computes, not the text it
+    was parsed from: two netlists get the same digest exactly when they
+    have the same primary-input count, the same primary-output names in
+    the same declaration order, and structurally identical output cones.
+    The canonical form is
+
+    - {b insertion-order independent} — node ids are renumbered by first
+      visit in a DFS from the outputs (declaration order, fanins left to
+      right), so the order gates were created in does not matter;
+    - {b alpha-invariant over input and gate naming} — internal node
+      names never enter the hash (primary-output names do: they appear
+      verbatim in service responses, so two nets whose PO names differ
+      must never share a cache entry);
+    - {b dead-logic invariant} — nodes unreachable from any output are
+      excluded, matching {!Dpa_synth.Opt.optimize}'s dead-logic removal
+      (every service pipeline optimizes before computing). The
+      primary-input {e count} is included even when inputs are unused,
+      because [compare] responses report [n_pi] over the raw interface.
+
+    Fanin order is preserved (AND/OR are not commutativity-canonicalized
+    here: upstream canonicalization is {!Dpa_synth.Opt}'s job, and a
+    conservative key only costs a duplicate cache entry, never a wrong
+    hit). This is the keystone of the service result cache
+    ([Dpa_service.Rescache]): everything that can change a response byte
+    is either in this digest or in the explicit key fields layered on
+    top of it. *)
+
+val canonical : Netlist.t -> string
+(** The canonical description the digest is computed over, exposed so
+    tests can assert invariances on readable text. Format (version
+    tagged, ['|']-separated): input count, each primary output as
+    [po:<name>:<canonical driver id>], then each reachable node in
+    canonical id order as a gate tag with canonical fanin ids. *)
+
+val digest : Netlist.t -> string
+(** MD5 of {!canonical} in lowercase hex (32 characters). *)

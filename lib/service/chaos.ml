@@ -100,7 +100,9 @@ let request_lines ~rng ~requests ~deadline_every netlist =
             }
         end
       in
-      Protocol.request_line { Protocol.id; request })
+      (* cache = `Use: the soak exercises the result cache under faults,
+         though random input probabilities keep most requests cold *)
+      Protocol.request_line { Protocol.id; request; cache = `Use })
 
 let garbage_lines ~rng n =
   List.init n (fun i ->
@@ -122,7 +124,9 @@ let stats_of ~socket =
   let c = Client.connect socket in
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let line =
-    Client.request c (Protocol.request_line { Protocol.id = 999999; request = Protocol.Stats })
+    Client.request c
+      (Protocol.request_line
+         { Protocol.id = 999999; request = Protocol.Stats; cache = `Use })
   in
   match Protocol.parse_response line with
   | Ok { Protocol.ok = true; result; _ } -> result

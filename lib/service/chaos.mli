@@ -37,6 +37,7 @@ type report = {
 }
 
 val report_json : report -> Dpa_util.Jsonlite.t
+(** The report as the JSON object [dominoflow chaos --json] prints. *)
 
 val soak :
   ?seed:int ->

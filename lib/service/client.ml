@@ -294,7 +294,9 @@ let fresh_socket_path () =
   path
 
 let with_self_hosted ~workers ?(jobs = 1) ?(queue_capacity = Server.default_queue_capacity)
-    ?(max_request_bytes = Server.default_max_request_bytes) f =
+    ?(max_request_bytes = Server.default_max_request_bytes)
+    ?(cache_mb = Server.default_cache_mb) ?(cache_entries = Server.default_cache_entries)
+    ?cache_snapshot f =
   let socket = fresh_socket_path () in
   let mutex = Mutex.create () in
   let cond = Condition.create () in
@@ -309,7 +311,16 @@ let with_self_hosted ~workers ?(jobs = 1) ?(queue_capacity = Server.default_queu
     Domain.spawn (fun () ->
         try
           Server.run ~on_ready:signal_ready
-            { Server.socket_path = socket; workers; jobs; queue_capacity; max_request_bytes }
+            {
+              Server.socket_path = socket;
+              workers;
+              jobs;
+              queue_capacity;
+              max_request_bytes;
+              cache_mb;
+              cache_entries;
+              cache_snapshot;
+            }
         with e ->
           Mutex.protect mutex (fun () ->
               failure := Some e;

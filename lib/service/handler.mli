@@ -9,6 +9,14 @@
     created inside the call, so concurrent executions share no mutable
     state beyond the (domain-safe) observability registry. *)
 
+val load : Protocol.source -> Dpa_logic.Netlist.t
+(** Resolves a request's circuit source exactly as the handlers do —
+    [File] through {!Dpa_logic.Io.load_file}, [Inline] through
+    {!Dpa_logic.Io.parse_netlist}. Exposed so {!Rescache} keys a request
+    by the {e loaded} structure (a file edited on disk naturally changes
+    the key) with the same failure behaviour as execution. Raises
+    {!Dpa_util.Dpa_error.Error} on a missing file or a parse error. *)
+
 val execute :
   ?par:Dpa_util.Par.t -> ?cancel:Dpa_util.Cancel.t -> Protocol.request -> Dpa_util.Jsonlite.t
 (** The [result] payload of a success response. Failures raise

@@ -42,6 +42,7 @@ type t = {
   slots : slot array;
   queue : job Jobqueue.t;
   jobs : int;
+  cache : Rescache.t option;  (* shared result cache, [None] = disabled *)
   on_shutdown : unit -> unit;
   stopping : bool Atomic.t;
   soft_limit_s : float;
@@ -107,31 +108,49 @@ let num n = Jsonlite.Num (float_of_int n)
 
 let fnum f = Jsonlite.Num f
 
-let process_line ?par ?(cancel = Cancel.none) ?stats line =
+let process_line ?par ?(cancel = Cancel.none) ?stats ?cache line =
   match Protocol.parse_request line with
   | Error e ->
     Metrics.incr c_errors;
     (Protocol.error_response ~id:(salvage_id line) e, false)
-  | Ok { Protocol.id; request } -> (
+  | Ok { Protocol.id; request; cache = mode } -> (
     let cmd = Protocol.cmd_name request in
     let is_shutdown = request = Protocol.Shutdown in
     match (request, stats) with
     | Protocol.Stats, Some snapshot -> (Protocol.ok_response ~id ~cmd (snapshot ()), false)
     | _ -> (
-      match
-        Trace.with_span "service.request"
-          ~args:[ ("cmd", Trace.Str cmd); ("id", Trace.Int id) ]
-          (fun () -> Handler.execute ?par ~cancel request)
-      with
-      | result -> (Protocol.ok_response ~id ~cmd result, is_shutdown)
-      | exception e ->
-        Metrics.incr c_errors;
-        let err =
-          match Dpa_error.of_exn e with
-          | Some err -> err
-          | None -> Dpa_error.Internal (Printexc.to_string e)
-        in
-        (Protocol.error_response ~id err, is_shutdown)))
+      (* [pooled] is part of the key: bdd_nodes can differ between the
+         pool and no-pool execution paths (see Handler), and a cache
+         entry must only ever answer for byte-identical executions *)
+      let ckey =
+        match (cache, mode) with
+        | Some c, `Use -> Option.map (fun k -> (c, k)) (Rescache.key ~pooled:(par <> None) request)
+        | Some _, `Bypass | None, _ -> None
+      in
+      match Option.bind ckey (fun (c, k) -> Rescache.find c k) with
+      | Some result -> (Protocol.ok_response_text ~id ~cmd result, false)
+      | None -> (
+        match
+          Trace.with_span "service.request"
+            ~args:[ ("cmd", Trace.Str cmd); ("id", Trace.Int id) ]
+            (fun () -> Handler.execute ?par ~cancel request)
+        with
+        | result ->
+          (* encode once; the same bytes are stored and sent, so a later
+             hit is byte-identical to this cold response by construction *)
+          let encoded = Jsonlite.encode result in
+          (match ckey with
+          | Some (c, k) -> Rescache.store c ~key:k ~cmd ~result:encoded
+          | None -> ());
+          (Protocol.ok_response_text ~id ~cmd encoded, is_shutdown)
+        | exception e ->
+          Metrics.incr c_errors;
+          let err =
+            match Dpa_error.of_exn e with
+            | Some err -> err
+            | None -> Dpa_error.Internal (Printexc.to_string e)
+          in
+          (Protocol.error_response ~id err, is_shutdown))))
 
 (* ------------------------------------------------------------------ *)
 (* Health snapshot                                                      *)
@@ -168,7 +187,7 @@ let stats_json t =
       0 t.slots
   in
   Jsonlite.Obj
-    [
+    ([
       ("workers", num (Array.length t.slots));
       ("strength", num strength);
       ("busy", num !busy);
@@ -182,6 +201,10 @@ let stats_json t =
       ("oldest_heartbeat_ms", fnum !oldest_heartbeat_ms);
       ("injections", Jsonlite.Obj injections);
     ]
+    @
+    match t.cache with
+    | Some c -> [ ("cache", Rescache.stats_json c) ]
+    | None -> [])
 
 let suggest_retry_ms t =
   (* queue depth × per-request EWMA, spread across the workers: roughly
@@ -238,7 +261,9 @@ let worker_body t slot ~generation par =
         (try
            if Fault.fire Fault.Worker_panic then raise Fault.Injected_panic;
            let response, is_shutdown =
-             process_line ?par ~cancel:infl.cancel ~stats:(fun () -> stats_json t) job.line
+             process_line ?par ~cancel:infl.cancel
+               ~stats:(fun () -> stats_json t)
+               ?cache:t.cache job.line
            in
            Metrics.incr c_requests;
            (* reply before shutdown so the requester always sees its answer *)
@@ -369,7 +394,7 @@ let worker_strength t =
 (* ------------------------------------------------------------------ *)
 
 let create ?(jobs = 1) ?(soft_limit_s = 30.0) ?(hard_limit_s = 120.0)
-    ?(deadline_grace = 2.0) ~workers ~on_shutdown queue =
+    ?(deadline_grace = 2.0) ?cache ~workers ~on_shutdown queue =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   if deadline_grace < 1.0 then invalid_arg "Pool.create: deadline_grace must be >= 1";
@@ -387,6 +412,7 @@ let create ?(jobs = 1) ?(soft_limit_s = 30.0) ?(hard_limit_s = 120.0)
             });
       queue;
       jobs;
+      cache;
       on_shutdown;
       stopping = Atomic.make false;
       soft_limit_s;

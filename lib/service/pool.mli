@@ -53,6 +53,7 @@ val process_line :
   ?par:Dpa_util.Par.t ->
   ?cancel:Dpa_util.Cancel.t ->
   ?stats:(unit -> Dpa_util.Jsonlite.t) ->
+  ?cache:Rescache.t ->
   string ->
   string * bool
 (** [process_line line] is the full decode → execute → encode pipeline
@@ -63,13 +64,21 @@ val process_line :
     [cancel] aborts the execution with a [deadline_exceeded] /
     [cancelled] error response when it fires. [stats] answers the
     [stats] command from the pool's health record; without it the
-    request falls through to {!Handler.execute} (which rejects it). *)
+    request falls through to {!Handler.execute} (which rejects it).
+
+    [cache] is the shared {!Rescache}: a cacheable request (see the
+    cache's interface) sent with [cache: "use"] is answered from it on a
+    hit — byte-identical to cold execution — and populates it after a
+    successful cold execution. [None] (the default), or [cache:
+    "bypass"] in the request, runs the historical cold path untouched.
+    Error responses are never cached. *)
 
 val create :
   ?jobs:int ->
   ?soft_limit_s:float ->
   ?hard_limit_s:float ->
   ?deadline_grace:float ->
+  ?cache:Rescache.t ->
   workers:int ->
   on_shutdown:(unit -> unit) ->
   job Jobqueue.t ->
@@ -91,7 +100,11 @@ val create :
     limit fires the request's cancellation token, the hard limit
     abandons the worker. Either can be disabled by passing [0].
     [deadline_grace] (default 2, [>= 1]) scales a request's own
-    [deadline_s] into its token's hard deadline. *)
+    [deadline_s] into its token's hard deadline.
+
+    [cache] (default none) is the result cache shared by every worker;
+    it is forwarded to {!process_line} on each request and reported
+    under the [cache] key of {!stats_json}. *)
 
 val watch : t -> unit
 (** One watchdog tick: replace crashed workers, cancel requests past the
@@ -103,8 +116,9 @@ val stats_json : t -> Dpa_util.Jsonlite.t
 (** The [stats] command's payload: [workers] (configured), [strength]
     (slots not currently crashed), busy count, queue depth, watchdog
     counters ([panics], [replacements], [rescues],
-    [abandoned_requests]), latency EWMA, oldest in-flight age, and
-    non-zero fault-injection counts. *)
+    [abandoned_requests]), latency EWMA, oldest in-flight age,
+    non-zero fault-injection counts, and — when a result cache is
+    attached — its {!Rescache.stats_json} health under [cache]. *)
 
 val suggest_retry_ms : t -> int
 (** Backoff hint for [overloaded] responses: queue depth × latency EWMA

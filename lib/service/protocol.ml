@@ -37,7 +37,11 @@ type request =
   | Stats
   | Shutdown
 
-type envelope = { id : int; request : request }
+type cache_mode =
+  [ `Use  (* default: probe the result cache, populate it on a miss *)
+  | `Bypass  (* force the cold path: never probe, never populate *) ]
+
+type envelope = { id : int; request : request; cache : cache_mode }
 
 let cmd_name = function
   | Ping -> "ping"
@@ -83,8 +87,13 @@ let budget_fields = function
     @ (if b.sim_backend = Dpa_sim.Backend.default then []
        else [ ("sim_backend", Jsonlite.Str (Dpa_sim.Backend.to_string b.sim_backend)) ])
 
-let request_to_json { id; request } =
+let request_to_json { id; request; cache } =
   let base = [ ("id", Jsonlite.Num (float_of_int id)); ("cmd", Jsonlite.Str (cmd_name request)) ] in
+  (* emitted only when bypassing, so default request lines are unchanged
+     from earlier protocol revisions *)
+  let cache_fields =
+    match cache with `Use -> [] | `Bypass -> [ ("cache", Jsonlite.Str "bypass") ]
+  in
   let rest =
     match request with
     | Ping | Stats | Shutdown -> []
@@ -103,7 +112,7 @@ let request_to_json { id; request } =
         ]
       @ budget_fields budget
   in
-  Jsonlite.Obj (base @ rest)
+  Jsonlite.Obj (base @ rest @ cache_fields)
 
 let request_line e = Jsonlite.encode (request_to_json e)
 
@@ -231,7 +240,13 @@ let parse_request line =
           (Printf.sprintf
              "unknown cmd %S (ping|info|estimate|optimize|compare|stats|shutdown)" other)
     in
-    Ok { id; request })
+    let* cache =
+      match Jsonlite.member_opt "cache" json with
+      | None | Some (Jsonlite.Str "use") -> Ok `Use
+      | Some (Jsonlite.Str "bypass") -> Ok `Bypass
+      | Some _ -> invalid "field \"cache\" must be \"use\" or \"bypass\""
+    in
+    Ok { id; request; cache })
   | _ -> Error (Dpa_error.Invalid_input "request must be a JSON object")
 
 (* ------------------------------------------------------------------ *)
@@ -259,6 +274,23 @@ let ok_response ~id ~cmd result =
          ("cmd", Jsonlite.Str cmd);
          ("result", result);
        ])
+
+(* The textual twin of [ok_response], for results that are already
+   encoded (cache hits and the store-then-reply miss path). [Jsonlite]
+   encodes the id and cmd pieces so the bytes agree with [ok_response]
+   even for ids outside the integer-printing fast path; the byte
+   equality of the two constructors is pinned by a test. *)
+let ok_response_text ~id ~cmd result =
+  String.concat ""
+    [
+      "{\"id\":";
+      Jsonlite.encode (Jsonlite.Num (float_of_int id));
+      ",\"ok\":true,\"cmd\":";
+      Jsonlite.encode (Jsonlite.Str cmd);
+      ",\"result\":";
+      result;
+      "}";
+    ]
 
 let error_response ~id e =
   let extra =

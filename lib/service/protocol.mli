@@ -14,14 +14,25 @@
      "input_prob": 0.5, "phases": "+-+",
      "max_bdd_nodes": 20000, "deadline_s": 1.5,
      "fallback": "none" | "reorder" | "sim",
-     "seed": 1}                              -- optimize / compare
+     "sim_backend": "interp" | "compiled",
+     "seed": 1,                              -- optimize / compare
+     "cache": "use" | "bypass"}              -- result-cache control
     v}
     [cmd] is one of [ping], [info], [estimate], [optimize], [compare],
     [stats], [shutdown]. Responses are [{"id": n, "ok": true, "cmd": c,
     "result": {...}}] or [{"id": n, "ok": false, "error": {"kind": k,
     "message": m, "exit_code": c}}] with [kind]/[exit_code] following
     the {!Dpa_util.Dpa_error} taxonomy — a malformed or unexecutable
-    request produces a structured error response, never a dead worker. *)
+    request produces a structured error response, never a dead worker.
+    An [overloaded] error additionally carries [retry_after_ms].
+
+    [cache] (default ["use"]) controls the server's result cache
+    ([Rescache]): ["bypass"] forces the cold execution path — the cache
+    is neither probed nor populated — which is how [validate] runs and
+    tests pin cached-vs-cold byte identity. The response carries no
+    cache marker {e by design}: a hit must be byte-identical to the cold
+    response, so hit/miss accounting is observable only through [stats]
+    and the metrics registry. *)
 
 module Jsonlite = Dpa_util.Jsonlite
 
@@ -69,7 +80,14 @@ type request =
           queue depth) — answered by the pool itself, not a handler *)
   | Shutdown
 
-type envelope = { id : int; request : request }
+(** Per-request result-cache control; wire field [cache], omitted when
+    [`Use] so default request lines are unchanged from earlier protocol
+    revisions. *)
+type cache_mode =
+  [ `Use  (** probe the result cache, populate it on a miss (default) *)
+  | `Bypass  (** force the cold path: never probe, never populate *) ]
+
+type envelope = { id : int; request : request; cache : cache_mode }
 (** [id] defaults to 0 when the request omits it. *)
 
 val cmd_name : request -> string
@@ -94,6 +112,13 @@ val parse_request : string -> (envelope, Dpa_util.Dpa_error.t) result
 
 val ok_response : id:int -> cmd:string -> Jsonlite.t -> string
 (** One response line (no newline). *)
+
+val ok_response_text : id:int -> cmd:string -> string -> string
+(** [ok_response_text ~id ~cmd result] is byte-identical to
+    [ok_response ~id ~cmd r] whenever [result = Jsonlite.encode r] —
+    the splice the result cache uses to wrap a stored (already encoded)
+    [result] payload in a fresh envelope without a decode/re-encode
+    round trip. The equality is pinned by a test. *)
 
 val error_response : id:int -> Dpa_util.Dpa_error.t -> string
 

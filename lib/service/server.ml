@@ -9,11 +9,18 @@ type config = {
   jobs : int;
   queue_capacity : int;
   max_request_bytes : int;
+  cache_mb : int;
+  cache_entries : int;
+  cache_snapshot : string option;
 }
 
 let default_queue_capacity = 64
 
 let default_max_request_bytes = 16 * 1024 * 1024
+
+let default_cache_mb = 64
+
+let default_cache_entries = 4096
 
 (* A slow reader's response backlog is capped: past this the connection
    is dropped rather than letting the server buffer grow without bound. *)
@@ -287,8 +294,27 @@ let run ?(on_ready = fun (_ : t) -> ()) config =
   Unix.set_nonblock wake_w;
   let queue = Jobqueue.create ~capacity:config.queue_capacity in
   let t = { config; queue; stopping = Atomic.make false; wake_w; pool = None } in
+  (* the shared result cache, warmed from the snapshot when one exists.
+     A corrupt or version-skewed snapshot means a cold start with a
+     structured warning — never a refused boot. *)
+  let cache =
+    if config.cache_mb <= 0 then None
+    else
+      Some
+        (Rescache.create
+           ~max_bytes:(config.cache_mb * 1024 * 1024)
+           ~max_entries:config.cache_entries ())
+  in
+  (match (cache, config.cache_snapshot) with
+  | Some c, Some path -> (
+    match Rescache.load c path with
+    | `Loaded _ | `Missing -> ()
+    | `Rejected reason ->
+      Printf.eprintf "dominoflow: warning: cache snapshot %s rejected (%s); starting cold\n%!"
+        path reason)
+  | _ -> ());
   let pool =
-    Pool.create ~jobs:config.jobs ~workers:config.workers
+    Pool.create ~jobs:config.jobs ~workers:config.workers ?cache
       ~on_shutdown:(fun () -> stop t)
       queue
   in
@@ -354,6 +380,16 @@ let run ?(on_ready = fun (_ : t) -> ()) config =
   (try Unix.unlink config.socket_path with Sys_error _ | Unix.Unix_error _ -> ());
   Jobqueue.close queue;
   Pool.join pool;
+  (* workers are gone: the cache is quiescent, so the graceful-drain
+     snapshot sees a consistent final state *)
+  (match (cache, config.cache_snapshot) with
+  | Some c, Some path -> (
+    match Rescache.save c path with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "dominoflow: warning: cache snapshot %s not written (%s)\n%!" path
+        msg)
+  | _ -> ());
   (* workers are gone, so buffers and pending counts are final: flush
      the last responses, then close every connection *)
   final_flush !conns;

@@ -31,6 +31,13 @@
     answered with a structured [invalid-input] error, never silently
     dropped.
 
+    Result caching: when [cache_mb > 0] the server owns one {!Rescache}
+    shared by the whole worker pool, loaded from [cache_snapshot] before
+    the pool starts and snapshotted back after the drain — so a
+    graceful restart answers its first repetitive batch warm. Cache
+    behaviour is entirely inside {!Pool.process_line}; the select loop
+    never touches it.
+
     Fault injection: an armed {!Dpa_util.Fault.Write_stall} freezes a
     connection's flush for the fault parameter; {!Dpa_util.Fault}'s
     other server-side points act inside the pool. All injection sites
@@ -55,6 +62,16 @@ type config = {
   max_request_bytes : int;
       (** largest admissible request frame; larger frames get a
           structured error without being parsed *)
+  cache_mb : int;
+      (** byte bound of the shared {!Rescache} result cache in MiB;
+          [0] disables caching entirely *)
+  cache_entries : int;  (** entry bound of the result cache *)
+  cache_snapshot : string option;
+      (** path of the versioned cache snapshot: loaded before the pool
+          starts (so a restarted daemon answers warm; a corrupt or
+          version-skewed file is ignored with a warning on stderr) and
+          written atomically after the pool has drained on graceful
+          shutdown. [None] = in-memory cache only. *)
 }
 
 val default_queue_capacity : int
@@ -62,6 +79,12 @@ val default_queue_capacity : int
 
 val default_max_request_bytes : int
 (** 16 MiB. *)
+
+val default_cache_mb : int
+(** 64. *)
+
+val default_cache_entries : int
+(** 4096. *)
 
 type t
 (** Handle onto a running server, valid while {!run} executes. *)

@@ -18,4 +18,5 @@ let () =
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
+      ("rescache", Test_rescache.suite);
       ("edge-cases", Test_edge_cases.suite) ]

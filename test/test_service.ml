@@ -28,7 +28,7 @@ let roundtrip env =
 let test_roundtrip_simple () =
   List.iter
     (fun request ->
-      let env = { Protocol.id = 42; request } in
+      let env = { Protocol.id = 42; request; cache = `Use } in
       let env' = roundtrip env in
       Alcotest.(check int) "id" 42 env'.Protocol.id;
       Alcotest.(check string)
@@ -54,7 +54,7 @@ let test_roundtrip_estimate () =
             };
       }
   in
-  match (roundtrip { Protocol.id = 7; request }).Protocol.request with
+  match (roundtrip { Protocol.id = 7; request; cache = `Use }).Protocol.request with
   | Protocol.Estimate { source; input_prob; phases; budget } ->
     (match source with
     | Protocol.Inline { text; format = `Dln } ->
@@ -79,7 +79,7 @@ let test_roundtrip_flow_cmds () =
           ~source:(Protocol.File "design.blif")
           ~input_prob:0.75 ~seed:9 ~budget:None
       in
-      match (roundtrip { Protocol.id = 3; request }).Protocol.request with
+      match (roundtrip { Protocol.id = 3; request; cache = `Use }).Protocol.request with
       | Protocol.Optimize { source = Protocol.File p; input_prob; seed; budget = None }
       | Protocol.Compare { source = Protocol.File p; input_prob; seed; budget = None } ->
         Alcotest.(check string) "file" "design.blif" p;
@@ -94,7 +94,15 @@ let test_roundtrip_flow_cmds () =
     ]
 
 let test_roundtrip_info () =
-  match (roundtrip { Protocol.id = 1; request = Protocol.Info { source = Protocol.File "x.dln" } }).Protocol.request with
+  match
+    (roundtrip
+       {
+         Protocol.id = 1;
+         request = Protocol.Info { source = Protocol.File "x.dln" };
+         cache = `Use;
+       })
+      .Protocol.request
+  with
   | Protocol.Info { source = Protocol.File p } -> Alcotest.(check string) "file" "x.dln" p
   | _ -> Alcotest.fail "request changed shape"
 
@@ -243,6 +251,10 @@ let test_server_concurrent_bit_identity () =
                     phases = None;
                     budget = None;
                   };
+              (* bypass: this test measures the pool, not the cache — 4
+                 identical copies per file would otherwise collapse into
+                 one execution and three hits *)
+              cache = `Bypass;
             }))
       files
   in
@@ -299,10 +311,11 @@ let test_server_shutdown_drains () =
                   phases = None;
                   budget = None;
                 };
+            cache = `Bypass;
           })
   in
   let shutdown =
-    Protocol.request_line { Protocol.id = 99; request = Protocol.Shutdown }
+    Protocol.request_line { Protocol.id = 99; request = Protocol.Shutdown; cache = `Use }
   in
   Client.with_self_hosted ~workers:1 (fun ~socket ->
       let responses = Client.run_batch ~socket (estimates @ [ shutdown ]) in
@@ -339,6 +352,9 @@ let estimate_line ~id ?budget () =
             phases = None;
             budget;
           };
+      (* bypass: the fault tests need every request to reach a worker's
+         estimation pipeline, where the injection points live *)
+      cache = `Bypass;
     }
 
 let response_kind line =
@@ -451,7 +467,8 @@ let test_server_overload_shed_and_retry () =
           | _ -> Alcotest.failf "request %d not ok after retries: %s" (i + 1) l)
         responses)
 
-let stats_line = Protocol.request_line { Protocol.id = 77; request = Protocol.Stats }
+let stats_line =
+  Protocol.request_line { Protocol.id = 77; request = Protocol.Stats; cache = `Use }
 
 let stat_int stats key =
   match Jsonlite.member_opt key stats with
@@ -573,7 +590,7 @@ let test_client_retry_survives_midbatch_drop () =
   @@ fun () ->
   let lines =
     List.init 5 (fun i ->
-        Protocol.request_line { Protocol.id = i + 1; request = Protocol.Ping })
+        Protocol.request_line { Protocol.id = i + 1; request = Protocol.Ping; cache = `Use })
   in
   let retry = { Client.default_retry with base_delay_ms = 10 } in
   let responses = Client.run_batch ~retry ~socket:path lines in
