@@ -331,7 +331,7 @@ let fig10 () =
 let run_profiles ~timed profiles =
   List.map
     (fun p ->
-      let net = Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params in
+      let net = Dpa_workload.Profiles.build_comb p in
       let config =
         { Flow.default_config with
           Flow.pair_limit = p.Dpa_workload.Profiles.pair_limit;
@@ -404,7 +404,7 @@ let table1_probs () =
         List.map
           (fun prof ->
             let net =
-              Dpa_workload.Generator.combinational prof.Dpa_workload.Profiles.params
+              Dpa_workload.Profiles.build_comb prof
             in
             let config =
               { Flow.default_config with
@@ -549,7 +549,7 @@ let validate () =
     (fun p ->
       let net =
         Dpa_synth.Opt.optimize
-          (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
+          (Dpa_workload.Profiles.build_comb p)
       in
       let probs = Array.make (Netlist.num_inputs net) 0.5 in
       (* validate on the minimum-power realization, the one the tables
@@ -568,7 +568,7 @@ let validate () =
       in
       let negs = Phase.count_negative assignment in
       Table.add_row t
-        [ p.Dpa_workload.Profiles.params.Dpa_workload.Generator.name;
+        [ p.Dpa_workload.Profiles.name;
           Printf.sprintf "%d neg / %d" negs (Array.length assignment);
           Table.cell_float ~decimals:3 est;
           Table.cell_float ~decimals:3 sim;
@@ -624,8 +624,8 @@ let sim_compile ?(quick = false) ?(json = false) () =
   let generated =
     match Dpa_workload.Profiles.find "industry2" with
     | Some p ->
-      [ ( p.Dpa_workload.Profiles.params.Dpa_workload.Generator.name,
-          Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params ) ]
+      [ ( p.Dpa_workload.Profiles.name,
+          Dpa_workload.Profiles.build_comb p ) ]
     | None -> []
   in
   let measure (name, raw) =
@@ -883,7 +883,7 @@ let ablation () =
       | Some prof ->
         let pnet =
           Dpa_synth.Opt.optimize
-            (Dpa_workload.Generator.combinational prof.Dpa_workload.Profiles.params)
+            (Dpa_workload.Profiles.build_comb prof)
         in
         let pprobs = Array.make (Netlist.num_inputs pnet) 0.5 in
         let ratio = Dpa_power.Static_model.domino_to_static_ratio ~input_probs:pprobs pnet in
@@ -902,7 +902,7 @@ let ablation () =
   (match Dpa_workload.Profiles.find "x1" with
   | None -> ()
   | Some prof ->
-    let raw = Dpa_workload.Generator.combinational prof.Dpa_workload.Profiles.params in
+    let raw = Dpa_workload.Profiles.build_comb prof in
     let config =
       { Flow.default_config with Flow.pair_limit = prof.Dpa_workload.Profiles.pair_limit }
     in
@@ -938,7 +938,7 @@ let ablation () =
   (match Dpa_workload.Profiles.find "apex7" with
   | None -> ()
   | Some prof ->
-    let raw = Dpa_workload.Generator.combinational prof.Dpa_workload.Profiles.params in
+    let raw = Dpa_workload.Profiles.build_comb prof in
     let plain = Flow.compare_ma_mp raw in
     let compound_lib = Dpa_domino.Library.with_compound Dpa_domino.Library.default in
     let compound_cfg = { Flow.default_config with Flow.library = compound_lib } in
@@ -958,7 +958,7 @@ let ablation () =
   | Some prof ->
     let net =
       Dpa_synth.Opt.optimize
-        (Dpa_workload.Generator.combinational prof.Dpa_workload.Profiles.params)
+        (Dpa_workload.Profiles.build_comb prof)
     in
     let probs = Array.make (Netlist.num_inputs net) 0.5 in
     let a = Phase.all_positive (Netlist.num_outputs net) in
@@ -974,3 +974,54 @@ let ablation () =
       (Dpa_util.Stats.relative_error ~expected:est.Estimate.total
          ~actual:meas.Estimate.total
       *. 100.0))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus sweep                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The production-scale regression substrate (ROADMAP item 1): every
+   manifest circuit through the MA-vs-MP flow, reporting per-circuit wall
+   time, ladder rung, BDD nodes, power and phase-conflict counts; --json
+   writes BENCH_corpus.json for CI trend tracking. Quick mode sweeps the
+   CI-size smoke manifest instead of the full one. *)
+let corpus_sweep ?(quick = false) ?(json = false) () =
+  let module C = Dpa_workload.Corpus in
+  let m = if quick then C.smoke else C.full in
+  section
+    (Printf.sprintf "Corpus sweep — %s manifest through the MA-vs-MP flows" m.C.name);
+  let outcomes =
+    List.map
+      (fun spec ->
+        let o = C.run_spec spec in
+        Printf.printf "  %-14s %6d gates  [%s]  %.2fs\n%!" o.C.name o.C.gates o.C.ladder
+          o.C.runtime_s;
+        o)
+      m.C.specs
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ ("Ckt", Table.Left); ("family", Table.Left); ("gates", Table.Right);
+          ("MA pwr", Table.Right); ("MP pwr", Table.Right); ("sav %", Table.Right);
+          ("flips", Table.Right); ("dup", Table.Right); ("ladder", Table.Left);
+          ("bdd nodes", Table.Right); ("sec", Table.Right) ]
+  in
+  List.iter
+    (fun (o : C.outcome) ->
+      Table.add_row t
+        [ o.C.name; o.C.family; string_of_int o.C.gates;
+          Table.cell_float ~decimals:2 o.C.ma_power;
+          Table.cell_float ~decimals:2 o.C.mp_power;
+          Table.cell_float ~decimals:1 o.C.power_saving_pct;
+          string_of_int o.C.phase_flips; string_of_int o.C.duplicated_gates; o.C.ladder;
+          string_of_int o.C.bdd_nodes;
+          Table.cell_float ~decimals:2 o.C.runtime_s ])
+    outcomes;
+  Table.print t;
+  if json then begin
+    let oc = open_out "BENCH_corpus.json" in
+    output_string oc (C.bench_json ~manifest:m.C.name ~jobs:1 outcomes);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH_corpus.json\n"
+  end

@@ -154,7 +154,40 @@ let kernels =
         (Dpa_sim.Simulator.measure ~cycles:1000 rng
            ~input_probs:(Array.make (Netlist.num_inputs (Lazy.force prepared_net)) 0.5)
            mapped));
-    ("timing.sta", fun () -> opaque (Dpa_timing.Sta.analyze (Lazy.force prepared_mapped))) ]
+    ("timing.sta", fun () -> opaque (Dpa_timing.Sta.analyze (Lazy.force prepared_mapped)));
+    ("corpus.midsize-roundtrip", fun () ->
+      (* one mid-size corpus circuit through generation, well-formedness
+         and the baseline wire format — the smoke path catches generator
+         or baseline-format breakage before a full corpus sweep does *)
+      let p =
+        match Dpa_workload.Profiles.find "parity_mix" with
+        | Some p -> p
+        | None -> failwith "corpus profile parity_mix vanished"
+      in
+      let net = Dpa_workload.Profiles.build_comb p in
+      (match Dpa_logic.Netlist.validate net with
+      | Ok () -> ()
+      | Error e -> failwith ("corpus generator: " ^ e));
+      let o =
+        { Dpa_workload.Corpus.name = p.Dpa_workload.Profiles.name;
+          family = Dpa_workload.Profiles.family_name p.Dpa_workload.Profiles.family;
+          digest = Dpa_logic.Struct_hash.digest net;
+          gates = Dpa_logic.Netlist.gate_count net;
+          n_pi = Dpa_logic.Netlist.num_inputs net;
+          n_po = Dpa_logic.Netlist.num_outputs net;
+          n_ffs = 0; fvs = 0; supervertices = 0;
+          ma_size = 0; ma_power = 0.125; mp_size = 0; mp_power = 0.0625;
+          mp_phases = 0; phase_flips = 0; duplicated_gates = 0;
+          power_saving_pct = 50.0; area_penalty_pct = 0.1;
+          ladder = "exact"; bdd_nodes = 0; runtime_s = 0.5 }
+      in
+      let rt =
+        Dpa_workload.Corpus.outcome_of_json
+          (Dpa_util.Jsonlite.parse
+             (Dpa_util.Jsonlite.encode (Dpa_workload.Corpus.json_of_outcome o)))
+      in
+      if rt <> o then failwith "corpus baseline round-trip drifted";
+      opaque rt) ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission (hand rolled — no JSON library in the dependency set)  *)
@@ -841,6 +874,7 @@ let all () =
   Experiments.validate ();
   Experiments.ablation ();
   Experiments.sim_compile ();
+  Experiments.corpus_sweep ();
   service_throughput ();
   service_loadgen ();
   parallel_bench ();
@@ -877,6 +911,7 @@ let () =
       ("validate", Experiments.validate);
       ("ablation", Experiments.ablation);
       ("sim", fun () -> Experiments.sim_compile ~quick:is_quick ~json ());
+      ("corpus", fun () -> Experiments.corpus_sweep ~quick:is_quick ~json ());
       ("service", fun () -> service_throughput ~quick:is_quick ~json ());
       ("loadgen", fun () -> service_loadgen ~quick:is_quick ~json ());
       ("parallel", fun () -> parallel_bench ~quick:is_quick ~json ());

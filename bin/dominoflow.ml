@@ -35,7 +35,12 @@ let netlist_of_source ~file ~profile =
   | Some path, None -> Ok (Dpa_logic.Io.load_file path)
   | None, Some name -> (
     match Dpa_workload.Profiles.find name with
-    | Some p -> Ok (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
+    | Some p when Dpa_workload.Profiles.is_sequential p ->
+      Error
+        (Printf.sprintf
+           "profile %S is sequential; use `dominoflow corpus` or `dominoflow workload --emit`"
+           name)
+    | Some p -> Ok (Dpa_workload.Profiles.build_comb p)
     | None ->
       Error
         (Printf.sprintf "unknown profile %S (available: %s)" name
@@ -58,7 +63,10 @@ let file_arg =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
 
 let profile_arg =
-  let doc = "Named benchmark profile (industry1-3, apex7, frg1, x1, x3)." in
+  let doc =
+    "Named benchmark profile (industry1-3, apex7, frg1, x1, x3, or any corpus \
+     profile; `dominoflow workload` lists them all)."
+  in
   Arg.(value & opt (some string) None & info [ "profile"; "p" ] ~docv:"NAME" ~doc)
 
 let input_prob_arg =
@@ -465,10 +473,13 @@ let generate_cmd =
         ( false,
           Printf.sprintf "unknown profile %S (available: %s)" profile
             (String.concat ", " Dpa_workload.Profiles.names) )
+    | Some p when Dpa_workload.Profiles.is_sequential p ->
+      `Error
+        ( false,
+          Printf.sprintf "profile %S is sequential; use `dominoflow workload --emit`"
+            profile )
     | Some p ->
-      print_string
-        (Dpa_logic.Io.to_string
-           (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params));
+      print_string (Dpa_logic.Io.to_string (Dpa_workload.Profiles.build_comb p));
       `Ok ()
   in
   let profile_pos =
@@ -1119,6 +1130,245 @@ let chaos_cmd =
        $ deadline_every_arg $ chaos_queue_arg $ fault_arg $ seed_arg $ out_arg
        $ trace_arg $ metrics_arg))
 
+(* ---- workload ---- *)
+
+let workload_cmd =
+  let module P = Dpa_workload.Profiles in
+  let list_profiles () =
+    Printf.printf "%-14s %-10s %8s %5s %5s %4s %6s %s\n" "NAME" "FAMILY" "~GATES"
+      "PI" "PO" "FF" "PAIRS" "DESCRIPTION";
+    List.iter
+      (fun name ->
+        match P.find name with
+        | None -> ()
+        | Some p ->
+          let n_pi, n_po, n_ffs = P.interface p in
+          Printf.printf "%-14s %-10s %8d %5d %5d %4d %6s %s\n" p.P.name
+            (P.family_name p.P.family) p.P.scale n_pi n_po n_ffs
+            (match p.P.pair_limit with Some n -> string_of_int n | None -> "all")
+            p.P.description)
+      P.names
+  in
+  let emit name format out =
+    match P.find name with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown profile %S (available: %s)" name
+            (String.concat ", " P.names) )
+    | Some p ->
+      let text =
+        match P.build p, format with
+        | P.Comb net, `Blif -> Ok (Dpa_logic.Blif.to_string net)
+        | P.Comb net, `Dln -> Ok (Dpa_logic.Io.to_string net)
+        | P.Seq sn, `Blif ->
+          Ok
+            (Dpa_logic.Blif.sequential_to_string
+               {
+                 Dpa_logic.Blif.comb = Dpa_seq.Seq_netlist.comb sn;
+                 n_real_inputs = Dpa_seq.Seq_netlist.n_real_inputs sn;
+                 latches =
+                   Array.map
+                     (fun ff ->
+                       {
+                         Dpa_logic.Blif.data = ff.Dpa_seq.Seq_netlist.data;
+                         init = ff.Dpa_seq.Seq_netlist.init;
+                       })
+                     (Dpa_seq.Seq_netlist.ffs sn);
+               })
+        | P.Seq _, `Dln ->
+          Error
+            (Printf.sprintf
+               "profile %S is sequential; the .dln format is combinational-only \
+                (use --format blif)"
+               name)
+      in
+      (match text with
+      | Error msg -> `Error (false, msg)
+      | Ok text ->
+        (match out with
+        | None -> print_string text
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text));
+        `Ok ())
+  in
+  let action emit_name format out =
+    match emit_name with
+    | None ->
+      list_profiles ();
+      `Ok ()
+    | Some name -> emit name format out
+  in
+  let emit_arg =
+    let doc = "Emit profile $(docv) as a netlist instead of listing." in
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"NAME" ~doc)
+  in
+  let format_arg =
+    let doc = "Emit format: $(b,blif) (default; the only one carrying latches) or $(b,dln)." in
+    Arg.(
+      value
+      & opt (enum [ ("blif", `Blif); ("dln", `Dln) ]) `Blif
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the emitted netlist to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "List workload profiles (tables + corpus) or emit one as BLIF/.dln for use \
+     with validate/serve/submit."
+  in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(ret (const action $ emit_arg $ format_arg $ out_arg))
+
+(* ---- corpus ---- *)
+
+let corpus_cmd =
+  let module C = Dpa_workload.Corpus in
+  (* override flags are Option-valued here (unlike the estimate/run budget
+     flags) so "flag absent" leaves the per-spec manifest budget alone *)
+  let fallback_opt_arg =
+    let doc = "Override every spec's budget fallback policy (none|reorder|sim)." in
+    let fb_conv =
+      Arg.conv
+        ( (fun s ->
+            match Dpa_power.Engine.fallback_of_string s with
+            | Some f -> Ok f
+            | None ->
+              Error (`Msg (Printf.sprintf "invalid fallback %S (none|reorder|sim)" s))),
+          fun fmt f ->
+            Format.pp_print_string fmt (Dpa_power.Engine.fallback_to_string f) )
+    in
+    Arg.(value & opt (some fb_conv) None & info [ "fallback" ] ~docv:"POLICY" ~doc)
+  in
+  let sim_backend_opt_arg =
+    let doc = "Override the Monte-Carlo backend used by budgeted specs (interp|compiled)." in
+    let sb_conv =
+      Arg.conv
+        ( (fun s ->
+            match Dpa_sim.Backend.of_string s with
+            | Some b -> Ok b
+            | None ->
+              Error (`Msg (Printf.sprintf "invalid sim backend %S (interp|compiled)" s))),
+          fun fmt b -> Format.pp_print_string fmt (Dpa_sim.Backend.to_string b) )
+    in
+    Arg.(value & opt (some sb_conv) None & info [ "sim-backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let manifest_arg =
+    let doc = "Manifest to sweep: $(b,full) (default) or $(b,smoke) (CI-size)." in
+    Arg.(value & opt string "full" & info [ "manifest" ] ~docv:"NAME" ~doc)
+  in
+  let only_arg =
+    let doc = "Restrict the sweep to circuit $(docv) from the manifest." in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
+  in
+  let update_arg =
+    let doc = "Rewrite the stored baselines from this run instead of diffing against them." in
+    Arg.(value & flag & info [ "update-baselines" ] ~doc)
+  in
+  let baseline_dir_arg =
+    let doc = "Directory of per-circuit baseline JSON files." in
+    Arg.(value & opt string "data/baselines" & info [ "baseline-dir" ] ~docv:"DIR" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the per-circuit bench report to $(docv)." in
+    Arg.(value & opt string "BENCH_corpus.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let perf_slack_arg =
+    let doc =
+      "Fail when a circuit's wall time exceeds $(docv)x its baseline; 0 \
+       disables the perf check (quality checks are always exact)."
+    in
+    Arg.(value & opt float 10.0 & info [ "perf-slack" ] ~docv:"X" ~doc)
+  in
+  let action manifest only update baseline_dir out perf_slack max_bdd_nodes deadline
+      fallback sim_backend jobs trace metrics =
+    guard @@ fun () ->
+    match C.manifest_of_string manifest with
+    | None ->
+      prerr_endline (Printf.sprintf "unknown manifest %S (full|smoke)" manifest);
+      exit 64
+    | Some m ->
+      let specs =
+        match only with
+        | None -> m.C.specs
+        | Some name -> (
+          match C.find_spec m name with
+          | Some s -> [ s ]
+          | None ->
+            prerr_endline
+              (Printf.sprintf "circuit %S is not in manifest %S (has: %s)" name m.C.name
+                 (String.concat ", "
+                    (List.map (fun s -> s.C.profile.Dpa_workload.Profiles.name) m.C.specs)));
+            exit 64)
+      in
+      let jobs_n =
+        max 1 (min 126 (match jobs with Some j -> j | None -> Dpa_util.Par.default_jobs ()))
+      in
+      with_obs ~trace ~metrics @@ fun () ->
+      with_par ~jobs @@ fun pool ->
+      let problems = ref [] in
+      let outcomes =
+        List.map
+          (fun spec ->
+            let name = spec.C.profile.Dpa_workload.Profiles.name in
+            let budget =
+              C.merge_budget spec ~max_bdd_nodes ~deadline_s:deadline ~fallback
+                ~sim_backend
+            in
+            let o = C.run_spec ~par:pool ?budget spec in
+            Printf.printf
+              "%-14s %6d gates  MA %8.2f  MP %8.2f  (%+5.1f%% power, %+5.1f%% area)  \
+               [%s] %.2fs\n\
+               %!"
+              o.C.name o.C.gates o.C.ma_power o.C.mp_power o.C.power_saving_pct
+              o.C.area_penalty_pct o.C.ladder o.C.runtime_s;
+            if update then C.write_baseline ~dir:baseline_dir o
+            else begin
+              match C.read_baseline ~dir:baseline_dir name with
+              | None ->
+                problems :=
+                  (name, [ "no stored baseline (run corpus --update-baselines)" ])
+                  :: !problems
+              | Some expected -> (
+                match C.diff ~perf_slack ~expected ~actual:o () with
+                | [] -> ()
+                | ds -> problems := (name, ds) :: !problems)
+            end;
+            o)
+          specs
+      in
+      let oc = open_out out in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (C.bench_json ~manifest:m.C.name ~jobs:jobs_n outcomes);
+          output_char oc '\n');
+      (match !problems with
+      | [] ->
+        if not update then
+          Printf.printf "corpus: %d circuits clean against %s\n" (List.length outcomes)
+            baseline_dir
+      | ps ->
+        List.iter
+          (fun (name, ds) ->
+            List.iter (fun d -> Printf.eprintf "REGRESSION %s: %s\n" name d) ds)
+          (List.rev ps);
+        Printf.eprintf "corpus: %d/%d circuits regressed\n" (List.length ps)
+          (List.length outcomes);
+        exit 65)
+  in
+  let doc =
+    "Sweep a corpus manifest through the MA-vs-MP flows and diff every circuit \
+     against its stored baseline (non-zero exit on regression)."
+  in
+  Cmd.v (Cmd.info "corpus" ~doc)
+    Term.(
+      const action $ manifest_arg $ only_arg $ update_arg $ baseline_dir_arg $ out_arg
+      $ perf_slack_arg $ max_bdd_nodes_arg $ deadline_arg $ fallback_opt_arg
+      $ sim_backend_opt_arg $ jobs_arg $ trace_arg $ metrics_arg)
+
 (* ---- tables ---- *)
 
 let table_cmd name doc profiles timed =
@@ -1132,7 +1382,7 @@ let table_cmd name doc profiles timed =
     let rows =
       List.map
         (fun p ->
-          let net = Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params in
+          let net = Dpa_workload.Profiles.build_comb p in
           let config =
             { Flow.default_config with
               Flow.pair_limit = p.Dpa_workload.Profiles.pair_limit;
@@ -1162,5 +1412,5 @@ let () =
   let info = Cmd.info "dominoflow" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ run_cmd; estimate_cmd; validate_cmd; generate_cmd; info_cmd; equiv_cmd;
-         mfvs_cmd; table1_cmd; table2_cmd; serve_cmd; submit_cmd; batch_cmd;
-         chaos_cmd ]))
+         mfvs_cmd; workload_cmd; corpus_cmd; table1_cmd; table2_cmd; serve_cmd;
+         submit_cmd; batch_cmd; chaos_cmd ]))

@@ -23,8 +23,11 @@ let () =
     Printf.eprintf "unknown profile %S; available: %s\n" name
       (String.concat ", " Profiles.names);
     exit 1
+  | Some profile when Profiles.is_sequential profile ->
+    Printf.eprintf "profile %S is sequential; use `dominoflow corpus`\n" name;
+    exit 1
   | Some profile ->
-    let net = Dpa_workload.Generator.combinational profile.Profiles.params in
+    let net = Profiles.build_comb profile in
     Printf.printf "profile %s (%s): %d PIs, %d POs, %d gates generated\n%!" name
       profile.Profiles.description
       (Dpa_logic.Netlist.num_inputs net)

@@ -214,7 +214,7 @@ let reordered_order ~budget ~deadline ~cancel ~order mapped =
     let deadline_passed () =
       match deadline with Some d -> Unix.gettimeofday () > d | None -> false
     in
-    if Array.length order < 2 || deadline_passed () then None
+    if budget.reorder_passes <= 0 || Array.length order < 2 || deadline_passed () then None
     else begin
       let cost o =
         Dpa_util.Cancel.check cancel;
@@ -639,7 +639,7 @@ let node_probabilities ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.non
       (probs, Exact)
     | None -> (
       let retry =
-        if budget.fallback = No_fallback then None
+        if budget.fallback = No_fallback || budget.reorder_passes <= 0 then None
         else
           match budget.max_bdd_nodes with
           | None -> None

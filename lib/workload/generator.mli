@@ -43,3 +43,78 @@ val sequential : params -> n_ffs:int -> Dpa_seq.Seq_netlist.t
 (** Adds [n_ffs] flip-flops whose Q pins participate as extra inputs and
     whose D pins tap random internal nodes, yielding s-graphs with real
     cycle structure. *)
+
+(** {1 Corpus-scale families}
+
+    Production-size generators (10⁴–10⁵ gates) with structurally extreme
+    BDD behaviour. All are deterministic in their record (including
+    [seed]); XOR is decomposed into AND/OR/NOT at generation time so
+    gate counts reflect real scale and the netlists flow through every
+    backend unchanged. *)
+
+type parity = {
+  name : string;
+  seed : int;
+  n_inputs : int;
+  n_outputs : int;
+  support : int;  (** window width per output cone *)
+  stages : int;  (** chain length (≈4 fresh gates per stage) *)
+  mix_prob : float;
+      (** probability a stage is AND/OR instead of XOR; 0.0 gives a pure
+          parity chain whose BDD stays linear in the support *)
+  and_bias : float;  (** AND share of the mixed stages *)
+}
+
+val parity_chain : parity -> Dpa_logic.Netlist.t
+(** Deep XOR/parity chains: each output folds [stages] randomly chosen
+    window inputs through decomposed XORs (optionally diluted with
+    AND/OR mixing). Outputs [po0 … poN-1] are always proper gates. *)
+
+type arith = {
+  name : string;
+  seed : int;
+  width : int;  (** operand bit width *)
+  operands : int;  (** number of summands *)
+}
+
+val adder_array : arith -> Dpa_logic.Netlist.t
+(** Ripple-carry adder array summing [operands] inputs of [width] bits.
+    Inputs are created bit-interleaved (bit 0 of every operand before
+    bit 1 of any) so the default BDD variable order keeps carry BDDs
+    compact. The seed only shuffles accumulation order: the function is
+    seed-independent, the structure is not. Outputs [s0 … s(width +
+    operands - 2)]. *)
+
+type mult = {
+  name : string;
+  seed : int;
+  width : int;  (** operand bit width; array multiplier, 2·width outputs *)
+}
+
+val multiplier : mult -> Dpa_logic.Netlist.t
+(** Array multiplier: partial-product rows summed by ripple addition.
+    Carry chains with heavy reuse; middle product bits have
+    exponentially large BDDs — the canonical engine-ladder stressor.
+    Outputs [p0 … p(2·width - 1)]. *)
+
+type controller = {
+  name : string;
+  seed : int;
+  n_inputs : int;
+  n_outputs : int;
+  n_ffs : int;
+  q_support : int;  (** Q pseudo-inputs feeding each D cone (wrap-around
+                        window plus one long-range tap) *)
+  gates_per_cone : int;
+  and_bias : float;
+  inverter_prob : float;
+}
+
+val controller : controller -> Dpa_seq.Seq_netlist.t
+(** Controller-style sequential machine with dense feedback: every
+    flip-flop's D cone reads a contiguous wrap-around window of
+    neighbouring Qs plus a long-range tap, so the s-graph is one big
+    strongly connected component that genuinely stresses the MFVS
+    reductions. Cone supports stay bounded (≈[q_support] Qs + a few
+    PIs) because the sequential probability partition builds exact BDDs
+    of the whole core. *)

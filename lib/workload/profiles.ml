@@ -1,9 +1,61 @@
+type family = Control | Parity | Arith | Sequential
+
+type shape =
+  | Windowed of Generator.params
+  | Parity_chain of Generator.parity
+  | Adder of Generator.arith
+  | Multiplier of Generator.mult
+  | Controller of Generator.controller
+
 type t = {
-  params : Generator.params;
+  name : string;
+  shape : shape;
+  family : family;
+  scale : int;
   description : string;
   pair_limit : int option;
   timed : bool;
 }
+
+type circuit = Comb of Dpa_logic.Netlist.t | Seq of Dpa_seq.Seq_netlist.t
+
+let family_name = function
+  | Control -> "control"
+  | Parity -> "parity"
+  | Arith -> "arith"
+  | Sequential -> "sequential"
+
+let is_sequential t = match t.shape with Controller _ -> true | _ -> false
+
+let build t =
+  match t.shape with
+  | Windowed p -> Comb (Generator.combinational p)
+  | Parity_chain p -> Comb (Generator.parity_chain p)
+  | Adder p -> Comb (Generator.adder_array p)
+  | Multiplier p -> Comb (Generator.multiplier p)
+  | Controller p -> Seq (Generator.controller p)
+
+let build_comb t =
+  match build t with
+  | Comb net -> net
+  | Seq _ ->
+    invalid_arg
+      (Printf.sprintf "Profiles.build_comb: %s is sequential (use build)" t.name)
+
+let params t =
+  match t.shape with
+  | Windowed p -> p
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Profiles.params: %s is not a windowed control profile" t.name)
+
+let interface t =
+  match t.shape with
+  | Windowed p -> (p.Generator.n_inputs, p.Generator.n_outputs, 0)
+  | Parity_chain p -> (p.Generator.n_inputs, p.Generator.n_outputs, 0)
+  | Adder p -> (p.Generator.width * p.Generator.operands, p.Generator.width + p.Generator.operands - 1, 0)
+  | Multiplier p -> (2 * p.Generator.width, 2 * p.Generator.width, 0)
+  | Controller p -> (p.Generator.n_inputs, p.Generator.n_outputs, p.Generator.n_ffs)
 
 (* Control-logic house style: OR-leaning gate mix and sparse internal
    inverters keep cone signal probabilities skewed away from ½ (so phase
@@ -26,85 +78,203 @@ let control ~name ~seed ~n_inputs ~n_outputs ~support ~gates_per_output ?(and_bi
     reuse_fraction;
   }
 
+let windowed ~scale ~description ~pair_limit ~timed (params : Generator.params) =
+  {
+    name = params.Generator.name;
+    shape = Windowed params;
+    family = Control;
+    scale;
+    description;
+    pair_limit;
+    timed;
+  }
+
 (* PI/PO counts follow the paper's Table 1; gate budgets are calibrated so
    the minimum-area realization lands near the published MA cell counts. *)
 let industry1 =
-  {
-    params =
-      control ~name:"industry1" ~seed:101 ~n_inputs:127 ~n_outputs:122 ~support:11
-        ~gates_per_output:11 ();
-    description = "Control Logic";
-    pair_limit = Some 1200;
-    timed = false;
-  }
+  windowed ~scale:1_300 ~description:"Control Logic" ~pair_limit:(Some 1200) ~timed:false
+    (control ~name:"industry1" ~seed:101 ~n_inputs:127 ~n_outputs:122 ~support:11
+       ~gates_per_output:11 ())
 
 let industry2 =
-  {
-    params =
-      control ~name:"industry2" ~seed:102 ~n_inputs:97 ~n_outputs:86 ~support:12
-        ~gates_per_output:19 ();
-    description = "Control Logic";
-    pair_limit = Some 1200;
-    timed = false;
-  }
+  windowed ~scale:1_600 ~description:"Control Logic" ~pair_limit:(Some 1200) ~timed:false
+    (control ~name:"industry2" ~seed:102 ~n_inputs:97 ~n_outputs:86 ~support:12
+       ~gates_per_output:19 ())
 
 let industry3 =
-  {
-    params =
-      control ~name:"industry3" ~seed:103 ~n_inputs:117 ~n_outputs:199 ~support:10
-        ~gates_per_output:7 ();
-    description = "Control Logic";
-    pair_limit = Some 1500;
-    timed = false;
-  }
+  windowed ~scale:1_400 ~description:"Control Logic" ~pair_limit:(Some 1500) ~timed:false
+    (control ~name:"industry3" ~seed:103 ~n_inputs:117 ~n_outputs:199 ~support:10
+       ~gates_per_output:7 ())
 
 let apex7 =
-  {
-    params =
-      control ~name:"apex7" ~seed:107 ~n_inputs:79 ~n_outputs:36 ~support:11
-        ~gates_per_output:8 ();
-    description = "Public Domain";
-    pair_limit = None;
-    timed = true;
-  }
+  windowed ~scale:290 ~description:"Public Domain" ~pair_limit:None ~timed:true
+    (control ~name:"apex7" ~seed:107 ~n_inputs:79 ~n_outputs:36 ~support:11
+       ~gates_per_output:8 ())
 
 let frg1 =
-  {
-    params =
-      control ~name:"frg1" ~seed:111 ~n_inputs:31 ~n_outputs:3 ~support:13
-        ~gates_per_output:33 ~and_bias:0.50 ~bias_spread:0.30 ~inverter_prob:0.0
-        ~reuse_fraction:0.70 ();
-    description = "Public Domain";
-    pair_limit = None;
-    timed = true;
-  }
+  windowed ~scale:100 ~description:"Public Domain" ~pair_limit:None ~timed:true
+    (control ~name:"frg1" ~seed:111 ~n_inputs:31 ~n_outputs:3 ~support:13
+       ~gates_per_output:33 ~and_bias:0.50 ~bias_spread:0.30 ~inverter_prob:0.0
+       ~reuse_fraction:0.70 ())
 
 let x1 =
-  {
-    params =
-      control ~name:"x1" ~seed:113 ~n_inputs:87 ~n_outputs:28 ~support:11
-        ~gates_per_output:9 ();
-    description = "Public Domain";
-    pair_limit = None;
-    timed = true;
-  }
+  windowed ~scale:250 ~description:"Public Domain" ~pair_limit:None ~timed:true
+    (control ~name:"x1" ~seed:113 ~n_inputs:87 ~n_outputs:28 ~support:11
+       ~gates_per_output:9 ())
 
 let x3 =
-  {
-    params =
-      control ~name:"x3" ~seed:117 ~n_inputs:235 ~n_outputs:99 ~support:11
-        ~gates_per_output:9 ();
-    description = "Public Domain";
-    pair_limit = Some 2000;
-    timed = true;
-  }
+  windowed ~scale:890 ~description:"Public Domain" ~pair_limit:(Some 2000) ~timed:true
+    (control ~name:"x3" ~seed:117 ~n_inputs:235 ~n_outputs:99 ~support:11
+       ~gates_per_output:9 ())
 
 let table1 = [ industry1; industry2; industry3; apex7; frg1; x1; x3 ]
 
 let table2 = [ apex7; frg1; x1; x3 ]
 
-let names = List.map (fun t -> t.params.Generator.name) table1
+(* ---- corpus profiles ------------------------------------------------- *)
+
+let parity ~scale ~pair_limit ~description name seed ~n_inputs ~n_outputs ~support ~stages
+    ~mix_prob ~and_bias =
+  {
+    name;
+    shape =
+      Parity_chain
+        { Generator.name; seed; n_inputs; n_outputs; support; stages; mix_prob; and_bias };
+    family = Parity;
+    scale;
+    description;
+    pair_limit;
+    timed = false;
+  }
+
+let adder ~scale ~pair_limit ~description name seed ~width ~operands =
+  {
+    name;
+    shape = Adder { Generator.name; seed; width; operands };
+    family = Arith;
+    scale;
+    description;
+    pair_limit;
+    timed = false;
+  }
+
+let mult ~scale ~pair_limit ~description name seed ~width =
+  {
+    name;
+    shape = Multiplier { Generator.name; seed; width };
+    family = Arith;
+    scale;
+    description;
+    pair_limit;
+    timed = false;
+  }
+
+let ctrl ~scale ~pair_limit ~description name seed ~n_inputs ~n_outputs ~n_ffs ~q_support
+    ~gates_per_cone =
+  {
+    name;
+    shape =
+      Controller
+        {
+          Generator.name;
+          seed;
+          n_inputs;
+          n_outputs;
+          n_ffs;
+          q_support;
+          gates_per_cone;
+          and_bias = 0.45;
+          inverter_prob = 0.10;
+        };
+    family = Sequential;
+    scale;
+    description;
+    pair_limit;
+    timed = false;
+  }
+
+let parity_smoke =
+  parity "parity_smoke" 201 ~n_inputs:32 ~n_outputs:4 ~support:12 ~stages:64 ~mix_prob:0.20
+    ~and_bias:0.5 ~scale:900 ~pair_limit:None ~description:"Parity smoke (CI-size)"
+
+let parity_mix =
+  parity "parity_mix" 203 ~n_inputs:64 ~n_outputs:8 ~support:16 ~stages:320 ~mix_prob:0.30
+    ~and_bias:0.45 ~scale:8_000 ~pair_limit:None ~description:"Mixed XOR/AND-OR chains"
+
+let parity_wide =
+  parity "parity_wide" 205 ~n_inputs:96 ~n_outputs:24 ~support:20 ~stages:110 ~mix_prob:0.20
+    ~and_bias:0.5 ~scale:9_000 ~pair_limit:(Some 300)
+    ~description:"Wide shallow parity (24 cones)"
+
+let parity_deep =
+  parity "parity_deep" 207 ~n_inputs:160 ~n_outputs:4 ~support:48 ~stages:3600 ~mix_prob:0.0
+    ~and_bias:0.5 ~scale:58_000 ~pair_limit:None
+    ~description:"Deep pure parity chains (linear BDDs)"
+
+let add4x8 =
+  adder "add4x8" 211 ~width:4 ~operands:8 ~scale:500 ~pair_limit:None
+    ~description:"4-bit 8-operand adder array (CI-size)"
+
+let add8x32 =
+  adder "add8x32" 213 ~width:8 ~operands:32 ~scale:6_000 ~pair_limit:None
+    ~description:"8-bit 32-operand adder array"
+
+let add16x48 =
+  adder "add16x48" 215 ~width:16 ~operands:48 ~scale:16_600 ~pair_limit:(Some 400)
+    ~description:"16-bit 48-operand adder array"
+
+let mult8 =
+  mult "mult8" 221 ~width:8 ~scale:1_000 ~pair_limit:None
+    ~description:"8-bit array multiplier (CI-size)"
+
+let mult16 =
+  mult "mult16" 223 ~width:16 ~scale:4_000 ~pair_limit:(Some 300)
+    ~description:"16-bit array multiplier (ladder stressor)"
+
+let mult24 =
+  mult "mult24" 225 ~width:24 ~scale:9_500 ~pair_limit:(Some 120)
+    ~description:"24-bit array multiplier (ladder stressor)"
+
+let mult32 =
+  mult "mult32" 227 ~width:32 ~scale:17_400 ~pair_limit:(Some 120)
+    ~description:"32-bit array multiplier (ladder stressor)"
+
+let ctrl_smoke =
+  ctrl "ctrl_smoke" 231 ~n_inputs:12 ~n_outputs:6 ~n_ffs:24 ~q_support:5 ~gates_per_cone:8
+    ~scale:450 ~pair_limit:None ~description:"Dense-feedback controller (CI-size)"
+
+let ctrl_dense =
+  ctrl "ctrl_dense" 233 ~n_inputs:48 ~n_outputs:24 ~n_ffs:192 ~q_support:8
+    ~gates_per_cone:18 ~scale:6_700 ~pair_limit:(Some 400)
+    ~description:"Dense-feedback controller (192 FFs)"
+
+let ctrl_grid =
+  ctrl "ctrl_grid" 235 ~n_inputs:64 ~n_outputs:32 ~n_ffs:320 ~q_support:6
+    ~gates_per_cone:24 ~scale:14_000 ~pair_limit:(Some 400)
+    ~description:"Dense-feedback controller (320 FFs)"
+
+let corpus =
+  [
+    parity_smoke;
+    parity_mix;
+    parity_wide;
+    parity_deep;
+    add4x8;
+    add8x32;
+    add16x48;
+    mult8;
+    mult16;
+    mult24;
+    mult32;
+    ctrl_smoke;
+    ctrl_dense;
+    ctrl_grid;
+  ]
+
+let all = table1 @ corpus
+
+let names = List.sort compare (List.map (fun t -> t.name) all)
 
 let find name =
   let lower = String.lowercase_ascii name in
-  List.find_opt (fun t -> String.lowercase_ascii t.params.Generator.name = lower) table1
+  List.find_opt (fun t -> String.lowercase_ascii t.name = lower) all

@@ -1,17 +1,58 @@
-(** Named benchmark profiles mirroring the paper's Tables 1–2 circuits.
+(** Named benchmark profiles: the paper's Tables 1–2 circuits plus the
+    production-scale corpus families.
 
-    Each profile fixes the published primary-input/output counts and
-    targets a similar logic volume; the circuits themselves are synthetic
-    (see {!Generator} and DESIGN.md §3 on benchmark substitution).
-    [pair_limit] caps the greedy candidate set on the very wide industry
-    blocks (an engineering knob; [None] = the paper's full pair set). *)
+    Table profiles fix the published primary-input/output counts and
+    target a similar logic volume; the circuits themselves are synthetic
+    (see {!Generator} and DESIGN.md §3 on benchmark substitution). Corpus
+    profiles (DESIGN.md §15) scale the generator families to 10³–10⁵
+    gates for the regression-gated sweep in {!Corpus}.
+
+    [pair_limit] caps the greedy candidate set on very wide blocks (an
+    engineering knob; [None] = the paper's full pair set). *)
+
+type family =
+  | Control  (** windowed control-logic cones (the Table 1/2 house style) *)
+  | Parity  (** deep XOR/parity chains *)
+  | Arith  (** adder/multiplier arrays (carry chains, heavy reuse) *)
+  | Sequential  (** dense-feedback controllers (MFVS stressors) *)
+
+type shape =
+  | Windowed of Generator.params
+  | Parity_chain of Generator.parity
+  | Adder of Generator.arith
+  | Multiplier of Generator.mult
+  | Controller of Generator.controller
 
 type t = {
-  params : Generator.params;
-  description : string;  (** the paper's "Desc." column *)
+  name : string;
+  shape : shape;
+  family : family;
+  scale : int;  (** expected gate count, order-of-magnitude calibration *)
+  description : string;  (** the paper's "Desc." column / corpus blurb *)
   pair_limit : int option;
   timed : bool;  (** appears in Table 2 *)
 }
+
+type circuit = Comb of Dpa_logic.Netlist.t | Seq of Dpa_seq.Seq_netlist.t
+
+val family_name : family -> string
+
+val is_sequential : t -> bool
+
+val build : t -> circuit
+(** Deterministic in the profile (generators are seeded). *)
+
+val build_comb : t -> Dpa_logic.Netlist.t
+(** Raises [Invalid_argument] on sequential profiles. *)
+
+val params : t -> Generator.params
+(** The windowed-control parameter record. Raises [Invalid_argument] on
+    non-windowed (corpus family) profiles. *)
+
+val interface : t -> int * int * int
+(** [(primary inputs, primary outputs, flip-flops)] without building the
+    circuit. For adders the output count includes the structural carry
+    bits ([width + operands - 1]); multipliers have [2·width] outputs. *)
 
 val table1 : t list
 (** Industry 1–3, apex7, frg1, x1, x3 — the Table 1 row set, in order. *)
@@ -19,7 +60,14 @@ val table1 : t list
 val table2 : t list
 (** apex7, frg1, x1, x3 — the Table 2 row set. *)
 
+val corpus : t list
+(** The corpus-scale profiles, smallest-to-largest within each family. *)
+
+val all : t list
+(** [table1 @ corpus]. *)
+
 val find : string -> t option
-(** Case-insensitive lookup by profile name. *)
+(** Case-insensitive lookup by profile name, over {!all}. *)
 
 val names : string list
+(** All profile names, sorted (stable for [--help] output). *)

@@ -90,18 +90,14 @@ let test_identity_data_circuits () =
     data_files
 
 let test_identity_workload_profiles () =
+  (* table profiles only: corpus profiles are exercised (at CI size) by
+     test_corpus, and the big ones are too large for a per-seed sweep *)
   List.iter
-    (fun name ->
-      match Dpa_workload.Profiles.find name with
-      | None -> Alcotest.failf "profile %s vanished" name
-      | Some p ->
-        let prepped =
-          prep (Dpa_workload.Generator.combinational p.Dpa_workload.Profiles.params)
-        in
-        List.iter
-          (fun cycles -> check_identity ~name ~cycles ~seed:7 prepped)
-          [ 65; 126 ])
-    Dpa_workload.Profiles.names
+    (fun p ->
+      let name = p.Dpa_workload.Profiles.name in
+      let prepped = prep (Dpa_workload.Profiles.build_comb p) in
+      List.iter (fun cycles -> check_identity ~name ~cycles ~seed:7 prepped) [ 65; 126 ])
+    Dpa_workload.Profiles.table1
 
 let test_identity_many_seeds () =
   (* the stream equality must hold for any seed, not just a lucky one *)

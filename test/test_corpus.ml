@@ -1,0 +1,339 @@
+module Generator = Dpa_workload.Generator
+module Profiles = Dpa_workload.Profiles
+module Corpus = Dpa_workload.Corpus
+module Netlist = Dpa_logic.Netlist
+module Struct_hash = Dpa_logic.Struct_hash
+
+let digest_of_profile p =
+  match Profiles.build p with
+  | Profiles.Comb net -> Struct_hash.digest net
+  | Profiles.Seq sn ->
+    (* same network the corpus digests: core + D-pin outputs *)
+    let core = Dpa_logic.Netlist.copy (Dpa_seq.Seq_netlist.comb sn) in
+    Array.iteri
+      (fun k ff ->
+        Dpa_logic.Netlist.add_output core
+          (Printf.sprintf "ff%d.d" k)
+          ff.Dpa_seq.Seq_netlist.data)
+      (Dpa_seq.Seq_netlist.ffs sn);
+    Struct_hash.digest core
+
+(* one representative per family: same (profile, seed) must rebuild to the
+   identical structural digest, and a seed bump must not *)
+let family_reps = [ "parity_smoke"; "add4x8"; "mult8"; "ctrl_smoke" ]
+
+let reseed p =
+  let open Profiles in
+  match p.shape with
+  | Windowed g -> { p with shape = Windowed { g with Generator.seed = g.Generator.seed + 1 } }
+  | Parity_chain g ->
+    { p with shape = Parity_chain { g with Generator.seed = g.Generator.seed + 1 } }
+  | Adder g -> { p with shape = Adder { g with Generator.seed = g.Generator.seed + 1 } }
+  | Multiplier g ->
+    { p with shape = Multiplier { g with Generator.seed = g.Generator.seed + 1 } }
+  | Controller g ->
+    { p with shape = Controller { g with Generator.seed = g.Generator.seed + 1 } }
+
+let test_family_determinism () =
+  List.iter
+    (fun name ->
+      match Profiles.find name with
+      | None -> Alcotest.failf "missing corpus profile %s" name
+      | Some p ->
+        Alcotest.(check string)
+          (name ^ " rebuilds identically")
+          (digest_of_profile p) (digest_of_profile p);
+        (* the adder's function is seed-independent but its structure is
+           not: the digest is structural, so reseeding must move it *)
+        Alcotest.(check bool)
+          (name ^ " seed changes digest")
+          true
+          (digest_of_profile p <> digest_of_profile (reseed p)))
+    family_reps
+
+let test_dag_at_1e5_gates () =
+  (* scale the deep-parity family past 10⁵ gates and demand a well-formed
+     DAG — this is the generator's production-size contract *)
+  let net =
+    Generator.parity_chain
+      {
+        Generator.name = "parity_1e5";
+        seed = 991;
+        n_inputs = 192;
+        n_outputs = 6;
+        support = 48;
+        stages = 4400;
+        mix_prob = 0.0;
+        and_bias = 0.5;
+      }
+  in
+  (match Netlist.validate net with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid netlist at scale: %s" e);
+  Alcotest.(check bool)
+    (Printf.sprintf "gate count %d >= 100000" (Netlist.gate_count net))
+    true
+    (Netlist.gate_count net >= 100_000);
+  Alcotest.(check int) "outputs" 6 (Netlist.num_outputs net)
+
+let test_all_profiles_wellformed () =
+  (* every corpus profile (largest included) builds a valid network with
+     the interface its metadata promises *)
+  List.iter
+    (fun p ->
+      let n_pi, n_po, n_ffs = Profiles.interface p in
+      match Profiles.build p with
+      | Profiles.Comb net ->
+        (match Netlist.validate net with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s invalid: %s" p.Profiles.name e);
+        Alcotest.(check int) (p.Profiles.name ^ " PIs") n_pi (Netlist.num_inputs net);
+        Alcotest.(check int) (p.Profiles.name ^ " POs") n_po (Netlist.num_outputs net)
+      | Profiles.Seq sn ->
+        let comb = Dpa_seq.Seq_netlist.comb sn in
+        (match Netlist.validate comb with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s invalid: %s" p.Profiles.name e);
+        Alcotest.(check int)
+          (p.Profiles.name ^ " real PIs")
+          n_pi
+          (Dpa_seq.Seq_netlist.n_real_inputs sn);
+        Alcotest.(check int) (p.Profiles.name ^ " POs") n_po (Netlist.num_outputs comb);
+        Alcotest.(check int)
+          (p.Profiles.name ^ " FFs")
+          n_ffs
+          (Dpa_seq.Seq_netlist.n_ffs sn))
+    Profiles.corpus
+
+let test_largest_profile_scale () =
+  match Profiles.find "parity_deep" with
+  | None -> Alcotest.fail "parity_deep vanished"
+  | Some p ->
+    let net = Profiles.build_comb p in
+    Alcotest.(check bool)
+      (Printf.sprintf "parity_deep %d gates >= 50000" (Netlist.gate_count net))
+      true
+      (Netlist.gate_count net >= 50_000)
+
+let test_adder_multiplier_functions () =
+  (* the carry logic must actually add/multiply — evaluate against integer
+     arithmetic. Operand k's bit i is input "a<k>b<i>" for the adder and
+     a<i>/b<i> for the multiplier, both created bit-interleaved. *)
+  let eval_int net assign width_out =
+    let inputs = Array.make (Netlist.num_inputs net) false in
+    List.iter (fun (idx, v) -> inputs.(idx) <- v) assign;
+    let outs = Dpa_logic.Eval.outputs net inputs in
+    let v = ref 0 in
+    for i = width_out - 1 downto 0 do
+      v := (2 * !v) + if outs.(i) then 1 else 0
+    done;
+    !v
+  in
+  let adder = Generator.adder_array { Generator.name = "a"; seed = 5; width = 3; operands = 4 } in
+  (* interleaved creation order: input id of operand k bit i is i*operands + k *)
+  let rng = Dpa_util.Rng.create 77 in
+  for _ = 1 to 32 do
+    let ops = Array.init 4 (fun _ -> Dpa_util.Rng.int rng 8) in
+    let assign = ref [] in
+    Array.iteri
+      (fun k v ->
+        for i = 0 to 2 do
+          assign := ((i * 4) + k, v land (1 lsl i) <> 0) :: !assign
+        done)
+      ops;
+    let expect = Array.fold_left ( + ) 0 ops in
+    Alcotest.(check int) "adder sums" expect
+      (eval_int adder !assign (Netlist.num_outputs adder))
+  done;
+  let mult = Generator.multiplier { Generator.name = "m"; seed = 5; width = 4 } in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let assign = ref [] in
+      for i = 0 to 3 do
+        assign := ((2 * i) + 0, a land (1 lsl i) <> 0) :: !assign;
+        assign := ((2 * i) + 1, b land (1 lsl i) <> 0) :: !assign
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "%d*%d" a b)
+        (a * b)
+        (eval_int mult !assign 8)
+    done
+  done
+
+let test_controller_nontrivial_mfvs () =
+  List.iter
+    (fun name ->
+      match Profiles.find name with
+      | None -> Alcotest.failf "missing profile %s" name
+      | Some p -> (
+        match Profiles.build p with
+        | Profiles.Comb _ -> Alcotest.failf "%s should be sequential" name
+        | Profiles.Seq sn ->
+          let r = Dpa_seq.Mfvs.solve (Dpa_seq.Sgraph.of_seq_netlist sn) in
+          let n_ffs = Dpa_seq.Seq_netlist.n_ffs sn in
+          let cut = List.length r.Dpa_seq.Mfvs.fvs in
+          (* dense wrap-around feedback: the cut must be real work — more
+             than a handful of flip-flops, but never the trivial "cut
+             everything" answer either *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s fvs %d in (n_ffs/8, n_ffs)" name cut)
+            true
+            (cut > n_ffs / 8 && cut < n_ffs);
+          Alcotest.(check bool)
+            (name ^ " is a real feedback vertex set")
+            true
+            (Dpa_seq.Mfvs.is_feedback_vertex_set
+               (Dpa_seq.Sgraph.of_seq_netlist sn)
+               r.Dpa_seq.Mfvs.fvs)))
+    [ "ctrl_smoke"; "ctrl_dense" ]
+
+let sample_outcome =
+  {
+    Corpus.name = "sample";
+    family = "parity";
+    digest = "abc123";
+    gates = 4211;
+    n_pi = 32;
+    n_po = 4;
+    n_ffs = 0;
+    fvs = 0;
+    supervertices = 0;
+    ma_size = 700;
+    ma_power = 123.4567890123;
+    mp_size = 710;
+    mp_power = 0.1 +. 0.2 (* deliberately non-representable: 0.30000000000000004 *);
+    mp_phases = 4;
+    phase_flips = 1;
+    duplicated_gates = 10;
+    power_saving_pct = 3.25;
+    area_penalty_pct = 1.4285714285714286;
+    ladder = "exact";
+    bdd_nodes = 55_000;
+    runtime_s = 1.75;
+  }
+
+let test_baseline_roundtrip () =
+  let dir = Filename.temp_file "corpus" "" in
+  Sys.remove dir;
+  let o = sample_outcome in
+  Corpus.write_baseline ~dir o;
+  (match Corpus.read_baseline ~dir "sample" with
+  | None -> Alcotest.fail "baseline vanished"
+  | Some got ->
+    Alcotest.(check bool) "round-trip is exact (floats included)" true (got = o);
+    Alcotest.(check (list string)) "diff of identical is clean" []
+      (Corpus.diff ~expected:o ~actual:got ()));
+  Alcotest.(check bool) "missing baseline reads None" true
+    (Corpus.read_baseline ~dir "nope" = None);
+  Sys.remove (Corpus.baseline_path ~dir "sample");
+  Sys.rmdir dir
+
+let test_baseline_diff_catches_drift () =
+  let o = sample_outcome in
+  let check_dirty what mutated =
+    Alcotest.(check bool) (what ^ " flagged") true
+      (Corpus.diff ~expected:o ~actual:mutated () <> [])
+  in
+  check_dirty "digest" { o with Corpus.digest = "def456" };
+  check_dirty "one-ULP power drift"
+    { o with Corpus.mp_power = o.Corpus.mp_power +. epsilon_float *. o.Corpus.mp_power };
+  check_dirty "ladder rung" { o with Corpus.ladder = "3ex+0re+1sim" };
+  check_dirty "phase flip" { o with Corpus.phase_flips = 2 };
+  check_dirty "perf blowout" { o with Corpus.runtime_s = o.Corpus.runtime_s *. 50.0 };
+  (* runtime alone, inside slack: informational, not a regression *)
+  Alcotest.(check (list string)) "runtime within slack is clean" []
+    (Corpus.diff ~expected:o ~actual:{ o with Corpus.runtime_s = 3.0 } ());
+  Alcotest.(check (list string)) "perf check can be disabled" []
+    (Corpus.diff ~perf_slack:0.0 ~expected:o
+       ~actual:{ o with Corpus.runtime_s = 1000.0 }
+       ())
+
+let test_outcome_json_version_gate () =
+  let j = Corpus.json_of_outcome sample_outcome in
+  (match j with
+  | Dpa_util.Jsonlite.Obj fields ->
+    let bumped =
+      Dpa_util.Jsonlite.Obj
+        (List.map
+           (function
+             | "version", _ -> ("version", Dpa_util.Jsonlite.Num 99.0)
+             | kv -> kv)
+           fields)
+    in
+    Alcotest.check_raises "future versions are rejected"
+      (Dpa_util.Jsonlite.Parse_error "baseline version 99 (this build reads 1)")
+      (fun () -> ignore (Corpus.outcome_of_json bumped))
+  | _ -> Alcotest.fail "outcome did not encode as an object")
+
+let test_find_resolves_corpus_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        ("find " ^ p.Profiles.name)
+        true
+        (Profiles.find p.Profiles.name = Some p);
+      Alcotest.(check bool)
+        ("find is case-insensitive for " ^ p.Profiles.name)
+        true
+        (Profiles.find (String.uppercase_ascii p.Profiles.name) = Some p))
+    Profiles.corpus;
+  Alcotest.(check (list string)) "names are sorted" (List.sort compare Profiles.names)
+    Profiles.names;
+  Alcotest.(check int) "names cover tables + corpus"
+    (List.length Profiles.table1 + List.length Profiles.corpus)
+    (List.length Profiles.names)
+
+let test_manifest_invariants () =
+  Alcotest.(check bool) "full has >= 10 circuits" true
+    (List.length Corpus.full.Corpus.specs >= 10);
+  let families m =
+    List.sort_uniq compare
+      (List.map
+         (fun s -> Profiles.family_name s.Corpus.profile.Profiles.family)
+         m.Corpus.specs)
+  in
+  Alcotest.(check (list string)) "full spans every family"
+    [ "arith"; "control"; "parity"; "sequential" ]
+    (families Corpus.full);
+  Alcotest.(check (list string)) "smoke spans every family"
+    [ "arith"; "control"; "parity"; "sequential" ]
+    (families Corpus.smoke);
+  Alcotest.(check bool) "smoke is a strict subset by size" true
+    (List.length Corpus.smoke.Corpus.specs < List.length Corpus.full.Corpus.specs);
+  (* deadline budgets are machine-dependent; manifests must never carry one *)
+  List.iter
+    (fun s ->
+      match s.Corpus.budget with
+      | None -> ()
+      | Some b ->
+        Alcotest.(check bool)
+          (s.Corpus.profile.Profiles.name ^ " budget has no deadline")
+          true
+          (b.Dpa_power.Engine.deadline_s = None))
+    (Corpus.full.Corpus.specs @ Corpus.smoke.Corpus.specs)
+
+let test_run_spec_deterministic () =
+  (* the whole outcome except wall time must be reproducible — this is the
+     property the baseline diff's exact equality rests on *)
+  match Corpus.find_spec Corpus.smoke "ctrl_smoke" with
+  | None -> Alcotest.fail "ctrl_smoke not in smoke manifest"
+  | Some spec ->
+    let a = Corpus.run_spec spec in
+    let b = Corpus.run_spec spec in
+    Alcotest.(check (list string)) "identical reruns diff clean" []
+      (Corpus.diff ~expected:a ~actual:b ());
+    Alcotest.(check bool) "controller flow cuts flip-flops" true (a.Corpus.fvs > 0)
+
+let suite =
+  [ Alcotest.test_case "family determinism" `Quick test_family_determinism;
+    Alcotest.test_case "DAG at 1e5 gates" `Slow test_dag_at_1e5_gates;
+    Alcotest.test_case "profiles well-formed" `Slow test_all_profiles_wellformed;
+    Alcotest.test_case "largest >= 5e4 gates" `Slow test_largest_profile_scale;
+    Alcotest.test_case "adder/multiplier arithmetic" `Quick test_adder_multiplier_functions;
+    Alcotest.test_case "controller MFVS nontrivial" `Quick test_controller_nontrivial_mfvs;
+    Alcotest.test_case "baseline round-trip" `Quick test_baseline_roundtrip;
+    Alcotest.test_case "baseline diff drift" `Quick test_baseline_diff_catches_drift;
+    Alcotest.test_case "baseline version gate" `Quick test_outcome_json_version_gate;
+    Alcotest.test_case "find corpus names" `Quick test_find_resolves_corpus_names;
+    Alcotest.test_case "manifest invariants" `Quick test_manifest_invariants;
+    Alcotest.test_case "run_spec deterministic" `Quick test_run_spec_deterministic ]

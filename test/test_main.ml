@@ -14,6 +14,7 @@ let () =
       ("sim", Test_sim.suite);
       ("compiled", Test_compiled.suite);
       ("workload", Test_workload.suite);
+      ("corpus", Test_corpus.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);

@@ -59,8 +59,9 @@ let test_profiles_interface_counts () =
       match Profiles.find name with
       | None -> Alcotest.failf "missing profile %s" name
       | Some p ->
-        Alcotest.(check int) (name ^ " PIs") pis p.Profiles.params.Generator.n_inputs;
-        Alcotest.(check int) (name ^ " POs") pos p.Profiles.params.Generator.n_outputs)
+        let n_pi, n_po, _ = Profiles.interface p in
+        Alcotest.(check int) (name ^ " PIs") pis n_pi;
+        Alcotest.(check int) (name ^ " POs") pos n_po)
     expect
 
 let test_profiles_table_membership () =
