@@ -984,6 +984,140 @@ let ablation () =
    time, ladder rung, BDD nodes, power and phase-conflict counts; --json
    writes BENCH_corpus.json for CI trend tracking. Quick mode sweeps the
    CI-size smoke manifest instead of the full one. *)
+(* ------------------------------------------------------------------ *)
+(* Reorder-rung strategies: sift vs rebuild vs none                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Head-to-head of the degradation ladder's rung-2 strategies on the
+   sequential path (par = None, so the rung comparison is not confounded
+   by shard planning): the rung disabled, the [Rebuild] hill climb whose
+   cost oracle re-builds the whole block per candidate swap, and the
+   default in-place [Sift]. Node caps are half the exact shared build
+   (fig5, apex7) or the corpus cap (parity_deep), so rung 1 always
+   fails and rung 2 must engage. No deadlines: a budget deadline bounds
+   the whole estimate including the Monte-Carlo rung, which would turn
+   a slow rebuild into a crash instead of a measurement. Long variants
+   (the parity_deep rebuild prices each of its O(inputs) candidate
+   swaps with a ~cap-sized build) are instead measured once — repeats
+   exist to beat timer noise, which minute-scale runs don't have. *)
+let reorder ?(quick = false) ?(json = false) () =
+  let module Engine = Dpa_power.Engine in
+  section "Reorder rung — in-place sift vs rebuild hill climb";
+  let repeats = if quick then 1 else 3 in
+  let prep raw =
+    let net = Dpa_synth.Opt.optimize raw in
+    let mapped =
+      Mapped.map (Inverterless.realize net (Phase.all_positive (Netlist.num_outputs net)))
+    in
+    let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
+    (mapped, input_probs)
+  in
+  let half_exact (mapped, input_probs) =
+    let r = Engine.estimate ~input_probs mapped in
+    max 8 (r.Engine.report.Estimate.bdd_nodes / 2)
+  in
+  let circuits =
+    let fig5 =
+      let c = prep (Dpa_workload.Examples.fig5 ()) in
+      ("fig5", c, half_exact c, None)
+    in
+    let apex7 =
+      if not (Sys.file_exists "data/apex7_synthetic.blif") then []
+      else begin
+        let text =
+          let ic = open_in_bin "data/apex7_synthetic.blif" in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+        in
+        match Dpa_logic.Blif.of_string text with
+        | Error _ -> []
+        | Ok raw ->
+          let c = prep raw in
+          [ ("apex7", c, half_exact c, None) ]
+      end
+    in
+    let parity_deep =
+      match Dpa_workload.Profiles.find "parity_deep" with
+      | None -> []
+      | Some p ->
+        let c = prep (Dpa_workload.Profiles.build_comb p) in
+        (* the corpus CI target — the default 1% half-width would make
+           the unavoidable Monte-Carlo rung dominate all three variants *)
+        [ ("parity_deep", c, 120_000, Some 0.02) ]
+    in
+    (fig5 :: apex7) @ parity_deep
+  in
+  let variants = [ "none"; "rebuild"; "sift" ] in
+  let run (name, (mapped, input_probs), cap, halfwidth) variant =
+    let budget =
+      let strategy = if variant = "rebuild" then Engine.Rebuild else Engine.Sift in
+      let b =
+        Engine.bounded ~max_bdd_nodes:cap ~fallback:Engine.Simulate ~reorder:strategy ()
+      in
+      let b =
+        match halfwidth with
+        | Some h -> { b with Engine.sim_halfwidth = h }
+        | None -> b
+      in
+      if variant = "none" then { b with Engine.reorder_passes = 0 } else b
+    in
+    let best = ref infinity and result = ref None in
+    for i = 1 to repeats do
+      if i = 1 || !best < 60.0 then begin
+        let t0 = Unix.gettimeofday () in
+        let r = Engine.estimate ~budget ~input_probs mapped in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        result := Some r
+      end
+    done;
+    let r = Option.get !result in
+    ( name,
+      variant,
+      cap,
+      !best,
+      Engine.degradation_label r.Engine.degradation,
+      r.Engine.degradation.Engine.bdd_nodes,
+      Engine.simulated_cones r.Engine.degradation )
+  in
+  let rows = List.concat_map (fun c -> List.map (run c) variants) circuits in
+  let t =
+    Table.create
+      ~columns:
+        [ ("Ckt", Table.Left); ("strategy", Table.Left); ("cap", Table.Right);
+          ("wall s", Table.Right); ("ladder", Table.Left); ("bdd nodes", Table.Right);
+          ("sim cones", Table.Right) ]
+  in
+  List.iter
+    (fun (name, variant, cap, wall, ladder, nodes, sim) ->
+      Table.add_row t
+        [ name; variant; string_of_int cap; Printf.sprintf "%.3f" wall; ladder;
+          string_of_int nodes; string_of_int sim ])
+    rows;
+  Table.print t;
+  if json then begin
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"bench\": \"reorder\",\n  \"unit\": \"s\",\n";
+    Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n  \"results\": [\n" quick);
+    let n = List.length rows in
+    List.iteri
+      (fun k (name, variant, cap, wall, ladder, nodes, sim) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"circuit\": \"%s\", \"strategy\": \"%s\", \"cap\": %d, \
+              \"wall_s\": %.6f, \"ladder\": \"%s\", \"bdd_nodes\": %d, \
+              \"simulated_cones\": %d}%s\n"
+             name variant cap wall ladder nodes sim
+             (if k = n - 1 then "" else ",")))
+      rows;
+    Buffer.add_string b "  ]\n}\n";
+    let oc = open_out "BENCH_reorder.json" in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote BENCH_reorder.json\n"
+  end
+
 let corpus_sweep ?(quick = false) ?(json = false) () =
   let module C = Dpa_workload.Corpus in
   let m = if quick then C.smoke else C.full in

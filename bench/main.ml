@@ -874,6 +874,7 @@ let all () =
   Experiments.validate ();
   Experiments.ablation ();
   Experiments.sim_compile ();
+  Experiments.reorder ();
   Experiments.corpus_sweep ();
   service_throughput ();
   service_loadgen ();
@@ -911,6 +912,7 @@ let () =
       ("validate", Experiments.validate);
       ("ablation", Experiments.ablation);
       ("sim", fun () -> Experiments.sim_compile ~quick:is_quick ~json ());
+      ("reorder", fun () -> Experiments.reorder ~quick:is_quick ~json ());
       ("corpus", fun () -> Experiments.corpus_sweep ~quick:is_quick ~json ());
       ("service", fun () -> service_throughput ~quick:is_quick ~json ());
       ("loadgen", fun () -> service_loadgen ~quick:is_quick ~json ());

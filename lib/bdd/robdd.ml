@@ -33,6 +33,7 @@ type manager = {
   mutable lo : int array;
   mutable hi : int array;
   mutable n : int; (* nodes allocated so far; ids are 0 … n-1 *)
+  mutable reclaimed : int; (* nodes retired by the sifting reorderer *)
   unique : Int3_table.t;
   ite_cache : Int3_table.t;
   (* resource budget; max_int / infinity mean unlimited. The deadline is an
@@ -76,6 +77,7 @@ let create_sized ~nvars ~cache_capacity =
       lo = Array.make cap 0;
       hi = Array.make cap 0;
       n = 2;
+      reclaimed = 0;
       unique = Int3_table.create ~capacity:cache_capacity ();
       ite_cache = Int3_table.create ~capacity:cache_capacity ();
       max_nodes = max_int;
@@ -115,6 +117,10 @@ let adopt m = m.owner <- (Domain.self () :> int)
 let is_terminal n = n = bdd_false || n = bdd_true
 
 let total_nodes m = m.n
+
+let live_nodes m = m.n - m.reclaimed
+
+let reclaimed_nodes m = m.reclaimed
 
 let grow_nodes m =
   let cap = Array.length m.lvl in
@@ -156,10 +162,14 @@ let check_budget m =
      [Cancelled] (which fallback ladders propagate), not [Budget_exceeded]
      (which they catch) *)
   if Dpa_util.Cancel.flag_set m.cancel then Dpa_util.Cancel.check_flag m.cancel;
-  if m.n >= m.max_nodes then
+  (* live count, not allocation count: nodes the sifting reorderer retired
+     no longer occupy the caller's budget, so a post-sift retry gets the
+     headroom the reorder actually freed (identical when nothing was ever
+     reclaimed) *)
+  if m.n - m.reclaimed >= m.max_nodes then
     Dpa_util.Dpa_error.budget_exceeded ~context:m.budget_context
       ~resource:Dpa_util.Dpa_error.Bdd_nodes
-      ~limit:(float_of_int m.max_nodes) ~spent:(float_of_int m.n) ();
+      ~limit:(float_of_int m.max_nodes) ~spent:(float_of_int (m.n - m.reclaimed)) ();
   if m.deadline < infinity || Dpa_util.Cancel.has_deadline m.cancel then begin
     m.deadline_tick <- m.deadline_tick - 1;
     if m.deadline_tick <= 0 then begin
@@ -359,6 +369,59 @@ let cached_probability c root =
     c.memo <- memo
   end;
   prob_go m c.level_probs c.memo root
+
+(* ------------------------------------------------------------------ *)
+(* Reordering support                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Low-level hooks for Sift, which rewires the two levels touched by an
+   adjacent-variable swap directly in the packed store. They bypass the
+   canonicity-preserving [mk] path on purpose; Sift is responsible for
+   restoring the invariants (unique-table consistency, no lo = hi nodes)
+   before returning. Nothing else should call them. *)
+
+let assert_owner m op = check_owner m op
+
+let retired_level = -1
+
+let raw_level m n = Array.unsafe_get m.lvl n
+
+let unique_find m l lo hi = Int3_table.find m.unique l lo hi
+
+let unique_insert m l lo hi id = Int3_table.replace m.unique l lo hi id
+
+let unique_remove m l lo hi = Int3_table.remove m.unique l lo hi
+
+(* Like [new_node] but never raises: a swap must be able to finish the
+   level it is rewiring even when the caller's budget is exhausted (Sift
+   enforces its own [max_new_nodes] at swap boundaries instead). *)
+let alloc_unchecked m l lo hi =
+  if m.n = Array.length m.lvl then grow_nodes m;
+  let id = m.n in
+  Array.unsafe_set m.lvl id l;
+  Array.unsafe_set m.lo id lo;
+  Array.unsafe_set m.hi id hi;
+  m.n <- id + 1;
+  id
+
+let set_node m id l lo hi =
+  Array.unsafe_set m.lvl id l;
+  Array.unsafe_set m.lo id lo;
+  Array.unsafe_set m.hi id hi
+
+let retire_node m id =
+  Array.unsafe_set m.lvl id retired_level;
+  m.reclaimed <- m.reclaimed + 1
+
+let clear_ite_cache m = Int3_table.clear m.ite_cache
+
+(* An in-place swap permutes the meaning of levels, so a surviving
+   [prob_cache]'s level-probability vector must be permuted to match.
+   The per-node memo itself stays valid: node ids keep their functions
+   across a swap, and probabilities depend only on the function. *)
+let set_cache_level_probs c probs =
+  check_probs c.pm probs;
+  Array.blit probs 0 c.level_probs 0 (Array.length probs)
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                      *)

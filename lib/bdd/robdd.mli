@@ -126,7 +126,16 @@ val shared_size : manager -> node list -> int
     quantity the paper's Fig. 10 compares across variable orders. *)
 
 val total_nodes : manager -> int
-(** Nodes ever created in the manager (memory-pressure metric). *)
+(** Nodes ever created in the manager, retired ones included
+    (memory-pressure metric — the node store never shrinks). *)
+
+val live_nodes : manager -> int
+(** {!total_nodes} minus nodes retired by the sifting reorderer — the
+    count the node budget is charged against. Equal to {!total_nodes}
+    on any manager that was never sifted. *)
+
+val reclaimed_nodes : manager -> int
+(** Nodes retired by the sifting reorderer since creation. *)
 
 val support : manager -> node -> int list
 (** Levels the function actually depends on, ascending. *)
@@ -161,7 +170,67 @@ val prob_cache : manager -> float array -> prob_cache
 val cached_probability : prob_cache -> node -> float
 (** Valid for nodes created after the cache, too — the memo tracks manager
     growth, preserving already-computed entries (node attributes are
-    immutable, so they stay correct). *)
+    immutable outside reordering, so they stay correct). *)
+
+(** {2 Reordering support}
+
+    Low-level hooks for {!Dpa_bdd.Sift}, which rewires the two levels
+    touched by an adjacent-variable swap directly in the packed store.
+    They bypass the canonicity-preserving intern path on purpose; the
+    sifter restores the invariants (unique-table consistency, no
+    redundant nodes) before returning, and an in-place swap preserves
+    the Boolean function denoted by every live node id — which is why
+    ite-cache entries and {!prob_cache} memos survive reordering.
+    Nothing else should call these. *)
+
+val assert_owner : manager -> string -> unit
+(** Raises the standard single-domain ownership error (named after the
+    calling operation) when the caller is not the owning domain. *)
+
+val retired_level : int
+(** Sentinel {!raw_level} of a node retired by the reorderer ([-1]). *)
+
+val raw_level : manager -> node -> int
+(** Stored level with no terminal check: [max_int] for terminals,
+    {!retired_level} for retired nodes, the decision level otherwise. *)
+
+val unique_find : manager -> int -> node -> node -> node
+(** Unique-table probe for [(level, lo, hi)];
+    {!Dpa_util.Int3_table.not_found} when absent. *)
+
+val unique_insert : manager -> int -> node -> node -> node -> unit
+(** [unique_insert m l lo hi id] binds [(l, lo, hi) → id], overwriting
+    any previous binding. *)
+
+val unique_remove : manager -> int -> node -> node -> unit
+(** Deletes the unique-table binding of [(level, lo, hi)] if present. *)
+
+val alloc_unchecked : manager -> int -> node -> node -> node
+(** Allocates a node without budget, deadline or cancellation checks (a
+    swap must be able to finish rewiring its level even under an
+    exhausted budget; the sifter enforces its own [max_new_nodes] at
+    swap boundaries). The caller must insert the unique-table entry. *)
+
+val set_node : manager -> node -> int -> node -> node -> unit
+(** Overwrites a node's level and children in place. *)
+
+val retire_node : manager -> node -> unit
+(** Marks a node dead ({!raw_level} becomes {!retired_level}) and credits
+    it back to the budget ({!live_nodes} drops by one). The caller must
+    already have removed its unique-table entry. *)
+
+val clear_ite_cache : manager -> unit
+(** Drops every ite memo entry. The sifter calls this when a sift session
+    opens and closes: entries keyed by live ids stay {e semantically}
+    valid across swaps (functions are preserved), but entries mentioning
+    retired ids must never resurrect them. *)
+
+val set_cache_level_probs : prob_cache -> float array -> unit
+(** Replaces the cache's level-probability vector — required after a sift
+    permuted the variable order, so level [l] again maps to the correct
+    variable's probability. Per-node memo entries are kept: node ids
+    retain their functions across in-place swaps, and a node's
+    probability depends only on its function. *)
 
 (** {2 Instrumentation} *)
 

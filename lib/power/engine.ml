@@ -7,6 +7,8 @@ module Par = Dpa_util.Par
 
 type fallback = No_fallback | Reorder_retry | Simulate
 
+type reorder_strategy = Sift | Rebuild
+
 type budget = {
   max_bdd_nodes : int option;
   deadline_s : float option;
@@ -16,6 +18,7 @@ type budget = {
   sim_seed : int;
   sim_backend : Dpa_sim.Backend.t;
   reorder_passes : int;
+  reorder : reorder_strategy;
 }
 
 let default_budget =
@@ -28,11 +31,12 @@ let default_budget =
     sim_seed = 1;
     sim_backend = Dpa_sim.Backend.default;
     reorder_passes = 2;
+    reorder = Sift;
   }
 
 let bounded ?max_bdd_nodes ?deadline_s ?(fallback = Simulate)
-    ?(sim_backend = Dpa_sim.Backend.default) () =
-  { default_budget with max_bdd_nodes; deadline_s; fallback; sim_backend }
+    ?(sim_backend = Dpa_sim.Backend.default) ?(reorder = Sift) () =
+  { default_budget with max_bdd_nodes; deadline_s; fallback; sim_backend; reorder }
 
 let is_unbounded b = b.max_bdd_nodes = None && b.deadline_s = None
 
@@ -46,6 +50,13 @@ let fallback_to_string = function
   | No_fallback -> "none"
   | Reorder_retry -> "reorder"
   | Simulate -> "sim"
+
+let reorder_of_string = function
+  | "sift" -> Some Sift
+  | "rebuild" -> Some Rebuild
+  | _ -> None
+
+let reorder_to_string = function Sift -> "sift" | Rebuild -> "rebuild"
 
 (* two-sided normal quantile for the common confidence levels; the sample
    count only needs the right order of magnitude *)
@@ -148,6 +159,16 @@ let g_budget_remaining =
   Metrics.gauge ~help:"BDD node budget left after the last cone build"
     "engine.budget.nodes_remaining"
 
+(* The shard plan below is a pure function of the output cones — never of
+   the pool width or its schedule — so [bdd_nodes] at jobs=N over
+   [bdd_nodes] at jobs=1 is 1.0 by construction. The gauge is a tripwire:
+   anything other than 1.0 means a width-dependence crept into the
+   parallel path (CI gates the real two-run ratio on the smoke corpus). *)
+let g_sharing_ratio =
+  Metrics.gauge
+    ~help:"parallel-estimate bdd_nodes over the width-invariant jobs=1 baseline"
+    "engine.sharing_ratio"
+
 let c_par_tasks = oc "par.tasks" "tasks fanned out to the domain pool"
 
 let c_par_steals = oc "par.steals" "work-stealing operations in the domain pool"
@@ -190,7 +211,7 @@ let attempt ~budget ~deadline ~cancel ~order ~cones ~rung mapped =
         in
         (match budget.max_bdd_nodes with
         | Some cap ->
-          let remaining = float_of_int (max 0 (cap - Robdd.total_nodes m)) in
+          let remaining = float_of_int (max 0 (cap - Robdd.live_nodes m)) in
           Metrics.set g_budget_remaining remaining;
           if Trace.is_enabled () then
             Trace.counter "engine.budget" [ ("nodes_remaining", remaining) ]
@@ -224,9 +245,110 @@ let reordered_order ~budget ~deadline ~cancel ~order mapped =
           | Some s -> s
           | None -> max_int
       in
-      let r = Dpa_bdd.Reorder.refine_cost ~max_passes:budget.reorder_passes ~cost order in
+      (* the ladder only reaches this rung because the start order blew the
+         budget, so its cost is known to be [max_int] — seed the incumbent
+         instead of paying a full oracle probe to rediscover it *)
+      let r =
+        Dpa_bdd.Reorder.refine_cost ~max_passes:budget.reorder_passes
+          ~initial_cost:max_int ~cost order
+      in
       if r.Dpa_bdd.Reorder.swaps_accepted = 0 then None else Some r.Dpa_bdd.Reorder.order
     end
+
+(* Rung 2 under the [Sift] strategy: instead of probing candidate orders
+   with full rebuilds, dynamically reorder the rung-1 store in place
+   ({!Dpa_bdd.Sift}) and retry the failed cones in the {e same} partial
+   build. Every already-built cone survives with node ids and probability
+   memos intact, the interned prefixes of budget-aborted cones compact,
+   and whatever became unreachable is retired — handing its node count
+   back to the manager budget for the retry. *)
+
+(* Sift allocates transiently while swapping (retired slots are not yet
+   reused), so bound the session's raw allocation independently of the
+   live-size growth cap; the bound is a function of the live size at
+   entry, which is deterministic. *)
+let sift_alloc_cap live = max 500_000 (4 * live)
+
+(* A full sift pass performs O(nvars) swaps per variable — quadratic in
+   the input count — while the achievable node savings scale with the
+   store. Capping the session's swaps linearly in the live size keeps
+   the rung's wall-clock proportional to the build it is rescuing on
+   wide-input blocks (a truncated session is fine: sifting visits the
+   largest levels first, so the early swaps carry most of the gain). *)
+let sift_swap_cap live = max 100_000 (2 * live)
+
+(* Every swap pays for the nodes stored at the two levels it exchanges,
+   so a sift session costs time proportional to the {e live} store —
+   which includes the pinned prefixes of every budget-aborted cone —
+   while each retry can only spend [cap] fresh nodes. When the store is
+   debris-dominated (live far beyond the cap, i.e. many dead prefixes
+   each about cap-sized), the session reshapes millions of nodes to
+   maybe rescue one cone: strictly worse than falling through to the
+   simulation rung. The ratio is deterministic in the build, so the
+   guard cannot perturb jobs-invariance. *)
+let sift_worthwhile ~budget m =
+  match budget.max_bdd_nodes with
+  | None -> true
+  | Some cap -> Robdd.live_nodes m <= 16 * cap
+
+let run_sift ~budget ~deadline ~cancel pb =
+  let m = Estimate.partial_manager pb in
+  let live = Robdd.live_nodes m in
+  match
+    Estimate.sift_partial ~passes:budget.reorder_passes
+      ~max_swaps:(sift_swap_cap live) ~max_new_nodes:(sift_alloc_cap live)
+      ?deadline ~cancel pb
+  with
+  | r ->
+    Trace.instant "engine.ladder.sift"
+      ~args:
+        [
+          ("swaps", Trace.Int r.Dpa_bdd.Sift.swaps);
+          ("nodes_before", Trace.Int r.Dpa_bdd.Sift.nodes_before);
+          ("nodes_after", Trace.Int r.Dpa_bdd.Sift.nodes_after);
+        ]
+  | exception Dpa_error.Budget_exceeded _ ->
+    (* ran out of wall clock or swap allowance mid-sift: the store is
+       consistent at every swap boundary, so the retry below still runs
+       against whatever improvement was achieved *)
+    Trace.instant "engine.ladder.sift" ~args:[ ("completed", Trace.Bool false) ]
+
+(* Retry the cones [ok] marks failed, in the sifted build. Returns the
+   updated per-cone success array; [ok] itself is not mutated. *)
+let retry_failed ~budget ~deadline ~cancel ~cones ~members ~ok ~headroom pb =
+  let m = Estimate.partial_manager pb in
+  let ok' = Array.copy ok in
+  Array.iteri
+    (fun t k ->
+      if not ok.(t) then begin
+        let max_nodes =
+          match budget.max_bdd_nodes with
+          | None -> None
+          | Some cap -> Some (if headroom then Robdd.live_nodes m + cap else cap)
+        in
+        Robdd.set_budget ?max_nodes ?deadline ~cancel
+          ~context:(Printf.sprintf "output cone %d (sifted)" k)
+          m;
+        let built =
+          Trace.with_span "engine.cone"
+            ~args:[ ("cone", Trace.Int k); ("rung", Trace.Str "sift") ]
+          @@ fun () ->
+          if Dpa_util.Fault.fire Dpa_util.Fault.Slow_cone then
+            Dpa_util.Fault.sleep ~cancel Dpa_util.Fault.Slow_cone;
+          match Estimate.build_nodes pb ~within:(Bitset.mem cones.(k)) with
+          | () ->
+            Trace.add_args [ ("built", Trace.Bool true) ];
+            true
+          | exception Dpa_error.Budget_exceeded _ ->
+            Trace.add_args [ ("built", Trace.Bool false) ];
+            false
+        in
+        Robdd.clear_budget m;
+        ok'.(t) <- built
+      end)
+    members;
+  Robdd.publish_metrics m;
+  ok'
 
 let merge_methods ~ok0 ~okf ~used_reorder =
   Array.init (Array.length okf) (fun k ->
@@ -234,69 +356,159 @@ let merge_methods ~ok0 ~okf ~used_reorder =
       else Simulated)
 
 (* ------------------------------------------------------------------ *)
-(* Parallel per-cone estimation                                         *)
+(* Parallel estimation over overlap-sharded cones                       *)
 (* ------------------------------------------------------------------ *)
 
-(* What one per-cone task hands back across the domain boundary: plain
-   data only — the private manager dies with the task. [probs] has
+(* Output cones are partitioned into at most [max_shards] shards by a
+   greedy overlap heuristic, and each shard builds all its cones in ONE
+   manager — the Brace/Rudell thread-local discipline at shard rather
+   than cone granularity, so cross-cone sharing survives inside a shard.
+   The plan is a pure function of the cones (never of the pool width or
+   its schedule), which is what makes every [jobs] count produce the
+   same managers, the same [bdd_nodes] and bit-identical probabilities. *)
+let max_shards = 16
+
+(* Big cones first; each joins the shard whose accumulated support it
+   overlaps most, under a soft load cap of twice the ideal per-shard
+   share (ignored only when every shard is over it). Ties break to the
+   lighter, then lower-numbered shard. Returns the shard id per cone. *)
+let plan_shards ~n_shards cones =
+  let n = Array.length cones in
+  let shard_of = Array.make n 0 in
+  if n_shards > 1 && n > 1 then begin
+    let universe = Bitset.universe_size cones.(0) in
+    let total = Array.fold_left (fun acc c -> acc + Bitset.cardinal c) 0 cones in
+    let load_cap = 2 * ((total + n_shards - 1) / n_shards) in
+    let by_size = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let ca = Bitset.cardinal cones.(a) and cb = Bitset.cardinal cones.(b) in
+        if ca <> cb then compare cb ca else compare a b)
+      by_size;
+    let unions = Array.init n_shards (fun _ -> Bitset.create universe) in
+    let loads = Array.make n_shards 0 in
+    Array.iter
+      (fun k ->
+        let cone = cones.(k) in
+        let pick under_cap_only =
+          let best = ref (-1) and best_ov = ref (-1) and best_ld = ref max_int in
+          for s = 0 to n_shards - 1 do
+            if (not under_cap_only) || loads.(s) < load_cap then begin
+              let ov = Bitset.inter_cardinal cone unions.(s) in
+              if ov > !best_ov || (ov = !best_ov && loads.(s) < !best_ld) then begin
+                best := s;
+                best_ov := ov;
+                best_ld := loads.(s)
+              end
+            end
+          done;
+          !best
+        in
+        let s = match pick true with -1 -> pick false | s -> s in
+        shard_of.(k) <- s;
+        Bitset.union_into unions.(s) cone;
+        loads.(s) <- loads.(s) + Bitset.cardinal cone)
+      by_size
+  end;
+  shard_of
+
+(* What one shard task hands back across the domain boundary: plain data
+   only — the shard's manager dies with the task. [sb_probs] has
    [Float.nan] wherever the (possibly partial) build did not reach. *)
-type cone_build = {
-  cb_built : bool;
-  cb_nodes : int;
-  cb_probs : float array;
+type shard_build = {
+  sb_ok0 : bool array;  (* rung-1 success, parallel to the member array *)
+  sb_okf : bool array;  (* after the in-shard sift retry *)
+  sb_nodes : int;  (* live manager nodes when the shard finished *)
+  sb_probs : float array;
 }
 
-(* One cone, one private manager, built in whatever domain the pool
-   schedules the task on — the Brace/Rudell/Bryant thread-local manager
-   discipline, with probabilities extracted before the task returns so
-   no cross-domain manager access ever happens. *)
-let build_cone_private ~budget ~deadline ~cancel ~order ~input_probs ~cone ~k ~rung mapped =
-  Trace.with_span "engine.cone"
+(* One shard, one manager, built in whatever domain the pool schedules
+   the task on. Cones build in ascending index order under a per-cone
+   headroom budget ([live + cap], so the cap bounds each cone's NEW
+   nodes — the moral equivalent of the full cap every per-cone private
+   manager used to get, minus the re-derivation). Under the [Sift]
+   strategy a shard with failures sifts its own store in place and
+   retries them right here, so no manager ever crosses a domain. *)
+let build_shard ~budget ~deadline ~cancel ~order ~input_probs ~cones ~members ~sift ~rung
+    mapped =
+  Trace.with_span "engine.shard"
     ~args:
       [
-        ("cone", Trace.Int k);
+        ("cones", Trace.Int (Array.length members));
         ("rung", Trace.Str rung);
         ("domain", Trace.Int (Domain.self () :> int));
       ]
   @@ fun () ->
   let pb = Estimate.start_build ~order mapped in
   let m = Estimate.partial_manager pb in
-  Robdd.set_budget ?max_nodes:budget.max_bdd_nodes ?deadline ~cancel
-    ~context:(Printf.sprintf "output cone %d" k) m;
-  if Dpa_util.Fault.fire Dpa_util.Fault.Slow_cone then
-    Dpa_util.Fault.sleep ~cancel Dpa_util.Fault.Slow_cone;
-  let built =
-    match Estimate.build_nodes pb ~within:(Bitset.mem cone) with
-    | () ->
-      Trace.add_args [ ("built", Trace.Bool true) ];
-      true
-    | exception Dpa_error.Budget_exceeded _ ->
-      Trace.add_args [ ("built", Trace.Bool false) ];
-      false
+  let ok0 =
+    Array.map
+      (fun k ->
+        let max_nodes =
+          Option.map (fun cap -> Robdd.live_nodes m + cap) budget.max_bdd_nodes
+        in
+        Robdd.set_budget ?max_nodes ?deadline ~cancel
+          ~context:(Printf.sprintf "output cone %d" k)
+          m;
+        let built =
+          Trace.with_span "engine.cone"
+            ~args:[ ("cone", Trace.Int k); ("rung", Trace.Str rung) ]
+          @@ fun () ->
+          if Dpa_util.Fault.fire Dpa_util.Fault.Slow_cone then
+            Dpa_util.Fault.sleep ~cancel Dpa_util.Fault.Slow_cone;
+          match Estimate.build_nodes pb ~within:(Bitset.mem cones.(k)) with
+          | () ->
+            Trace.add_args [ ("built", Trace.Bool true) ];
+            true
+          | exception Dpa_error.Budget_exceeded _ ->
+            Trace.add_args [ ("built", Trace.Bool false) ];
+            false
+        in
+        Robdd.clear_budget m;
+        (match max_nodes with
+        | Some cap ->
+          let remaining = float_of_int (max 0 (cap - Robdd.live_nodes m)) in
+          Metrics.set g_budget_remaining remaining
+        | None -> ());
+        built)
+      members
   in
-  Robdd.clear_budget m;
-  (match budget.max_bdd_nodes with
-  | Some cap ->
-    Metrics.set g_budget_remaining (float_of_int (max 0 (cap - Robdd.total_nodes m)))
-  | None -> ());
+  (* extract rung-1 probabilities before any reordering, so cones priced
+     by rung 1 keep bit-identical values whatever the sift does *)
+  let probs0 = Estimate.partial_probabilities pb ~input_probs in
+  let okf =
+    if
+      sift
+      && budget.fallback <> No_fallback
+      && budget.reorder_passes > 0
+      && not (Array.for_all Fun.id ok0)
+      && sift_worthwhile ~budget m
+    then begin
+      run_sift ~budget ~deadline ~cancel pb;
+      retry_failed ~budget ~deadline ~cancel ~cones ~members ~ok:ok0 ~headroom:true pb
+    end
+    else ok0
+  in
   Robdd.publish_metrics m;
-  {
-    cb_built = built;
-    cb_nodes = Robdd.total_nodes m;
-    cb_probs = Estimate.partial_probabilities pb ~input_probs;
-  }
+  let probs =
+    if okf == ok0 then probs0
+    else begin
+      let probs1 = Estimate.partial_probabilities pb ~input_probs in
+      Array.mapi (fun i p0 -> if Float.is_nan p0 then probs1.(i) else p0) probs0
+    end
+  in
+  { sb_ok0 = ok0; sb_okf = okf; sb_nodes = Robdd.live_nodes m; sb_probs = probs }
 
 let failed_indices ok =
   let acc = ref [] in
   Array.iteri (fun k b -> if not b then acc := k :: !acc) ok;
   Array.of_list (List.rev !acc)
 
-(* The parallel ladder. Every rung fans per-cone work across the pool;
-   tasks return plain arrays and all merging happens on the submitting
-   domain in ascending cone order, so the result is independent of the
-   pool's schedule — and therefore of the jobs count. The budget is
-   enforced per cone (each private manager gets the full node cap),
-   unlike the sequential ladder's one shared manager under a cumulative
+(* The parallel ladder. Shard tasks return plain arrays and all merging
+   happens on the submitting domain in ascending shard order, so the
+   result is independent of the pool's schedule — and therefore of the
+   jobs count. The budget is enforced per cone as headroom over the
+   shard manager's live size, unlike the sequential ladder's cumulative
    cap; both are honest policies, but they are different policies, so
    the two paths are not numerically comparable under a budget. *)
 let estimate_par ~pool ~budget ~cancel ~input_probs mapped =
@@ -306,50 +518,94 @@ let estimate_par ~pool ~budget ~cancel ~input_probs mapped =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget.deadline_s in
   let cones = Dpa_logic.Cone.of_outputs net in
   let before = Par.stats pool in
-  (* rung 1: per-cone exact builds *)
-  let builds =
-    Par.map pool n_out (fun k ->
-        build_cone_private ~budget ~deadline ~cancel ~order ~input_probs ~cone:cones.(k) ~k
-          ~rung:"exact" mapped)
+  let n_shards = max 1 (min n_out max_shards) in
+  let shard_of = plan_shards ~n_shards cones in
+  let groups =
+    Array.init n_shards (fun s ->
+        failed_indices (Array.init n_out (fun k -> shard_of.(k) <> s)))
+    |> Array.to_list
+    |> List.filter (fun g -> Array.length g > 0)
+    |> Array.of_list
   in
-  let ok0 = Array.map (fun b -> b.cb_built) builds in
+  (* rung 1 (+ in-shard sift retry under the default strategy) *)
+  let builds =
+    Par.map pool (Array.length groups) (fun s ->
+        build_shard ~budget ~deadline ~cancel ~order ~input_probs ~cones
+          ~members:groups.(s) ~sift:(budget.reorder = Sift) ~rung:"exact" mapped)
+  in
+  let ok0 = Array.make n_out false and okf = Array.make n_out false in
+  Array.iteri
+    (fun s members ->
+      Array.iteri
+        (fun t k ->
+          ok0.(k) <- builds.(s).sb_ok0.(t);
+          okf.(k) <- builds.(s).sb_okf.(t))
+        members)
+    groups;
   Trace.instant "engine.ladder.exact"
     ~args:[ ("built", Trace.Int (count_ok ok0)); ("cones", Trace.Int n_out) ];
-  (* rung 2: failed cones retry once under a reordered variable order;
-     adoption is per cone — a retry that also blows the budget keeps the
-     rung-1 partial build (its interned prefix still prices exactly) *)
-  let builds, okf, reorder_used =
-    if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (builds, ok0, false)
-    else begin
+  let retry_nodes = ref 0 in
+  let retry_probs = ref [] in
+  (* rung 2 under [Rebuild]: one hill-climbed order' computed here on the
+     submitting domain, then shards with failures rebuild just their
+     failed cones under it in fresh managers; adoption is per cone — a
+     retry that also blows the budget keeps the rung-1 partial build
+     (its interned prefix still prices exactly). Under [Sift] the retry
+     already happened inside each shard task. *)
+  (match budget.reorder with
+  | Sift ->
+    if count_ok okf > count_ok ok0 then
+      Trace.instant "engine.ladder.reorder"
+        ~args:
+          [
+            ("strategy", Trace.Str "sift");
+            ("adopted", Trace.Bool true);
+            ("built", Trace.Int (count_ok okf));
+          ]
+  | Rebuild ->
+    if not (Array.for_all Fun.id ok0) && budget.fallback <> No_fallback then begin
       Dpa_util.Cancel.check cancel;
       match reordered_order ~budget ~deadline ~cancel ~order mapped with
       | None ->
-        Trace.instant "engine.ladder.reorder" ~args:[ ("adopted", Trace.Bool false) ];
-        (builds, ok0, false)
+        Trace.instant "engine.ladder.reorder"
+          ~args:[ ("strategy", Trace.Str "rebuild"); ("adopted", Trace.Bool false) ]
       | Some order' ->
-        let failed = failed_indices ok0 in
-        let retries =
-          Par.map pool (Array.length failed) (fun t ->
-              let k = failed.(t) in
-              build_cone_private ~budget ~deadline ~cancel ~order:order' ~input_probs
-                ~cone:cones.(k) ~k ~rung:"reorder" mapped)
+        let rgroups =
+          Array.to_list groups
+          |> List.map (fun members -> Array.of_list (List.filter (fun k -> not ok0.(k)) (Array.to_list members)))
+          |> List.filter (fun g -> Array.length g > 0)
+          |> Array.of_list
         in
-        let builds' = Array.copy builds and ok' = Array.copy ok0 in
+        let retries =
+          Par.map pool (Array.length rgroups) (fun t ->
+              build_shard ~budget ~deadline ~cancel ~order:order' ~input_probs ~cones
+                ~members:rgroups.(t) ~sift:false ~rung:"reorder" mapped)
+        in
         let adopted = ref 0 in
         Array.iteri
-          (fun t k ->
-            if retries.(t).cb_built then begin
-              builds'.(k) <- retries.(t);
-              ok'.(k) <- true;
-              incr adopted
-            end)
-          failed;
+          (fun t members ->
+            retry_nodes := !retry_nodes + retries.(t).sb_nodes;
+            let any = ref false in
+            Array.iteri
+              (fun u k ->
+                if retries.(t).sb_okf.(u) then begin
+                  okf.(k) <- true;
+                  any := true;
+                  incr adopted
+                end)
+              members;
+            if !any then retry_probs := retries.(t).sb_probs :: !retry_probs)
+          rgroups;
+        retry_probs := List.rev !retry_probs;
         Trace.instant "engine.ladder.reorder"
           ~args:
-            [ ("adopted", Trace.Bool (!adopted > 0)); ("built", Trace.Int (count_ok ok')) ];
-        (builds', ok', !adopted > 0)
-    end
-  in
+            [
+              ("strategy", Trace.Str "rebuild");
+              ("adopted", Trace.Bool (!adopted > 0));
+              ("built", Trace.Int (count_ok okf));
+            ]
+    end);
+  let reorder_used = count_ok okf > count_ok ok0 in
   let methods =
     Array.init n_out (fun k ->
         if not okf.(k) then Simulated else if ok0.(k) then Exact else Reordered)
@@ -366,7 +622,10 @@ let estimate_par ~pool ~budget ~cancel ~input_probs mapped =
     (Array.fold_left (fun n m -> if m = Reordered then n + 1 else n) 0 methods);
   Metrics.add c_simulated
     (Array.fold_left (fun n m -> if m = Simulated then n + 1 else n) 0 methods);
-  let bdd_nodes = Array.fold_left (fun acc b -> acc + b.cb_nodes) 0 builds in
+  let bdd_nodes =
+    Array.fold_left (fun acc b -> acc + b.sb_nodes) !retry_nodes builds
+  in
+  Metrics.set g_sharing_ratio 1.0;
   let n_failed = n_out - count_ok okf in
   if n_failed > 0 && budget.fallback <> Simulate then
     Dpa_error.error
@@ -383,16 +642,16 @@ let estimate_par ~pool ~budget ~cancel ~input_probs mapped =
                n_out
                (fallback_to_string budget.fallback);
          });
-  (* deterministic merge, ascending cone index: every exact value a cone
-     produced (including the interned prefix of a failed build), then
-     Monte-Carlo values for whatever stayed unbuilt everywhere *)
+  (* deterministic merge, ascending shard index: every exact value a
+     shard produced (including the interned prefixes of failed builds),
+     then adopted rebuild-retry values, then Monte-Carlo values for
+     whatever stayed unbuilt everywhere *)
   let node_probs = Array.make (Netlist.size net) Float.nan in
-  Array.iter
-    (fun b ->
-      Array.iteri
-        (fun i p -> if not (Float.is_nan p) then node_probs.(i) <- p)
-        b.cb_probs)
-    builds;
+  let merge_probs probs =
+    Array.iteri (fun i p -> if not (Float.is_nan p) then node_probs.(i) <- p) probs
+  in
+  Array.iter (fun b -> merge_probs b.sb_probs) builds;
+  List.iter merge_probs !retry_probs;
   let sim_cycles, ci =
     if n_failed = 0 then (0, 0.0)
     else begin
@@ -498,24 +757,66 @@ let estimate ?par ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.none) ~i
     let pb0, ok0 = attempt ~budget ~deadline ~cancel ~order ~cones ~rung:"exact" mapped in
     Trace.instant "engine.ladder.exact"
       ~args:[ ("built", Trace.Int (count_ok ok0)); ("cones", Trace.Int n_out) ];
-    let pb, okf, reorder_used =
-      if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then (pb0, ok0, false)
+    let probs_of pb = Estimate.partial_probabilities pb ~input_probs in
+    let pb, okf, reorder_used, exact_probs =
+      if Array.for_all Fun.id ok0 || budget.fallback = No_fallback then
+        (pb0, ok0, false, probs_of pb0)
       else begin
         Dpa_util.Cancel.check cancel;
-        (* rung 2: one retry under a budget-aware reordered variable order *)
-        match reordered_order ~budget ~deadline ~cancel ~order mapped with
-        | None ->
-          Trace.instant "engine.ladder.reorder" ~args:[ ("adopted", Trace.Bool false) ];
-          (pb0, ok0, false)
-        | Some order' ->
-          let pb1, ok1 =
-            attempt ~budget ~deadline ~cancel ~order:order' ~cones ~rung:"reorder" mapped
-          in
-          let adopted = count_ok ok1 > count_ok ok0 in
-          Trace.instant "engine.ladder.reorder"
-            ~args:
-              [ ("adopted", Trace.Bool adopted); ("built", Trace.Int (count_ok ok1)) ];
-          if adopted then (pb1, ok1, true) else (pb0, ok0, false)
+        match budget.reorder with
+        | Sift ->
+          (* rung 2 (default): sift the rung-1 store in place and retry
+             the failed cones in the same partial build. Rung-1
+             probabilities are extracted first so every cone that built
+             before the sift keeps bit-identical values. *)
+          if
+            budget.reorder_passes <= 0
+            || not (sift_worthwhile ~budget (Estimate.partial_manager pb0))
+          then (pb0, ok0, false, probs_of pb0)
+          else begin
+            let probs0 = probs_of pb0 in
+            run_sift ~budget ~deadline ~cancel pb0;
+            let ok1 =
+              retry_failed ~budget ~deadline ~cancel ~cones
+                ~members:(Array.init n_out Fun.id) ~ok:ok0 ~headroom:false pb0
+            in
+            let adopted = count_ok ok1 > count_ok ok0 in
+            Trace.instant "engine.ladder.reorder"
+              ~args:
+                [
+                  ("strategy", Trace.Str "sift");
+                  ("adopted", Trace.Bool adopted);
+                  ("built", Trace.Int (count_ok ok1));
+                ];
+            let probs1 = probs_of pb0 in
+            let merged =
+              Array.mapi (fun i p0 -> if Float.is_nan p0 then probs1.(i) else p0) probs0
+            in
+            (pb0, ok1, adopted, merged)
+          end
+        | Rebuild -> (
+          (* rung 2 (opt-in): one retry under a hill-climbed order, with
+             candidate orders priced by full bounded rebuilds *)
+          match reordered_order ~budget ~deadline ~cancel ~order mapped with
+          | None ->
+            Trace.instant "engine.ladder.reorder"
+              ~args:[ ("strategy", Trace.Str "rebuild"); ("adopted", Trace.Bool false) ];
+            (pb0, ok0, false, probs_of pb0)
+          | Some order' ->
+            let pb1, ok1 =
+              attempt ~budget ~deadline ~cancel ~order:order' ~cones ~rung:"reorder"
+                mapped
+            in
+            let adopted = count_ok ok1 > count_ok ok0 in
+            Trace.instant "engine.ladder.reorder"
+              ~args:
+                [
+                  ("strategy", Trace.Str "rebuild");
+                  ("adopted", Trace.Bool adopted);
+                  ("built", Trace.Int (count_ok ok1));
+                ];
+            if adopted then (pb1, ok1, true, probs_of pb1)
+            else (pb0, ok0, false, probs_of pb0))
       end
     in
     let methods = merge_methods ~ok0 ~okf ~used_reorder:reorder_used in
@@ -532,7 +833,7 @@ let estimate ?par ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.none) ~i
       (Array.fold_left (fun n m -> if m = Reordered then n + 1 else n) 0 methods);
     Metrics.add c_simulated
       (Array.fold_left (fun n m -> if m = Simulated then n + 1 else n) 0 methods);
-    let bdd_nodes = Robdd.total_nodes (Estimate.partial_manager pb) in
+    let bdd_nodes = Robdd.live_nodes (Estimate.partial_manager pb) in
     let n_failed = n_out - count_ok okf in
     if n_failed > 0 && budget.fallback <> Simulate then
       Dpa_error.error
@@ -549,7 +850,6 @@ let estimate ?par ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.none) ~i
                  n_out
                  (fallback_to_string budget.fallback);
            });
-    let exact_probs = Estimate.partial_probabilities pb ~input_probs in
     let node_probs, sim_cycles, ci =
       if n_failed = 0 then (exact_probs, 0, 0.0)
       else begin
@@ -645,8 +945,8 @@ let node_probabilities ?(budget = default_budget) ?(cancel = Dpa_util.Cancel.non
           | None -> None
           | Some max_nodes -> (
             match
-              Dpa_bdd.Reorder.refine_bounded ~max_passes:budget.reorder_passes ~max_nodes
-                net order
+              Dpa_bdd.Reorder.refine_bounded ~max_passes:budget.reorder_passes
+                ~initial_cost:max_int ~max_nodes net order
             with
             | Some r -> bounded_try r.Dpa_bdd.Reorder.order
             | None -> None)

@@ -6,9 +6,15 @@
 
     + {b exact} — build the block's BDDs under a manager node budget and
       wall-clock deadline ({!Dpa_bdd.Robdd.set_budget});
-    + {b reorder} — if a cone blows the budget, retry once under a
-      budget-aware reordered variable order ({!Dpa_bdd.Reorder.refine_cost}
-      over {!Estimate.bounded_block_size});
+    + {b reorder} — if a cone blows the budget, reorder and retry. The
+      default {!reorder_strategy} ([Sift]) dynamically reorders the
+      rung-1 node store {e in place} ({!Dpa_bdd.Sift}) — already-built
+      cones survive bitwise, aborted prefixes compact, garbage is
+      retired back to the budget — and retries the failed cones in the
+      same build. [Rebuild] instead hill-climbs a fresh order with full
+      bounded rebuilds as the cost oracle
+      ({!Dpa_bdd.Reorder.refine_cost} over
+      {!Estimate.bounded_block_size}) and re-attempts from scratch;
     + {b simulate} — cones still unbuilt are priced from a Monte-Carlo run
       of the domino simulator ({!Dpa_sim.Simulator.measure}) with a sample
       count sized from the requested confidence interval, merged with the
@@ -26,6 +32,14 @@
     then simulation. *)
 type fallback = No_fallback | Reorder_retry | Simulate
 
+(** How the reorder rung recovers a cone that blew the node budget.
+    [Sift] (the default) reorders the existing store in place and
+    resumes; [Rebuild] searches for a better order by rebuilding from
+    scratch under candidate orders — quadratically more oracle work,
+    kept as the reference implementation and for A/B benchmarking
+    ([bench reorder]). *)
+type reorder_strategy = Sift | Rebuild
+
 type budget = {
   max_bdd_nodes : int option;  (** manager node cap; [None] = unlimited *)
   deadline_s : float option;
@@ -42,19 +56,24 @@ type budget = {
       (** how the Monte-Carlo rung evaluates the netlist; both backends
           are bit-identical for equal seeds ({!Dpa_sim.Backend}), so
           this only trades speed *)
-  reorder_passes : int;  (** hill-climb passes for the reorder rung *)
+  reorder_passes : int;
+      (** reorder-rung effort: sift passes under [Sift], hill-climb
+          passes under [Rebuild]; [0] disables the rung *)
+  reorder : reorder_strategy;
 }
 
 val default_budget : budget
 (** Unlimited resources, [Simulate] fallback, 1% half-width at 95%
     confidence, seed 1, the default simulation backend
-    ({!Dpa_sim.Backend.default}), 2 reorder passes. *)
+    ({!Dpa_sim.Backend.default}), 2 reorder passes with the [Sift]
+    strategy. *)
 
 val bounded :
   ?max_bdd_nodes:int ->
   ?deadline_s:float ->
   ?fallback:fallback ->
   ?sim_backend:Dpa_sim.Backend.t ->
+  ?reorder:reorder_strategy ->
   unit ->
   budget
 (** [default_budget] with the given limits installed. *)
@@ -67,6 +86,11 @@ val fallback_of_string : string -> fallback option
 (** ["none"] | ["reorder"] | ["sim"] (the CLI spelling). *)
 
 val fallback_to_string : fallback -> string
+
+val reorder_of_string : string -> reorder_strategy option
+(** ["sift"] | ["rebuild"] (the CLI spelling). *)
+
+val reorder_to_string : reorder_strategy -> string
 
 val sim_cycles_of : budget -> int
 (** Monte-Carlo sample count implied by [sim_halfwidth]/[sim_confidence]:
@@ -130,19 +154,24 @@ val estimate :
     built separately so exhaustion is contained: sibling cones keep the
     nodes interned before the blow-up and their probabilities stay exact.
 
-    With [par], per-cone BDD builds, probability extraction and the
-    Monte-Carlo rung fan out across the pool's domains; every task owns
-    a private manager ({!Dpa_bdd.Robdd.adopt} discipline) and returns
-    plain arrays that are merged on the submitting domain in ascending
-    cone order, so the result is bit-identical at every [jobs] count
-    (Monte-Carlo streams are index-derived via {!Dpa_util.Rng.derive}).
-    Note the budget then applies {e per cone} — each private manager
-    gets the full node cap — whereas the sequential ladder shares one
-    cumulative cap, so budgeted results are not comparable between the
-    two paths. Unbudgeted, every probability and power is bitwise equal
-    to the sequential path (ROBDD canonicity); only the [bdd_nodes]
-    complexity metric can be larger, because per-cone private managers
-    forgo cross-cone node sharing.
+    With [par], output cones are partitioned into at most 16 shards by
+    a greedy overlap heuristic (big cones first, each joining the shard
+    whose accumulated support it overlaps most, under a soft load cap),
+    and each shard builds {e all} its cones in one private manager
+    ({!Dpa_bdd.Robdd.adopt} discipline) — cross-cone sharing survives
+    inside a shard instead of being re-derived per cone. The plan is a
+    pure function of the cones, never of the pool width or schedule, so
+    probabilities, powers {e and} the [bdd_nodes] complexity metric are
+    bit-identical at every [jobs] count (Monte-Carlo streams are
+    index-derived via {!Dpa_util.Rng.derive}); the
+    [engine.sharing_ratio] gauge records that invariant (1.0). Note the
+    budget then applies {e per cone as headroom} — each cone may intern
+    up to the node cap on top of the shard's prior live size — whereas
+    the sequential ladder shares one cumulative cap, so budgeted
+    results are not comparable between the two paths. Unbudgeted, every
+    probability and power is bitwise equal to the sequential path
+    (ROBDD canonicity); only [bdd_nodes] can differ, by however much
+    sharing crosses shard boundaries.
 
     [cancel] is a cooperative-cancellation token, orthogonal to the
     budget: it is installed on every manager the ladder creates, polled

@@ -224,6 +224,28 @@ let build_nodes pb ~within =
       end)
     (Mapped.net pb.pb_mapped)
 
+(* In-place dynamic reordering of a partial build. Roots are every
+   already-built block node — including the interned prefixes of cones
+   whose build blew the budget, which is the point: sifting compacts the
+   prefix (and the opening sweep retires the rest), so the retry both
+   shares more and starts with reclaimed headroom. [pb_order] is permuted
+   in place by the sifter; [pb_level_of_orig] is rebuilt to match even
+   when the session ends early (budget, cancellation), so [build_nodes]
+   keeps placing PI literals at the right levels afterwards. *)
+let sift_partial ?passes ?max_growth ?max_swaps ?max_new_nodes ?deadline ?cancel pb =
+  let roots = ref [] in
+  Array.iteri
+    (fun i r -> if node_built pb i && not (Robdd.is_terminal r) then roots := r :: !roots)
+    pb.pb_roots;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iteri
+        (fun lvl opos -> Int_table.replace pb.pb_level_of_orig opos lvl)
+        pb.pb_order)
+    (fun () ->
+      Dpa_bdd.Sift.sift ?passes ?max_growth ?max_swaps ?max_new_nodes ?deadline ?cancel
+        ~roots:!roots ~order:pb.pb_order pb.pb_manager)
+
 let partial_probabilities pb ~input_probs =
   let level_probs = Array.map (fun opos -> input_probs.(opos)) pb.pb_order in
   let cache = Robdd.prob_cache pb.pb_manager level_probs in

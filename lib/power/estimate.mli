@@ -83,6 +83,26 @@ val partial_probabilities : partial_build -> input_probs:float array -> float ar
 (** Exact signal probability per block node; [Float.nan] where the node is
     not built. *)
 
+val sift_partial :
+  ?passes:int ->
+  ?max_growth:float ->
+  ?max_swaps:int ->
+  ?max_new_nodes:int ->
+  ?deadline:float ->
+  ?cancel:Dpa_util.Cancel.t ->
+  partial_build ->
+  Dpa_bdd.Sift.result
+(** In-place dynamic reordering ({!Dpa_bdd.Sift}) of the partial build:
+    every built block root survives with its function (and node id)
+    intact, the interned prefixes of budget-aborted cones are compacted,
+    and everything unreachable from built roots is retired — handing its
+    node count back to the manager budget for the retry. The build's
+    variable order and PI-to-level map are updated in place, so
+    {!build_nodes} / {!partial_probabilities} keep working afterwards,
+    including when the sift itself ends early on
+    {!Dpa_util.Dpa_error.Budget_exceeded} or cancellation (the manager is
+    consistent at every swap boundary). Parameters as {!Dpa_bdd.Sift.sift}. *)
+
 val bounded_block_size :
   ?cancel:Dpa_util.Cancel.t ->
   order:int array ->

@@ -1,18 +1,26 @@
 (* Keys are int triples, stored inline: each slot is four consecutive ints
    [k1; k2; k3; value] in one backing array, so one probe = one cache line
    and zero allocation (no boxed tuple, no polymorphic hash). Capacity is a
-   power of two; linear probing; no deletion, hence no tombstones. *)
+   power of two; linear probing. Deletion writes a tombstone (k1 = -2,
+   distinct from the k1 = -1 empty marker) so probe chains through the
+   deleted slot stay intact; tombstones are reused by later inserts and
+   dropped wholesale on the next rehash. *)
 
 type t = {
-  mutable data : int array; (* stride 4; k1 = -1 marks an empty slot *)
+  mutable data : int array; (* stride 4; k1 = -1 empty, k1 = -2 tombstone *)
   mutable mask : int; (* capacity - 1, in slots *)
-  mutable size : int;
+  mutable size : int; (* live entries *)
+  mutable tombs : int; (* tombstone slots awaiting reuse or rehash *)
   mutable probes : int;
   mutable hits : int;
   mutable resizes : int;
 }
 
 let not_found = -1
+
+let empty_mark = -1
+
+let tomb_mark = -2
 
 let round_pow2 n =
   let rec go c = if c >= n then c else go (c * 2) in
@@ -21,9 +29,10 @@ let round_pow2 n =
 let create ?(capacity = 1024) () =
   let cap = round_pow2 capacity in
   {
-    data = Array.make (4 * cap) (-1);
+    data = Array.make (4 * cap) empty_mark;
     mask = cap - 1;
     size = 0;
+    tombs = 0;
     probes = 0;
     hits = 0;
     resizes = 0;
@@ -52,9 +61,13 @@ let insert_raw data mask a b c v =
   in
   go (hash a b c land mask)
 
+(* Rehash live entries only — tombstones are dropped here. The capacity
+   doubles when genuinely half full of live entries, and stays put when
+   the pressure was tombstone churn (a delete-heavy phase, e.g. sifting). *)
 let grow t =
-  let cap = (t.mask + 1) * 2 in
-  let data = Array.make (4 * cap) (-1) in
+  let old_cap = t.mask + 1 in
+  let cap = if 2 * (t.size + 1) > old_cap then old_cap * 2 else old_cap in
+  let data = Array.make (4 * cap) empty_mark in
   let mask = cap - 1 in
   for i = 0 to t.mask do
     let base = 4 * i in
@@ -63,26 +76,31 @@ let grow t =
   done;
   t.data <- data;
   t.mask <- mask;
+  t.tombs <- 0;
   t.resizes <- t.resizes + 1
 
 let check_key a = if a < 0 then invalid_arg "Int3_table: keys must be non-negative"
 
-(* Probe for [(a,b,c)]; returns the slot holding it or the first empty slot. *)
+(* Probe for [(a,b,c)]; returns the slot holding it, or the first
+   {e reusable} slot of the chain (the earliest tombstone if one was
+   passed, else the terminating empty slot). Callers distinguish the two
+   cases by the slot's k1. *)
 let slot_of t a b c =
   t.probes <- t.probes + 1;
   let data = t.data and mask = t.mask in
-  let rec go i =
+  let rec go i reuse =
     let base = 4 * i in
     let k1 = Array.unsafe_get data base in
-    if
-      k1 < 0
-      || (k1 = a
-          && Array.unsafe_get data (base + 1) = b
-          && Array.unsafe_get data (base + 2) = c)
+    if k1 = empty_mark then if reuse >= 0 then reuse else i
+    else if
+      k1 = a
+      && Array.unsafe_get data (base + 1) = b
+      && Array.unsafe_get data (base + 2) = c
     then i
-    else go ((i + 1) land mask)
+    else
+      go ((i + 1) land mask) (if k1 = tomb_mark && reuse < 0 then i else reuse)
   in
-  go (hash a b c land mask)
+  go (hash a b c land mask) (-1)
 
 let find t a b c =
   check_key a;
@@ -93,13 +111,20 @@ let find t a b c =
   end
   else not_found
 
-let ensure_room t = if 2 * (t.size + 1) > t.mask + 1 then grow t
+(* Tombstones count against the load factor: a chain can only terminate at
+   a genuinely empty slot, so reusable-but-occupied slots still lengthen
+   probes. *)
+let ensure_room t = if 2 * (t.size + t.tombs + 1) > t.mask + 1 then grow t
 
 let replace t a b c v =
   check_key a;
   ensure_room t;
   let base = 4 * slot_of t a b c in
-  if Array.unsafe_get t.data base < 0 then t.size <- t.size + 1;
+  let k1 = Array.unsafe_get t.data base in
+  if k1 < 0 then begin
+    t.size <- t.size + 1;
+    if k1 = tomb_mark then t.tombs <- t.tombs - 1
+  end;
   Array.unsafe_set t.data base a;
   Array.unsafe_set t.data (base + 1) b;
   Array.unsafe_set t.data (base + 2) c;
@@ -109,7 +134,8 @@ let find_or_insert t a b c ~default =
   check_key a;
   ensure_room t;
   let base = 4 * slot_of t a b c in
-  if Array.unsafe_get t.data base >= 0 then begin
+  let k1 = Array.unsafe_get t.data base in
+  if k1 >= 0 then begin
     t.hits <- t.hits + 1;
     Array.unsafe_get t.data (base + 3)
   end
@@ -122,12 +148,23 @@ let find_or_insert t a b c ~default =
     Array.unsafe_set t.data (base + 2) c;
     Array.unsafe_set t.data (base + 3) v;
     t.size <- t.size + 1;
+    if k1 = tomb_mark then t.tombs <- t.tombs - 1;
     v
   end
 
+let remove t a b c =
+  check_key a;
+  let base = 4 * slot_of t a b c in
+  if Array.unsafe_get t.data base >= 0 then begin
+    Array.unsafe_set t.data base tomb_mark;
+    t.size <- t.size - 1;
+    t.tombs <- t.tombs + 1
+  end
+
 let clear t =
-  Array.fill t.data 0 (Array.length t.data) (-1);
-  t.size <- 0
+  Array.fill t.data 0 (Array.length t.data) empty_mark;
+  t.size <- 0;
+  t.tombs <- 0
 
 let probes t = t.probes
 

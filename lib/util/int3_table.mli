@@ -5,10 +5,14 @@
     [((int * int * int), int) Hashtbl.t] pays a boxed tuple allocation and
     a polymorphic hash on every probe. Here the three key components and
     the value are packed inline into one int array (a probe reads a single
-    cache line), capacity is a power of two, collisions resolve by linear
-    probing, and there is no deletion. The first key component must be
-    non-negative (it doubles as the empty-slot marker); values are
-    arbitrary ints except [-1] ({!not_found}). *)
+    cache line), capacity is a power of two, and collisions resolve by
+    linear probing. {!remove} writes a tombstone rather than emptying the
+    slot (probe chains stay intact); tombstones are reused by later inserts
+    and dropped at the next rehash, so delete-heavy phases (the sifting
+    reorderer retiring dead BDD nodes) cannot strand capacity. The first
+    key component must be non-negative (negative values mark empty and
+    tombstoned slots); values are arbitrary ints except [-1]
+    ({!not_found}). *)
 
 type t
 
@@ -32,8 +36,15 @@ val find_or_insert : t -> int -> int -> int -> default:(unit -> int) -> int
     miss [default ()] supplies the value, stored directly in the slot the
     probe ended on. [default] must not modify the table. *)
 
+val remove : t -> int -> int -> int -> unit
+(** Deletes the binding of [(a,b,c)] if present (no-op otherwise) by
+    tombstoning its slot. {!length} drops immediately; the slot is reused
+    by the next insert whose probe chain passes it, or reclaimed wholesale
+    at the next rehash. *)
+
 val clear : t -> unit
-(** Empties the table; capacity and stats counters are retained. *)
+(** Empties the table (tombstones included); capacity and stats counters
+    are retained. *)
 
 (** {2 Instrumentation} *)
 

@@ -33,23 +33,28 @@ type outcome = {
 (* No [deadline_s] in manifest budgets, ever: wall-clock deadlines make
    the ladder rung machine-dependent, and baselines demand (profile,
    seed, budget)-determinism. Node caps and sim parameters are exact. *)
-(* [reorder_passes = 0]: the reorder rung's cost oracle prices a whole
-   bounded block build per adjacent swap, which is O(inputs × node cap)
-   interned nodes per estimate — on corpus-scale blocks that dwarfs the
-   Monte-Carlo rung it is trying to avoid. Budgeted corpus circuits go
-   straight from a failed exact build to simulation. *)
-let budgeted ?max_bdd_nodes ?sim_halfwidth () =
+(* The reorder rung runs the default [Sift] strategy: in-place dynamic
+   reordering of the rung-1 node store plus a retry in the same build.
+   Unlike the [Rebuild] oracle (a whole bounded block build per adjacent
+   swap, O(inputs × node cap) interned nodes per estimate — which is why
+   the rung used to be pinned off here), sifting costs a bounded multiple
+   of the store it compacts, so corpus-scale circuits can afford it. *)
+let budgeted ?max_bdd_nodes ?sim_halfwidth ?reorder_passes () =
   let b =
     {
       Dpa_power.Engine.default_budget with
       Dpa_power.Engine.max_bdd_nodes;
       fallback = Dpa_power.Engine.Simulate;
-      reorder_passes = 0;
     }
   in
-  match sim_halfwidth with
+  let b =
+    match sim_halfwidth with
+    | None -> b
+    | Some hw -> { b with Dpa_power.Engine.sim_halfwidth = hw }
+  in
+  match reorder_passes with
   | None -> b
-  | Some hw -> { b with Dpa_power.Engine.sim_halfwidth = hw }
+  | Some p -> { b with Dpa_power.Engine.reorder_passes = p }
 
 let spec_of ?budget name =
   match Profiles.find name with
@@ -69,8 +74,14 @@ let full =
         spec_of "parity_deep" ~budget:(budgeted ~max_bdd_nodes:120_000 ~sim_halfwidth:0.02 ());
         spec_of "parity_mix";
         spec_of "parity_wide" ~budget:(budgeted ~max_bdd_nodes:400_000 ());
-        spec_of "add8x32" ~budget:(budgeted ~max_bdd_nodes:200_000 ());
-        spec_of "add16x48" ~budget:(budgeted ~max_bdd_nodes:400_000 ());
+        (* Sift stays off for the wide adders only: their exhausted cones
+           are the high carry bits, which are already near their optimal
+           order, so the rung pays a store-proportional sift per shard for
+           almost no rescues — measured 1 cone of 35 on add8x32 at ~16×
+           the estimate's runtime. Every other budgeted spec keeps the
+           default sift rung. *)
+        spec_of "add8x32" ~budget:(budgeted ~max_bdd_nodes:200_000 ~reorder_passes:0 ());
+        spec_of "add16x48" ~budget:(budgeted ~max_bdd_nodes:400_000 ~reorder_passes:0 ());
         spec_of "mult16" ~budget:(budgeted ~max_bdd_nodes:120_000 ~sim_halfwidth:0.02 ());
         spec_of "mult24" ~budget:(budgeted ~max_bdd_nodes:120_000 ~sim_halfwidth:0.02 ());
         spec_of "mult32" ~budget:(budgeted ~max_bdd_nodes:120_000 ~sim_halfwidth:0.02 ());
@@ -108,9 +119,9 @@ let find_spec m name =
 
 (* ---- budget merging --------------------------------------------------- *)
 
-let merge_budget spec ~max_bdd_nodes ~deadline_s ~fallback ~sim_backend =
-  match (max_bdd_nodes, deadline_s, fallback, sim_backend) with
-  | None, None, None, None -> spec.budget
+let merge_budget spec ~max_bdd_nodes ~deadline_s ~fallback ~sim_backend ~reorder =
+  match (max_bdd_nodes, deadline_s, fallback, sim_backend, reorder) with
+  | None, None, None, None, None -> spec.budget
   | _ ->
     let b = Option.value spec.budget ~default:Dpa_power.Engine.default_budget in
     Some
@@ -122,6 +133,7 @@ let merge_budget spec ~max_bdd_nodes ~deadline_s ~fallback ~sim_backend =
           (match deadline_s with Some _ -> deadline_s | None -> b.Dpa_power.Engine.deadline_s);
         fallback = Option.value fallback ~default:b.Dpa_power.Engine.fallback;
         sim_backend = Option.value sim_backend ~default:b.Dpa_power.Engine.sim_backend;
+        reorder = Option.value reorder ~default:b.Dpa_power.Engine.reorder;
       }
 
 (* ---- running one spec -------------------------------------------------- *)

@@ -66,6 +66,7 @@ val merge_budget :
   deadline_s:float option ->
   fallback:Dpa_power.Engine.fallback option ->
   sim_backend:Dpa_sim.Backend.t option ->
+  reorder:Dpa_power.Engine.reorder_strategy option ->
   Dpa_power.Engine.budget option
 (** CLI overrides folded over the spec's own budget; all-[None] keeps the
     spec budget untouched (including [None] = unbudgeted). *)

@@ -387,7 +387,28 @@ let test_reorder_refines_bad_order () =
   Alcotest.(check bool) "accepted swaps" true (r.Dpa_bdd.Reorder.swaps_accepted > 0);
   (* the refined order must actually produce the reported count *)
   let check = Build.shared_all_size net (Build.of_netlist ~order:r.Dpa_bdd.Reorder.order net) in
-  Alcotest.(check int) "order consistent" r.Dpa_bdd.Reorder.nodes check
+  Alcotest.(check int) "order consistent" r.Dpa_bdd.Reorder.nodes check;
+  (* exactly one oracle call per candidate swap, plus the start-order probe *)
+  let n = Netlist.num_inputs net in
+  Alcotest.(check int) "oracle call accounting"
+    (1 + (r.Dpa_bdd.Reorder.passes * (n - 1)))
+    r.Dpa_bdd.Reorder.oracle_calls
+
+let test_reorder_initial_cost_seed () =
+  let net = Dpa_workload.Examples.fig10 () in
+  let bad = Ordering.topological net in
+  let n = Netlist.num_inputs net in
+  let oracle order = Build.shared_all_size net (Build.of_netlist ~order net) in
+  (* seeding the incumbent skips the start-order probe entirely *)
+  let r = Dpa_bdd.Reorder.refine_cost ~initial_cost:11 ~cost:oracle bad in
+  Alcotest.(check int) "seed recorded" 11 r.Dpa_bdd.Reorder.initial_nodes;
+  Alcotest.(check int) "no start-order probe"
+    (r.Dpa_bdd.Reorder.passes * (n - 1))
+    r.Dpa_bdd.Reorder.oracle_calls;
+  (* an infeasible seed (the ladder's case) still lets a feasible
+     neighbour win *)
+  let r' = Dpa_bdd.Reorder.refine_cost ~initial_cost:max_int ~cost:oracle bad in
+  Alcotest.(check bool) "escapes infeasible seed" true (r'.Dpa_bdd.Reorder.nodes < max_int)
 
 (* property: refinement never makes the order worse and keeps a permutation *)
 let prop_reorder_never_worse =
@@ -404,6 +425,7 @@ let prop_reorder_never_worse =
 let suite =
   [ Alcotest.test_case "terminals" `Quick test_terminals;
     Alcotest.test_case "reorder refines" `Quick test_reorder_refines_bad_order;
+    Alcotest.test_case "reorder initial cost" `Quick test_reorder_initial_cost_seed;
     prop_reorder_never_worse;
     Alcotest.test_case "support" `Quick test_support;
     Alcotest.test_case "to_dot" `Quick test_to_dot;

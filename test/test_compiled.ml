@@ -196,14 +196,16 @@ let test_measure_counts_validation () =
 (* ---- engine integration: jobs invariance and backend equality ----- *)
 
 let test_engine_jobs_invariance () =
-  (* a node budget tight enough that every cone falls through to the
+  (* a node budget tight enough that cones fall through to the
      Monte-Carlo rung, on the compiled backend: jobs=1 and jobs=4 must
-     price every node bit-identically (Rng.derive per-cone streams) *)
+     price every node bit-identically (Rng.derive per-cone streams).
+     The cap is per-cone headroom over the shard store, so it must be
+     smaller than the marginal footprint of a nontrivial cone *)
   let net, mapped = prep (load_blif "../data/frg1_synthetic.blif") in
   let input_probs = Array.make (Netlist.num_inputs net) 0.5 in
   let budget =
     { Engine.default_budget with
-      Engine.max_bdd_nodes = Some 16;
+      Engine.max_bdd_nodes = Some 2;
       sim_backend = Backend.Compiled }
   in
   let run jobs =
@@ -226,7 +228,7 @@ let test_engine_backend_equality () =
   let run backend =
     let budget =
       { Engine.default_budget with
-        Engine.max_bdd_nodes = Some 16;
+        Engine.max_bdd_nodes = Some 2;
         sim_backend = backend }
     in
     Dpa_util.Par.with_pool ~jobs:2 (fun pool ->

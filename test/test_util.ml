@@ -240,6 +240,69 @@ let test_int3_table_find_or_insert () =
   Alcotest.(check bool) "stats count probes" true (Int3_table.probes t >= 2);
   Alcotest.(check bool) "stats count hits" true (Int3_table.hits t >= 1)
 
+let test_int3_table_remove () =
+  let t = Int3_table.create ~capacity:4 () in
+  Int3_table.replace t 1 2 3 10;
+  Int3_table.replace t 4 5 6 20;
+  Int3_table.remove t 1 2 3;
+  Alcotest.(check int) "removed" Int3_table.not_found (Int3_table.find t 1 2 3);
+  Alcotest.(check int) "others untouched" 20 (Int3_table.find t 4 5 6);
+  Alcotest.(check int) "length drops" 1 (Int3_table.length t);
+  Int3_table.remove t 1 2 3;
+  Alcotest.(check int) "double remove is a no-op" 1 (Int3_table.length t);
+  Int3_table.remove t 7 7 7;
+  Alcotest.(check int) "absent remove is a no-op" 1 (Int3_table.length t);
+  (* a tombstoned slot is reused by a later insert on the same chain *)
+  Int3_table.replace t 1 2 3 11;
+  Alcotest.(check int) "reinserted over tombstone" 11 (Int3_table.find t 1 2 3);
+  Alcotest.(check int) "length restored" 2 (Int3_table.length t)
+
+(* delete-heavy churn (the sifting reorderer's access pattern): tombstone
+   pressure must trigger purging rehashes — without them the table would
+   fill with dead slots and probe chains would never terminate — and the
+   table must stay exact throughout *)
+let test_int3_table_tombstone_churn () =
+  let t = Int3_table.create ~capacity:16 () in
+  for round = 0 to 199 do
+    for k = 0 to 19 do
+      Int3_table.replace t ((round * 20) + k) k round k
+    done;
+    for k = 0 to 19 do
+      Int3_table.remove t ((round * 20) + k) k round
+    done;
+    Alcotest.(check int) "round leaves table empty" 0 (Int3_table.length t)
+  done;
+  Alcotest.(check bool) "tombstone pressure purged" true (Int3_table.resizes t > 0);
+  Alcotest.(check int) "old keys gone" Int3_table.not_found (Int3_table.find t 20 0 1);
+  Int3_table.replace t 1 2 3 42;
+  Alcotest.(check int) "table still serviceable" 42 (Int3_table.find t 1 2 3)
+
+(* property: replace/remove/find agree with Hashtbl on random triple
+   operation sequences *)
+let prop_int3_table_model =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 1 400) (tup4 (int_bound 2) (int_bound 8) (int_bound 8) (int_bound 8)))
+  in
+  Testkit.qcheck_case ~count:120 ~name:"int3 table matches model with removes" gen (fun ops ->
+      let t = Int3_table.create ~capacity:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (op, a, b, c) ->
+          match op with
+          | 0 ->
+            Int3_table.replace t a b c ((a * 100) + (b * 10) + c);
+            Hashtbl.replace h (a, b, c) ((a * 100) + (b * 10) + c)
+          | 1 ->
+            Int3_table.remove t a b c;
+            Hashtbl.remove h (a, b, c)
+          | _ ->
+            let expect = match Hashtbl.find_opt h (a, b, c) with Some v -> v | None -> -1 in
+            if Int3_table.find t a b c <> expect then
+              QCheck2.Test.fail_reportf "find (%d,%d,%d): got %d, want %d" a b c
+                (Int3_table.find t a b c) expect)
+        ops;
+      Int3_table.length t = Hashtbl.length h)
+
 (* ---- cancellation tokens ---- *)
 
 module Cancel = Dpa_util.Cancel
@@ -366,6 +429,9 @@ let suite =
     Alcotest.test_case "int3_table basic" `Quick test_int3_table_basic;
     Alcotest.test_case "int3_table growth" `Quick test_int3_table_growth;
     Alcotest.test_case "int3_table find_or_insert" `Quick test_int3_table_find_or_insert;
+    Alcotest.test_case "int3_table remove" `Quick test_int3_table_remove;
+    Alcotest.test_case "int3_table tombstone churn" `Quick test_int3_table_tombstone_churn;
+    prop_int3_table_model;
     Alcotest.test_case "cancel: flag + first reason wins" `Quick test_cancel_flag;
     Alcotest.test_case "cancel: deadline fires" `Quick test_cancel_deadline;
     Alcotest.test_case "cancel: none is inert" `Quick test_cancel_none_inert;
